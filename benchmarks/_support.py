@@ -1,0 +1,101 @@
+"""Shared infrastructure for the figure/table reproduction benches.
+
+Each bench runs one panel of the paper's evaluation (10 runs per
+algorithm, like the paper), prints the measured-vs-paper comparison
+table, and persists it under ``benchmarks/results/`` so EXPERIMENTS.md
+can reference the exact rows.
+
+The paper reports most results as percentage slowdown relative to the
+best algorithm of each panel; the ``PAPER_*`` dicts below transcribe
+those numbers from the text of Sections 4.2 and 5.2 (0.0 marks the
+winner(s); None where the paper gives no number for that algorithm).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentResult, run_experiment
+from repro.analysis.tables import render_slowdown_table
+from repro.core.registry import PAPER_ALGORITHMS
+from repro.platform.presets import PAPER_LOAD_UNITS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper-reported slowdowns vs the best algorithm, per panel.
+PAPER_FIG2_DAS2 = {
+    0.0: {"umr": 0.0, "rumr": 0.0, "simple-5": 0.05, "wf": 0.10, "simple-1": 0.26,
+          "fixed-rumr": None},
+    0.10: {"fixed-rumr": 0.0, "wf": None, "umr": None, "rumr": None,
+           "simple-1": None, "simple-5": None},
+}
+PAPER_FIG3_METEOR = {
+    0.0: {"umr": 0.0, "wf": 0.0, "rumr": 0.0, "fixed-rumr": 0.0,
+          "simple-1": 0.21, "simple-5": 0.24},
+    0.10: {"wf": 0.0, "fixed-rumr": 0.0, "umr": 0.20, "rumr": 0.23,
+           "simple-1": None, "simple-5": None},
+}
+PAPER_FIG4_MIXED = {
+    0.0: {"umr": 0.0, "rumr": 0.0, "simple-5": 0.17, "simple-1": 0.25,
+          "wf": None, "fixed-rumr": None},
+    0.10: {"wf": 0.0, "fixed-rumr": 0.0, "simple-5": 0.14, "simple-1": 0.28,
+           "umr": None, "rumr": None},
+}
+PAPER_CASE_STUDY = {
+    "wf": 0.0, "rumr": 0.02, "umr": 0.07, "fixed-rumr": 0.07,
+    "simple-5": 0.38, "simple-1": 0.52,
+}
+
+#: Section 4.3 averages across the grid of Section 4 scenarios.
+PAPER_SECTION43 = {"simple-1": 0.28, "simple-5": 0.18, "umr_high_gamma": 0.17}
+
+
+def run_panel(
+    label: str,
+    grid_factory,
+    gamma: float,
+    *,
+    total_load: float = PAPER_LOAD_UNITS,
+    autocorrelation: float = 0.0,
+    runs: int = 10,
+    algorithms=PAPER_ALGORITHMS,
+) -> ExperimentResult:
+    """Run one figure panel with the paper's 10-run methodology."""
+    return run_experiment(
+        ExperimentConfig(
+            label=label,
+            grid_factory=grid_factory,
+            total_load=total_load,
+            gamma=gamma,
+            algorithms=algorithms,
+            runs=runs,
+            noise_autocorrelation=autocorrelation,
+        )
+    )
+
+
+def emit_panel(result: ExperimentResult, paper: dict | None, filename: str) -> str:
+    """Render, print, and persist one panel's comparison table (+ CSV)."""
+    from repro.analysis.export import experiment_to_csv
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    experiment_to_csv(result, RESULTS_DIR / (filename.rsplit(".", 1)[0] + ".csv"))
+    table = render_slowdown_table(
+        result.config.label,
+        result.slowdowns(),
+        makespans={n: r.stats.mean for n, r in result.by_algorithm.items()},
+        paper=paper,
+    )
+    rumr = result.by_algorithm.get("rumr")
+    if rumr is not None:
+        switched = rumr.count_annotation("rumr_switched")
+        late = rumr.count_annotation("rumr_switch_too_late")
+        table += (
+            f"\n(online RUMR: switched {switched}/{len(rumr.annotations)} runs, "
+            f"detected-but-too-late {late}/{len(rumr.annotations)})"
+        )
+    print(table, file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(table + "\n")
+    return table

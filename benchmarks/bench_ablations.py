@@ -1,0 +1,273 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but direct probes of the mechanisms behind
+its conclusions:
+
+* **Fixed-RUMR phase-2 fraction sweep** -- the paper fixes 80/20 'in the
+  meantime'; the sweep shows where that sits on the robustness/overlap
+  trade-off at gamma = 10%.
+* **UMR round-count sensitivity** -- UMR's selling point is the
+  *near-optimal* round count; forcing other counts (via the fixed-round
+  multi-installment scheduler) quantifies the cost of guessing wrong.
+* **Probe accuracy** -- application-level probing vs a perfect oracle:
+  how much makespan does single-sample probe error cost at high gamma?
+* **Lineage ladder** -- one-round -> fixed installments -> UMR, the
+  Section 2.2 progression, on the latency-heavy DAS-2 platform.
+"""
+
+import statistics
+import sys
+
+from _support import RESULTS_DIR, run_panel
+
+from repro.analysis.tables import render_table
+from repro.core.registry import make_scheduler
+from repro.core.rumr import RUMR
+from repro.platform.presets import PAPER_LOAD_UNITS, das2_cluster
+from repro.simulation.master import SimulationOptions, simulate_run
+
+
+def _mean_makespan(scheduler_factory, *, gamma=0.0, runs=6, options=None, grid=None):
+    makespans = []
+    for seed in range(runs):
+        g = grid if grid is not None else das2_cluster(16)
+        report = simulate_run(
+            g, scheduler_factory(), total_load=PAPER_LOAD_UNITS,
+            gamma=gamma, seed=2000 + seed, options=options,
+        )
+        makespans.append(report.makespan)
+    return statistics.mean(makespans)
+
+
+def _emit(title, headers, rows, filename):
+    table = render_table(headers, rows, title=title, precision=1)
+    print(table, file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(table + "\n")
+    return table
+
+
+def test_ablation_phase2_fraction(benchmark):
+    """Sweep Fixed-RUMR's Factoring-phase share at gamma = 10% on DAS-2."""
+    fractions = (0.05, 0.1, 0.2, 0.35, 0.5, 0.7)
+
+    def sweep():
+        return {
+            f: _mean_makespan(lambda f=f: RUMR(fixed_phase2_fraction=f), gamma=0.10)
+            for f in fractions
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best_fraction = min(results, key=results.get)
+    _emit(
+        "Ablation: Fixed-RUMR phase-2 fraction (DAS-2, gamma=10%)",
+        ["phase-2 fraction", "mean makespan (s)"],
+        [[f"{f:.2f}", results[f]] for f in fractions],
+        "ablation_phase2_fraction.txt",
+    )
+    # the paper's 0.2 choice sits near the sweet spot: within 5% of the
+    # sweep's best, and both extremes are worse than the middle
+    assert results[0.2] <= results[best_fraction] * 1.05
+    assert results[0.05] > results[best_fraction]
+    assert results[0.7] > results[best_fraction]
+
+
+def test_ablation_round_count(benchmark):
+    """Fixed round counts vs UMR's optimized one (DAS-2, gamma = 0)."""
+    counts = (1, 2, 4, 8, 16, 32)
+
+    def sweep():
+        fixed = {
+            m: _mean_makespan(
+                lambda m=m: make_scheduler(f"multiinstallment-{m}"), runs=1
+            )
+            for m in counts
+        }
+        fixed["umr"] = _mean_makespan(lambda: make_scheduler("umr"), runs=1)
+        return fixed
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        "Ablation: fixed installment count vs UMR (DAS-2, gamma=0)",
+        ["rounds", "mean makespan (s)"],
+        [[str(m), results[m]] for m in (*counts, "umr")],
+        "ablation_round_count.txt",
+    )
+    # UMR's optimized count beats (or ties) every fixed choice, and the
+    # worst fixed choice is substantially slower
+    best_fixed = min(results[m] for m in counts)
+    worst_fixed = max(results[m] for m in counts)
+    assert results["umr"] <= best_fixed * 1.02
+    assert worst_fixed > results["umr"] * 1.10
+
+
+def test_ablation_probe_accuracy(benchmark):
+    """Single-sample probing vs a perfect oracle at gamma = 20%."""
+
+    def sweep():
+        probed = _mean_makespan(lambda: make_scheduler("umr"), gamma=0.20)
+        oracle = _mean_makespan(
+            lambda: make_scheduler("umr"), gamma=0.20,
+            options=SimulationOptions(perfect_estimates=True),
+        )
+        probed_wf = _mean_makespan(lambda: make_scheduler("wf"), gamma=0.20)
+        oracle_wf = _mean_makespan(
+            lambda: make_scheduler("wf"), gamma=0.20,
+            options=SimulationOptions(perfect_estimates=True),
+        )
+        return {"umr_probed": probed, "umr_oracle": oracle,
+                "wf_probed": probed_wf, "wf_oracle": oracle_wf}
+
+    r = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        "Ablation: probe estimates vs perfect information (DAS-2, gamma=20%)",
+        ["configuration", "mean makespan (s)"],
+        [[k, v] for k, v in r.items()],
+        "ablation_probe_accuracy.txt",
+    )
+    # probe error costs UMR (no adaptation) more than it costs WF
+    umr_penalty = r["umr_probed"] / r["umr_oracle"] - 1.0
+    wf_penalty = r["wf_probed"] / r["wf_oracle"] - 1.0
+    assert umr_penalty >= wf_penalty - 0.02
+    # and neither penalty is absurd
+    assert umr_penalty < 0.30
+
+
+def test_ablation_hotspot_loads(benchmark):
+    """Data-dependent costs (Table 1's real uncertainty) vs random noise:
+    a deterministic hotspot region -- HMMER's long sequences, MPEG's
+    complex scenes -- acts like uncertainty the schedulers cannot predict,
+    and the same robustness ordering emerges as under gamma-noise."""
+    import statistics
+
+    from repro.simulation.costprofile import hotspot_profile
+    from repro.simulation.master import simulate_run
+
+    def sweep():
+        profile = hotspot_profile(
+            PAPER_LOAD_UNITS, hotspots=[(0.55, 0.8)], scale=2.5
+        )
+        rows = {}
+        for name in ("simple-1", "umr", "wf", "fixed-rumr"):
+            rows[name] = statistics.mean(
+                simulate_run(
+                    das2_cluster(16), make_scheduler(name),
+                    total_load=PAPER_LOAD_UNITS, gamma=0.0,
+                    seed=4000 + s, cost_profile=profile,
+                ).makespan
+                for s in range(3)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        "Ablation: deterministic hotspot load (DAS-2, 2.5x region at 55-80%)",
+        ["algorithm", "mean makespan (s)"],
+        [[k, v] for k, v in rows.items()],
+        "ablation_hotspots.txt",
+    )
+    # the adaptive/two-phase schemes absorb the hotspot; static chunking
+    # and plan-committed UMR pay for it
+    best = min(rows.values())
+    assert rows["wf"] == best  # greedy adaptation wins outright
+    assert rows["fixed-rumr"] <= best * 1.06
+    assert rows["umr"] >= rows["fixed-rumr"]
+    assert rows["simple-1"] > best * 1.5  # the hot half lands on fixed shares
+
+
+def test_ablation_learned_gamma_rumr(benchmark):
+    """The paper's proposed fix, measured: 'the magnitude of the
+    uncertainty could be learned from past application executions'.  With
+    gamma known in advance, RUMR pre-plans its switch and recovers the
+    two-phase advantage that the online variant loses at gamma = 10%."""
+    from repro.core.rumr import RUMR, rumr_with_known_gamma
+
+    def sweep():
+        return {
+            "online rumr": _mean_makespan(RUMR, gamma=0.10),
+            "rumr (learned gamma=0.10)": _mean_makespan(
+                lambda: rumr_with_known_gamma(0.10), gamma=0.10
+            ),
+            "fixed-rumr (80/20)": _mean_makespan(
+                lambda: RUMR(fixed_phase2_fraction=0.2), gamma=0.10
+            ),
+            "umr": _mean_makespan(lambda: make_scheduler("umr"), gamma=0.10),
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        "Ablation: learned-gamma RUMR (DAS-2, gamma=10%)",
+        ["scheduler", "mean makespan (s)"],
+        [[k, v] for k, v in rows.items()],
+        "ablation_learned_rumr.txt",
+    )
+    # learning fixes the late switch: clearly better than online RUMR/UMR,
+    # in the same band as the paper's stopgap Fixed-RUMR
+    assert rows["rumr (learned gamma=0.10)"] < rows["online rumr"] * 0.95
+    assert rows["rumr (learned gamma=0.10)"] < rows["umr"] * 0.95
+    assert rows["rumr (learned gamma=0.10)"] < rows["fixed-rumr (80/20)"] * 1.05
+
+
+def test_ablation_monitoring_vs_probing(benchmark):
+    """Section 3.5's two roads measured: free-but-mistranslated monitoring
+    (NWS/Ganglia style) vs costly-but-accurate application probing."""
+    from repro.apst.monitoring import MonitoringConfig
+
+    def sweep():
+        rows = {}
+        for label, options in (
+            ("oracle", SimulationOptions(estimate_source="oracle")),
+            ("probe", SimulationOptions(estimate_source="probe")),
+            ("probe (time billed)", SimulationOptions(
+                estimate_source="probe", include_probe_time=True)),
+            ("monitor (15% error)", SimulationOptions(
+                estimate_source="monitor",
+                monitoring=MonitoringConfig(translation_error=0.15))),
+            ("monitor (30% error)", SimulationOptions(
+                estimate_source="monitor",
+                monitoring=MonitoringConfig(translation_error=0.30))),
+        ):
+            rows[label] = _mean_makespan(
+                lambda: make_scheduler("umr"), gamma=0.0, options=options
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        "Ablation: resource information source for UMR (DAS-2, gamma=0)",
+        ["estimate source", "mean makespan (s)"],
+        [[k, v] for k, v in rows.items()],
+        "ablation_monitoring.txt",
+    )
+    # probing matches the oracle on a dedicated platform
+    assert rows["probe"] <= rows["oracle"] * 1.02
+    # monitoring's translation error costs real makespan, growing with error
+    assert rows["monitor (15% error)"] > rows["probe"]
+    assert rows["monitor (30% error)"] > rows["monitor (15% error)"] * 0.99
+    # even billing the probe round, probing beats badly-translated monitoring
+    assert rows["probe (time billed)"] < rows["monitor (30% error)"]
+
+
+def test_ablation_lineage_ladder(benchmark):
+    """One-round -> multi-installment -> UMR on the latency-heavy DAS-2."""
+
+    def sweep():
+        return {
+            name: _mean_makespan(lambda n=name: make_scheduler(n), runs=1)
+            for name in (
+                "oneround-linear", "oneround-affine",
+                "multiinstallment-5", "umr", "adaptive-umr",
+            )
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        "Ablation: DLS lineage on DAS-2 (gamma=0)",
+        ["algorithm", "mean makespan (s)"],
+        [[k, v] for k, v in results.items()],
+        "ablation_lineage.txt",
+    )
+    # each generation improves (or at least does not regress) on DAS-2
+    assert results["umr"] < results["oneround-affine"]
+    assert results["oneround-affine"] <= results["oneround-linear"] * 1.02
+    assert results["umr"] <= results["multiinstallment-5"] * 1.02

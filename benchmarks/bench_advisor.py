@@ -1,0 +1,75 @@
+"""Automatic algorithm selection, evaluated across the paper's scenarios.
+
+Section 3.3: the algorithm "could be determined automatically by APST".
+This bench measures how good that automation is: for every Section 4 / 5
+scenario, the advisor picks an algorithm (using only the gamma knowledge
+a user would have), and we compare its pick's makespan against the
+scenario's true best algorithm (from the full back-to-back comparison).
+A perfect advisor has zero regret; we require <= 3% everywhere.
+"""
+
+import sys
+
+from _support import RESULTS_DIR, run_panel
+
+from repro.analysis.tables import render_table
+from repro.apst.advisor import recommend_algorithm
+from repro.platform.presets import (
+    GRAIL_FRAMES,
+    GRAIL_GAMMA,
+    GRAIL_NOISE_AUTOCORRELATION,
+    PAPER_LOAD_UNITS,
+    das2_cluster,
+    grail_lan,
+    meteor_cluster,
+    mixed_grid,
+)
+
+SCENARIOS = [
+    ("das2 g=0", lambda: das2_cluster(16), 0.0, PAPER_LOAD_UNITS, 0.0),
+    ("das2 g=10%", lambda: das2_cluster(16), 0.10, PAPER_LOAD_UNITS, 0.0),
+    ("meteor g=0", lambda: meteor_cluster(16), 0.0, PAPER_LOAD_UNITS, 0.0),
+    ("meteor g=10%", lambda: meteor_cluster(16), 0.10, PAPER_LOAD_UNITS, 0.0),
+    ("mixed g=10%", mixed_grid, 0.10, PAPER_LOAD_UNITS, 0.0),
+    ("grail g=20%", grail_lan, GRAIL_GAMMA, float(GRAIL_FRAMES),
+     GRAIL_NOISE_AUTOCORRELATION),
+]
+
+
+def test_advisor_regret_across_paper_scenarios(benchmark):
+    def evaluate():
+        rows = []
+        for label, factory, gamma, load, ac in SCENARIOS:
+            recommendation = recommend_algorithm(
+                factory(), load,
+                gamma=gamma if gamma > 0 else None,
+                autocorrelation=ac,
+            )
+            truth = run_panel(label, factory, gamma, total_load=load,
+                              autocorrelation=ac, runs=5)
+            best = truth.best_algorithm
+            picked_makespan = truth.makespan(recommendation.algorithm)
+            best_makespan = truth.makespan(best)
+            rows.append({
+                "scenario": label,
+                "picked": recommendation.algorithm,
+                "true_best": best,
+                "regret": picked_makespan / best_makespan - 1.0,
+            })
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    table = render_table(
+        ["scenario", "advisor pick", "true best", "regret"],
+        [[r["scenario"], r["picked"], r["true_best"], f"+{r['regret']:.1%}"]
+         for r in rows],
+        title="Automatic algorithm selection: regret vs the true best",
+    )
+    print(table, file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "advisor_regret.txt").write_text(table + "\n")
+
+    for r in rows:
+        assert r["regret"] <= 0.03, f"{r['scenario']}: regret {r['regret']:.1%}"
+    # the advisor never recommends static chunking
+    assert all(not r["picked"].startswith("simple") for r in rows)

@@ -1,0 +1,78 @@
+"""Cross-backend consistency: simulator vs real threaded execution.
+
+The simulation backend substitutes for the paper's testbed; the threaded
+backend really moves bytes and really computes, with modeled costs scaled
+into wall-clock.  Running the *same* scheduler on the *same* platform
+through both must land on nearly the same makespan (real-thread
+scheduling jitter allows a small gap) -- the repository's evidence that
+the simulated numbers reflect what an actual master-worker run does.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from _support import RESULTS_DIR
+
+from repro.analysis.tables import render_table
+from repro.apst.division import UniformBytesDivision
+from repro.core.registry import make_scheduler
+from repro.execution.local import LocalExecutionBackend
+from repro.platform.resources import Cluster, Grid
+from repro.simulation.master import SimulationOptions, simulate_run
+
+#: small platform and load so the wall-clock run stays ~seconds
+LOAD_BYTES = 4096
+TIME_SCALE = 0.01
+
+
+def _grid():
+    return Grid.from_clusters(
+        Cluster.homogeneous("x", 3, speed=300.0, bandwidth=3000.0,
+                            comm_latency=0.15, comp_latency=0.05)
+    )
+
+
+def test_backends_agree_on_makespan(benchmark):
+    workdir = Path(tempfile.mkdtemp(prefix="bench_consistency_"))
+    load_file = workdir / "load.bin"
+    load_file.write_bytes(bytes(LOAD_BYTES))
+
+    def compare():
+        rows = {}
+        for name in ("simple-2", "umr", "wf"):
+            division = UniformBytesDivision(load_file, stepsize=16)
+            backend = LocalExecutionBackend(
+                workdir / f"work_{name}", time_scale=TIME_SCALE
+            )
+            real = backend.execute(
+                _grid(), make_scheduler(name), division, None,
+                probe_units=128.0,
+            )
+            simulated = simulate_run(
+                _grid(), make_scheduler(name), total_load=float(LOAD_BYTES),
+                seed=0, options=SimulationOptions(probe_units=128.0),
+            )
+            rows[name] = (simulated.makespan, real.makespan)
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    table = render_table(
+        ["algorithm", "simulated makespan (s)", "real threaded (model s)", "gap"],
+        [
+            [n, rows[n][0], rows[n][1], f"{rows[n][1] / rows[n][0] - 1:+.1%}"]
+            for n in rows
+        ],
+        title="Backend consistency: simulator vs real threaded execution",
+        precision=2,
+    )
+    print(table, file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "backend_consistency.txt").write_text(table + "\n")
+
+    for name, (sim, real) in rows.items():
+        # the real backend can only be slower (thread/IO overheads on top
+        # of modeled costs), and should stay within ~20%
+        assert real >= sim * 0.97, f"{name}: real faster than the model?"
+        assert real <= sim * 1.25, f"{name}: gap too large ({real / sim - 1:+.1%})"

@@ -1,0 +1,123 @@
+"""Section 5 case study: parallel MPEG-4 encoding on the GRAIL LAN.
+
+Two parts:
+
+1. **The scheduling panel** (the paper's quantitative comparison): seven
+   non-dedicated processors (1 slow + 6 fast), r = 13.5, measured
+   gamma ~ 20% with persistent background load (AR noise), an 1830-frame
+   load with callback division at frame granularity.  Paper: Weighted
+   Factoring best; RUMR within 2% with a *successful* phase switch in
+   every run; UMR and Fixed-RUMR ~7% slower; SIMPLE-5 +38%; SIMPLE-1 +52%.
+
+2. **The end-to-end pipeline** on the real local execution backend:
+   split (callback/avisplit) -> ship -> encode (toy mencoder) -> collect
+   -> merge (avimerge), verifying the merged output is byte-identical to
+   a serial encode -- the correctness property behind the whole case
+   study.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from _support import PAPER_CASE_STUDY, emit_panel, run_panel
+
+from repro.apst.division import CallbackDivision
+from repro.core.registry import make_scheduler
+from repro.execution.local import LocalExecutionBackend
+from repro.platform.presets import (
+    GRAIL_FRAMES,
+    GRAIL_GAMMA,
+    GRAIL_NOISE_AUTOCORRELATION,
+    grail_lan,
+)
+from repro.platform.resources import Cluster, Grid
+from repro.workloads.video import (
+    avimerge,
+    make_avisplit_callback,
+    mencoder_encode,
+    write_dv_file,
+)
+
+
+def test_case_study_scheduling_panel(benchmark):
+    result = benchmark.pedantic(
+        run_panel,
+        args=("Section 5 -- GRAIL LAN (7 procs, r=13.5), gamma~20%",
+              grail_lan, GRAIL_GAMMA),
+        kwargs={"total_load": float(GRAIL_FRAMES),
+                "autocorrelation": GRAIL_NOISE_AUTOCORRELATION},
+        rounds=1, iterations=1,
+    )
+    emit_panel(result, PAPER_CASE_STUDY, "case_study_grail.txt")
+
+    slow = result.slowdowns()
+    # WF best, RUMR within ~2% (paper), both far ahead of SIMPLE-n
+    assert min(slow["wf"], slow["rumr"]) == 0.0
+    assert abs(slow["wf"] - slow["rumr"]) < 0.05
+    # RUMR switches successfully in every run (paper: 10/10)
+    rumr = result.by_algorithm["rumr"]
+    assert rumr.count_annotation("rumr_switched") == len(rumr.annotations)
+    # UMR and Fixed-RUMR trail (paper: ~7%)
+    assert slow["umr"] > 0.05
+    assert slow["fixed-rumr"] > 0.02
+    # static chunking far behind, SIMPLE-5 better than SIMPLE-1 (paper order)
+    assert slow["simple-1"] > 0.35
+    assert slow["simple-5"] > 0.25
+    assert slow["simple-1"] > slow["simple-5"]
+
+
+class _EncodeApp:
+    """Worker-side toy mencoder: encode a TDV chunk to TM4V bytes."""
+
+    def __init__(self, scratch: Path) -> None:
+        self._scratch = scratch
+        self._counter = 0
+
+    def process(self, data: bytes, units=None) -> bytes:
+        self._counter += 1
+        src = self._scratch / f"chunk_{self._counter}.tdv"
+        src.write_bytes(data)
+        dst = src.with_suffix(".tm4v")
+        mencoder_encode(src, dst)
+        return dst.read_bytes()
+
+
+def test_case_study_end_to_end_pipeline(benchmark):
+    """Figure 5's seven steps on the real backend, with verification."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench_case_study_"))
+    frames = 60  # shortened load so the real run takes seconds
+    video = workdir / "input.tdv"
+    write_dv_file(video, frames=frames, frame_bytes=1024, seed=11)
+    grid = Grid.from_clusters(
+        Cluster.homogeneous("lan", 4, speed=30.0, bandwidth=400.0,
+                            comm_latency=0.1, comp_latency=0.05)
+    )
+
+    def pipeline():
+        division = CallbackDivision(
+            frames, function=make_avisplit_callback(video), workdir=workdir
+        )
+        backend = LocalExecutionBackend(
+            workdir / "work", app=_EncodeApp(workdir), time_scale=0.005
+        )
+        report = backend.execute(
+            grid, make_scheduler("rumr"), division, None, probe_units=4.0
+        )
+        merged = workdir / "mpeg4.tm4v"
+        avimerge(backend.last_outputs, merged)
+        return report, merged
+
+    report, merged = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    serial = workdir / "serial.tm4v"
+    mencoder_encode(video, serial)
+    identical = merged.read_bytes() == serial.read_bytes()
+    print(
+        f"case-study pipeline: {report.num_chunks} chunks over "
+        f"{len(grid)} workers, makespan {report.makespan:.1f} model-s, "
+        f"merged output byte-identical: {identical}",
+        file=sys.stderr,
+    )
+    assert identical
+    assert sum(c.units for c in report.chunks) == pytest.approx(frames)

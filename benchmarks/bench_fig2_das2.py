@@ -1,0 +1,73 @@
+"""Figure 2: DAS-2 cluster, 16 nodes, r = 37, gamma in {0%, 10%}.
+
+Reproduces both panels of Figure 2 with the paper's methodology (average
+of 10 runs per algorithm, algorithms run back-to-back on matched seeds)
+and asserts the paper's findings:
+
+* gamma = 0:  UMR/RUMR best (identical -- RUMR degenerates to UMR);
+  SIMPLE-5 ~5% slower; Factoring ~10% slower; SIMPLE-1 far behind.
+* gamma = 10%: Weighted Factoring ~8% faster than UMR; online RUMR's
+  switch comes too late in most runs so it tracks UMR; Fixed-RUMR best.
+"""
+
+import pytest
+from _support import PAPER_FIG2_DAS2, emit_panel, run_panel
+
+from repro.platform.presets import das2_cluster
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {}
+
+
+def test_fig2_das2_gamma0(benchmark, panels):
+    result = benchmark.pedantic(
+        run_panel, args=("Figure 2 -- DAS-2 (16 nodes, r=37), gamma=0",
+                         lambda: das2_cluster(16), 0.0),
+        rounds=1, iterations=1,
+    )
+    panels[0.0] = result
+    emit_panel(result, PAPER_FIG2_DAS2[0.0], "fig2_das2_gamma0.txt")
+
+    slow = result.slowdowns()
+    assert slow["umr"] < 0.02
+    assert result.makespan("rumr") == pytest.approx(result.makespan("umr"), rel=1e-6)
+    assert 0.02 < slow["simple-5"] < 0.15           # paper: +5%
+    assert 0.04 < slow["wf"] < 0.18                 # paper: +10%
+    assert slow["simple-1"] > 0.20                  # paper: +26%
+    assert slow["simple-1"] > slow["simple-5"]
+
+
+def test_fig2_das2_gamma10(benchmark, panels):
+    result = benchmark.pedantic(
+        run_panel, args=("Figure 2 -- DAS-2 (16 nodes, r=37), gamma=10%",
+                         lambda: das2_cluster(16), 0.10),
+        rounds=1, iterations=1,
+    )
+    panels[0.10] = result
+    emit_panel(result, PAPER_FIG2_DAS2[0.10], "fig2_das2_gamma10.txt")
+
+    # WF faster than UMR (paper: ~8%)
+    assert result.makespan("wf") < result.makespan("umr") * 0.96
+    # online RUMR fails to use Factoring in most runs and tracks UMR
+    rumr = result.by_algorithm["rumr"]
+    assert rumr.count_annotation("rumr_switched") <= 3
+    assert result.makespan("rumr") > result.makespan("wf")
+    # Fixed-RUMR does the best
+    assert result.best_algorithm == "fixed-rumr"
+
+
+def test_fig2_uncertainty_degrades_umr_more_than_wf(benchmark, panels):
+    """Cross-panel check: going 0 -> 10% gamma hurts UMR much more than WF."""
+    if 0.0 not in panels or 0.10 not in panels:
+        pytest.skip("panel tests did not run")
+
+    def degradation():
+        return {
+            name: panels[0.10].makespan(name) / panels[0.0].makespan(name) - 1.0
+            for name in ("umr", "wf")
+        }
+
+    d = benchmark.pedantic(degradation, rounds=1, iterations=1)
+    assert d["umr"] > d["wf"] + 0.05

@@ -1,0 +1,46 @@
+"""Figure 4: DAS-2 (8 nodes) + Meteor (8 nodes), gamma in {0%, 10%}.
+
+The two-cluster Grid panel.  Paper findings reproduced and asserted:
+
+* gamma = 0:  UMR and RUMR (identical) lead; SIMPLE-1 +25%, SIMPLE-5 +17%.
+* gamma = 10%: Weighted Factoring and Fixed-RUMR lead; SIMPLE-1 +28%,
+  SIMPLE-5 +14%.
+"""
+
+import pytest
+from _support import PAPER_FIG4_MIXED, emit_panel, run_panel
+
+from repro.platform.presets import mixed_grid
+
+
+def test_fig4_mixed_gamma0(benchmark):
+    result = benchmark.pedantic(
+        run_panel, args=("Figure 4 -- DAS-2 (8) + Meteor (8), gamma=0",
+                         mixed_grid, 0.0),
+        rounds=1, iterations=1,
+    )
+    emit_panel(result, PAPER_FIG4_MIXED[0.0], "fig4_mixed_gamma0.txt")
+
+    slow = result.slowdowns()
+    assert slow["umr"] < 0.03
+    assert result.makespan("rumr") == pytest.approx(result.makespan("umr"), rel=1e-6)
+    assert slow["simple-1"] > 0.20                  # paper: +25%
+    assert slow["simple-5"] > 0.10                  # paper: +17%
+
+
+def test_fig4_mixed_gamma10(benchmark):
+    result = benchmark.pedantic(
+        run_panel, args=("Figure 4 -- DAS-2 (8) + Meteor (8), gamma=10%",
+                         mixed_grid, 0.10),
+        rounds=1, iterations=1,
+    )
+    emit_panel(result, PAPER_FIG4_MIXED[0.10], "fig4_mixed_gamma10.txt")
+
+    slow = result.slowdowns()
+    # WF and Fixed-RUMR lead
+    assert min(slow["wf"], slow["fixed-rumr"]) == 0.0
+    assert max(slow["wf"], slow["fixed-rumr"]) < 0.06
+    # SIMPLE-n poor, SIMPLE-1 worse than SIMPLE-5 (paper: +28% vs +14%)
+    assert slow["simple-1"] > 0.20
+    assert slow["simple-5"] > 0.07
+    assert slow["simple-1"] > slow["simple-5"]

@@ -1,0 +1,78 @@
+"""Section 4.3: the paper's cross-scenario averages.
+
+'From the experimental results above we draw the following broad
+conclusions: 1. The SIMPLE-n algorithm ... is always inefficient (on
+average SIMPLE-1 and SIMPLE-5 are 28% and 18% slower than the best
+algorithm). ... 2. [UMR's] performance is poor when uncertainty becomes
+significant (on average 17% slower than the best algorithm).'
+
+This bench re-runs the full Section 4 grid (3 platforms x 2 gamma
+levels), averages each algorithm's slowdown across scenarios, and checks
+both conclusions.
+"""
+
+import sys
+
+from _support import PAPER_SECTION43, RESULTS_DIR, run_panel
+
+from repro.analysis.metrics import mean_slowdown_across
+from repro.analysis.tables import render_table
+from repro.platform.presets import das2_cluster, meteor_cluster, mixed_grid
+
+SCENARIOS = [
+    ("das2 g=0", lambda: das2_cluster(16), 0.0),
+    ("das2 g=10%", lambda: das2_cluster(16), 0.10),
+    ("meteor g=0", lambda: meteor_cluster(16), 0.0),
+    ("meteor g=10%", lambda: meteor_cluster(16), 0.10),
+    ("mixed g=0", mixed_grid, 0.0),
+    ("mixed g=10%", mixed_grid, 0.10),
+]
+
+
+def _run_grid():
+    return {
+        label: run_panel(label, factory, gamma, runs=5)
+        for label, factory, gamma in SCENARIOS
+    }
+
+
+def test_section43_averages(benchmark):
+    results = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
+
+    all_slowdowns = [r.slowdowns() for r in results.values()]
+    overall = mean_slowdown_across(all_slowdowns)
+    high_gamma = mean_slowdown_across(
+        [results[label].slowdowns() for label in
+         ("das2 g=10%", "meteor g=10%", "mixed g=10%")]
+    )
+
+    table = render_table(
+        ["algorithm", "mean slowdown (all 6 scenarios)",
+         "mean slowdown (gamma=10% only)", "paper"],
+        [
+            ["simple-1", f"+{overall['simple-1']:.0%}",
+             f"+{high_gamma['simple-1']:.0%}", "+28% (all)"],
+            ["simple-5", f"+{overall['simple-5']:.0%}",
+             f"+{high_gamma['simple-5']:.0%}", "+18% (all)"],
+            ["umr", f"+{overall['umr']:.0%}",
+             f"+{high_gamma['umr']:.0%}", "+17% (high gamma)"],
+            ["wf", f"+{overall['wf']:.0%}", f"+{high_gamma['wf']:.0%}", None],
+            ["rumr", f"+{overall['rumr']:.0%}", f"+{high_gamma['rumr']:.0%}", None],
+            ["fixed-rumr", f"+{overall['fixed-rumr']:.0%}",
+             f"+{high_gamma['fixed-rumr']:.0%}", None],
+        ],
+        title="Section 4.3 -- average slowdown vs best across scenarios",
+    )
+    print(table, file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "section43_averages.txt").write_text(table + "\n")
+
+    # conclusion 1: SIMPLE-n always inefficient
+    assert overall["simple-1"] > 0.18   # paper: 28%
+    assert overall["simple-5"] > 0.08   # paper: 18%
+    assert overall["simple-1"] > overall["simple-5"]
+    # conclusion 2: UMR poor under significant uncertainty
+    assert high_gamma["umr"] > 0.10     # paper: 17%
+    # conclusion 4: Fixed-RUMR effective across the board
+    assert overall["fixed-rumr"] < 0.05
+    assert PAPER_SECTION43["simple-1"] == 0.28  # transcription anchor

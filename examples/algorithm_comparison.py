@@ -1,0 +1,62 @@
+"""Survey every scheduling algorithm in the library across uncertainty levels.
+
+Beyond the paper's six algorithms, the library implements the lineage and
+extension algorithms its Section 2.2 surveys: classic one-round DLS
+(linear and affine), fixed-round multi-installment, plain Factoring, GSS,
+and the paper's stated future work, Adaptive UMR.  This example sweeps
+gamma and prints one table per level -- a compact map of when each family
+of ideas pays off.
+
+Run:  python examples/algorithm_comparison.py  [--platform das2|meteor|mixed|grail]
+"""
+
+import argparse
+
+from repro.analysis import ExperimentConfig, render_slowdown_table, run_experiment
+from repro.platform.presets import PAPER_LOAD_UNITS, preset_by_name
+
+ALL_ALGORITHMS = (
+    "simple-1",
+    "simple-5",
+    "oneround-linear",
+    "oneround-affine",
+    "multiinstallment-5",
+    "gss",
+    "factoring",
+    "wf",
+    "umr",
+    "adaptive-umr",
+    "rumr",
+    "fixed-rumr",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--platform", default="das2")
+    parser.add_argument("--runs", type=int, default=3)
+    args = parser.parse_args()
+
+    for gamma in (0.0, 0.05, 0.10, 0.20):
+        config = ExperimentConfig(
+            label=f"{args.platform}, gamma = {gamma:.0%} "
+                  f"({args.runs} runs per algorithm)",
+            grid_factory=lambda: preset_by_name(args.platform),
+            total_load=PAPER_LOAD_UNITS if args.platform != "grail" else 1830.0,
+            gamma=gamma,
+            algorithms=ALL_ALGORITHMS,
+            runs=args.runs,
+        )
+        result = run_experiment(config)
+        print(
+            render_slowdown_table(
+                config.label,
+                result.slowdowns(),
+                makespans={n: r.stats.mean for n, r in result.by_algorithm.items()},
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

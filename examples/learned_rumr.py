@@ -1,0 +1,71 @@
+"""Learning gamma across runs: the paper's proposed RUMR fix, end to end.
+
+Section 4.2 diagnoses why online RUMR fails at moderate uncertainty (the
+switch to Factoring resolves after the final round is already on the
+wire) and suggests the uncertainty "could be learned from past
+application executions".  This example runs the same application
+repeatedly through the APST-DV daemon with ``algorithm="rumr-learned"``:
+
+* run 1: no history -- falls back to online RUMR (and typically fails to
+  switch in time);
+* runs 2+: the daemon has recorded observed gammas, so RUMR pre-plans its
+  Factoring phase like the original known-gamma algorithm -- the switch
+  can never come too late.
+
+Run:  python examples/learned_rumr.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.apst import APSTClient, APSTDaemon, DaemonConfig
+from repro.apst.history import ApplicationHistory
+from repro.platform.presets import das2_cluster
+
+TASK_XML = """
+<task executable="a_divisible_app" input="bigload.bin">
+  <divisibility input="bigload.bin" method="uniform" start="0"
+                steptype="bytes" stepsize="10" algorithm="rumr-learned"/>
+</task>
+"""
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="apstdv_learned_"))
+    (workdir / "bigload.bin").write_bytes(bytes(10_000))
+    history_path = workdir / "history.json"
+
+    grid = das2_cluster(nodes=16)
+    daemon = APSTDaemon(
+        grid,
+        config=DaemonConfig(
+            base_dir=workdir,
+            gamma=0.10,          # the paper's 'moderate' uncertainty
+            seed=None,           # fresh noise each run, like reality
+            history_path=history_path,
+        ),
+    )
+    client = APSTClient(daemon)
+
+    print("run  algorithm   makespan    mode    switched  learned-gamma-so-far")
+    for run in range(1, 6):
+        report = client.submit_and_run(TASK_XML)
+        history = ApplicationHistory.load(history_path)
+        learned = history.learned_gamma("a_divisible_app:bigload.bin")
+        mode = report.annotations.get("rumr_mode", "-")
+        switched = report.annotations.get("rumr_switched", "-")
+        print(
+            f"{run:3d}  {report.algorithm:10s} {report.makespan:9.1f}s  "
+            f"{mode:6s}  {str(switched):8s} "
+            f"{'-' if learned is None else f'{learned:.3f}'}"
+        )
+
+    print(
+        "\nOnce two runs are recorded, the daemon pre-plans the Factoring "
+        "phase from the learned gamma -- the two-phase design works at "
+        "moderate uncertainty, as the paper predicted it would."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""HMMER-style sequence search as a divisible load (Table 1, row 1).
+
+Generates a synthetic protein sequence database with HMMER's uncertainty
+profile (moderate CoV, rare 27x-longer outlier sequences -- the 2700%
+spread of Table 1), then runs a scan over it two ways:
+
+1. **index division** on the simulated DAS-2 grid -- the index file lists
+   every record boundary, so the scheduler's requested cut-offs snap to
+   whole sequences;
+2. **separator division** on the real local execution backend, with a
+   genuine scanning computation per chunk.
+
+Run:  python examples/sequence_database.py  [--records N]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.apst import APSTClient, APSTDaemon, DaemonConfig
+from repro.core.registry import make_scheduler
+from repro.execution import LocalExecutionBackend
+from repro.apst.division import SeparatorDivision
+from repro.platform.presets import das2_cluster
+from repro.platform.resources import Cluster, Grid
+from repro.workloads.sequences import (
+    SequenceScanApp,
+    build_record_index,
+    database_statistics,
+    generate_sequence_database,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--records", type=int, default=2000)
+    args = parser.parse_args()
+
+    workdir = Path(tempfile.mkdtemp(prefix="apstdv_sequences_"))
+    db = workdir / "proteins.db"
+    generate_sequence_database(db, records=args.records, mean_length=80,
+                               outlier_rate=2e-3, seed=3)
+    stats = database_statistics(db)
+    print(f"database: {stats['records']} records, {stats['total_bytes']} bytes, "
+          f"record-length CoV {stats['cov']:.0%}, spread {stats['spread']:.0%} "
+          f"(the heavy-tailed shape behind HMMER's 2700% spread in Table 1)\n")
+
+    # --- 1. index division on the simulated grid -------------------------
+    index = build_record_index(db, workdir / "proteins.idx")
+    xml = f"""
+    <task executable="hmmer_scan" input="proteins.db">
+      <divisibility input="proteins.db" method="index"
+                    indexfile="{index.name}" algorithm="wf"/>
+    </task>
+    """
+    grid = das2_cluster(nodes=8, total_load=float(stats["total_bytes"]),
+                        ideal_compute_time=600.0)
+    daemon = APSTDaemon(grid, config=DaemonConfig(base_dir=workdir, gamma=0.09,
+                                                  seed=1))
+    report = APSTClient(daemon).submit_and_run(xml)
+    print("--- index division on simulated DAS-2 (8 nodes) ---")
+    print(report.render())
+
+    # --- 2. separator division + real scanning on the local backend ------
+    division = SeparatorDivision(db, separator=b"\n")
+    lan = Grid.from_clusters(
+        Cluster.homogeneous("lan", 4, speed=stats["total_bytes"] / 20.0,
+                            bandwidth=stats["total_bytes"],
+                            comm_latency=0.1, comp_latency=0.05)
+    )
+    backend = LocalExecutionBackend(
+        workdir / "work", app=SequenceScanApp(work_per_residue=1),
+        time_scale=0.05,
+    )
+    local = backend.execute(lan, make_scheduler("wf"), division, None,
+                            probe_units=stats["total_bytes"] * 0.01)
+    print("\n--- separator division, real scan on 4 local workers ---")
+    print(local.render())
+    print(f"\nhit lists collected: {len(backend.last_outputs)} chunk outputs")
+
+    # --- 3. data-dependent costs: the record-length profile --------------
+    # HMMER's Table-1 uncertainty is structural -- long sequences are hot
+    # regions at fixed positions.  Simulate with the actual profile.
+    from repro.simulation.costprofile import profile_from_record_lengths
+    from repro.simulation.master import simulate_run
+    from repro.workloads.sequences import read_records
+
+    lengths = [len(r) for r in read_records(db)]
+    profile = profile_from_record_lengths(lengths)
+    print("\n--- data-dependent cost profile (cost ~ record length) ---")
+    for name in ("simple-1", "wf"):
+        report = simulate_run(grid, make_scheduler(name),
+                              total_load=profile.total_units, seed=2,
+                              cost_profile=profile)
+        print(f"{name:10s} makespan {report.makespan:8.1f}s  "
+              f"observed gamma {report.observed_gamma():.1%}")
+
+
+if __name__ == "__main__":
+    main()

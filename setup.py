@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` via the legacy setup.py develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro: a reproduction of "Practical Divisible Load Scheduling on Grid
+Platforms with APST-DV" (van der Raadt, Yang & Casanova, IPDPS 2005).
+
+Public API overview
+-------------------
+* :mod:`repro.core` -- the DLS algorithms (SIMPLE-n, UMR, Weighted
+  Factoring, RUMR, Fixed-RUMR, plus lineage/extension algorithms).
+* :mod:`repro.platform` -- grid descriptions and paper-calibrated presets
+  (DAS-2, Meteor, mixed, GRAIL).
+* :mod:`repro.simulation` -- the discrete-event backend that substitutes
+  for the paper's two-cluster testbed.
+* :mod:`repro.apst` -- the APST-DV environment: XML specs, load division
+  methods, probing, and the daemon.
+* :mod:`repro.workloads` -- the synthetic application, Table-1 application
+  profiles, and the case-study video toolchain.
+* :mod:`repro.analysis` -- experiment harness and statistics.
+
+Quickstart
+----------
+>>> from repro import simulate_run, make_scheduler, das2_cluster
+>>> grid = das2_cluster(nodes=16)
+>>> report = simulate_run(grid, make_scheduler("umr"), total_load=10_000.0, seed=1)
+>>> report.makespan > 0
+True
+"""
+
+from .core import PAPER_ALGORITHMS, Scheduler, available_algorithms, make_scheduler
+from .platform import (
+    Cluster,
+    Grid,
+    WorkerSpec,
+    das2_cluster,
+    grail_lan,
+    meteor_cluster,
+    mixed_grid,
+    preset_by_name,
+)
+from .simulation import ExecutionReport, SimulationOptions, UncertaintyModel, simulate_run
+
+# imported last: the advisor pulls in repro.apst, whose probing module
+# needs repro.simulation fully initialized first
+from .apst.advisor import Recommendation, recommend_algorithm  # noqa: E402
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Recommendation",
+    "recommend_algorithm",
+    "Scheduler",
+    "make_scheduler",
+    "available_algorithms",
+    "PAPER_ALGORITHMS",
+    "Grid",
+    "Cluster",
+    "WorkerSpec",
+    "das2_cluster",
+    "meteor_cluster",
+    "mixed_grid",
+    "grail_lan",
+    "preset_by_name",
+    "simulate_run",
+    "SimulationOptions",
+    "UncertaintyModel",
+    "ExecutionReport",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Experiment harness, statistics, and table rendering."""
+
+from .experiments import (
+    PAPER_RUNS,
+    AlgorithmResult,
+    ExperimentConfig,
+    ExperimentResult,
+    compare_to_paper,
+    run_experiment,
+)
+from .metrics import (
+    MakespanStats,
+    mean_slowdown_across,
+    slowdowns_vs_best,
+    summarize,
+)
+from .campaign import Campaign, CampaignResult, paper_section4_campaign
+from .export import experiment_to_csv, sweep_to_csv
+from .gantt import OverlapMetrics, overlap_metrics, render_gantt
+from .sweeps import SweepResult, run_sweep
+from .tables import render_slowdown_table, render_table
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "paper_section4_campaign",
+    "experiment_to_csv",
+    "sweep_to_csv",
+    "OverlapMetrics",
+    "overlap_metrics",
+    "render_gantt",
+    "SweepResult",
+    "run_sweep",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "AlgorithmResult",
+    "run_experiment",
+    "compare_to_paper",
+    "PAPER_RUNS",
+    "MakespanStats",
+    "summarize",
+    "slowdowns_vs_best",
+    "mean_slowdown_across",
+    "render_table",
+    "render_slowdown_table",
+]

@@ -1,0 +1,195 @@
+"""Experiment campaigns: run, persist, resume, and diff result sets.
+
+A *campaign* is a named collection of experiments (the full Section 4 grid
+is one; a parameter study is another).  Campaigns persist their results as
+JSON so that long runs can resume after interruption and so that two
+campaigns (e.g. before/after an algorithm change) can be diffed -- the
+repository's regression story for the reproduction numbers themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..errors import ReproError
+from .experiments import ExperimentConfig, run_experiment
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CampaignResult:
+    """Stored outcome of one experiment: per-algorithm makespan stats."""
+
+    label: str
+    gamma: float
+    runs: int
+    mean_makespans: dict[str, float]
+    slowdowns: dict[str, float]
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "gamma": self.gamma,
+            "runs": self.runs,
+            "mean_makespans": self.mean_makespans,
+            "slowdowns": self.slowdowns,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CampaignResult":
+        try:
+            return CampaignResult(
+                label=str(data["label"]),
+                gamma=float(data["gamma"]),
+                runs=int(data["runs"]),
+                mean_makespans={k: float(v) for k, v in data["mean_makespans"].items()},
+                slowdowns={k: float(v) for k, v in data["slowdowns"].items()},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed campaign result: {exc}") from exc
+
+
+@dataclass
+class Campaign:
+    """A named set of experiments with persistent results.
+
+    Experiments are registered as (name, config factory) pairs; ``run()``
+    executes the ones without stored results, so an interrupted campaign
+    resumes where it stopped.
+    """
+
+    name: str
+    store_path: Path
+    _experiments: dict[str, Callable[[], ExperimentConfig]] = field(default_factory=dict)
+    results: dict[str, CampaignResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("campaign name must be non-empty")
+        self.store_path = Path(self.store_path)
+        self._load()
+
+    # -- registration ---------------------------------------------------------
+    def add(self, name: str, config_factory: Callable[[], ExperimentConfig]) -> "Campaign":
+        if name in self._experiments:
+            raise ReproError(f"experiment {name!r} already registered")
+        self._experiments[name] = config_factory
+        return self
+
+    @property
+    def pending(self) -> list[str]:
+        """Registered experiments without stored results."""
+        return [n for n in self._experiments if n not in self.results]
+
+    # -- execution ------------------------------------------------------------
+    def run(self, *, force: bool = False) -> list[str]:
+        """Run pending experiments (all of them with ``force``); persist
+        after each one.  Returns the names executed."""
+        executed = []
+        for name, factory in self._experiments.items():
+            if not force and name in self.results:
+                continue
+            config = factory()
+            result = run_experiment(config)
+            self.results[name] = CampaignResult(
+                label=config.label,
+                gamma=config.gamma,
+                runs=config.runs,
+                mean_makespans={
+                    n: r.stats.mean for n, r in result.by_algorithm.items()
+                },
+                slowdowns=result.slowdowns(),
+            )
+            self._save()
+            executed.append(name)
+        return executed
+
+    # -- comparison -------------------------------------------------------------
+    def diff(self, other: "Campaign", *, tolerance: float = 0.02) -> list[str]:
+        """Experiments whose makespans differ from ``other`` beyond
+        ``tolerance`` (relative).  The reproduction-regression check."""
+        drifted = []
+        for name, mine in self.results.items():
+            theirs = other.results.get(name)
+            if theirs is None:
+                drifted.append(f"{name}: missing from {other.name}")
+                continue
+            for algorithm, makespan in mine.mean_makespans.items():
+                reference = theirs.mean_makespans.get(algorithm)
+                if reference is None:
+                    drifted.append(f"{name}/{algorithm}: missing algorithm")
+                elif abs(makespan - reference) > tolerance * reference:
+                    drifted.append(
+                        f"{name}/{algorithm}: {makespan:.1f}s vs "
+                        f"{reference:.1f}s ({makespan / reference - 1:+.1%})"
+                    )
+        return drifted
+
+    # -- persistence ---------------------------------------------------------
+    def _save(self) -> None:
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "campaign": self.name,
+            "results": {n: r.to_dict() for n, r in self.results.items()},
+        }
+        self.store_path.parent.mkdir(parents=True, exist_ok=True)
+        self.store_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    def _load(self) -> None:
+        if not self.store_path.is_file():
+            return
+        try:
+            data = json.loads(self.store_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"malformed campaign store {self.store_path}: {exc}"
+            ) from exc
+        if data.get("format_version") != _FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported campaign format {data.get('format_version')!r}"
+            )
+        if data.get("campaign") != self.name:
+            raise ReproError(
+                f"store {self.store_path} belongs to campaign "
+                f"{data.get('campaign')!r}, not {self.name!r}"
+            )
+        self.results = {
+            n: CampaignResult.from_dict(r) for n, r in data.get("results", {}).items()
+        }
+
+
+def paper_section4_campaign(store_path: str | Path, *, runs: int = 10) -> Campaign:
+    """The full Section 4 grid as a resumable campaign."""
+    from ..core.registry import PAPER_ALGORITHMS
+    from ..platform.presets import (
+        PAPER_LOAD_UNITS,
+        das2_cluster,
+        meteor_cluster,
+        mixed_grid,
+    )
+
+    campaign = Campaign(name="paper-section4", store_path=Path(store_path))
+    scenarios = [
+        ("fig2_das2", lambda: das2_cluster(16)),
+        ("fig3_meteor", lambda: meteor_cluster(16)),
+        ("fig4_mixed", mixed_grid),
+    ]
+    for name, factory in scenarios:
+        for gamma in (0.0, 0.10):
+            suffix = f"{name}_gamma{int(gamma * 100)}"
+            campaign.add(
+                suffix,
+                lambda factory=factory, gamma=gamma, suffix=suffix: ExperimentConfig(
+                    label=suffix,
+                    grid_factory=factory,
+                    total_load=PAPER_LOAD_UNITS,
+                    gamma=gamma,
+                    algorithms=PAPER_ALGORITHMS,
+                    runs=runs,
+                ),
+            )
+    return campaign

@@ -1,0 +1,129 @@
+"""Experiment harness: the paper's evaluation methodology as code.
+
+One :class:`ExperimentConfig` describes one figure panel of the paper: a
+platform, a load, an uncertainty level, a set of algorithms, and a number
+of repeated runs (10 in the paper).  :func:`run_experiment` executes it on
+the simulation backend and returns per-algorithm statistics plus the
+scheduler annotations (which carry, e.g., RUMR's phase-switch outcomes --
+the paper's own diagnostic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.registry import make_scheduler
+from ..errors import ReproError
+from ..platform.resources import Grid
+from ..simulation.master import SimulationOptions, simulate_run
+from .metrics import MakespanStats, slowdowns_vs_best, summarize
+
+#: Runs per data point in the paper.
+PAPER_RUNS = 10
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One figure panel: platform x gamma x algorithm set."""
+
+    label: str
+    grid_factory: Callable[[], Grid]
+    total_load: float
+    gamma: float = 0.0
+    algorithms: Sequence[str] = ()
+    runs: int = PAPER_RUNS
+    base_seed: int = 1000
+    noise_autocorrelation: float = 0.0
+    options: SimulationOptions | None = None
+
+    def __post_init__(self) -> None:
+        if not self.algorithms:
+            raise ReproError("experiment needs at least one algorithm")
+        if self.runs < 1:
+            raise ReproError("experiment needs at least one run")
+
+
+@dataclass
+class AlgorithmResult:
+    """One algorithm's outcome across the experiment's runs."""
+
+    stats: MakespanStats
+    annotations: list[dict] = field(default_factory=list)
+
+    def count_annotation(self, key: str) -> int:
+        """How many runs have a truthy value for ``key``."""
+        return sum(1 for a in self.annotations if a.get(key))
+
+
+@dataclass
+class ExperimentResult:
+    """All algorithms' outcomes for one experiment."""
+
+    config: ExperimentConfig
+    by_algorithm: dict[str, AlgorithmResult]
+
+    @property
+    def best_algorithm(self) -> str:
+        return min(self.by_algorithm.items(), key=lambda kv: kv[1].stats.mean)[0]
+
+    def slowdowns(self) -> dict[str, float]:
+        """Fractional slowdown vs the best algorithm (paper's main metric)."""
+        return slowdowns_vs_best([r.stats for r in self.by_algorithm.values()])
+
+    def makespan(self, algorithm: str) -> float:
+        return self.by_algorithm[algorithm].stats.mean
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one experiment: ``runs`` seeded runs per algorithm.
+
+    Algorithms are run "back-to-back" with matched seeds per run index,
+    mirroring the paper's methodology: run *k* of every algorithm sees the
+    same realized platform noise stream.
+    """
+    by_algorithm: dict[str, AlgorithmResult] = {}
+    for name in config.algorithms:
+        makespans: list[float] = []
+        annotations: list[dict] = []
+        for k in range(config.runs):
+            grid = config.grid_factory()
+            report = simulate_run(
+                grid,
+                make_scheduler(name),
+                total_load=config.total_load,
+                gamma=config.gamma,
+                autocorrelation=config.noise_autocorrelation,
+                seed=config.base_seed + k,
+                options=config.options,
+            )
+            makespans.append(report.makespan)
+            annotations.append(dict(report.annotations))
+        by_algorithm[name] = AlgorithmResult(
+            stats=summarize(name, makespans), annotations=annotations
+        )
+    return ExperimentResult(config=config, by_algorithm=by_algorithm)
+
+
+def compare_to_paper(
+    result: ExperimentResult, paper_slowdowns: dict[str, float]
+) -> list[dict]:
+    """Measured-vs-paper comparison rows for EXPERIMENTS.md.
+
+    ``paper_slowdowns`` maps algorithm name to the paper's reported
+    fractional slowdown vs the scenario's best (0.0 for the winner(s)).
+    """
+    measured = result.slowdowns()
+    rows = []
+    for name, paper_value in paper_slowdowns.items():
+        if name not in measured:
+            raise ReproError(f"algorithm {name!r} missing from experiment results")
+        rows.append(
+            {
+                "algorithm": name,
+                "paper_slowdown": paper_value,
+                "measured_slowdown": round(measured[name], 4),
+                "mean_makespan_s": round(result.makespan(name), 1),
+            }
+        )
+    return rows

@@ -1,0 +1,63 @@
+"""Machine-readable export of experiment results (CSV series).
+
+The benches persist human-readable tables; this module exports the same
+data as CSV for external plotting/analysis tools: one row per
+(algorithm, scenario) for experiments, one row per swept value for
+sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from ..errors import ReproError
+from .experiments import ExperimentResult
+from .sweeps import SweepResult
+
+
+def experiment_to_csv(
+    result: ExperimentResult, path: str | Path | None = None
+) -> str:
+    """CSV of one experiment: algorithm, mean/std/min/max makespan, slowdown."""
+    slowdowns = result.slowdowns()
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["label", "gamma", "runs", "algorithm",
+         "mean_makespan_s", "std_s", "min_s", "max_s", "slowdown_vs_best"]
+    )
+    for name, algo in result.by_algorithm.items():
+        s = algo.stats
+        writer.writerow([
+            result.config.label,
+            result.config.gamma,
+            s.runs,
+            name,
+            f"{s.mean:.3f}",
+            f"{s.std:.3f}",
+            f"{s.minimum:.3f}",
+            f"{s.maximum:.3f}",
+            f"{slowdowns[name]:.4f}",
+        ])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def sweep_to_csv(sweep: SweepResult, path: str | Path | None = None) -> str:
+    """CSV of a sweep: one row per swept value, one column per algorithm."""
+    if not sweep.series:
+        raise ReproError("sweep has no series")
+    algorithms = sorted(sweep.series)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([sweep.parameter, *algorithms])
+    for k, value in enumerate(sweep.values):
+        writer.writerow([value, *(f"{sweep.series[a][k]:.3f}" for a in algorithms)])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

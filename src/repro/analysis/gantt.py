@@ -1,0 +1,156 @@
+"""Gantt rendering and communication/computation overlap metrics.
+
+The paper's analysis keeps returning to one quantity: how well an
+algorithm *overlaps communication with computation* (it is UMR's whole
+design goal, and Factoring's stated weakness).  This module makes that
+quantity measurable on any execution report, and renders chunk-level
+Gantt charts as text for the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..simulation.trace import ChunkTrace, ExecutionReport
+
+
+@dataclass(frozen=True)
+class OverlapMetrics:
+    """Communication/computation overlap statistics for one run."""
+
+    makespan: float
+    #: total seconds the master link was carrying data
+    link_busy: float
+    #: total seconds at least one worker was computing
+    any_compute: float
+    #: seconds where link activity and computation coincide
+    overlapped: float
+    #: per-worker idle time between their first and last chunk, summed
+    total_worker_idle: float
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of link time hidden behind computation (1.0 = fully
+        pipelined communication, UMR's goal)."""
+        return self.overlapped / self.link_busy if self.link_busy > 0 else 1.0
+
+    @property
+    def idle_fraction(self) -> float:
+        """Worker idle time as a fraction of total worker-seconds."""
+        return self.total_worker_idle
+
+
+def _union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping intervals, sorted and merged."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _intersection_length(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> float:
+    """Total length of the intersection of two merged interval lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def overlap_metrics(report: ExecutionReport) -> OverlapMetrics:
+    """Measure how much communication was hidden behind computation."""
+    if not report.chunks:
+        raise ReproError("report has no chunks")
+    send_intervals = _union([(c.send_start, c.send_end) for c in report.chunks])
+    compute_intervals = _union(
+        [(c.compute_start, c.compute_end) for c in report.chunks]
+    )
+    link_busy = sum(e - s for s, e in send_intervals)
+    any_compute = sum(e - s for s, e in compute_intervals)
+    overlapped = _intersection_length(send_intervals, compute_intervals)
+
+    idle = 0.0
+    by_worker: dict[int, list[ChunkTrace]] = {}
+    for c in report.chunks:
+        by_worker.setdefault(c.worker_index, []).append(c)
+    span_total = 0.0
+    for chunks in by_worker.values():
+        chunks = sorted(chunks, key=lambda c: c.compute_start)
+        span = chunks[-1].compute_end - chunks[0].compute_start
+        busy = sum(c.compute_time for c in chunks)
+        idle += span - busy
+        span_total += span
+    idle_fraction = idle / span_total if span_total > 0 else 0.0
+
+    return OverlapMetrics(
+        makespan=report.makespan,
+        link_busy=link_busy,
+        any_compute=any_compute,
+        overlapped=overlapped,
+        total_worker_idle=idle_fraction,
+    )
+
+
+def render_gantt(
+    report: ExecutionReport,
+    *,
+    width: int = 80,
+    include_transfers: bool = True,
+) -> str:
+    """Text Gantt chart: one row per worker, '#' compute, '-' transfer.
+
+    Time is scaled to ``width`` columns over [0, makespan]; overlapping
+    marks prefer computation.  A ``link`` row at the top shows master-link
+    occupancy.
+    """
+    if width < 20:
+        raise ReproError("gantt width must be >= 20 columns")
+    if not report.chunks:
+        raise ReproError("report has no chunks")
+    span = max(report.makespan, max(c.compute_end for c in report.chunks))
+    scale = (width - 1) / span
+
+    def cols(start: float, end: float) -> range:
+        return range(int(start * scale), max(int(start * scale) + 1, int(end * scale)))
+
+    workers = sorted({(c.worker_index, c.worker_name) for c in report.chunks})
+    label_width = max(len("link"), *(len(name) for _, name in workers)) + 1
+    lines = [f"Gantt -- {report.algorithm}, makespan {report.makespan:.1f}s"]
+
+    link_row = [" "] * width
+    for c in report.chunks:
+        for k in cols(c.send_start, c.send_end):
+            if k < width:
+                link_row[k] = "-"
+    lines.append("link".ljust(label_width) + "|" + "".join(link_row) + "|")
+
+    for index, name in workers:
+        row = [" "] * width
+        for c in report.chunks:
+            if c.worker_index != index:
+                continue
+            if include_transfers:
+                for k in cols(c.send_start, c.send_end):
+                    if k < width and row[k] == " ":
+                        row[k] = "-"
+            for k in cols(c.compute_start, c.compute_end):
+                if k < width:
+                    row[k] = "#"
+        lines.append(name.ljust(label_width) + "|" + "".join(row) + "|")
+    lines.append(
+        " " * label_width + f"0{'':{width - 10}}{report.makespan:8.1f}s"
+    )
+    return "\n".join(lines)

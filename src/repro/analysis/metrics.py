@@ -1,0 +1,89 @@
+"""Makespan statistics and algorithm-comparison metrics.
+
+The paper reports each data point as "an average over 10 distinct runs"
+and discusses algorithms in terms of percentage slowdown relative to the
+best algorithm of each scenario ("SIMPLE-1 and SIMPLE-5 are 28% and 18%
+slower than the best algorithm").  This module computes exactly those
+quantities, plus dispersion measures used in the robustness analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class MakespanStats:
+    """Summary of one algorithm's makespans over repeated runs."""
+
+    algorithm: str
+    runs: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def cov(self) -> float:
+        """Run-to-run coefficient of variation of the makespan."""
+        return self.std / self.mean if self.mean > 0 else 0.0
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the normal-approximation CI on the mean."""
+        if self.runs < 2:
+            return 0.0
+        return z * self.std / math.sqrt(self.runs)
+
+
+def summarize(algorithm: str, makespans: Sequence[float]) -> MakespanStats:
+    """Build :class:`MakespanStats` from raw makespans."""
+    if not makespans:
+        raise ReproError(f"no makespans recorded for {algorithm}")
+    if any(m <= 0 for m in makespans):
+        raise ReproError(f"non-positive makespan in {algorithm} results")
+    n = len(makespans)
+    mean = sum(makespans) / n
+    var = sum((m - mean) ** 2 for m in makespans) / (n - 1) if n > 1 else 0.0
+    return MakespanStats(
+        algorithm=algorithm,
+        runs=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(makespans),
+        maximum=max(makespans),
+    )
+
+
+def slowdowns_vs_best(stats: Sequence[MakespanStats]) -> dict[str, float]:
+    """Fractional slowdown of each algorithm vs the scenario's best mean.
+
+    0.0 marks the best algorithm; 0.26 means "26% slower than the best",
+    the unit the paper's discussion uses throughout.
+    """
+    if not stats:
+        raise ReproError("no algorithms to compare")
+    best = min(s.mean for s in stats)
+    return {s.algorithm: s.mean / best - 1.0 for s in stats}
+
+
+def mean_slowdown_across(scenarios: Sequence[dict[str, float]]) -> dict[str, float]:
+    """Average each algorithm's slowdown over several scenarios.
+
+    Reproduces the Section 4.3 aggregates ("on average SIMPLE-1 and
+    SIMPLE-5 are 28% and 18% slower than the best algorithm").  Only
+    algorithms present in every scenario are averaged.
+    """
+    if not scenarios:
+        raise ReproError("no scenarios to aggregate")
+    common = set(scenarios[0])
+    for s in scenarios[1:]:
+        common &= set(s)
+    if not common:
+        raise ReproError("no common algorithms across scenarios")
+    return {
+        name: sum(s[name] for s in scenarios) / len(scenarios) for name in sorted(common)
+    }

@@ -1,0 +1,76 @@
+"""Parameter sweeps: makespan series over a swept experiment parameter.
+
+The paper's figures are bar charts at fixed parameters; its *discussion*
+is about trends ("communication represents a more significant part of the
+makespan as the number of workers increases", robustness across gamma...).
+This module runs those trends: one experiment per swept value, collected
+into per-algorithm series ready for tables or plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import ReproError
+from .experiments import ExperimentConfig, run_experiment
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-algorithm makespan series over the swept values."""
+
+    parameter: str
+    values: tuple
+    #: algorithm -> list of mean makespans, aligned with ``values``
+    series: dict[str, list[float]]
+
+    def slowdown_series(self) -> dict[str, list[float]]:
+        """Per-value slowdown vs the best algorithm at that value."""
+        out: dict[str, list[float]] = {name: [] for name in self.series}
+        for k in range(len(self.values)):
+            best = min(self.series[name][k] for name in self.series)
+            for name in self.series:
+                out[name].append(self.series[name][k] / best - 1.0)
+        return out
+
+    def crossover(self, algorithm_a: str, algorithm_b: str):
+        """First swept value at which ``algorithm_b`` beats ``algorithm_a``.
+
+        Returns None if no crossover occurs.  This is how the benches
+        locate, e.g., the gamma level where Weighted Factoring overtakes
+        UMR.
+        """
+        for name in (algorithm_a, algorithm_b):
+            if name not in self.series:
+                raise ReproError(f"algorithm {name!r} not in sweep")
+        for value, a, b in zip(
+            self.values, self.series[algorithm_a], self.series[algorithm_b]
+        ):
+            if b < a:
+                return value
+        return None
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence,
+    config_factory: Callable[[object], ExperimentConfig],
+) -> SweepResult:
+    """Run one experiment per swept value.
+
+    ``config_factory(value)`` builds the experiment for each value; every
+    experiment must use the same algorithm set.
+    """
+    if not values:
+        raise ReproError("sweep needs at least one value")
+    series: dict[str, list[float]] = {}
+    for value in values:
+        result = run_experiment(config_factory(value))
+        if not series:
+            series = {name: [] for name in result.by_algorithm}
+        if set(series) != set(result.by_algorithm):
+            raise ReproError("algorithm set changed mid-sweep")
+        for name, algo_result in result.by_algorithm.items():
+            series[name].append(algo_result.stats.mean)
+    return SweepResult(parameter=parameter, values=tuple(values), series=series)

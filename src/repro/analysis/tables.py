@@ -1,0 +1,77 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print the same rows/series the paper's tables and figures
+report; this module is the shared formatter (fixed-width columns, None
+rendered as ``N/A``, floats with per-column precision).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import ReproError
+
+
+def format_cell(value: Any, precision: int = 2) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table."""
+    if not headers:
+        raise ReproError("table needs headers")
+    cells = [[format_cell(v, precision) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_slowdown_table(
+    label: str,
+    slowdowns: dict[str, float],
+    makespans: dict[str, float] | None = None,
+    paper: dict[str, float] | None = None,
+) -> str:
+    """The standard figure-reproduction table: slowdown vs best, per algorithm."""
+    headers = ["algorithm", "slowdown_vs_best"]
+    if makespans is not None:
+        headers.append("mean_makespan_s")
+    if paper is not None:
+        headers.append("paper_slowdown")
+    rows = []
+    for name in slowdowns:
+        row: list[Any] = [name, f"+{slowdowns[name] * 100:.1f}%"]
+        if makespans is not None:
+            row.append(round(makespans[name], 1))
+        if paper is not None:
+            pv = paper.get(name)
+            row.append("N/A" if pv is None else f"+{pv * 100:.1f}%")
+        rows.append(row)
+    return render_table(headers, rows, title=label)

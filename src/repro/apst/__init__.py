@@ -1,0 +1,80 @@
+"""The APST-DV application environment: specs, division, probing, daemon."""
+
+from .division import (
+    CallbackDivision,
+    ChunkExtent,
+    ChunkPayload,
+    DivisionMethod,
+    IndexDivision,
+    LoadTracker,
+    SeparatorDivision,
+    UniformBytesDivision,
+    UniformUnitsDivision,
+)
+from .preflight import Finding, preflight_check
+from .probing import (
+    ProbeResult,
+    default_probe_units,
+    perfect_information,
+    run_probe_phase,
+)
+from .xmlspec import (
+    DivisibilitySpec,
+    TaskSpec,
+    build_division,
+    parse_platform,
+    parse_task,
+    platform_to_xml,
+    task_to_xml,
+)
+
+# The daemon/client pull in the simulation backend, which itself imports
+# repro.apst.division -- a cycle if resolved at package-import time.  They
+# are exposed lazily instead.
+_LAZY = {
+    "APSTClient": "client",
+    "APSTDaemon": "daemon",
+    "DaemonConfig": "daemon",
+    "Job": "daemon",
+    "JobState": "daemon",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f".{_LAZY[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "APSTClient",
+    "APSTDaemon",
+    "DaemonConfig",
+    "Job",
+    "JobState",
+    "TaskSpec",
+    "DivisibilitySpec",
+    "parse_task",
+    "parse_platform",
+    "platform_to_xml",
+    "task_to_xml",
+    "build_division",
+    "DivisionMethod",
+    "ChunkExtent",
+    "ChunkPayload",
+    "LoadTracker",
+    "UniformUnitsDivision",
+    "UniformBytesDivision",
+    "SeparatorDivision",
+    "IndexDivision",
+    "CallbackDivision",
+    "Finding",
+    "preflight_check",
+    "ProbeResult",
+    "run_probe_phase",
+    "perfect_information",
+    "default_probe_units",
+]

@@ -1,0 +1,68 @@
+"""The APST-DV client: a console-style front-end to the daemon.
+
+APST's client "is essentially a console ... that can be used by the user
+to interact with the daemon (e.g., to submit requests for computation)".
+This class provides that surface programmatically; the CLI module exposes
+it on the command line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import SpecificationError
+from ..simulation.trace import ExecutionReport
+from .daemon import APSTDaemon, Job, JobState
+
+
+class APSTClient:
+    """User-facing console over an :class:`APSTDaemon`."""
+
+    def __init__(self, daemon: APSTDaemon) -> None:
+        self._daemon = daemon
+
+    def submit(self, spec: str | Path, *, algorithm: str | None = None) -> int:
+        """Submit a task XML (string or path).  Returns the job id."""
+        return self._daemon.submit(spec, algorithm=algorithm)
+
+    def run(self) -> list[int]:
+        """Ask the daemon to process every queued job."""
+        return self._daemon.run_pending()
+
+    def submit_and_run(self, spec: str | Path, *, algorithm: str | None = None) -> ExecutionReport:
+        """Submit one task, run it, and return its execution report."""
+        job_id = self.submit(spec, algorithm=algorithm)
+        self._daemon.run_pending()
+        return self.report(job_id)
+
+    def status(self, job_id: int | None = None) -> str:
+        """One status line per job (or for one job)."""
+        jobs = [self._daemon.job(job_id)] if job_id is not None else self._daemon.jobs()
+        if not jobs:
+            return "no jobs submitted"
+        lines = []
+        for job in jobs:
+            line = (
+                f"job {job.job_id}: {job.state.value:8s} "
+                f"algorithm={job.algorithm} executable={job.task.executable}"
+            )
+            if job.state is JobState.DONE and job.report is not None:
+                line += f" makespan={job.report.makespan:.1f}s"
+            if job.error:
+                line += f" error={job.error}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def report(self, job_id: int) -> ExecutionReport:
+        """The detailed execution report of a finished job."""
+        return self._daemon.report(job_id)
+
+    def outputs(self, job_id: int) -> list[Path]:
+        """Output files the job produced (real-execution backends only)."""
+        job = self._daemon.job(job_id)
+        if job.state is not JobState.DONE:
+            raise SpecificationError(f"job {job_id} is {job.state.value}, not done")
+        return list(job.outputs)
+
+    def job(self, job_id: int) -> Job:
+        return self._daemon.job(job_id)

@@ -1,0 +1,180 @@
+"""Interactive APST-DV console.
+
+APST "runs as two distinct processes: a daemon and a client.  The client
+is essentially a console ... that can be used by the user to interact
+with the daemon (e.g., to submit requests for computation)."  This module
+is that console: a small command interpreter over :class:`APSTClient`,
+reachable as ``apst-dv console``.
+
+Commands::
+
+    submit TASK.xml [ALGORITHM]   queue a task (optionally overriding the
+                                  spec's algorithm)
+    run                           process all queued jobs
+    status [JOB]                  one line per job
+    report JOB                    the detailed execution report
+    gantt JOB                     text Gantt chart + overlap metrics
+    platform                      the daemon's platform summary
+    algorithms                    registered DLS algorithms
+    help / quit
+"""
+
+from __future__ import annotations
+
+import cmd
+from pathlib import Path
+
+from ..core.registry import available_algorithms
+from ..errors import ReproError
+from ..platform.calibrate import platform_summary
+from .client import APSTClient
+from .daemon import APSTDaemon
+
+
+class APSTConsole(cmd.Cmd):
+    """The interactive client console."""
+
+    intro = (
+        "APST-DV console. Type 'help' for commands; 'quit' to exit."
+    )
+    prompt = "apst-dv> "
+
+    def __init__(self, daemon: APSTDaemon, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._client = APSTClient(daemon)
+        self._daemon = daemon
+
+    # -- helpers -------------------------------------------------------------
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _fail(self, message: str) -> None:
+        self._say(f"error: {message}")
+
+    def _job_id(self, arg: str) -> int | None:
+        arg = arg.strip()
+        if not arg:
+            self._fail("a job id is required")
+            return None
+        try:
+            return int(arg)
+        except ValueError:
+            self._fail(f"job id must be an integer, got {arg!r}")
+            return None
+
+    # -- commands --------------------------------------------------------------
+    def do_submit(self, arg: str) -> None:
+        """submit TASK.xml [ALGORITHM] -- queue a divisible load task."""
+        parts = arg.split()
+        if not parts:
+            self._fail("usage: submit TASK.xml [ALGORITHM]")
+            return
+        path = Path(parts[0])
+        algorithm = parts[1] if len(parts) > 1 else None
+        try:
+            job_id = self._client.submit(path, algorithm=algorithm)
+        except Exception as exc:
+            self._fail(str(exc))
+            return
+        self._say(f"job {job_id} queued")
+
+    def do_run(self, _arg: str) -> None:
+        """run -- process every queued job."""
+        try:
+            executed = self._client.run()
+        except Exception as exc:
+            self._fail(str(exc))
+            return
+        if executed:
+            self._say(f"executed job(s): {', '.join(map(str, executed))}")
+        else:
+            self._say("nothing queued")
+
+    def do_status(self, arg: str) -> None:
+        """status [JOB] -- job states (all jobs, or one)."""
+        job_id = None
+        if arg.strip():
+            job_id = self._job_id(arg)
+            if job_id is None:
+                return
+        try:
+            self._say(self._client.status(job_id))
+        except ReproError as exc:
+            self._fail(str(exc))
+
+    def do_report(self, arg: str) -> None:
+        """report JOB -- print the detailed execution report."""
+        job_id = self._job_id(arg)
+        if job_id is None:
+            return
+        try:
+            self._say(self._client.report(job_id).render())
+        except ReproError as exc:
+            self._fail(str(exc))
+
+    def do_gantt(self, arg: str) -> None:
+        """gantt JOB -- text Gantt chart and overlap metrics."""
+        job_id = self._job_id(arg)
+        if job_id is None:
+            return
+        try:
+            report = self._client.report(job_id)
+        except ReproError as exc:
+            self._fail(str(exc))
+            return
+        from ..analysis.gantt import overlap_metrics, render_gantt
+
+        self._say(render_gantt(report))
+        metrics = overlap_metrics(report)
+        self._say(
+            f"overlap: {metrics.overlap_fraction:.1%} of link time hidden; "
+            f"worker idle fraction {metrics.idle_fraction:.1%}"
+        )
+
+    def do_outputs(self, arg: str) -> None:
+        """outputs JOB -- output files of a finished job."""
+        job_id = self._job_id(arg)
+        if job_id is None:
+            return
+        try:
+            outputs = self._client.outputs(job_id)
+        except ReproError as exc:
+            self._fail(str(exc))
+            return
+        if not outputs:
+            self._say("(no collected outputs -- simulation backend)")
+        for path in outputs:
+            self._say(str(path))
+
+    def do_platform(self, _arg: str) -> None:
+        """platform -- summary of the daemon's platform."""
+        info = platform_summary(self._daemon.platform)
+        self._say(
+            f"{info['workers']} workers in {len(info['clusters'])} cluster(s) "
+            f"{info['clusters']}, r = {info['comm_comp_ratio']:.1f}, "
+            f"mean start-up costs {info['comm_latency_mean']:.2f}s comm / "
+            f"{info['comp_latency_mean']:.2f}s comp"
+        )
+
+    def do_algorithms(self, _arg: str) -> None:
+        """algorithms -- registered DLS algorithm names."""
+        self._say(", ".join(available_algorithms()))
+        self._say(
+            "(plus simple-N, multiinstallment-N, and the daemon-resolved "
+            "names 'auto' and 'rumr-learned')"
+        )
+
+    def do_quit(self, _arg: str) -> bool:
+        """quit -- leave the console."""
+        return True
+
+    def do_EOF(self, _arg: str) -> bool:  # noqa: N802 - cmd.Cmd convention
+        """Ctrl-D -- leave the console."""
+        self._say("")
+        return True
+
+    def emptyline(self) -> None:
+        """Do nothing on an empty line (cmd's default repeats the last command)."""
+
+    def default(self, line: str) -> None:
+        self._fail(f"unknown command {line.split()[0]!r}; try 'help'")

@@ -1,0 +1,310 @@
+"""The APST-DV daemon: accepts task submissions and runs them.
+
+APST runs as two processes, a daemon (deployment, monitoring, scheduling)
+and a client (a console the user drives).  This module is the daemon side
+of that split: it owns a platform description, accepts divisible-load task
+specifications, instantiates the load division method and the DLS
+algorithm the spec names, runs the application on a backend, and keeps the
+detailed execution report per job.
+
+Two backends exist:
+
+* ``"simulation"`` -- the discrete-event substrate (default; substitutes
+  for the paper's Grid testbed);
+* any object implementing :class:`ExecutionBackend` -- notably
+  :class:`repro.execution.LocalExecutionBackend`, which really moves chunk
+  bytes and really computes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Protocol
+
+from ..core.base import Scheduler
+from ..core.registry import make_scheduler
+from ..errors import SpecificationError
+from ..platform.resources import Grid
+from ..simulation.master import SimulatedMaster, SimulationOptions
+from ..simulation.compute import UncertaintyModel
+from ..simulation.trace import ExecutionReport
+from .division import DivisionMethod
+from .xmlspec import TaskSpec, build_division, parse_task
+
+
+class ExecutionBackend(Protocol):
+    """Anything that can run a scheduler over a division method."""
+
+    def execute(
+        self,
+        grid: Grid,
+        scheduler: Scheduler,
+        division: DivisionMethod,
+        task: TaskSpec,
+        *,
+        probe_units: float | None,
+    ) -> ExecutionReport:
+        ...
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One submitted divisible-load application run."""
+
+    job_id: int
+    task: TaskSpec
+    algorithm: str
+    state: JobState = JobState.QUEUED
+    report: ExecutionReport | None = None
+    error: str | None = None
+    outputs: list[Path] = field(default_factory=list)
+    #: pre-flight warnings recorded at run time (errors fail the job)
+    warnings: list[str] = field(default_factory=list)
+
+
+@dataclass
+class DaemonConfig:
+    """Daemon-wide execution settings.
+
+    ``history_path`` enables cross-run learning (paper Section 4.2's
+    suggestion): every finished job's observed gamma is recorded there,
+    and the ``rumr-learned`` algorithm consults it -- falling back to
+    online RUMR until enough history exists.
+    """
+
+    base_dir: Path = Path(".")
+    gamma: float = 0.0
+    noise_autocorrelation: float = 0.0
+    seed: int | None = None
+    simulation_options: SimulationOptions | None = None
+    history_path: Path | None = None
+
+    def __post_init__(self) -> None:
+        self.base_dir = Path(self.base_dir)
+        if self.history_path is not None:
+            self.history_path = Path(self.history_path)
+
+
+class APSTDaemon:
+    """The scheduling daemon.  See the module docstring.
+
+    Examples
+    --------
+    >>> from repro.platform.presets import das2_cluster
+    >>> daemon = APSTDaemon(das2_cluster(nodes=4))
+    >>> xml = '''
+    ... <task executable="app" input="load.bin">
+    ...  <divisibility input="load.bin" method="uniform" start="0"
+    ...                steptype="bytes" stepsize="10" algorithm="umr"/>
+    ... </task>'''
+    >>> # (requires load.bin on disk; see examples/quickstart.py)
+    """
+
+    def __init__(
+        self,
+        platform: Grid,
+        *,
+        backend: ExecutionBackend | str = "simulation",
+        config: DaemonConfig | None = None,
+    ) -> None:
+        self._platform = platform
+        self._backend = backend
+        self._config = config or DaemonConfig()
+        self._jobs: dict[int, Job] = {}
+        self._ids = itertools.count(1)
+
+    @property
+    def platform(self) -> Grid:
+        return self._platform
+
+    def submit(self, task: TaskSpec | str | Path, *, algorithm: str | None = None) -> int:
+        """Queue a task (XML string, file path, or parsed spec); returns job id.
+
+        ``algorithm`` overrides the spec's ``algorithm=`` attribute, which
+        is how the evaluation runs the same application "back-to-back"
+        under every DLS algorithm.
+        """
+        if not isinstance(task, TaskSpec):
+            task = parse_task(task)
+        name = algorithm or task.divisibility.algorithm
+        job = Job(job_id=next(self._ids), task=task, algorithm=name)
+        self._jobs[job.job_id] = job
+        return job.job_id
+
+    def run_pending(self) -> list[int]:
+        """Run every queued job; returns the ids that were executed."""
+        executed = []
+        for job in self._jobs.values():
+            if job.state is JobState.QUEUED:
+                self._run_job(job)
+                executed.append(job.job_id)
+        return executed
+
+    def job(self, job_id: int) -> Job:
+        if job_id not in self._jobs:
+            raise SpecificationError(f"no job with id {job_id}")
+        return self._jobs[job_id]
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    def report(self, job_id: int) -> ExecutionReport:
+        job = self.job(job_id)
+        if job.report is None:
+            raise SpecificationError(
+                f"job {job_id} has no report (state: {job.state.value}"
+                + (f", error: {job.error}" if job.error else "")
+                + ")"
+            )
+        return job.report
+
+    # -- internals ----------------------------------------------------------
+    @staticmethod
+    def application_key(task: TaskSpec) -> str:
+        """History key: the executable plus its divisible input."""
+        return f"{task.executable}:{task.divisibility.input}"
+
+    def _make_scheduler(self, job: Job, division: DivisionMethod) -> Scheduler:
+        if job.algorithm == "auto":
+            from .advisor import recommend_algorithm
+            from .history import ApplicationHistory
+
+            learned = None
+            if self._config.history_path is not None:
+                history = ApplicationHistory.load(self._config.history_path)
+                learned = history.learned_gamma(self.application_key(job.task))
+            gamma = learned if learned is not None else (
+                self._config.gamma if self._config.gamma > 0 else None
+            )
+            recommendation = recommend_algorithm(
+                self._platform,
+                division.total_units,
+                gamma=gamma,
+                autocorrelation=self._config.noise_autocorrelation,
+            )
+            job.warnings.append(
+                f"[info] auto-selected algorithm: {recommendation.rationale}"
+            )
+            return recommendation.build()
+        if job.algorithm == "rumr-learned":
+            from ..core.rumr import RUMR, rumr_with_known_gamma
+            from .history import ApplicationHistory
+
+            if self._config.history_path is None:
+                raise SpecificationError(
+                    "algorithm 'rumr-learned' requires DaemonConfig.history_path"
+                )
+            history = ApplicationHistory.load(self._config.history_path)
+            learned = history.learned_gamma(self.application_key(job.task))
+            if learned is None:
+                return RUMR()  # no history yet: online discovery
+            return rumr_with_known_gamma(learned)
+        return make_scheduler(job.algorithm)
+
+    def _record_history(self, job: Job) -> None:
+        if self._config.history_path is None or job.report is None:
+            return
+        from .history import ApplicationHistory
+
+        history = ApplicationHistory.load(self._config.history_path)
+        history.record(self.application_key(job.task), job.report)
+        history.save(self._config.history_path)
+
+    def _run_job(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        try:
+            self._preflight(job, division=None)
+            division = build_division(job.task.divisibility, self._config.base_dir)
+            self._preflight(job, division=division)
+            scheduler = self._make_scheduler(job, division)
+            probe_units = self._probe_units(job.task, division)
+            if self._backend == "simulation":
+                job.report = self._simulate(scheduler, division, probe_units)
+            else:
+                job.report = self._backend.execute(
+                    self._platform,
+                    scheduler,
+                    division,
+                    job.task,
+                    probe_units=probe_units,
+                )
+                job.outputs = list(getattr(self._backend, "last_outputs", []))
+            job.state = JobState.DONE
+            self._record_history(job)
+        except Exception as exc:
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+            raise
+
+    def _preflight(self, job: Job, division: DivisionMethod | None) -> None:
+        """Run pre-flight checks; errors abort the job, warnings accumulate."""
+        from .preflight import preflight_check
+
+        if job.algorithm in ("rumr-learned", "auto"):
+            return  # resolved dynamically; registry lookup would reject them
+        task = TaskSpec(
+            executable=job.task.executable,
+            arguments=job.task.arguments,
+            input=job.task.input,
+            output=job.task.output,
+            divisibility=dataclasses.replace(
+                job.task.divisibility, algorithm=job.algorithm
+            ),
+        )
+        findings = preflight_check(
+            task, self._platform, base_dir=self._config.base_dir,
+            division=division,
+        )
+        errors = [f for f in findings if f.severity == "error"]
+        for f in findings:
+            if f.severity == "warning" and str(f) not in job.warnings:
+                job.warnings.append(str(f))
+        if errors:
+            raise SpecificationError(
+                "pre-flight check failed: " + "; ".join(str(f) for f in errors)
+            )
+
+    def _probe_units(self, task: TaskSpec, division: DivisionMethod) -> float | None:
+        """Probe size from the spec (probe_load, or the probe file's size)."""
+        d = task.divisibility
+        if d.probe_load is not None:
+            return float(d.probe_load)
+        if d.probe is not None:
+            probe_path = self._config.base_dir / d.probe
+            if probe_path.is_file():
+                return float(probe_path.stat().st_size)
+        return None
+
+    def _simulate(
+        self,
+        scheduler: Scheduler,
+        division: DivisionMethod,
+        probe_units: float | None,
+    ) -> ExecutionReport:
+        options = self._config.simulation_options or SimulationOptions()
+        if probe_units is not None and options.probe_units is None:
+            options = dataclasses.replace(options, probe_units=probe_units)
+        master = SimulatedMaster(
+            self._platform,
+            scheduler,
+            division.total_units,
+            division=division,
+            uncertainty=UncertaintyModel(
+                gamma=self._config.gamma,
+                autocorrelation=self._config.noise_autocorrelation,
+            ),
+            seed=self._config.seed,
+            options=options,
+        )
+        return master.run()

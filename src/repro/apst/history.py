@@ -1,0 +1,132 @@
+"""Application execution history: learning gamma across runs.
+
+Section 4.2's discussion of RUMR's failed online switch ends with "it may
+be argued that the magnitude of the uncertainty could be learned from past
+application executions".  This module is that mechanism: a small JSON
+store keyed by application name, recording each run's observed gamma (the
+CoV of actual/predicted chunk compute times from the detailed execution
+report) and makespan.  The daemon appends to it after every job, and
+``rumr`` can consult it to pre-plan the Factoring phase the way the
+original RUMR algorithm assumed a known gamma.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .._util import coefficient_of_variation
+from ..errors import ReproError
+from ..simulation.trace import ExecutionReport
+
+_FORMAT_VERSION = 1
+
+#: Runs required before the learned gamma is trusted.
+MIN_RUNS_TO_LEARN = 2
+
+
+@dataclass
+class RunRecord:
+    """One recorded application execution."""
+
+    algorithm: str
+    makespan: float
+    observed_gamma: float
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "makespan": self.makespan,
+            "observed_gamma": self.observed_gamma,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunRecord":
+        try:
+            return RunRecord(
+                algorithm=str(data["algorithm"]),
+                makespan=float(data["makespan"]),
+                observed_gamma=float(data["observed_gamma"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed history record: {data!r}") from exc
+
+
+@dataclass
+class ApplicationHistory:
+    """Execution history of all applications, persisted as JSON."""
+
+    runs: dict[str, list[RunRecord]] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------------
+    def record(self, application: str, report: ExecutionReport) -> RunRecord:
+        """Append one run's observations for ``application``."""
+        if not application:
+            raise ReproError("application name must be non-empty")
+        record = RunRecord(
+            algorithm=report.algorithm,
+            makespan=report.makespan,
+            observed_gamma=report.observed_gamma(),
+        )
+        self.runs.setdefault(application, []).append(record)
+        return record
+
+    # -- learning --------------------------------------------------------------
+    def run_count(self, application: str) -> int:
+        return len(self.runs.get(application, []))
+
+    def learned_gamma(self, application: str) -> float | None:
+        """Median observed gamma over past runs, or None if too few.
+
+        The median is robust to the occasional run whose schedule left few
+        usable residuals (e.g. SIMPLE-n runs without probing have biased
+        predictions).
+        """
+        records = self.runs.get(application, [])
+        if len(records) < MIN_RUNS_TO_LEARN:
+            return None
+        gammas = sorted(r.observed_gamma for r in records)
+        mid = len(gammas) // 2
+        if len(gammas) % 2:
+            return gammas[mid]
+        return 0.5 * (gammas[mid - 1] + gammas[mid])
+
+    def gamma_stability(self, application: str) -> float:
+        """Run-to-run CoV of the observed gammas (0 = perfectly stable)."""
+        records = self.runs.get(application, [])
+        return coefficient_of_variation([r.observed_gamma for r in records])
+
+    # -- persistence ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "runs": {
+                app: [r.to_dict() for r in records]
+                for app, records in self.runs.items()
+            },
+        }
+
+    def save(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return out
+
+    @staticmethod
+    def load(path: str | Path) -> "ApplicationHistory":
+        """Load a history file; a missing file yields an empty history."""
+        source = Path(path)
+        if not source.is_file():
+            return ApplicationHistory()
+        try:
+            data = json.loads(source.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"malformed history JSON in {source}: {exc}") from exc
+        if data.get("format_version") != _FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported history format {data.get('format_version')!r}"
+            )
+        history = ApplicationHistory()
+        for app, records in data.get("runs", {}).items():
+            history.runs[app] = [RunRecord.from_dict(r) for r in records]
+        return history

@@ -1,0 +1,103 @@
+"""Monitoring-service resource information (the paper's rejected road).
+
+Section 3.5 weighs two ways to feed the DLS algorithms:
+
+1. "rely on application performance models and on resource information
+   provided by services such as MDS, NWS, and Ganglia ... lightweight
+   [but] it is often difficult in practice to obtain accurate estimates
+   of computation and transfer times for a particular application based
+   on monitored resource information";
+2. application-level probing (what APST-DV does).
+
+This module implements approach 1 so the trade-off can be measured: a
+:class:`MonitoringService` produces per-worker estimates instantly (no
+probe round, no probe cost) but with *translation error* -- host-level
+metrics (CPU MHz, link throughput) systematically mispredict
+application-level rates -- and *staleness* (periodic sampling lags the
+platform's current state).  The ``bench_ablations`` monitoring bench
+quantifies when free-but-wrong beats costly-but-right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check_nonnegative
+from ..errors import ProbeError
+from ..platform.resources import WorkerSpec
+from .probing import ProbeResult
+
+#: Default application-level translation error of monitored metrics (CoV).
+#: NWS-style forecasts track raw link/CPU capacity well, but the mapping to
+#: a specific application's unit-processing rate is the hard part.
+DEFAULT_TRANSLATION_ERROR = 0.25
+
+
+@dataclass(frozen=True)
+class MonitoringConfig:
+    """Error model of a monitoring service.
+
+    Parameters
+    ----------
+    translation_error:
+        CoV of the multiplicative error between monitored capacity and the
+        application's actual per-unit rates (per worker, persistent --
+        re-reading the service does not fix a bad model).
+    latency_error:
+        CoV on the start-up cost estimates (monitoring services do not
+        observe application start-up costs directly at all; they are
+        inferred).
+    """
+
+    translation_error: float = DEFAULT_TRANSLATION_ERROR
+    latency_error: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_nonnegative("translation_error", self.translation_error, ProbeError)
+        check_nonnegative("latency_error", self.latency_error, ProbeError)
+
+
+class MonitoringService:
+    """A Ganglia/NWS-like information source over a grid.
+
+    One instance per platform; the per-worker translation errors are drawn
+    once (they are model errors, not measurement noise) and persist across
+    queries, which is what makes monitoring *systematically* wrong for a
+    given application, exactly as the paper argues.
+    """
+
+    def __init__(
+        self,
+        workers: list[WorkerSpec] | tuple[WorkerSpec, ...],
+        config: MonitoringConfig | None = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        if not workers:
+            raise ProbeError("cannot monitor an empty platform")
+        self._workers = list(workers)
+        self._config = config or MonitoringConfig()
+        rng = np.random.default_rng(seed)
+        n = len(self._workers)
+        te = self._config.translation_error
+        le = self._config.latency_error
+        self._speed_factors = np.maximum(0.1, rng.normal(1.0, te, size=n))
+        self._bandwidth_factors = np.maximum(0.1, rng.normal(1.0, te, size=n))
+        self._latency_factors = np.maximum(0.1, rng.normal(1.0, le, size=n))
+
+    def estimates(self) -> ProbeResult:
+        """Current estimates -- free (zero duration), persistently biased."""
+        estimates = [
+            WorkerSpec(
+                name=w.name,
+                speed=w.speed * float(self._speed_factors[i]),
+                bandwidth=w.bandwidth * float(self._bandwidth_factors[i]),
+                comm_latency=w.comm_latency * float(self._latency_factors[i]),
+                comp_latency=w.comp_latency * float(self._latency_factors[i]),
+                cluster=w.cluster,
+            )
+            for i, w in enumerate(self._workers)
+        ]
+        return ProbeResult(estimates=estimates, duration=0.0, probe_units=0.0)

@@ -1,0 +1,116 @@
+"""Probe-based collection of resource information (paper Section 3.5).
+
+APST-DV estimates application-level resource performance by *probing*: it
+sends a small, representative chunk of load to every worker and observes
+the transfer and computation times, and it launches no-op jobs / transfers
+empty files to estimate the communication and computation start-up costs.
+One round of probing runs before the real application execution.
+
+The probe phase is simulated with the same cost models as the main run, so
+when uncertainty is enabled the estimates inherit single-sample noise --
+the realistic imperfection that adaptive algorithms then correct online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check_positive
+from ..errors import ProbeError
+from ..platform.resources import WorkerSpec
+from ..simulation.compute import ComputeModel
+
+#: Floor on measured (time - latency) differences, to keep estimates finite
+#: when a probe happens to run faster than the no-op calibration.
+_MIN_MEASURED = 1e-6
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of the probe phase."""
+
+    #: per-worker estimated resource parameters, in grid worker order
+    estimates: list[WorkerSpec]
+    #: simulated wall-clock duration of the whole probe phase
+    duration: float
+    #: units of probe load sent to each worker
+    probe_units: float
+
+
+def run_probe_phase(
+    workers: list[WorkerSpec] | tuple[WorkerSpec, ...],
+    compute_model: ComputeModel,
+    probe_units: float,
+) -> ProbeResult:
+    """Simulate one probing round over all workers.
+
+    For each worker, in grid order over the serialized master link:
+
+    1. transfer an empty file        -> estimates ``comm_latency``
+    2. transfer the probe chunk      -> estimates ``bandwidth``
+
+    and on the worker itself (computations proceed in parallel across
+    workers once their probe data has arrived):
+
+    3. run a no-op job               -> estimates ``comp_latency``
+    4. compute the probe chunk       -> estimates ``speed``
+
+    The phase ends when the slowest worker has reported back.
+    """
+    check_positive("probe_units", probe_units, ProbeError)
+    if not workers:
+        raise ProbeError("cannot probe an empty platform")
+
+    estimates: list[WorkerSpec] = []
+    link_time = 0.0
+    finish_times: list[float] = []
+    for index, spec in enumerate(workers):
+        # serialized on the master uplink
+        noop_comm = compute_model.realized_transfer_time(index, 0.0)
+        link_time += noop_comm
+        probe_comm = compute_model.realized_transfer_time(index, probe_units)
+        link_time += probe_comm
+        arrival = link_time
+
+        bandwidth_est = probe_units / max(_MIN_MEASURED, probe_comm - noop_comm)
+
+        # on-worker, overlapped across workers
+        noop_comp = compute_model.realized_compute_time(index, 0.0)
+        probe_comp = compute_model.realized_compute_time(index, probe_units)
+        finish_times.append(arrival + noop_comp + probe_comp)
+
+        speed_est = probe_units / max(_MIN_MEASURED, probe_comp - noop_comp)
+
+        estimates.append(
+            WorkerSpec(
+                name=spec.name,
+                speed=speed_est,
+                bandwidth=bandwidth_est,
+                comm_latency=noop_comm,
+                comp_latency=noop_comp,
+                cluster=spec.cluster,
+            )
+        )
+    return ProbeResult(
+        estimates=estimates,
+        duration=max(finish_times),
+        probe_units=probe_units,
+    )
+
+
+def perfect_information(workers: list[WorkerSpec] | tuple[WorkerSpec, ...]) -> ProbeResult:
+    """Zero-cost, error-free 'probe' -- the oracle used by ablation benches."""
+    if not workers:
+        raise ProbeError("cannot probe an empty platform")
+    return ProbeResult(estimates=list(workers), duration=0.0, probe_units=0.0)
+
+
+def default_probe_units(total_load: float, *, fraction: float = 0.002, minimum: float = 1.0) -> float:
+    """Probe size heuristic: a small, representative slice of the load.
+
+    The paper's case study probes with 21 frames of an 1830-frame load
+    (about 1.1%); we default to 0.2% with a one-unit floor, scaled for
+    the larger worker counts of the Section 4 experiments.
+    """
+    check_positive("total_load", total_load, ProbeError)
+    return max(minimum, total_load * fraction)

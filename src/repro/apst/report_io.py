@@ -1,0 +1,109 @@
+"""Serialization of execution reports (JSON and CSV).
+
+APST-DV's detailed execution report is the tool's primary diagnostic
+artifact (the paper's authors found the RUMR bug by reading it).  This
+module round-trips reports through JSON for archival/tooling, and exports
+the chunk table as CSV for spreadsheet analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from ..errors import ReproError
+from ..simulation.trace import ChunkTrace, ExecutionReport
+
+_FORMAT_VERSION = 1
+
+_CHUNK_FIELDS = (
+    "chunk_id", "worker_index", "worker_name", "units", "offset",
+    "round_index", "phase", "send_start", "send_end",
+    "compute_start", "compute_end", "predicted_compute",
+)
+
+
+def report_to_dict(report: ExecutionReport) -> dict:
+    """JSON-serializable dict of a report (schema version included)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "algorithm": report.algorithm,
+        "total_load": report.total_load,
+        "makespan": report.makespan,
+        "probe_time": report.probe_time,
+        "link_busy_time": report.link_busy_time,
+        "gamma_configured": report.gamma_configured,
+        "seed": report.seed,
+        "annotations": dict(report.annotations),
+        "chunks": [
+            {field: getattr(c, field) for field in _CHUNK_FIELDS}
+            for c in report.chunks
+        ],
+    }
+
+
+def report_from_dict(data: dict) -> ExecutionReport:
+    """Rebuild a report from :func:`report_to_dict` output."""
+    if not isinstance(data, dict):
+        raise ReproError("report payload must be a JSON object")
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported report format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    try:
+        chunks = [
+            ChunkTrace(**{field: chunk[field] for field in _CHUNK_FIELDS})
+            for chunk in data["chunks"]
+        ]
+        report = ExecutionReport(
+            algorithm=data["algorithm"],
+            total_load=data["total_load"],
+            makespan=data["makespan"],
+            probe_time=data["probe_time"],
+            chunks=chunks,
+            link_busy_time=data["link_busy_time"],
+            gamma_configured=data["gamma_configured"],
+            seed=data.get("seed"),
+            annotations=dict(data.get("annotations", {})),
+        )
+    except KeyError as exc:
+        raise ReproError(f"report payload missing field: {exc}") from exc
+    return report
+
+
+def save_report(report: ExecutionReport, path: str | Path) -> Path:
+    """Write a report as JSON."""
+    out = Path(path)
+    out.write_text(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+    return out
+
+
+def load_report(path: str | Path) -> ExecutionReport:
+    """Read a report written by :func:`save_report` and validate it."""
+    source = Path(path)
+    if not source.is_file():
+        raise ReproError(f"report file not found: {source}")
+    try:
+        data = json.loads(source.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed report JSON in {source}: {exc}") from exc
+    report = report_from_dict(data)
+    report.validate()
+    return report
+
+
+def chunks_to_csv(report: ExecutionReport, path: str | Path | None = None) -> str:
+    """Export the chunk table as CSV; optionally write it to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CHUNK_FIELDS)
+    for c in report.chunks:
+        writer.writerow([getattr(c, field) for field in _CHUNK_FIELDS])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

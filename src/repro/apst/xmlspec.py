@@ -1,0 +1,362 @@
+"""XML application and platform specifications (paper Section 3.3).
+
+APST-DV adds a ``divisibility`` element to APST's ``task`` construct.  The
+two listings in the paper are both accepted verbatim by this parser:
+
+Figure 1 (synthetic app, uniform byte division)::
+
+    <task executable="a_divisible_app" input="bigfile">
+     <divisibility input="bigfile" method="uniform" start="0"
+                   steptype="bytes" stepsize="10"
+                   algorithm="rumr" probe="probefile"/>
+    </task>
+
+Figure 6 (case study, callback division in frames)::
+
+    <task executable="run_mencoder.sh" arguments="input.avi mpeg4.avi"
+          input="input.avi" output="mpeg4.avi">
+     <divisibility input="input.avi" method="callback" load="1830"
+                   callback="callback_avisplit.pl" arguments="input.avi"
+                   algorithm="rumr" probe="probe.avi" probe_load="21"/>
+    </task>
+
+The module also defines a minimal platform description (our analogue of
+APST's XML resource description schema)::
+
+    <platform>
+      <cluster name="das2" nodes="16" speed="0.104" bandwidth="3.854"
+               comm_latency="6.4" comp_latency="0.7"/>
+      <preset name="grail"/>
+    </platform>
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import SpecificationError
+from ..platform.presets import preset_by_name
+from ..platform.resources import Cluster, Grid, WorkerSpec
+from .division import (
+    CallbackDivision,
+    DivisionMethod,
+    IndexDivision,
+    SeparatorDivision,
+    UniformBytesDivision,
+)
+
+VALID_METHODS = ("uniform", "index", "callback")
+VALID_STEPTYPES = ("bytes", "separator")
+
+
+@dataclass(frozen=True)
+class DivisibilitySpec:
+    """The ``divisibility`` element: how the load may be divided."""
+
+    input: str
+    method: str
+    algorithm: str = "rumr"
+    # uniform
+    start: int = 0
+    steptype: str = "bytes"
+    stepsize: int = 1
+    separator: str | None = None
+    # index
+    indexfile: str | None = None
+    # callback
+    callback: str | None = None
+    arguments: str = ""
+    load: int | None = None
+    # probing
+    probe: str | None = None
+    probe_load: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in VALID_METHODS:
+            raise SpecificationError(
+                f"divisibility method must be one of {VALID_METHODS}, "
+                f"got {self.method!r}"
+            )
+        if self.method == "uniform":
+            if self.steptype not in VALID_STEPTYPES:
+                raise SpecificationError(
+                    f"steptype must be one of {VALID_STEPTYPES}, got {self.steptype!r}"
+                )
+            if self.steptype == "bytes" and self.stepsize < 1:
+                raise SpecificationError(f"stepsize must be >= 1, got {self.stepsize}")
+            if self.steptype == "separator" and not self.separator:
+                raise SpecificationError("separator steptype requires a separator")
+        if self.method == "index" and not self.indexfile:
+            raise SpecificationError("index method requires indexfile")
+        if self.method == "callback":
+            if not self.callback:
+                raise SpecificationError("callback method requires a callback program")
+            if self.load is None or self.load < 1:
+                raise SpecificationError("callback method requires a positive load")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """The ``task`` element: executable plus divisibility."""
+
+    executable: str
+    divisibility: DivisibilitySpec
+    arguments: str = ""
+    input: str | None = None
+    output: str | None = None
+
+
+def parse_task(source: str | Path) -> TaskSpec:
+    """Parse a task spec from an XML string or file path."""
+    root = _load_xml(source)
+    if root.tag != "task":
+        raise SpecificationError(f"expected <task> root element, got <{root.tag}>")
+    executable = root.get("executable")
+    if not executable:
+        raise SpecificationError("<task> requires an executable attribute")
+    div_elements = root.findall("divisibility")
+    if len(div_elements) != 1:
+        raise SpecificationError(
+            f"<task> must contain exactly one <divisibility>, found {len(div_elements)}"
+        )
+    divisibility = _parse_divisibility(div_elements[0])
+    return TaskSpec(
+        executable=executable,
+        arguments=root.get("arguments", ""),
+        input=root.get("input"),
+        output=root.get("output"),
+        divisibility=divisibility,
+    )
+
+
+def _parse_divisibility(element: ET.Element) -> DivisibilitySpec:
+    attrs = dict(element.attrib)
+    input_file = attrs.pop("input", None)
+    if not input_file:
+        raise SpecificationError("<divisibility> requires an input attribute")
+    method = attrs.pop("method", None)
+    if not method:
+        raise SpecificationError("<divisibility> requires a method attribute")
+    known_ints = {"start", "stepsize", "load", "probe_load"}
+    kwargs: dict = {"input": input_file, "method": method}
+    for key, value in attrs.items():
+        if key in known_ints:
+            try:
+                kwargs[key] = int(value)
+            except ValueError as exc:
+                raise SpecificationError(
+                    f"divisibility attribute {key}={value!r} must be an integer"
+                ) from exc
+        elif key in (
+            "steptype", "separator", "indexfile", "callback",
+            "arguments", "algorithm", "probe",
+        ):
+            kwargs[key] = value
+        else:
+            raise SpecificationError(f"unknown divisibility attribute {key!r}")
+    return DivisibilitySpec(**kwargs)
+
+
+def task_to_xml(spec: TaskSpec) -> str:
+    """Serialize a task spec back to XML (round-trips with parse_task)."""
+    task = ET.Element("task", {"executable": spec.executable})
+    if spec.arguments:
+        task.set("arguments", spec.arguments)
+    if spec.input:
+        task.set("input", spec.input)
+    if spec.output:
+        task.set("output", spec.output)
+    d = spec.divisibility
+    attrs: dict[str, str] = {"input": d.input, "method": d.method, "algorithm": d.algorithm}
+    if d.method == "uniform":
+        attrs.update(start=str(d.start), steptype=d.steptype)
+        if d.steptype == "bytes":
+            attrs["stepsize"] = str(d.stepsize)
+        else:
+            assert d.separator is not None
+            attrs["separator"] = d.separator
+    elif d.method == "index":
+        assert d.indexfile is not None
+        attrs["indexfile"] = d.indexfile
+    else:
+        assert d.callback is not None and d.load is not None
+        attrs.update(callback=d.callback, load=str(d.load))
+        if d.arguments:
+            attrs["arguments"] = d.arguments
+    if d.probe:
+        attrs["probe"] = d.probe
+    if d.probe_load is not None:
+        attrs["probe_load"] = str(d.probe_load)
+    ET.SubElement(task, "divisibility", attrs)
+    ET.indent(task)
+    return ET.tostring(task, encoding="unicode")
+
+
+def build_division(spec: DivisibilitySpec, base_dir: str | Path = ".") -> DivisionMethod:
+    """Instantiate the division method a spec describes.
+
+    Relative file paths resolve against ``base_dir``.  Callback programs
+    ending in ``.py`` run under the current interpreter.
+    """
+    base = Path(base_dir)
+    input_path = base / spec.input
+    if spec.method == "uniform":
+        if spec.steptype == "bytes":
+            return UniformBytesDivision(input_path, stepsize=spec.stepsize, start=spec.start)
+        assert spec.separator is not None
+        return SeparatorDivision(input_path, separator=spec.separator)
+    if spec.method == "index":
+        assert spec.indexfile is not None
+        return IndexDivision(input_path, base / spec.indexfile)
+    assert spec.callback is not None and spec.load is not None
+    program = _callback_program(base, spec.callback, spec.arguments)
+    return CallbackDivision(spec.load, program=program, workdir=base)
+
+
+def _callback_program(base: Path, callback: str, arguments: str) -> list[str]:
+    program_path = base / callback
+    tokens = [str(program_path)]
+    if callback.endswith(".py"):
+        tokens = [sys.executable, str(program_path)]
+    elif callback.startswith("python -m"):
+        tokens = [sys.executable, "-m", callback.split(None, 2)[2]]
+    user_args = [
+        str(base / a) if (base / a).exists() else a for a in shlex.split(arguments)
+    ]
+    return tokens + user_args
+
+
+# -- platform descriptions ----------------------------------------------------
+
+def platform_to_xml(grid: Grid) -> str:
+    """Serialize a grid as platform XML (round-trips with parse_platform).
+
+    Workers are grouped by cluster; each worker is written explicitly
+    (parametric presets and homogeneous shorthands are not recovered).
+    """
+    root = ET.Element("platform")
+    for cluster_name in grid.clusters:
+        cluster = ET.SubElement(root, "cluster", {"name": cluster_name})
+        for w in grid.cluster_workers(cluster_name):
+            ET.SubElement(cluster, "worker", {
+                "name": w.name,
+                "speed": repr(w.speed),
+                "bandwidth": repr(w.bandwidth),
+                "comm_latency": repr(w.comm_latency),
+                "comp_latency": repr(w.comp_latency),
+            })
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def parse_platform(source: str | Path) -> Grid:
+    """Parse a platform description into a :class:`Grid`."""
+    root = _load_xml(source)
+    if root.tag != "platform":
+        raise SpecificationError(f"expected <platform> root, got <{root.tag}>")
+    clusters: list[Cluster] = []
+    loose_workers: list[WorkerSpec] = []
+    for child in root:
+        if child.tag == "preset":
+            name = child.get("name")
+            if not name:
+                raise SpecificationError("<preset> requires a name")
+            try:
+                grid = preset_by_name(name)
+            except KeyError as exc:
+                raise SpecificationError(str(exc)) from exc
+            for cluster_name in grid.clusters:
+                clusters.append(
+                    Cluster(cluster_name, tuple(grid.cluster_workers(cluster_name)))
+                )
+        elif child.tag == "cluster":
+            clusters.append(_parse_cluster(child))
+        elif child.tag == "worker":
+            loose_workers.append(_parse_worker(child, cluster=child.get("cluster", "default")))
+        else:
+            raise SpecificationError(f"unknown platform element <{child.tag}>")
+    if loose_workers:
+        clusters.append(Cluster("default", tuple(loose_workers)))
+    if not clusters:
+        raise SpecificationError("platform defines no workers")
+    return Grid.from_clusters(*clusters)
+
+
+def _parse_cluster(element: ET.Element) -> Cluster:
+    name = element.get("name")
+    if not name:
+        raise SpecificationError("<cluster> requires a name")
+    nodes = element.get("nodes")
+    if nodes is None:
+        workers = tuple(
+            _parse_worker(w, cluster=name) for w in element.findall("worker")
+        )
+        if not workers:
+            raise SpecificationError(
+                f"cluster {name!r} needs a nodes= attribute or <worker> children"
+            )
+        return Cluster(name, workers)
+    return Cluster.homogeneous(
+        name,
+        _attr_int(element, "nodes"),
+        speed=_attr_float(element, "speed"),
+        bandwidth=_attr_float(element, "bandwidth"),
+        comm_latency=_attr_float(element, "comm_latency", 0.0),
+        comp_latency=_attr_float(element, "comp_latency", 0.0),
+    )
+
+
+def _parse_worker(element: ET.Element, cluster: str) -> WorkerSpec:
+    name = element.get("name")
+    if not name:
+        raise SpecificationError("<worker> requires a name")
+    return WorkerSpec(
+        name=name,
+        speed=_attr_float(element, "speed"),
+        bandwidth=_attr_float(element, "bandwidth"),
+        comm_latency=_attr_float(element, "comm_latency", 0.0),
+        comp_latency=_attr_float(element, "comp_latency", 0.0),
+        cluster=cluster,
+    )
+
+
+def _attr_float(element: ET.Element, key: str, default: float | None = None) -> float:
+    raw = element.get(key)
+    if raw is None:
+        if default is None:
+            raise SpecificationError(f"<{element.tag}> requires attribute {key!r}")
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise SpecificationError(f"attribute {key}={raw!r} must be a number") from exc
+
+
+def _attr_int(element: ET.Element, key: str) -> int:
+    raw = element.get(key)
+    if raw is None:
+        raise SpecificationError(f"<{element.tag}> requires attribute {key!r}")
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise SpecificationError(f"attribute {key}={raw!r} must be an integer") from exc
+
+
+def _load_xml(source: str | Path) -> ET.Element:
+    if isinstance(source, Path) or (
+        isinstance(source, str) and not source.lstrip().startswith("<")
+    ):
+        path = Path(source)
+        if not path.is_file():
+            raise SpecificationError(f"specification file not found: {path}")
+        text = path.read_text()
+    else:
+        text = str(source)
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SpecificationError(f"malformed XML: {exc}") from exc

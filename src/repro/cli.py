@@ -1,0 +1,267 @@
+"""Command-line interface: ``apst-dv`` (or ``python -m repro``).
+
+Sub-commands
+------------
+``run``      Run one task XML on a platform (preset or platform XML) and
+             print its detailed execution report.
+``compare``  Run the paper's algorithm set back-to-back on a preset
+             platform and print the figure-style comparison table.
+``presets``  List the calibrated platform presets.
+``table1``   Regenerate Table 1 (application characteristics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.experiments import ExperimentConfig, run_experiment
+from .analysis.tables import render_slowdown_table, render_table
+from .apst.client import APSTClient
+from .apst.daemon import APSTDaemon, DaemonConfig
+from .apst.xmlspec import parse_platform
+from .core.registry import PAPER_ALGORITHMS, available_algorithms
+from .platform.presets import (
+    PAPER_LOAD_UNITS,
+    preset_by_name,
+)
+from .workloads.applications import table1_rows
+
+
+def _load_platform(value: str):
+    path = Path(value)
+    if path.suffix == ".xml" and path.is_file():
+        return parse_platform(path)
+    try:
+        return preset_by_name(value)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    platform = _load_platform(args.platform)
+    daemon = APSTDaemon(
+        platform,
+        config=DaemonConfig(
+            base_dir=Path(args.base_dir),
+            gamma=args.gamma,
+            seed=args.seed,
+        ),
+    )
+    client = APSTClient(daemon)
+    report = client.submit_and_run(Path(args.task), algorithm=args.algorithm)
+    print(report.render(max_chunks=args.chunks))
+    if args.gantt:
+        from .analysis.gantt import overlap_metrics, render_gantt
+
+        print()
+        print(render_gantt(report))
+        metrics = overlap_metrics(report)
+        print(
+            f"comm/comp overlap: {metrics.overlap_fraction:.1%} of link time "
+            f"hidden behind computation; worker idle fraction "
+            f"{metrics.idle_fraction:.1%}"
+        )
+    if args.json:
+        from .apst.report_io import save_report
+
+        out = save_report(report, args.json)
+        print(f"report written to {out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    platform_factory = lambda: _load_platform(args.platform)  # noqa: E731
+    grid = platform_factory()
+    load = args.load if args.load is not None else PAPER_LOAD_UNITS
+    algorithms = args.algorithms.split(",") if args.algorithms else list(PAPER_ALGORITHMS)
+    config = ExperimentConfig(
+        label=f"{args.platform} ({len(grid)} workers), gamma={args.gamma:.0%}",
+        grid_factory=platform_factory,
+        total_load=load,
+        gamma=args.gamma,
+        algorithms=algorithms,
+        runs=args.runs,
+        base_seed=args.seed,
+        noise_autocorrelation=args.autocorrelation,
+    )
+    result = run_experiment(config)
+    print(
+        render_slowdown_table(
+            config.label,
+            result.slowdowns(),
+            makespans={n: r.stats.mean for n, r in result.by_algorithm.items()},
+        )
+    )
+    return 0
+
+
+def _cmd_presets(_args: argparse.Namespace) -> int:
+    from .platform.calibrate import platform_summary
+
+    for name in ("das2", "meteor", "mixed", "grail"):
+        grid = preset_by_name(name)
+        info = platform_summary(grid)
+        print(
+            f"{name:8s} workers={info['workers']:2d} r={info['comm_comp_ratio']:5.1f} "
+            f"comm_latency={info['comm_latency_mean']:.2f}s "
+            f"comp_latency={info['comp_latency_mean']:.2f}s"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweeps import run_sweep
+    from .analysis.export import sweep_to_csv
+
+    try:
+        gammas = [float(g) for g in args.gammas.split(",") if g.strip()]
+    except ValueError:
+        raise SystemExit(f"bad --gammas value: {args.gammas!r}")
+    if not gammas:
+        raise SystemExit("at least one gamma level required")
+    algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+    load = args.load if args.load is not None else PAPER_LOAD_UNITS
+
+    def config_for(gamma):
+        return ExperimentConfig(
+            label=f"gamma={gamma}",
+            grid_factory=lambda: _load_platform(args.platform),
+            total_load=load,
+            gamma=gamma,
+            algorithms=algorithms,
+            runs=args.runs,
+            base_seed=args.seed,
+        )
+
+    sweep = run_sweep("gamma", gammas, config_for)
+    print(
+        render_table(
+            ["gamma", *sorted(sweep.series)],
+            [
+                [g, *(sweep.series[a][k] for a in sorted(sweep.series))]
+                for k, g in enumerate(sweep.values)
+            ],
+            title=f"gamma sweep on {args.platform} "
+                  f"(mean makespan over {args.runs} runs)",
+            precision=1,
+        )
+    )
+    for a in sorted(sweep.series):
+        for b in sorted(sweep.series):
+            if a < b:
+                crossover = sweep.crossover(a, b)
+                if crossover is not None and crossover != sweep.values[0]:
+                    print(f"{b} overtakes {a} at gamma = {crossover}")
+    if args.csv:
+        sweep_to_csv(sweep, args.csv)
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _cmd_console(args: argparse.Namespace) -> int:
+    from .apst.console import APSTConsole
+
+    platform = _load_platform(args.platform)
+    daemon = APSTDaemon(
+        platform,
+        config=DaemonConfig(
+            base_dir=Path(args.base_dir), gamma=args.gamma, seed=args.seed
+        ),
+    )
+    APSTConsole(daemon).cmdloop()
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = table1_rows()
+    print(
+        render_table(
+            ["application", "input (MB)", "runtime (s)", "r", "gamma", "spread", "paper r"],
+            [
+                [
+                    r["application"],
+                    r["input_mb"],
+                    r["runtime_s"],
+                    r["r"],
+                    r["gamma"],
+                    r["spread"],
+                    r["paper_r"],
+                ]
+                for r in rows
+            ],
+            title="Table 1: divisible load application characteristics",
+            precision=2,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="apst-dv",
+        description="APST-DV reproduction: divisible load scheduling on grid platforms",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one task XML and print its report")
+    run.add_argument("task", help="path to the task XML specification")
+    run.add_argument("--platform", default="das2", help="preset name or platform XML")
+    run.add_argument("--algorithm", default=None,
+                     help=f"override the spec's algorithm ({', '.join(available_algorithms())})")
+    run.add_argument("--base-dir", default=".", help="directory input files resolve against")
+    run.add_argument("--gamma", type=float, default=0.0, help="compute-time uncertainty CoV")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--chunks", type=int, default=0, help="also print the first N chunk traces")
+    run.add_argument("--gantt", action="store_true",
+                     help="render a text Gantt chart and overlap metrics")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the report as JSON to PATH")
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="compare DLS algorithms on a platform")
+    compare.add_argument("--platform", default="das2")
+    compare.add_argument("--gamma", type=float, default=0.0)
+    compare.add_argument("--autocorrelation", type=float, default=0.0)
+    compare.add_argument("--load", type=float, default=None)
+    compare.add_argument("--runs", type=int, default=10)
+    compare.add_argument("--seed", type=int, default=1000)
+    compare.add_argument("--algorithms", default=None, help="comma-separated algorithm names")
+    compare.set_defaults(func=_cmd_compare)
+
+    presets = sub.add_parser("presets", help="list calibrated platform presets")
+    presets.set_defaults(func=_cmd_presets)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.set_defaults(func=_cmd_table1)
+
+    sweep = sub.add_parser("sweep", help="sweep gamma and print per-algorithm series")
+    sweep.add_argument("--platform", default="das2")
+    sweep.add_argument("--gammas", default="0.0,0.05,0.1,0.2",
+                       help="comma-separated gamma levels")
+    sweep.add_argument("--algorithms", default="umr,wf,fixed-rumr")
+    sweep.add_argument("--load", type=float, default=None)
+    sweep.add_argument("--runs", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=1000)
+    sweep.add_argument("--csv", default=None, metavar="PATH",
+                       help="also write the series as CSV to PATH")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    console = sub.add_parser("console", help="interactive APST-DV client console")
+    console.add_argument("--platform", default="das2")
+    console.add_argument("--base-dir", default=".")
+    console.add_argument("--gamma", type=float, default=0.0)
+    console.add_argument("--seed", type=int, default=None)
+    console.set_defaults(func=_cmd_console)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

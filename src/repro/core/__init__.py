@@ -1,0 +1,48 @@
+"""Divisible Load Scheduling algorithms (the paper's Section 3.6 set plus lineage)."""
+
+from .adaptive import AdaptiveUMR
+from .base import ChunkInfo, DispatchRequest, Scheduler, SchedulerConfig, WorkerState
+from .factoring import GuidedSelfScheduling, PlainFactoring, WeightedFactoring
+from .multiinstallment import MultiInstallment
+from .oneround import OneRound, solve_one_round
+from .registry import (
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    make_scheduler,
+    register_algorithm,
+)
+from .rumr import RUMR, GammaEstimator, fixed_rumr
+from .selfscheduling import ChunkSelfScheduling, TrapezoidSelfScheduling
+from .simple import SimpleN
+from .umr import UMR, UMRPlan, compute_umr_plan
+from .umr_output import OutputAwareUMR, output_transformed_estimates
+
+__all__ = [
+    "ChunkSelfScheduling",
+    "TrapezoidSelfScheduling",
+    "OutputAwareUMR",
+    "output_transformed_estimates",
+    "Scheduler",
+    "SchedulerConfig",
+    "DispatchRequest",
+    "ChunkInfo",
+    "WorkerState",
+    "SimpleN",
+    "UMR",
+    "UMRPlan",
+    "compute_umr_plan",
+    "WeightedFactoring",
+    "PlainFactoring",
+    "GuidedSelfScheduling",
+    "RUMR",
+    "fixed_rumr",
+    "GammaEstimator",
+    "AdaptiveUMR",
+    "OneRound",
+    "solve_one_round",
+    "MultiInstallment",
+    "PAPER_ALGORITHMS",
+    "available_algorithms",
+    "make_scheduler",
+    "register_algorithm",
+]

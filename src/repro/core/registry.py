@@ -1,0 +1,98 @@
+"""Algorithm registry: the XML ``algorithm=`` attribute resolved to code.
+
+The APST-DV XML specification names the DLS algorithm to use (e.g.
+``algorithm="rumr"`` in Figures 1 and 6 of the paper).  This registry maps
+those names to scheduler factories.  Parameterized families accept a
+suffix: ``simple-5`` is SIMPLE-n with n=5, ``multiinstallment-3`` runs
+three installments.
+
+>>> make_scheduler("simple-5").name
+'simple-5'
+>>> sorted(available_algorithms())[:3]
+['adaptive-umr', 'css', 'factoring']
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SchedulingError
+from .adaptive import AdaptiveUMR
+from .base import Scheduler
+from .factoring import GuidedSelfScheduling, PlainFactoring, WeightedFactoring
+from .multiinstallment import MultiInstallment
+from .oneround import OneRound
+from .rumr import RUMR, fixed_rumr
+from .selfscheduling import ChunkSelfScheduling, TrapezoidSelfScheduling
+from .simple import SimpleN
+from .umr import UMR
+from .umr_output import OutputAwareUMR
+
+_FACTORIES: dict[str, Callable[[], Scheduler]] = {
+    "simple": lambda: SimpleN(1),
+    "umr": UMR,
+    "wf": WeightedFactoring,
+    "weighted-factoring": WeightedFactoring,
+    "factoring": PlainFactoring,
+    "gss": GuidedSelfScheduling,
+    "rumr": RUMR,
+    "fixed-rumr": fixed_rumr,
+    "adaptive-umr": AdaptiveUMR,
+    "oneround-affine": lambda: OneRound(affine=True),
+    "oneround-linear": lambda: OneRound(affine=False),
+    "multiinstallment": MultiInstallment,
+    "tss": TrapezoidSelfScheduling,
+    "css": ChunkSelfScheduling,
+    "umr-out": lambda: OutputAwareUMR(output_factor=0.1),
+}
+
+#: The algorithm set evaluated in the paper's Section 4, in figure order.
+PAPER_ALGORITHMS = ("simple-1", "simple-5", "umr", "wf", "rumr", "fixed-rumr")
+
+
+def available_algorithms() -> list[str]:
+    """All registered base algorithm names (parameterized forms excluded)."""
+    return sorted(_FACTORIES)
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler from its registry name.
+
+    Parameterized names: ``simple-N`` (N chunks per worker) and
+    ``multiinstallment-N`` (N installments).
+    """
+    key = name.strip().lower()
+    if key in _FACTORIES:
+        return _FACTORIES[key]()
+    if key.startswith("simple-"):
+        return SimpleN(_parse_suffix(name, "simple-"))
+    if key.startswith("multiinstallment-"):
+        return MultiInstallment(_parse_suffix(name, "multiinstallment-"))
+    raise SchedulingError(
+        f"unknown scheduling algorithm {name!r}; "
+        f"available: {', '.join(available_algorithms())} "
+        f"(plus simple-N, multiinstallment-N)"
+    )
+
+
+def _parse_suffix(name: str, prefix: str) -> int:
+    suffix = name.strip().lower()[len(prefix):]
+    try:
+        value = int(suffix)
+    except ValueError as exc:
+        raise SchedulingError(f"bad parameter in algorithm name {name!r}") from exc
+    if value < 1:
+        raise SchedulingError(f"algorithm parameter must be >= 1 in {name!r}")
+    return value
+
+
+def register_algorithm(name: str, factory: Callable[[], Scheduler]) -> None:
+    """Register a custom scheduler factory under ``name``.
+
+    Raises if the name is already taken -- shadowing a paper algorithm in
+    a benchmark would silently corrupt results.
+    """
+    key = name.strip().lower()
+    if key in _FACTORIES:
+        raise SchedulingError(f"algorithm {name!r} already registered")
+    _FACTORIES[key] = factory

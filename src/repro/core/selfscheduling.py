@@ -1,0 +1,142 @@
+"""Classic loop self-scheduling algorithms: CSS and TSS.
+
+The Factoring family the paper builds on (Section 2.2) grew out of the
+loop self-scheduling literature.  Two more members complete the lineage
+for the extension benches:
+
+* **Chunk Self-Scheduling (CSS)** -- every dispatch hands out the same
+  fixed chunk.  The degenerate baseline: small chunks balance load but
+  drown in start-up costs; large chunks amortize costs but straggle.
+* **Trapezoid Self-Scheduling (TSS)** [Tzen & Ni, 1993] -- chunk sizes
+  decrease *linearly* from a first size F to a last size L, a cheaper
+  (precomputable) approximation of GSS/Factoring's geometric decay.
+  Classic defaults: F = W/(2N), L = 1 quantum.
+
+Both dispatch greedily to the most starved eligible worker, like our
+Factoring implementation, and both support speed weighting off (their
+original form is unweighted).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SchedulingError
+from .base import DispatchRequest, Scheduler, SchedulerConfig, WorkerState
+
+
+class ChunkSelfScheduling(Scheduler):
+    """CSS: fixed-size chunks, greedy dispatch.
+
+    ``chunk_fraction`` sizes the chunk as a fraction of the per-worker
+    share ``W/N`` (1.0 reproduces SIMPLE-1's per-worker share, but
+    dispatched greedily rather than statically).
+    """
+
+    uses_probing = False
+
+    def __init__(self, *, chunk_fraction: float = 0.1, prefetch_depth: int = 2) -> None:
+        super().__init__()
+        if not 0.0 < chunk_fraction <= 1.0:
+            raise SchedulingError(f"chunk_fraction must be in (0, 1], got {chunk_fraction}")
+        if prefetch_depth < 1:
+            raise SchedulingError("prefetch_depth must be >= 1")
+        self._fraction = chunk_fraction
+        self._prefetch = prefetch_depth
+        self.name = f"css-{chunk_fraction:g}"
+        self._chunk = 1.0
+        self._count = 0
+
+    def _plan(self, config: SchedulerConfig) -> None:
+        per_worker = config.total_load / config.num_workers
+        self._chunk = max(config.quantum, per_worker * self._fraction)
+        self._count = 0
+
+    def next_dispatch(self, now: float, workers: list[WorkerState]) -> DispatchRequest | None:
+        remaining = self.remaining_units
+        if remaining <= 0:
+            return None
+        eligible = [w for w in workers if w.outstanding < self._prefetch]
+        if not eligible:
+            return None
+        target = min(eligible, key=lambda w: (w.outstanding_units, w.index))
+        self._count += 1
+        return DispatchRequest(
+            worker_index=target.index,
+            units=min(self._chunk, remaining),
+            round_index=self._count - 1,
+            phase="css",
+        )
+
+    def annotations(self) -> dict:
+        return {"css_chunk": round(self._chunk, 3)}
+
+
+class TrapezoidSelfScheduling(Scheduler):
+    """TSS: linearly decreasing chunk sizes from F down to L.
+
+    With first chunk F and last chunk L, the number of chunks is
+    ``ceil(2W / (F + L))`` and consecutive chunks shrink by the constant
+    ``(F - L) / (n - 1)``.
+    """
+
+    name = "tss"
+    uses_probing = True
+
+    def __init__(
+        self,
+        *,
+        first_chunk: float | None = None,
+        last_chunk: float | None = None,
+        prefetch_depth: int = 2,
+    ) -> None:
+        super().__init__()
+        if prefetch_depth < 1:
+            raise SchedulingError("prefetch_depth must be >= 1")
+        self._first_param = first_chunk
+        self._last_param = last_chunk
+        self._prefetch = prefetch_depth
+        self._next_size = 1.0
+        self._decrement = 0.0
+        self._last = 1.0
+        self._count = 0
+
+    def _plan(self, config: SchedulerConfig) -> None:
+        load = config.total_load
+        first = self._first_param
+        if first is None:
+            first = load / (2.0 * config.num_workers)
+        last = self._last_param
+        if last is None:
+            last = config.quantum
+        first = max(first, config.quantum)
+        last = min(max(last, config.quantum), first)
+        n_chunks = max(1, math.ceil(2.0 * load / (first + last)))
+        self._decrement = (first - last) / (n_chunks - 1) if n_chunks > 1 else 0.0
+        self._next_size = first
+        self._last = last
+        self._count = 0
+
+    def next_dispatch(self, now: float, workers: list[WorkerState]) -> DispatchRequest | None:
+        remaining = self.remaining_units
+        if remaining <= 0:
+            return None
+        eligible = [w for w in workers if w.outstanding < self._prefetch]
+        if not eligible:
+            return None
+        target = min(eligible, key=lambda w: (w.outstanding_units, w.index))
+        units = min(max(self._next_size, self._last), remaining)
+        self._next_size = max(self._last, self._next_size - self._decrement)
+        self._count += 1
+        return DispatchRequest(
+            worker_index=target.index,
+            units=units,
+            round_index=self._count - 1,
+            phase="tss",
+        )
+
+    def annotations(self) -> dict:
+        return {
+            "tss_last_chunk": round(self._last, 3),
+            "tss_decrement": round(self._decrement, 4),
+        }

@@ -1,0 +1,79 @@
+"""SIMPLE-n: static chunking (paper Section 3.6).
+
+"Uniformly divides the input among the workers, and divides the data for
+each worker into n chunks. No probing is used. This is the simplistic
+'static chunking' approach that is currently used by divisible load
+application users who use APST."
+
+The paper evaluates SIMPLE-1 (each worker gets its whole share at once --
+no pipelining at all) and SIMPLE-5.  Chunks are dispatched round-major
+(every worker's first chunk, then every worker's second chunk, ...), so
+SIMPLE-n with n > 1 does get some communication/computation overlap, just
+without any cost-model awareness.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from .base import DispatchRequest, Scheduler, SchedulerConfig, WorkerState
+
+
+class SimpleN(Scheduler):
+    """Static chunking with ``n`` equal chunks per worker."""
+
+    uses_probing = False
+
+    def __init__(self, n: int = 1) -> None:
+        super().__init__()
+        if n < 1:
+            raise SchedulingError(f"SIMPLE-n requires n >= 1, got {n}")
+        self._n = n
+        self.name = f"simple-{n}"
+        self._queue: list[DispatchRequest] = []
+
+    @property
+    def chunks_per_worker(self) -> int:
+        return self._n
+
+    def _plan(self, config: SchedulerConfig) -> None:
+        num_workers = config.num_workers
+        per_worker = config.total_load / num_workers
+        chunk = per_worker / self._n
+        self._queue = [
+            DispatchRequest(
+                worker_index=worker,
+                units=chunk,
+                round_index=round_idx,
+                phase="simple",
+            )
+            for round_idx in range(self._n)
+            for worker in range(num_workers)
+        ]
+
+    def next_dispatch(self, now: float, workers: list[WorkerState]) -> DispatchRequest | None:
+        while self._queue:
+            request = self._queue[0]
+            remaining = self.remaining_units
+            if remaining <= 0:
+                self._queue.clear()
+                return None
+            self._queue.pop(0)
+            units = min(request.units, remaining)
+            if units <= 0:
+                continue
+            return DispatchRequest(
+                worker_index=request.worker_index,
+                units=units,
+                round_index=request.round_index,
+                phase=request.phase,
+            )
+        # division quantization can leave a sliver; hand it to worker 0
+        remaining = self.remaining_units
+        if remaining > 0 and not self.done_dispatching():
+            return DispatchRequest(
+                worker_index=0, units=remaining, round_index=self._n, phase="simple"
+            )
+        return None
+
+    def annotations(self) -> dict:
+        return {"chunks_per_worker": self._n}

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the APST-DV reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-hierarchies mirror the major subsystems: platform
+description, load division, scheduling, specification parsing, and
+simulation/execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the ``repro`` library."""
+
+
+class PlatformError(ReproError):
+    """Invalid platform description (bad worker parameters, empty grid...)."""
+
+
+class DivisionError(ReproError):
+    """A load division method could not produce a valid chunk."""
+
+
+class SchedulingError(ReproError):
+    """A DLS algorithm was asked to do something inconsistent."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """No feasible schedule exists for the requested parameters."""
+
+
+class SpecificationError(ReproError):
+    """Malformed XML (or dict) application / resource specification."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected by the discrete-event engine."""
+
+
+class ExecutionError(ReproError):
+    """Failure in the real (local) execution backend."""
+
+
+class ProbeError(ReproError):
+    """Resource probing failed or produced unusable estimates."""

@@ -1,0 +1,14 @@
+"""Real execution backends: threaded (in-process) and multi-process."""
+
+from .appspec import app_spec, load_app
+from .local import AppProcessor, DigestApp, LocalExecutionBackend
+from .process_backend import ProcessExecutionBackend
+
+__all__ = [
+    "LocalExecutionBackend",
+    "ProcessExecutionBackend",
+    "AppProcessor",
+    "DigestApp",
+    "load_app",
+    "app_spec",
+]

@@ -1,0 +1,64 @@
+"""Application specifications loadable by worker processes.
+
+A worker subprocess cannot receive a live Python object, so applications
+are named by *spec strings*::
+
+    module.path:ClassName
+    module.path:ClassName|{"kwarg": value, ...}
+
+The class is imported, instantiated with the JSON kwargs, and must expose
+``process(data: bytes, units: float | None) -> bytes`` (the
+:class:`~repro.execution.local.AppProcessor` protocol).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+
+from ..errors import ExecutionError
+
+
+def load_app(spec: str):
+    """Instantiate an application processor from its spec string."""
+    if not spec or ":" not in spec:
+        raise ExecutionError(
+            f"app spec must look like 'module:Class', got {spec!r}"
+        )
+    head, _, kwargs_json = spec.partition("|")
+    module_name, _, class_name = head.partition(":")
+    if not module_name or not class_name:
+        raise ExecutionError(f"malformed app spec {spec!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ExecutionError(f"cannot import app module {module_name!r}: {exc}") from exc
+    try:
+        cls = getattr(module, class_name)
+    except AttributeError as exc:
+        raise ExecutionError(
+            f"module {module_name!r} has no attribute {class_name!r}"
+        ) from exc
+    kwargs = {}
+    if kwargs_json:
+        try:
+            kwargs = json.loads(kwargs_json)
+        except json.JSONDecodeError as exc:
+            raise ExecutionError(f"malformed app kwargs in {spec!r}: {exc}") from exc
+        if not isinstance(kwargs, dict):
+            raise ExecutionError(f"app kwargs must be a JSON object in {spec!r}")
+    try:
+        app = cls(**kwargs)
+    except Exception as exc:
+        raise ExecutionError(f"instantiating {spec!r} failed: {exc}") from exc
+    if not callable(getattr(app, "process", None)):
+        raise ExecutionError(f"{spec!r} does not provide a process() method")
+    return app
+
+
+def app_spec(cls: type, **kwargs) -> str:
+    """Spec string for a class (inverse of :func:`load_app`)."""
+    head = f"{cls.__module__}:{cls.__qualname__}"
+    if kwargs:
+        return f"{head}|{json.dumps(kwargs, sort_keys=True)}"
+    return head

@@ -1,0 +1,71 @@
+"""Failure-injection applications for backend robustness testing.
+
+Real Grid deployments lose workers mid-run; the execution backends must
+surface such failures as :class:`~repro.errors.ExecutionError` rather
+than hanging or silently dropping load.  These processors make failures
+reproducible:
+
+* :class:`FlakyApp` fails deterministically on chosen chunk indices or
+  randomly with a seeded probability;
+* :class:`SlowApp` sleeps a fixed wall time per chunk (for timeout and
+  padding tests).
+
+They are import-safe for worker subprocesses (usable via
+:func:`repro.execution.appspec.app_spec`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+class FlakyApp:
+    """Digest processor that fails on demand.
+
+    Parameters
+    ----------
+    fail_on_calls:
+        1-based call indices that raise (e.g. ``[3]`` fails the third
+        chunk this instance processes).
+    fail_probability:
+        Seeded random failure rate applied to every call.
+    """
+
+    def __init__(
+        self,
+        fail_on_calls: list[int] | None = None,
+        fail_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= fail_probability <= 1.0:
+            raise ExecutionError("fail_probability must be in [0, 1]")
+        self._fail_on = set(fail_on_calls or [])
+        self._probability = fail_probability
+        self._rng = np.random.default_rng(seed)
+        self._calls = 0
+
+    def process(self, data: bytes, units: float | None = None) -> bytes:
+        self._calls += 1
+        if self._calls in self._fail_on:
+            raise ExecutionError(f"injected failure on call {self._calls}")
+        if self._probability > 0 and self._rng.random() < self._probability:
+            raise ExecutionError(f"injected random failure on call {self._calls}")
+        return hashlib.sha256(data).digest()
+
+
+class SlowApp:
+    """Digest processor with a fixed wall-clock delay per chunk."""
+
+    def __init__(self, delay_s: float = 0.05) -> None:
+        if delay_s < 0:
+            raise ExecutionError("delay must be >= 0")
+        self._delay = delay_s
+
+    def process(self, data: bytes, units: float | None = None) -> bytes:
+        time.sleep(self._delay)
+        return hashlib.sha256(data).digest()

@@ -1,0 +1,25 @@
+"""Grid platform descriptions, presets, and calibration."""
+
+from .calibrate import calibrate_cluster, clock_speed_factors, platform_summary
+from .presets import (
+    das2_cluster,
+    grail_lan,
+    meteor_cluster,
+    mixed_grid,
+    preset_by_name,
+)
+from .resources import Cluster, Grid, WorkerSpec
+
+__all__ = [
+    "Cluster",
+    "Grid",
+    "WorkerSpec",
+    "calibrate_cluster",
+    "clock_speed_factors",
+    "platform_summary",
+    "das2_cluster",
+    "meteor_cluster",
+    "mixed_grid",
+    "grail_lan",
+    "preset_by_name",
+]

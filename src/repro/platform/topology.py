@@ -1,0 +1,231 @@
+"""Multi-level Grid topologies collapsed to the star scheduling model.
+
+The paper: "We target distributed Grid platforms that aggregate multiple
+parallel computing platforms, typically commodity clusters.  These
+platforms can be easily modeled as single-level trees in which each leaf
+is a cluster and the root is the master."
+
+This module performs that modelling step explicitly.  A platform is
+described as a tree of sites and network links (master -> WAN routers ->
+cluster head nodes -> workers) with per-link bandwidth and latency; the
+collapse to the star model gives each worker
+
+* ``bandwidth`` = the bottleneck (minimum) bandwidth along its path from
+  the master, and
+* ``comm_latency`` = the sum of per-link latencies along the path (plus
+  the worker's own start-up cost),
+
+which is exact for the serialized-master-link regime the DLS algorithms
+assume (only one transfer is in flight at a time, so no two links are
+ever contended simultaneously).
+
+The tree is held as a :mod:`networkx` DiGraph; :func:`collapse_to_grid`
+produces the :class:`~repro.platform.resources.Grid` all schedulers and
+backends consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .._util import check_nonnegative, check_positive
+from ..errors import PlatformError
+from .resources import Grid, WorkerSpec
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """A leaf of the topology: one worker's compute capability."""
+
+    speed: float
+    comp_latency: float = 0.0
+    cluster: str = "default"
+
+
+class GridTopology:
+    """A tree of network links with compute nodes at the leaves."""
+
+    def __init__(self, master: str = "master") -> None:
+        if not master:
+            raise PlatformError("master name must be non-empty")
+        self._graph = nx.DiGraph()
+        self._graph.add_node(master)
+        self._master = master
+        self._compute: dict[str, ComputeNode] = {}
+
+    @property
+    def master(self) -> str:
+        return self._master
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        return self._graph
+
+    def add_link(
+        self, parent: str, child: str, *, bandwidth: float, latency: float = 0.0
+    ) -> "GridTopology":
+        """Add a network link from ``parent`` down to ``child``."""
+        check_positive("bandwidth", bandwidth, PlatformError)
+        check_nonnegative("latency", latency, PlatformError)
+        if parent not in self._graph:
+            raise PlatformError(
+                f"parent {parent!r} not in topology (add links top-down)"
+            )
+        if child in self._graph:
+            raise PlatformError(f"node {child!r} already exists (tree, not DAG)")
+        self._graph.add_edge(parent, child, bandwidth=bandwidth, latency=latency)
+        return self
+
+    def add_worker(
+        self,
+        parent: str,
+        name: str,
+        *,
+        speed: float,
+        bandwidth: float,
+        latency: float = 0.0,
+        comp_latency: float = 0.0,
+        cluster: str | None = None,
+    ) -> "GridTopology":
+        """Add a worker leaf under ``parent`` with its local link."""
+        self.add_link(parent, name, bandwidth=bandwidth, latency=latency)
+        self._compute[name] = ComputeNode(
+            speed=speed,
+            comp_latency=comp_latency,
+            cluster=cluster if cluster is not None else parent,
+        )
+        return self
+
+    def add_cluster(
+        self,
+        parent: str,
+        name: str,
+        nodes: int,
+        *,
+        uplink_bandwidth: float,
+        uplink_latency: float = 0.0,
+        lan_bandwidth: float,
+        lan_latency: float = 0.0,
+        speed: float,
+        comp_latency: float = 0.0,
+    ) -> "GridTopology":
+        """Convenience: a head node plus ``nodes`` homogeneous workers."""
+        if nodes < 1:
+            raise PlatformError("cluster needs at least one node")
+        self.add_link(parent, name, bandwidth=uplink_bandwidth,
+                      latency=uplink_latency)
+        for i in range(nodes):
+            self.add_worker(
+                name,
+                f"{name}-{i:02d}",
+                speed=speed,
+                bandwidth=lan_bandwidth,
+                latency=lan_latency,
+                comp_latency=comp_latency,
+                cluster=name,
+            )
+        return self
+
+    # -- collapse ------------------------------------------------------------
+    def path_parameters(self, worker: str) -> tuple[float, float]:
+        """(bottleneck bandwidth, total latency) master -> worker."""
+        if worker not in self._compute:
+            raise PlatformError(f"{worker!r} is not a worker leaf")
+        try:
+            path = nx.shortest_path(self._graph, self._master, worker)
+        except nx.NetworkXNoPath as exc:
+            raise PlatformError(
+                f"no path from master to worker {worker!r}"
+            ) from exc
+        bandwidth = float("inf")
+        latency = 0.0
+        for a, b in zip(path, path[1:]):
+            edge = self._graph.edges[a, b]
+            bandwidth = min(bandwidth, edge["bandwidth"])
+            latency += edge["latency"]
+        return bandwidth, latency
+
+    def collapse_to_grid(self) -> Grid:
+        """The single-level-tree view the DLS algorithms schedule on.
+
+        Exact under serialized master transfers: the effective rate of a
+        store-and-forward path with one transfer in flight is its
+        bottleneck link, and start-up costs add along the path.
+        """
+        if not self._compute:
+            raise PlatformError("topology has no workers")
+        self.validate()
+        workers = []
+        for name in self._compute:
+            node = self._compute[name]
+            bandwidth, latency = self.path_parameters(name)
+            workers.append(
+                WorkerSpec(
+                    name=name,
+                    speed=node.speed,
+                    bandwidth=bandwidth,
+                    comm_latency=latency,
+                    comp_latency=node.comp_latency,
+                    cluster=node.cluster,
+                )
+            )
+        return Grid(workers=tuple(workers), master_name=self._master)
+
+    def validate(self) -> None:
+        """Structural checks: a tree rooted at the master, workers at leaves."""
+        if not nx.is_arborescence(self._graph):
+            raise PlatformError("topology must be a tree rooted at the master")
+        for name in self._compute:
+            if self._graph.out_degree(name) != 0:
+                raise PlatformError(f"worker {name!r} must be a leaf")
+        for node in self._graph.nodes:
+            if (
+                node != self._master
+                and self._graph.out_degree(node) == 0
+                and node not in self._compute
+            ):
+                raise PlatformError(
+                    f"leaf {node!r} has no compute capability (dangling router?)"
+                )
+
+
+def paper_two_cluster_topology() -> GridTopology:
+    """The paper's physical platform as an explicit multi-level topology.
+
+    Master at GRAIL (UCSD); Meteor reached over a metro link to SDSC;
+    DAS-2 reached over the transatlantic WAN.  Link numbers are chosen so
+    the collapsed star matches the calibrated presets (the WAN is each
+    path's bottleneck and carries most of the latency).
+    """
+    from .presets import mixed_grid
+
+    reference = mixed_grid(8, 8)
+    das2_ref = reference.cluster_workers("das2")[0]
+    meteor_ref = reference.cluster_workers("meteor")[0]
+    topo = GridTopology("grail-master")
+    # wide-area paths: bottleneck at the WAN hop, ample LAN behind it
+    topo.add_link("grail-master", "wan-amsterdam",
+                  bandwidth=das2_ref.bandwidth, latency=das2_ref.comm_latency * 0.9)
+    topo.add_link("grail-master", "metro-sdsc",
+                  bandwidth=meteor_ref.bandwidth, latency=meteor_ref.comm_latency * 0.5)
+    for i, w in enumerate(reference.cluster_workers("das2")):
+        topo.add_worker(
+            "wan-amsterdam", f"das2-{i:02d}",
+            speed=w.speed,
+            bandwidth=w.bandwidth * 10,
+            latency=w.comm_latency * 0.1,
+            comp_latency=w.comp_latency,
+            cluster="das2",
+        )
+    for i, w in enumerate(reference.cluster_workers("meteor")):
+        topo.add_worker(
+            "metro-sdsc", f"meteor-{i:02d}",
+            speed=w.speed,
+            bandwidth=w.bandwidth * 10,
+            latency=w.comm_latency * 0.5,
+            comp_latency=w.comp_latency,
+            cluster="meteor",
+        )
+    return topo

@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate (the substitute for the paper's testbed)."""
+
+from .compute import DETERMINISTIC, ComputeModel, UncertaintyModel
+from .costprofile import (
+    CostProfile,
+    PiecewiseProfile,
+    hotspot_profile,
+    profile_from_record_lengths,
+)
+from .engine import EventHandle, SimulationEngine
+from .master import SimulatedMaster, SimulationOptions, simulate_run
+from .network import SerializedLink, TransferRecord
+from .trace import ChunkTrace, ExecutionReport, WorkerSummary
+
+__all__ = [
+    "CostProfile",
+    "PiecewiseProfile",
+    "hotspot_profile",
+    "profile_from_record_lengths",
+    "ComputeModel",
+    "DETERMINISTIC",
+    "UncertaintyModel",
+    "EventHandle",
+    "SimulationEngine",
+    "SimulatedMaster",
+    "SimulationOptions",
+    "simulate_run",
+    "SerializedLink",
+    "TransferRecord",
+    "ChunkTrace",
+    "ExecutionReport",
+    "WorkerSummary",
+]

@@ -1,0 +1,157 @@
+"""Position-dependent computation cost profiles.
+
+Table 1's uncertainty is *data-dependent*: HMMER's expensive units are
+specific long sequences at fixed positions in the database, MPEG's are
+complex scenes at fixed frames.  A random per-chunk noise factor (the
+``gamma`` model) captures the scheduler-visible variance but not the
+structure: with a cost *profile*, the same load region costs the same
+amount on every run, whoever computes it.
+
+A :class:`CostProfile` maps a load range ``[offset, offset + units)`` to
+its mean relative cost (1.0 = nominal).  The compute model multiplies the
+chunk's size-proportional term by it.  Profiles must be calibrated so the
+whole load's mean relative cost is 1.0 (checked at construction), keeping
+platform calibration intact.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class CostProfile:
+    """Base: uniform cost (the paper's synthetic app without hotspots)."""
+
+    def mean_cost(self, offset: float, units: float) -> float:
+        """Mean relative cost over ``[offset, offset + units)``."""
+        if units <= 0:
+            raise SimulationError("cost query over empty range")
+        return 1.0
+
+
+@dataclass(frozen=True)
+class _Segment:
+    start: float
+    end: float
+    cost: float
+
+
+class PiecewiseProfile(CostProfile):
+    """Piecewise-constant relative cost over ``[0, total)``.
+
+    Built from (start, end, cost) segments covering the load without gaps
+    or overlaps; normalized so the load-wide mean cost is exactly 1.0.
+    """
+
+    def __init__(self, segments: list[tuple[float, float, float]]) -> None:
+        if not segments:
+            raise SimulationError("profile needs at least one segment")
+        ordered = sorted(segments)
+        cleaned: list[_Segment] = []
+        for start, end, cost in ordered:
+            if end <= start:
+                raise SimulationError(f"empty segment ({start}, {end})")
+            if cost <= 0:
+                raise SimulationError(f"non-positive cost {cost}")
+            if cleaned and abs(start - cleaned[-1].end) > 1e-9:
+                raise SimulationError(
+                    f"gap or overlap at {start} (previous segment ends at "
+                    f"{cleaned[-1].end})"
+                )
+            cleaned.append(_Segment(start, end, cost))
+        if abs(cleaned[0].start) > 1e-9:
+            raise SimulationError("profile must start at offset 0")
+        total = cleaned[-1].end
+        weighted = sum(s.cost * (s.end - s.start) for s in cleaned)
+        scale = total / weighted  # normalize mean cost to 1.0
+        self._segments = [
+            _Segment(s.start, s.end, s.cost * scale) for s in cleaned
+        ]
+        self._starts = [s.start for s in self._segments]
+        self._total = total
+
+    @property
+    def total_units(self) -> float:
+        return self._total
+
+    def cost_at(self, position: float) -> float:
+        """Relative cost of the unit at ``position``."""
+        if not 0 <= position < self._total + 1e-9:
+            raise SimulationError(f"position {position} outside [0, {self._total})")
+        i = max(0, bisect.bisect_right(self._starts, position) - 1)
+        return self._segments[i].cost
+
+    def mean_cost(self, offset: float, units: float) -> float:
+        if units <= 0:
+            raise SimulationError("cost query over empty range")
+        end = offset + units
+        if offset < -1e-9 or end > self._total + 1e-9:
+            raise SimulationError(
+                f"range [{offset}, {end}) outside load [0, {self._total})"
+            )
+        total_cost = 0.0
+        for s in self._segments:
+            lo = max(offset, s.start)
+            hi = min(end, s.end)
+            if hi > lo:
+                total_cost += s.cost * (hi - lo)
+        return total_cost / units
+
+
+def hotspot_profile(
+    total: float,
+    *,
+    hotspots: list[tuple[float, float]],
+    scale: float = 2.0,
+) -> PiecewiseProfile:
+    """A uniform load with expensive regions.
+
+    ``hotspots`` are (start_fraction, end_fraction) pairs in [0, 1];
+    each costs ``scale`` times the baseline before normalization.
+    """
+    if total <= 0:
+        raise SimulationError("total must be positive")
+    boundaries = {0.0, 1.0}
+    for a, b in hotspots:
+        if not 0.0 <= a < b <= 1.0:
+            raise SimulationError(f"bad hotspot ({a}, {b})")
+        boundaries.update((a, b))
+    points = sorted(boundaries)
+    segments = []
+    for lo, hi in zip(points, points[1:]):
+        mid = (lo + hi) / 2
+        hot = any(a <= mid < b for a, b in hotspots)
+        segments.append((lo * total, hi * total, scale if hot else 1.0))
+    return PiecewiseProfile(segments)
+
+
+def profile_from_record_lengths(
+    lengths: list[int] | np.ndarray, *, cost_exponent: float = 2.0
+) -> PiecewiseProfile:
+    """Cost profile of a record database with super-linear record costs.
+
+    One segment per record over its byte range (record + 1 separator
+    byte).  If processing a record of length L costs ~ L**cost_exponent
+    (alignment-style algorithms are quadratic; HMMER's profile scan is
+    linear in L but quadratic in hit regions), the *per-byte* cost of a
+    record scales as L**(cost_exponent - 1) -- so long records are hot
+    regions.  ``cost_exponent=1`` gives a flat profile.
+    """
+    lengths = np.asarray(lengths, dtype=float)
+    if lengths.size == 0 or np.any(lengths <= 0):
+        raise SimulationError("need positive record lengths")
+    if cost_exponent < 1.0:
+        raise SimulationError("cost_exponent must be >= 1")
+    sizes = lengths + 1.0  # record + separator byte
+    per_byte = np.power(lengths, cost_exponent - 1.0)
+    segments = []
+    position = 0.0
+    for size, cost in zip(sizes, per_byte):
+        segments.append((position, position + float(size), max(1e-6, float(cost))))
+        position += float(size)
+    return PiecewiseProfile(segments)

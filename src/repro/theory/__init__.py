@@ -1,0 +1,17 @@
+"""Analytic makespan models (cross-validation of the simulator)."""
+
+from .models import (
+    dispatch_schedule_makespan,
+    lower_bounds,
+    one_round_makespan,
+    report_replay_makespan,
+    static_chunking_makespan,
+)
+
+__all__ = [
+    "lower_bounds",
+    "static_chunking_makespan",
+    "dispatch_schedule_makespan",
+    "one_round_makespan",
+    "report_replay_makespan",
+]

@@ -1,0 +1,116 @@
+"""Analytic makespan models -- an independent check on the simulator.
+
+The DLS literature reasons about these schedules in closed form; this
+module implements those derivations *without* the event engine (plain
+recurrences over workers and rounds).  Agreement between these models and
+the discrete-event backend at gamma = 0 is the repository's strongest
+correctness evidence: two independent implementations of the same cost
+model must coincide to float precision.
+
+All functions assume the paper's model: serialized master link, affine
+transfer cost ``nLat_i + a/B_i``, affine compute cost ``cLat_i + a/S_i``,
+deterministic times.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from ..platform.resources import Grid
+
+
+def lower_bounds(grid: Grid, total_load: float) -> dict[str, float]:
+    """Physical lower bounds no schedule can beat.
+
+    * ``compute``: the aggregate compute rate bound ``W / sum(S_i)``;
+    * ``link``: all load crosses the serialized link, cheapest via the
+      fastest link: ``W / max(B_i)``;
+    * ``combined``: the max of the two plus the cheapest single start-up
+      (some chunk must be sent before anything computes).
+    """
+    if total_load <= 0:
+        raise SchedulingError("load must be positive")
+    compute = total_load / grid.total_speed
+    link = total_load / max(w.bandwidth for w in grid.workers)
+    first_latency = min(w.comm_latency for w in grid.workers)
+    return {
+        "compute": compute,
+        "link": link,
+        "combined": max(compute, link) + first_latency,
+    }
+
+
+def static_chunking_makespan(grid: Grid, total_load: float, n: int = 1) -> float:
+    """Exact makespan of SIMPLE-n under deterministic costs.
+
+    Chunks of ``W/(N*n)`` are dispatched round-major in worker order on
+    the serialized link; each worker computes its queued chunks
+    back-to-back.  The recurrence tracks, per worker, when its last
+    queued chunk finishes computing.
+    """
+    if n < 1:
+        raise SchedulingError("n must be >= 1")
+    workers = grid.workers
+    chunk = total_load / (len(workers) * n)
+    link_free = 0.0
+    worker_free = [0.0] * len(workers)
+    finish = 0.0
+    for _round in range(n):
+        for i, w in enumerate(workers):
+            send_start = link_free
+            arrival = send_start + w.comm_latency + chunk / w.bandwidth
+            link_free = arrival
+            start = max(arrival, worker_free[i])
+            end = start + w.comp_latency + chunk / w.speed
+            worker_free[i] = end
+            finish = max(finish, end)
+    return finish
+
+
+def dispatch_schedule_makespan(
+    grid: Grid, dispatches: list[tuple[int, float]]
+) -> float:
+    """Exact makespan of ANY fixed dispatch sequence under the model.
+
+    ``dispatches`` is the ordered list of (worker_index, units) the master
+    pushes greedily onto the serialized link.  This reproduces exactly
+    what the discrete-event backend does at gamma = 0, via a plain loop --
+    the cross-validation oracle for arbitrary schedules (UMR plans,
+    one-round solutions, recorded runs).
+    """
+    workers = grid.workers
+    link_free = 0.0
+    worker_free = [0.0] * len(workers)
+    finish = 0.0
+    for worker_index, units in dispatches:
+        if not 0 <= worker_index < len(workers):
+            raise SchedulingError(f"invalid worker index {worker_index}")
+        if units < 0:
+            raise SchedulingError("negative chunk")
+        w = workers[worker_index]
+        arrival = link_free + w.comm_latency + units / w.bandwidth
+        link_free = arrival
+        start = max(arrival, worker_free[worker_index])
+        end = start + w.comp_latency + units / w.speed
+        worker_free[worker_index] = end
+        finish = max(finish, end)
+    return finish
+
+
+def one_round_makespan(grid: Grid, chunks: list[float]) -> float:
+    """Exact makespan of a one-round schedule (chunks in worker order)."""
+    if len(chunks) != len(grid.workers):
+        raise SchedulingError("one chunk per worker required")
+    dispatches = [(i, a) for i, a in enumerate(chunks) if a > 0]
+    return dispatch_schedule_makespan(grid, dispatches)
+
+
+def report_replay_makespan(grid: Grid, report) -> float:
+    """Replay a recorded run's dispatch order through the analytic model.
+
+    For a gamma = 0 run on the simulation backend, this must equal the
+    reported makespan (minus the probe, which the report excludes) to
+    float precision.
+    """
+    ordered = sorted(report.chunks, key=lambda c: c.send_start)
+    dispatches = [(c.worker_index, c.units) for c in ordered]
+    return dispatch_schedule_makespan(grid, dispatches)

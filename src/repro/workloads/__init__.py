@@ -1,0 +1,53 @@
+"""Workloads: the synthetic app, Table-1 profiles, and the video toolchain."""
+
+from .applications import (
+    TABLE1_APPLICATIONS,
+    ApplicationProfile,
+    UnitCostModel,
+    profile_by_name,
+    table1_rows,
+)
+from .sequences import (
+    SequenceScanApp,
+    build_record_index,
+    database_statistics,
+    generate_sequence_database,
+    read_records,
+)
+from .synthetic import SyntheticApp, SyntheticWorkload, timed_unit_cost
+from .video import (
+    VideoEncodeApp,
+    avimerge,
+    avisplit,
+    make_avisplit_callback,
+    mencoder_encode,
+    read_dv_frames,
+    read_dv_header,
+    read_mp4_frames,
+    write_dv_file,
+)
+
+__all__ = [
+    "SequenceScanApp",
+    "generate_sequence_database",
+    "read_records",
+    "build_record_index",
+    "database_statistics",
+    "SyntheticWorkload",
+    "SyntheticApp",
+    "timed_unit_cost",
+    "ApplicationProfile",
+    "UnitCostModel",
+    "TABLE1_APPLICATIONS",
+    "table1_rows",
+    "profile_by_name",
+    "VideoEncodeApp",
+    "write_dv_file",
+    "read_dv_header",
+    "read_dv_frames",
+    "avisplit",
+    "mencoder_encode",
+    "read_mp4_frames",
+    "avimerge",
+    "make_avisplit_callback",
+]

@@ -1,0 +1,124 @@
+"""The paper's synthetic divisible application (Section 4.1).
+
+"Our synthetic application reads in an input file and does some floating
+point operations in a loop.  This synthetic application can be tuned to
+exhibit specific application characteristics: in particular, the
+communication/computation ratio, r, and the uncertainty on load unit
+computation time, gamma (we use a Normal distribution for generating
+random computational costs for units of load)."
+
+Two artifacts live here:
+
+* :class:`SyntheticWorkload` -- the declarative description used by the
+  simulation benches (load size, division step, gamma, probe size);
+* :class:`SyntheticApp` -- a *real* chunk processor for the local
+  execution backend: it actually burns floating-point operations per load
+  unit, with Normal per-unit cost noise, and returns a small result
+  payload (a checksum), exactly the structure of the paper's app.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .._util import check_nonnegative, check_positive
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """Declarative synthetic-application configuration for experiments."""
+
+    total_units: float
+    gamma: float = 0.0
+    division_step: float = 1.0
+    probe_units: float | None = None
+    #: AR(1) coefficient for non-dedicated platforms (0 = dedicated)
+    noise_autocorrelation: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("total_units", self.total_units, ReproError)
+        check_nonnegative("gamma", self.gamma, ReproError)
+        check_positive("division_step", self.division_step, ReproError)
+        if self.probe_units is not None:
+            check_positive("probe_units", self.probe_units, ReproError)
+
+
+class SyntheticApp:
+    """A real divisible computation: FLOPs proportional to chunk size.
+
+    Parameters
+    ----------
+    flops_per_unit:
+        Floating-point work per load unit (one unit = one byte of chunk
+        data unless the caller maps units differently).
+    gamma:
+        Coefficient of variation of the per-chunk computational cost.
+    seed:
+        RNG seed for the cost noise (per-app-instance stream).
+    """
+
+    def __init__(self, flops_per_unit: float = 2_000.0, gamma: float = 0.0,
+                 seed: int | None = None) -> None:
+        check_positive("flops_per_unit", flops_per_unit, ReproError)
+        check_nonnegative("gamma", gamma, ReproError)
+        self._flops_per_unit = flops_per_unit
+        self._gamma = gamma
+        self._rng = np.random.default_rng(seed)
+
+    def process(self, data: bytes, units: float | None = None) -> bytes:
+        """Process one chunk; returns the result payload (a digest).
+
+        ``units`` defaults to ``len(data)``.  The FLOP loop is a genuine
+        vectorized computation (not a sleep), so wall-clock scales with
+        chunk size the way the paper's synthetic app does.
+        """
+        if units is None:
+            units = float(len(data))
+        noise = 1.0
+        if self._gamma > 0:
+            noise = max(0.05, float(self._rng.normal(1.0, self._gamma)))
+        total_flops = self._flops_per_unit * units * noise
+        self._burn_flops(total_flops)
+        digest = hashlib.sha256(data).digest()
+        return digest + len(data).to_bytes(8, "little")
+
+    def process_file(self, path: str | Path, out_path: str | Path) -> Path:
+        """File-based variant used by the execution backend."""
+        data = Path(path).read_bytes()
+        result = self.process(data)
+        out = Path(out_path)
+        out.write_bytes(result)
+        return out
+
+    @staticmethod
+    def _burn_flops(total_flops: float) -> None:
+        """Execute ~``total_flops`` floating point operations."""
+        remaining = max(0.0, total_flops)
+        block = 50_000
+        x = np.linspace(1.0, 2.0, block)
+        acc = 0.0
+        # each pass over the block is ~3 flops/element (mul, add, sum)
+        flops_per_pass = 3.0 * block
+        while remaining > 0:
+            acc += float(np.sum(x * 1.000001 + acc * 1e-12))
+            remaining -= flops_per_pass
+        # keep `acc` alive so the loop cannot be optimized away
+        if acc == float("inf"):  # pragma: no cover - numeric guard
+            raise ReproError("synthetic computation overflowed")
+
+
+def timed_unit_cost(app: SyntheticApp, unit_bytes: int = 1024, repeats: int = 3) -> float:
+    """Measure the wall-clock cost of one load unit (for calibration)."""
+    payload = bytes(unit_bytes)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        app.process(payload, units=1.0)
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,244 @@
+"""Case-study substrate: a toy DV video container and its toolchain.
+
+The paper's Section 5 runs parallel MPEG-4 encoding with three external
+tools: ``avisplit`` (cut an AVI into frame ranges), ``mencoder`` (encode a
+chunk), and ``avimerge`` (concatenate encoded chunks).  We cannot ship
+those, so this module implements a byte-exact toy equivalent:
+
+* a **TDV** container -- a header plus fixed-size raw frames;
+* :func:`avisplit` -- extract a contiguous frame range into a new TDV file;
+* :func:`mencoder_encode` -- "compress" a TDV file into a **TM4V** file by
+  zlib-compressing each frame independently (frame independence is what
+  makes the real MPEG-4 case divisible at frame boundaries);
+* :func:`avimerge` -- concatenate TM4V chunks back into one file.
+
+The key property the case study relies on holds by construction and is
+asserted in tests: *split -> encode -> merge equals encode of the whole
+file*, for any partition at frame boundaries and any chunk ordering prior
+to the merge.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ReproError
+
+DV_MAGIC = b"TDV0"
+MP4_MAGIC = b"TM4V"
+FRAME_MAGIC = b"FRME"
+ENCODED_MAGIC = b"ENCF"
+
+_DV_HEADER = struct.Struct("<4sII")  # magic, frame_count, frame_size
+_FRAME_HEADER = struct.Struct("<4sI")  # magic, frame_index
+_MP4_HEADER = struct.Struct("<4sI")  # magic, frame_count
+_ENC_HEADER = struct.Struct("<4sII")  # magic, frame_index, compressed_size
+
+#: Default raw frame payload size (bytes).  The paper's DV footage is
+#: ~114 kB/frame (209 MB / 1830 frames); tests use much smaller frames.
+DEFAULT_FRAME_BYTES = 2048
+
+
+def write_dv_file(
+    path: str | Path,
+    frames: int,
+    *,
+    frame_bytes: int = DEFAULT_FRAME_BYTES,
+    seed: int = 0,
+) -> Path:
+    """Create a deterministic TDV file with ``frames`` raw frames.
+
+    Payloads are pseudo-random but low-entropy (values 0..15), so the toy
+    encoder achieves a realistic compression ratio.
+    """
+    if frames <= 0:
+        raise ReproError("a video needs at least one frame")
+    if frame_bytes <= 0:
+        raise ReproError("frame payload must be non-empty")
+    rng = np.random.default_rng(seed)
+    out = Path(path)
+    with out.open("wb") as fh:
+        fh.write(_DV_HEADER.pack(DV_MAGIC, frames, frame_bytes))
+        for index in range(frames):
+            payload = rng.integers(0, 16, size=frame_bytes, dtype=np.uint8)
+            fh.write(_FRAME_HEADER.pack(FRAME_MAGIC, index))
+            fh.write(payload.tobytes())
+    return out
+
+
+def dv_frame_stride(frame_bytes: int) -> int:
+    """On-disk bytes per frame (header + payload)."""
+    return _FRAME_HEADER.size + frame_bytes
+
+
+def read_dv_header(path: str | Path) -> tuple[int, int]:
+    """(frame_count, frame_bytes) of a TDV file."""
+    with Path(path).open("rb") as fh:
+        header = fh.read(_DV_HEADER.size)
+    if len(header) != _DV_HEADER.size:
+        raise ReproError(f"truncated TDV header in {path}")
+    magic, count, frame_bytes = _DV_HEADER.unpack(header)
+    if magic != DV_MAGIC:
+        raise ReproError(f"{path} is not a TDV file (magic {magic!r})")
+    return count, frame_bytes
+
+
+def read_dv_frames(path: str | Path) -> list[tuple[int, bytes]]:
+    """All (index, payload) frames of a TDV file, validated."""
+    count, frame_bytes = read_dv_header(path)
+    stride = dv_frame_stride(frame_bytes)
+    data = Path(path).read_bytes()[_DV_HEADER.size:]
+    if len(data) != count * stride:
+        raise ReproError(f"TDV body of {path} has unexpected length")
+    frames = []
+    for k in range(count):
+        start = k * stride
+        magic, index = _FRAME_HEADER.unpack(data[start:start + _FRAME_HEADER.size])
+        if magic != FRAME_MAGIC:
+            raise ReproError(f"corrupt frame header at frame {k} of {path}")
+        payload = data[start + _FRAME_HEADER.size:start + stride]
+        frames.append((index, payload))
+    return frames
+
+
+def avisplit(
+    src: str | Path, start_frame: int, frame_count: int, dst: str | Path
+) -> Path:
+    """Extract frames [start_frame, start_frame + frame_count) to ``dst``.
+
+    Mirrors the ``avisplit`` tool the paper's Perl callback wraps: the
+    output is itself a valid TDV file, and the original (absolute) frame
+    indices are preserved so chunks can be merged in any order later.
+    """
+    total, frame_bytes = read_dv_header(src)
+    if frame_count <= 0:
+        raise ReproError("frame_count must be positive")
+    if start_frame < 0 or start_frame + frame_count > total:
+        raise ReproError(
+            f"frame range [{start_frame}, {start_frame + frame_count}) "
+            f"outside video of {total} frames"
+        )
+    stride = dv_frame_stride(frame_bytes)
+    out = Path(dst)
+    with Path(src).open("rb") as fh, out.open("wb") as oh:
+        oh.write(_DV_HEADER.pack(DV_MAGIC, frame_count, frame_bytes))
+        fh.seek(_DV_HEADER.size + start_frame * stride)
+        oh.write(fh.read(frame_count * stride))
+    return out
+
+
+def mencoder_encode(src: str | Path, dst: str | Path, *, level: int = 6) -> Path:
+    """Encode a TDV file into a TM4V file (per-frame zlib compression).
+
+    Frames are compressed independently, which is what makes the workload
+    divisible at frame boundaries: encoding a chunk then merging is
+    byte-identical to encoding the whole input.
+    """
+    frames = read_dv_frames(src)
+    out = Path(dst)
+    with out.open("wb") as fh:
+        fh.write(_MP4_HEADER.pack(MP4_MAGIC, len(frames)))
+        for index, payload in frames:
+            compressed = zlib.compress(payload, level)
+            fh.write(_ENC_HEADER.pack(ENCODED_MAGIC, index, len(compressed)))
+            fh.write(compressed)
+    return out
+
+
+def read_mp4_frames(path: str | Path) -> list[tuple[int, bytes]]:
+    """All (index, decompressed_payload) frames of a TM4V file."""
+    data = Path(path).read_bytes()
+    if len(data) < _MP4_HEADER.size:
+        raise ReproError(f"truncated TM4V file {path}")
+    magic, count = _MP4_HEADER.unpack(data[:_MP4_HEADER.size])
+    if magic != MP4_MAGIC:
+        raise ReproError(f"{path} is not a TM4V file (magic {magic!r})")
+    frames = []
+    pos = _MP4_HEADER.size
+    for _ in range(count):
+        magic, index, size = _ENC_HEADER.unpack(data[pos:pos + _ENC_HEADER.size])
+        if magic != ENCODED_MAGIC:
+            raise ReproError(f"corrupt encoded frame header in {path}")
+        pos += _ENC_HEADER.size
+        frames.append((index, zlib.decompress(data[pos:pos + size])))
+        pos += size
+    if pos != len(data):
+        raise ReproError(f"trailing garbage in TM4V file {path}")
+    return frames
+
+
+def avimerge(parts: list[str | Path], dst: str | Path) -> Path:
+    """Concatenate TM4V chunks into one TM4V file, ordered by frame index.
+
+    Mirrors ``avimerge``: the user collects the per-chunk outputs and
+    merges them.  Parts may arrive in any order; frame indices must form
+    a contiguous 0..N-1 range.
+    """
+    if not parts:
+        raise ReproError("nothing to merge")
+    frames: list[tuple[int, bytes]] = []
+    for part in parts:
+        frames.extend(read_mp4_frames(part))
+    frames.sort(key=lambda f: f[0])
+    indices = [i for i, _ in frames]
+    if indices != list(range(len(frames))):
+        raise ReproError(
+            f"merged frames are not contiguous: got indices "
+            f"{indices[:5]}...{indices[-3:]}"
+        )
+    out = Path(dst)
+    with out.open("wb") as fh:
+        fh.write(_MP4_HEADER.pack(MP4_MAGIC, len(frames)))
+        for index, payload in frames:
+            compressed = zlib.compress(payload, 6)
+            fh.write(_ENC_HEADER.pack(ENCODED_MAGIC, index, len(compressed)))
+            fh.write(compressed)
+    return out
+
+
+class VideoEncodeApp:
+    """Worker-side toy mencoder: encode a TDV chunk, return TM4V bytes.
+
+    The chunk processor used by the case-study pipelines on the real
+    execution backends; importable by worker subprocesses (pass it via
+    :func:`repro.execution.appspec.app_spec`).
+    """
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ReproError("compression level must be in 0..9")
+        self._level = level
+        self._counter = 0
+
+    def process(self, data: bytes, units: float | None = None) -> bytes:
+        import tempfile
+
+        self._counter += 1
+        with tempfile.NamedTemporaryFile(suffix=".tdv", delete=False) as fh:
+            fh.write(data)
+            src = Path(fh.name)
+        dst = src.with_suffix(".tm4v")
+        try:
+            mencoder_encode(src, dst, level=self._level)
+            return dst.read_bytes()
+        finally:
+            src.unlink(missing_ok=True)
+            dst.unlink(missing_ok=True)
+
+
+def make_avisplit_callback(src: str | Path):
+    """In-process callback (offset, size, out) for CallbackDivision.
+
+    The Python analogue of the paper's ``callback_avisplit.pl`` wrapper:
+    load units are frames, extraction delegates to :func:`avisplit`.
+    """
+    src = Path(src)
+
+    def callback(offset: int, size: int, out_path: Path) -> None:
+        avisplit(src, offset, size, out_path)
+
+    return callback

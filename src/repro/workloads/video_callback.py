@@ -1,0 +1,47 @@
+"""External callback program for the MPEG-4 case study.
+
+The Python analogue of the paper's ``callback_avisplit.pl``: APST-DV's
+callback division method invokes an *external program* with the contract::
+
+    program [user args...] OFFSET SIZE OUTPUT_PATH
+
+where OFFSET and SIZE are in work units (video frames here).  Run as::
+
+    python -m repro.workloads.video_callback INPUT.tdv OFFSET SIZE OUT.tdv
+
+Exit status is non-zero with a message on stderr if extraction fails,
+which :class:`repro.apst.division.CallbackDivision` reports verbatim.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .video import avisplit
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 4:
+        print(
+            "usage: python -m repro.workloads.video_callback "
+            "INPUT.tdv OFFSET SIZE OUTPUT",
+            file=sys.stderr,
+        )
+        return 2
+    src, offset_s, size_s, out = args
+    try:
+        offset, size = int(offset_s), int(size_s)
+    except ValueError:
+        print(f"OFFSET/SIZE must be integers, got {offset_s!r} {size_s!r}", file=sys.stderr)
+        return 2
+    try:
+        avisplit(src, offset, size, out)
+    except Exception as exc:  # surface any extraction failure to the caller
+        print(f"avisplit failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

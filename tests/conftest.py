@@ -1,0 +1,47 @@
+"""Shared fixtures for the APST-DV reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.resources import Cluster, Grid, WorkerSpec
+
+
+@pytest.fixture
+def small_grid() -> Grid:
+    """A tiny homogeneous grid: 4 workers, mild latencies, r = 10."""
+    return Grid.from_clusters(
+        Cluster.homogeneous(
+            "test", 4, speed=1.0, bandwidth=10.0, comm_latency=0.5, comp_latency=0.2
+        )
+    )
+
+
+@pytest.fixture
+def hetero_grid() -> Grid:
+    """A heterogeneous 3-worker grid (speeds 2:1:0.5, distinct links)."""
+    workers = (
+        WorkerSpec("fast", speed=2.0, bandwidth=20.0, comm_latency=0.2,
+                   comp_latency=0.1, cluster="h"),
+        WorkerSpec("mid", speed=1.0, bandwidth=10.0, comm_latency=0.4,
+                   comp_latency=0.2, cluster="h"),
+        WorkerSpec("slow", speed=0.5, bandwidth=5.0, comm_latency=0.8,
+                   comp_latency=0.4, cluster="h"),
+    )
+    return Grid(workers=workers)
+
+
+@pytest.fixture
+def latency_free_grid() -> Grid:
+    """Homogeneous grid with zero start-up costs (pure linear model)."""
+    return Grid.from_clusters(
+        Cluster.homogeneous("lin", 4, speed=1.0, bandwidth=8.0)
+    )
+
+
+@pytest.fixture
+def load_file(tmp_path):
+    """A 10 kB binary input file."""
+    path = tmp_path / "load.bin"
+    path.write_bytes(bytes(range(256)) * 40)
+    return path

@@ -1,0 +1,98 @@
+"""Tests for Adaptive UMR and the algorithm registry."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveUMR
+from repro.core.registry import (
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    make_scheduler,
+    register_algorithm,
+)
+from repro.core.simple import SimpleN
+from repro.errors import SchedulingError
+from repro.simulation.master import SimulationOptions, simulate_run
+
+
+class TestAdaptiveUMR:
+    def test_load_conserved(self, small_grid):
+        report = simulate_run(small_grid, AdaptiveUMR(), total_load=2000.0, seed=0)
+        assert sum(c.units for c in report.chunks) == pytest.approx(2000.0)
+
+    def test_replans_under_uncertainty(self, small_grid):
+        report = simulate_run(
+            small_grid, AdaptiveUMR(), total_load=2000.0, gamma=0.15, seed=4
+        )
+        assert report.annotations["adaptive_umr_replans"] >= 1
+
+    def test_matches_umr_with_perfect_estimates_and_no_noise(self, small_grid):
+        from repro.core.umr import UMR
+
+        options = SimulationOptions(perfect_estimates=True)
+        a = simulate_run(small_grid, AdaptiveUMR(), total_load=2000.0, seed=0,
+                         options=options)
+        u = simulate_run(small_grid, UMR(), total_load=2000.0, seed=0,
+                         options=options)
+        # with exact information, adaptation changes nothing material
+        assert a.makespan == pytest.approx(u.makespan, rel=0.02)
+
+    def test_helps_against_probe_error(self):
+        """The paper's future-work motivation: refresh the platform view.
+        With strong probe error (high gamma), adaptive re-planning should
+        not be significantly worse than stock UMR, and usually better."""
+        from repro.core.umr import UMR
+        from repro.platform.presets import das2_cluster
+
+        grid = das2_cluster(nodes=8)
+        adaptive_wins = 0
+        for seed in range(6):
+            a = simulate_run(grid, AdaptiveUMR(), total_load=5000.0, gamma=0.2,
+                             seed=seed)
+            u = simulate_run(grid, UMR(), total_load=5000.0, gamma=0.2, seed=seed)
+            if a.makespan <= u.makespan * 1.01:
+                adaptive_wins += 1
+        assert adaptive_wins >= 4
+
+
+class TestRegistry:
+    def test_paper_algorithms_all_resolve(self):
+        for name in PAPER_ALGORITHMS:
+            assert make_scheduler(name).name == name
+
+    def test_parameterized_simple(self):
+        s = make_scheduler("simple-7")
+        assert isinstance(s, SimpleN)
+        assert s.chunks_per_worker == 7
+
+    def test_parameterized_multiinstallment(self):
+        s = make_scheduler("multiinstallment-3")
+        assert s.name == "multiinstallment-3"
+
+    def test_case_and_whitespace_insensitive(self):
+        assert make_scheduler("  UMR ").name == "umr"
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(SchedulingError, match="available"):
+            make_scheduler("quantum-annealing")
+
+    def test_bad_parameter(self):
+        with pytest.raises(SchedulingError):
+            make_scheduler("simple-zero")
+        with pytest.raises(SchedulingError):
+            make_scheduler("simple-0")
+
+    def test_available_algorithms_sorted(self):
+        names = available_algorithms()
+        assert names == sorted(names)
+        assert "umr" in names and "rumr" in names
+
+    def test_register_custom_and_reject_duplicates(self):
+        register_algorithm("test-custom-alg", lambda: SimpleN(2))
+        assert make_scheduler("test-custom-alg").chunks_per_worker == 2
+        with pytest.raises(SchedulingError, match="already registered"):
+            register_algorithm("umr", lambda: SimpleN(1))
+
+    def test_each_call_returns_fresh_instance(self):
+        a = make_scheduler("umr")
+        b = make_scheduler("umr")
+        assert a is not b

@@ -1,0 +1,77 @@
+"""Tests for automatic algorithm selection (the Section 3.3 hook)."""
+
+import pytest
+
+from repro.apst.advisor import Recommendation, recommend_algorithm
+from repro.apst.client import APSTClient
+from repro.apst.daemon import APSTDaemon, DaemonConfig
+from repro.errors import ReproError
+from repro.platform.presets import das2_cluster, grail_lan
+
+
+class TestRecommendation:
+    def test_low_uncertainty_selects_umr_family(self):
+        grid = das2_cluster(16)
+        rec = recommend_algorithm(grid, 10_000.0, gamma=None)
+        # UMR or its two-phase sibling (they tie within <1% at gamma = 0);
+        # the point is that pure Factoring is NOT selected here
+        assert rec.algorithm in ("umr", "fixed-rumr")
+        assert rec.trials["wf"] > rec.expected_makespan
+        assert "gamma = 0" in rec.rationale
+
+    def test_moderate_uncertainty_selects_robust_algorithm(self):
+        grid = das2_cluster(16)
+        rec = recommend_algorithm(grid, 10_000.0, gamma=0.10)
+        assert rec.algorithm in ("fixed-rumr", "wf")
+        assert "10.0%" in rec.rationale
+
+    def test_high_uncertainty_on_grail(self):
+        rec = recommend_algorithm(grail_lan(), 1830.0, gamma=0.20,
+                                  autocorrelation=0.6)
+        assert rec.algorithm in ("wf", "fixed-rumr")
+
+    def test_trials_cover_all_candidates(self):
+        rec = recommend_algorithm(das2_cluster(8), 5000.0, gamma=None,
+                                  candidates=("umr", "wf"))
+        assert set(rec.trials) == {"umr", "wf"}
+        assert rec.expected_makespan == min(rec.trials.values())
+
+    def test_build_returns_fresh_scheduler(self):
+        rec = recommend_algorithm(das2_cluster(4), 2000.0, gamma=None)
+        assert rec.build().name == rec.algorithm
+
+    def test_invalid_inputs(self):
+        grid = das2_cluster(4)
+        with pytest.raises(ReproError):
+            recommend_algorithm(grid, 0.0)
+        with pytest.raises(ReproError):
+            recommend_algorithm(grid, 100.0, candidates=())
+
+
+class TestDaemonAuto:
+    def _daemon(self, tmp_path, gamma=0.0):
+        (tmp_path / "load.bin").write_bytes(bytes(10_000))
+        return APSTDaemon(
+            das2_cluster(8, total_load=10_000.0),
+            config=DaemonConfig(base_dir=tmp_path, gamma=gamma, seed=1),
+        )
+
+    XML = (
+        "<task executable='a' input='load.bin'>"
+        "<divisibility input='load.bin' method='uniform' stepsize='10'"
+        " algorithm='auto'/></task>"
+    )
+
+    def test_auto_selects_umr_family_without_uncertainty(self, tmp_path):
+        daemon = self._daemon(tmp_path)
+        client = APSTClient(daemon)
+        report = client.submit_and_run(self.XML)
+        assert report.algorithm in ("umr", "fixed-rumr")
+        job = daemon.job(1)
+        assert any("auto-selected" in w for w in job.warnings)
+
+    def test_auto_respects_configured_gamma(self, tmp_path):
+        daemon = self._daemon(tmp_path, gamma=0.15)
+        client = APSTClient(daemon)
+        report = client.submit_and_run(self.XML)
+        assert report.algorithm in ("fixed-rumr", "wf")

@@ -1,0 +1,154 @@
+"""Tests for the analysis layer: statistics, experiment harness, tables."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    compare_to_paper,
+    run_experiment,
+)
+from repro.analysis.metrics import (
+    mean_slowdown_across,
+    slowdowns_vs_best,
+    summarize,
+)
+from repro.analysis.tables import render_slowdown_table, render_table
+from repro.errors import ReproError
+from repro.platform.resources import Cluster, Grid
+
+
+def _grid_factory():
+    return Grid.from_clusters(
+        Cluster.homogeneous("t", 3, speed=1.0, bandwidth=10.0,
+                            comm_latency=0.3, comp_latency=0.1)
+    )
+
+
+class TestMetrics:
+    def test_summarize(self):
+        stats = summarize("alg", [10.0, 12.0, 11.0])
+        assert stats.runs == 3
+        assert stats.mean == pytest.approx(11.0)
+        assert stats.minimum == 10.0 and stats.maximum == 12.0
+        assert stats.std == pytest.approx(1.0)
+        assert stats.cov == pytest.approx(1.0 / 11.0)
+
+    def test_summarize_single_run(self):
+        stats = summarize("alg", [5.0])
+        assert stats.std == 0.0
+        assert stats.confidence_halfwidth() == 0.0
+
+    def test_summarize_rejects_bad_input(self):
+        with pytest.raises(ReproError):
+            summarize("alg", [])
+        with pytest.raises(ReproError):
+            summarize("alg", [1.0, -2.0])
+
+    def test_slowdowns_vs_best(self):
+        stats = [summarize("a", [100.0]), summarize("b", [126.0]),
+                 summarize("c", [118.0])]
+        slow = slowdowns_vs_best(stats)
+        assert slow["a"] == pytest.approx(0.0)
+        assert slow["b"] == pytest.approx(0.26)
+        assert slow["c"] == pytest.approx(0.18)
+
+    def test_mean_slowdown_across_scenarios(self):
+        scenarios = [
+            {"a": 0.0, "b": 0.30},
+            {"a": 0.10, "b": 0.26},
+        ]
+        means = mean_slowdown_across(scenarios)
+        assert means["b"] == pytest.approx(0.28)
+
+    def test_mean_slowdown_requires_common_algorithms(self):
+        with pytest.raises(ReproError):
+            mean_slowdown_across([{"a": 0.0}, {"b": 0.0}])
+        with pytest.raises(ReproError):
+            mean_slowdown_across([])
+
+
+class TestExperimentHarness:
+    def test_runs_all_algorithms_with_stats(self):
+        config = ExperimentConfig(
+            label="unit", grid_factory=_grid_factory, total_load=300.0,
+            algorithms=("simple-1", "umr"), runs=3,
+        )
+        result = run_experiment(config)
+        assert set(result.by_algorithm) == {"simple-1", "umr"}
+        assert result.by_algorithm["umr"].stats.runs == 3
+        assert result.best_algorithm == "umr"
+        assert result.slowdowns()["umr"] == 0.0
+
+    def test_gamma_zero_runs_have_zero_variance(self):
+        config = ExperimentConfig(
+            label="unit", grid_factory=_grid_factory, total_load=300.0,
+            algorithms=("umr",), runs=3,
+        )
+        result = run_experiment(config)
+        assert result.by_algorithm["umr"].stats.std == pytest.approx(0.0)
+
+    def test_annotations_collected_per_run(self):
+        config = ExperimentConfig(
+            label="unit", grid_factory=_grid_factory, total_load=300.0,
+            algorithms=("rumr",), runs=2,
+        )
+        result = run_experiment(config)
+        anns = result.by_algorithm["rumr"].annotations
+        assert len(anns) == 2
+        assert all("rumr_mode" in a for a in anns)
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            ExperimentConfig(label="x", grid_factory=_grid_factory,
+                             total_load=10.0, algorithms=(), runs=1)
+        with pytest.raises(ReproError):
+            ExperimentConfig(label="x", grid_factory=_grid_factory,
+                             total_load=10.0, algorithms=("umr",), runs=0)
+
+    def test_compare_to_paper_rows(self):
+        config = ExperimentConfig(
+            label="unit", grid_factory=_grid_factory, total_load=300.0,
+            algorithms=("simple-1", "umr"), runs=2,
+        )
+        result = run_experiment(config)
+        rows = compare_to_paper(result, {"simple-1": 0.26, "umr": 0.0})
+        assert len(rows) == 2
+        by_name = {r["algorithm"]: r for r in rows}
+        assert by_name["simple-1"]["paper_slowdown"] == 0.26
+        assert by_name["umr"]["measured_slowdown"] == 0.0
+
+    def test_compare_to_paper_missing_algorithm(self):
+        config = ExperimentConfig(
+            label="unit", grid_factory=_grid_factory, total_load=300.0,
+            algorithms=("umr",), runs=1,
+        )
+        result = run_experiment(config)
+        with pytest.raises(ReproError, match="missing"):
+            compare_to_paper(result, {"wf": 0.1})
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bb", None]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "N/A" in lines[3]
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_table_needs_headers(self):
+        with pytest.raises(ReproError):
+            render_table([], [])
+
+    def test_render_slowdown_table(self):
+        text = render_slowdown_table(
+            "Figure 2",
+            {"umr": 0.0, "simple-1": 0.26},
+            makespans={"umr": 6000.0, "simple-1": 7560.0},
+            paper={"umr": 0.0, "simple-1": 0.26},
+        )
+        assert "Figure 2" in text
+        assert "+26.0%" in text
+        assert "6000.0" in text

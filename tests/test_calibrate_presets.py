@@ -1,0 +1,129 @@
+"""Tests for platform calibration and the paper-constant presets."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.calibrate import (
+    calibrate_cluster,
+    clock_speed_factors,
+    platform_summary,
+)
+from repro.platform.presets import (
+    DAS2_R,
+    GRAIL_R,
+    METEOR_R,
+    PAPER_IDEAL_COMPUTE_S,
+    PAPER_LOAD_UNITS,
+    das2_cluster,
+    grail_lan,
+    meteor_cluster,
+    mixed_grid,
+    preset_by_name,
+)
+
+
+class TestCalibrateCluster:
+    def test_aggregate_speed_matches_target(self):
+        c = calibrate_cluster(
+            "c", nodes=8, comm_comp_ratio=20.0, total_load=1000.0,
+            ideal_compute_time=100.0,
+        )
+        assert sum(w.speed for w in c.workers) == pytest.approx(10.0)
+
+    def test_ratio_matches_target(self):
+        c = calibrate_cluster(
+            "c", nodes=5, comm_comp_ratio=15.0, total_load=500.0,
+            ideal_compute_time=50.0,
+        )
+        mean_speed = sum(w.speed for w in c.workers) / 5
+        assert c.workers[0].bandwidth / mean_speed == pytest.approx(15.0)
+
+    def test_speed_factors_preserve_aggregate(self):
+        c = calibrate_cluster(
+            "c", nodes=3, comm_comp_ratio=10.0, total_load=300.0,
+            ideal_compute_time=30.0, speed_factors=[0.5, 1.0, 1.5],
+        )
+        assert sum(w.speed for w in c.workers) == pytest.approx(10.0)
+        speeds = [w.speed for w in c.workers]
+        assert speeds[2] / speeds[0] == pytest.approx(3.0)
+
+    def test_wrong_factor_count_rejected(self):
+        with pytest.raises(PlatformError, match="entries"):
+            calibrate_cluster(
+                "c", nodes=3, comm_comp_ratio=1.0, total_load=1.0,
+                ideal_compute_time=1.0, speed_factors=[1.0],
+            )
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(PlatformError, match="positive"):
+            calibrate_cluster(
+                "c", nodes=2, comm_comp_ratio=1.0, total_load=1.0,
+                ideal_compute_time=1.0, speed_factors=[1.0, 0.0],
+            )
+
+    def test_clock_speed_factors(self):
+        assert clock_speed_factors([500.0, 1000.0]) == [0.5, 1.0]
+        with pytest.raises(PlatformError):
+            clock_speed_factors([])
+        with pytest.raises(PlatformError):
+            clock_speed_factors([-1.0])
+
+
+class TestPresets:
+    def test_das2_matches_paper_constants(self):
+        grid = das2_cluster(16)
+        assert len(grid) == 16
+        assert grid.comm_comp_ratio == pytest.approx(DAS2_R)
+        assert grid.workers[0].comm_latency == pytest.approx(6.4)
+        assert grid.workers[0].comp_latency == pytest.approx(0.7)
+
+    def test_meteor_matches_paper_constants(self):
+        grid = meteor_cluster(16)
+        assert grid.comm_comp_ratio == pytest.approx(METEOR_R)
+        assert grid.workers[0].comm_latency == pytest.approx(0.7)
+        assert grid.workers[0].comp_latency == pytest.approx(0.1)
+
+    def test_meteor_is_heterogeneous(self):
+        grid = meteor_cluster(16)
+        speeds = [w.speed for w in grid.workers]
+        assert max(speeds) > min(speeds)
+        # clock range 790..996 MHz
+        assert max(speeds) / min(speeds) == pytest.approx(996.0 / 790.0, rel=1e-6)
+
+    def test_das2_ideal_compute_time(self):
+        grid = das2_cluster(16)
+        assert PAPER_LOAD_UNITS / grid.total_speed == pytest.approx(
+            PAPER_IDEAL_COMPUTE_S
+        )
+
+    def test_mixed_grid_composition(self):
+        grid = mixed_grid(8, 8)
+        assert len(grid) == 16
+        assert grid.clusters == ("das2", "meteor")
+        assert len(grid.cluster_workers("das2")) == 8
+
+    def test_mixed_grid_aggregate_speed(self):
+        grid = mixed_grid(8, 8)
+        assert PAPER_LOAD_UNITS / grid.total_speed == pytest.approx(
+            PAPER_IDEAL_COMPUTE_S
+        )
+
+    def test_grail_has_7_processors_and_one_slow(self):
+        grid = grail_lan()
+        assert len(grid) == 7
+        assert grid.comm_comp_ratio == pytest.approx(GRAIL_R)
+        speeds = sorted(w.speed for w in grid.workers)
+        assert speeds[0] < speeds[1]
+        assert speeds[1] == pytest.approx(speeds[-1])
+
+    def test_preset_by_name(self):
+        assert len(preset_by_name("das2")) == 16
+        assert len(preset_by_name("grail")) == 7
+        with pytest.raises(KeyError):
+            preset_by_name("nonexistent")
+
+    def test_platform_summary_keys(self):
+        info = platform_summary(das2_cluster(4))
+        assert info["workers"] == 4
+        assert info["comm_comp_ratio"] == pytest.approx(DAS2_R)
+        assert info["clusters"] == ["das2"]

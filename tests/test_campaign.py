@@ -1,0 +1,128 @@
+"""Tests for experiment campaigns (persist / resume / diff)."""
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import Campaign, CampaignResult, paper_section4_campaign
+from repro.analysis.experiments import ExperimentConfig
+from repro.errors import ReproError
+from repro.platform.resources import Cluster, Grid
+
+
+def _grid():
+    return Grid.from_clusters(
+        Cluster.homogeneous("t", 3, speed=1.0, bandwidth=10.0,
+                            comm_latency=0.3, comp_latency=0.1)
+    )
+
+
+def _config(label="exp", gamma=0.0):
+    return ExperimentConfig(
+        label=label, grid_factory=_grid, total_load=300.0, gamma=gamma,
+        algorithms=("simple-1", "umr"), runs=2,
+    )
+
+
+class TestCampaignLifecycle:
+    def test_run_and_persist(self, tmp_path):
+        campaign = Campaign("c", tmp_path / "c.json")
+        campaign.add("a", _config)
+        executed = campaign.run()
+        assert executed == ["a"]
+        assert (tmp_path / "c.json").is_file()
+        assert campaign.results["a"].mean_makespans["umr"] > 0
+
+    def test_resume_skips_stored_results(self, tmp_path):
+        store = tmp_path / "c.json"
+        first = Campaign("c", store)
+        first.add("a", _config)
+        first.run()
+
+        resumed = Campaign("c", store)
+        resumed.add("a", _config)
+        resumed.add("b", lambda: _config("exp-b", gamma=0.1))
+        assert resumed.pending == ["b"]
+        executed = resumed.run()
+        assert executed == ["b"]
+        assert set(resumed.results) == {"a", "b"}
+
+    def test_force_reruns_everything(self, tmp_path):
+        campaign = Campaign("c", tmp_path / "c.json")
+        campaign.add("a", _config)
+        campaign.run()
+        assert campaign.run() == []
+        assert campaign.run(force=True) == ["a"]
+
+    def test_duplicate_registration_rejected(self, tmp_path):
+        campaign = Campaign("c", tmp_path / "c.json")
+        campaign.add("a", _config)
+        with pytest.raises(ReproError, match="already registered"):
+            campaign.add("a", _config)
+
+    def test_store_guards_campaign_name(self, tmp_path):
+        store = tmp_path / "c.json"
+        Campaign("original", store).add("a", _config).run()
+        with pytest.raises(ReproError, match="belongs to campaign"):
+            Campaign("imposter", store)
+
+    def test_malformed_store_rejected(self, tmp_path):
+        store = tmp_path / "c.json"
+        store.write_text("{broken")
+        with pytest.raises(ReproError, match="malformed"):
+            Campaign("c", store)
+
+    def test_version_checked(self, tmp_path):
+        store = tmp_path / "c.json"
+        store.write_text(json.dumps({"format_version": 9, "campaign": "c"}))
+        with pytest.raises(ReproError, match="format"):
+            Campaign("c", store)
+
+
+class TestDiff:
+    def test_identical_campaigns_have_no_drift(self, tmp_path):
+        a = Campaign("c", tmp_path / "a.json")
+        a.add("x", _config)
+        a.run()
+        b = Campaign("c", tmp_path / "b.json")
+        b.add("x", _config)
+        b.run()
+        assert a.diff(b) == []
+
+    def test_drift_detected(self, tmp_path):
+        a = Campaign("c", tmp_path / "a.json")
+        a.add("x", _config)
+        a.run()
+        b = Campaign("c", tmp_path / "b.json")
+        b.results["x"] = CampaignResult(
+            label="x", gamma=0.0, runs=2,
+            mean_makespans={"simple-1": 1.0, "umr": 1.0},
+            slowdowns={"simple-1": 0.0, "umr": 0.0},
+        )
+        drift = a.diff(b)
+        assert drift and "simple-1" in drift[0] + drift[-1]
+
+    def test_missing_experiment_reported(self, tmp_path):
+        a = Campaign("c", tmp_path / "a.json")
+        a.add("x", _config)
+        a.run()
+        empty = Campaign("c", tmp_path / "b.json")
+        drift = a.diff(empty)
+        assert drift == ["x: missing from c"]
+
+
+class TestPaperCampaign:
+    def test_registers_all_six_panels(self, tmp_path):
+        campaign = paper_section4_campaign(tmp_path / "s4.json", runs=1)
+        assert len(campaign.pending) == 6
+        assert "fig2_das2_gamma0" in campaign.pending
+        assert "fig4_mixed_gamma10" in campaign.pending
+
+    def test_one_panel_executes(self, tmp_path):
+        campaign = paper_section4_campaign(tmp_path / "s4.json", runs=1)
+        # run just the first panel by dropping the rest
+        keep = "fig2_das2_gamma0"
+        campaign._experiments = {keep: campaign._experiments[keep]}
+        executed = campaign.run()
+        assert executed == [keep]
+        assert campaign.results[keep].slowdowns["simple-1"] > 0.1

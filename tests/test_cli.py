@@ -1,0 +1,89 @@
+"""Tests for the apst-dv command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPresets:
+    def test_lists_all_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("das2", "meteor", "mixed", "grail"):
+            assert name in out
+
+
+class TestTable1:
+    def test_prints_all_applications(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for app in ("HMMER", "MPEG", "VFleet", "Data Mining"):
+            assert app in out
+
+
+class TestRun:
+    @pytest.fixture
+    def task_file(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(10_000))
+        spec = tmp_path / "task.xml"
+        spec.write_text(
+            "<task executable='app' input='load.bin'>"
+            "<divisibility input='load.bin' method='uniform' start='0'"
+            " steptype='bytes' stepsize='10' algorithm='umr'/></task>"
+        )
+        return spec
+
+    def test_run_prints_report(self, capsys, task_file, tmp_path):
+        code = main([
+            "run", str(task_file), "--platform", "das2",
+            "--base-dir", str(tmp_path), "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Execution report: umr" in out
+        assert "makespan" in out
+
+    def test_run_with_algorithm_override(self, capsys, task_file, tmp_path):
+        main([
+            "run", str(task_file), "--base-dir", str(tmp_path),
+            "--algorithm", "simple-1",
+        ])
+        assert "simple-1" in capsys.readouterr().out
+
+    def test_run_with_platform_xml(self, capsys, task_file, tmp_path):
+        platform = tmp_path / "platform.xml"
+        platform.write_text(
+            "<platform><cluster name='c' nodes='2' speed='5' bandwidth='50'"
+            " comm_latency='0.1'/></platform>"
+        )
+        code = main([
+            "run", str(task_file), "--platform", str(platform),
+            "--base-dir", str(tmp_path),
+        ])
+        assert code == 0
+
+    def test_unknown_preset_exits(self, task_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", str(task_file), "--platform", "lhc",
+                  "--base-dir", str(tmp_path)])
+
+
+class TestCompare:
+    def test_compare_prints_table(self, capsys):
+        code = main([
+            "compare", "--platform", "das2", "--runs", "1",
+            "--algorithms", "simple-1,umr", "--load", "2000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simple-1" in out and "umr" in out
+        assert "slowdown_vs_best" in out
+
+    def test_compare_defaults_to_paper_set(self, capsys):
+        code = main([
+            "compare", "--platform", "grail", "--runs", "1", "--load", "400",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("simple-1", "simple-5", "umr", "wf", "rumr", "fixed-rumr"):
+            assert name in out

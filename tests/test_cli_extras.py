@@ -1,0 +1,61 @@
+"""Tests for the CLI's gantt / JSON report options."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def task_env(tmp_path):
+    (tmp_path / "load.bin").write_bytes(bytes(10_000))
+    spec = tmp_path / "task.xml"
+    spec.write_text(
+        "<task executable='app' input='load.bin'>"
+        "<divisibility input='load.bin' method='uniform' start='0'"
+        " steptype='bytes' stepsize='10' algorithm='fixed-rumr'/></task>"
+    )
+    return tmp_path, spec
+
+
+class TestGanttFlag:
+    def test_gantt_rendered(self, capsys, task_env):
+        tmp, spec = task_env
+        code = main([
+            "run", str(spec), "--base-dir", str(tmp), "--seed", "1", "--gantt",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Gantt" in out
+        assert "comm/comp overlap" in out
+        assert "#" in out
+
+
+class TestJsonFlag:
+    def test_report_written_and_loadable(self, capsys, task_env, tmp_path):
+        tmp, spec = task_env
+        out_path = tmp_path / "report.json"
+        code = main([
+            "run", str(spec), "--base-dir", str(tmp), "--seed", "1",
+            "--json", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.is_file()
+        payload = json.loads(out_path.read_text())
+        assert payload["algorithm"] == "fixed-rumr"
+
+        from repro.apst.report_io import load_report
+
+        report = load_report(out_path)
+        assert report.total_load == 10_000.0
+
+    def test_json_and_gantt_combine(self, capsys, task_env, tmp_path):
+        tmp, spec = task_env
+        code = main([
+            "run", str(spec), "--base-dir", str(tmp), "--seed", "1",
+            "--gantt", "--json", str(tmp_path / "r.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Gantt" in out and "report written" in out

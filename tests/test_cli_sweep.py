@@ -1,0 +1,35 @@
+"""Tests for the apst-dv sweep subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSweepCommand:
+    def test_table_and_crossover_printed(self, capsys):
+        code = main([
+            "sweep", "--platform", "das2", "--gammas", "0.0,0.15",
+            "--algorithms", "umr,wf", "--runs", "2", "--load", "4000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gamma sweep" in out
+        assert "umr" in out and "wf" in out
+        assert "overtakes" in out
+
+    def test_csv_written(self, capsys, tmp_path):
+        csv_path = tmp_path / "series.csv"
+        code = main([
+            "sweep", "--gammas", "0.0", "--algorithms", "umr",
+            "--runs", "1", "--load", "2000", "--csv", str(csv_path),
+        ])
+        assert code == 0
+        assert csv_path.read_text().startswith("gamma,umr")
+
+    def test_bad_gammas_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--gammas", "zero,one"])
+
+    def test_empty_gammas_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--gammas", ","])

@@ -1,0 +1,143 @@
+"""Tests for the computation cost and uncertainty models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform.resources import WorkerSpec
+from repro.simulation.compute import (
+    DETERMINISTIC,
+    MIN_NOISE_FACTOR,
+    ComputeModel,
+    UncertaintyModel,
+)
+
+
+def _workers(n=2):
+    return [
+        WorkerSpec(f"w{i}", speed=2.0, bandwidth=8.0, comm_latency=0.5, comp_latency=0.25)
+        for i in range(n)
+    ]
+
+
+class TestUncertaintyModel:
+    def test_zero_gamma_is_deterministic(self):
+        model = ComputeModel(_workers(), DETERMINISTIC, seed=0)
+        times = [model.realized_compute_time(0, 10.0) for _ in range(20)]
+        assert all(t == pytest.approx(0.25 + 5.0) for t in times)
+
+    def test_gamma_must_be_below_one(self):
+        with pytest.raises(SimulationError):
+            UncertaintyModel(gamma=1.0)
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(SimulationError):
+            UncertaintyModel(gamma=-0.1)
+
+    def test_autocorrelation_range(self):
+        with pytest.raises(SimulationError):
+            UncertaintyModel(gamma=0.1, autocorrelation=1.0)
+        with pytest.raises(SimulationError):
+            UncertaintyModel(gamma=0.1, autocorrelation=-0.5)
+
+    def test_noise_cov_approximates_gamma(self):
+        model = ComputeModel(_workers(1), UncertaintyModel(gamma=0.10), seed=42)
+        times = np.array([model.realized_compute_time(0, 100.0) for _ in range(4000)])
+        effective = times - 0.25  # strip the latency
+        cov = effective.std() / effective.mean()
+        assert cov == pytest.approx(0.10, rel=0.10)
+
+    def test_noise_mean_is_unbiased(self):
+        model = ComputeModel(_workers(1), UncertaintyModel(gamma=0.10), seed=7)
+        times = np.array([model.realized_compute_time(0, 100.0) for _ in range(4000)])
+        assert times.mean() == pytest.approx(0.25 + 50.0, rel=0.02)
+
+    def test_noise_factor_truncated(self):
+        # gamma close to 1 would otherwise produce negative times
+        model = ComputeModel(_workers(1), UncertaintyModel(gamma=0.9), seed=3)
+        times = [model.realized_compute_time(0, 10.0) for _ in range(2000)]
+        floor = 0.25 + 5.0 * MIN_NOISE_FACTOR
+        assert min(times) >= floor - 1e-12
+
+    def test_latency_is_not_noisy(self):
+        model = ComputeModel(_workers(1), UncertaintyModel(gamma=0.5), seed=1)
+        # zero-size chunks only pay the (deterministic) latency
+        times = [model.realized_compute_time(0, 0.0) for _ in range(10)]
+        assert all(t == pytest.approx(0.25) for t in times)
+
+    def test_transfer_noise_independent_of_compute_noise(self):
+        model = ComputeModel(_workers(1), UncertaintyModel(gamma=0.2, comm_gamma=0.0), seed=5)
+        transfers = [model.realized_transfer_time(0, 8.0) for _ in range(10)]
+        assert all(t == pytest.approx(0.5 + 1.0) for t in transfers)
+
+
+class TestAutocorrelation:
+    def test_ar_noise_is_positively_correlated(self):
+        model = ComputeModel(
+            _workers(1), UncertaintyModel(gamma=0.2, autocorrelation=0.9), seed=11
+        )
+        times = np.array([model.realized_compute_time(0, 100.0) for _ in range(3000)])
+        x = times[:-1] - times.mean()
+        y = times[1:] - times.mean()
+        corr = float(np.sum(x * y) / np.sqrt(np.sum(x * x) * np.sum(y * y)))
+        assert corr > 0.7
+
+    def test_iid_noise_is_uncorrelated(self):
+        model = ComputeModel(_workers(1), UncertaintyModel(gamma=0.2), seed=11)
+        times = np.array([model.realized_compute_time(0, 100.0) for _ in range(3000)])
+        x = times[:-1] - times.mean()
+        y = times[1:] - times.mean()
+        corr = float(np.sum(x * y) / np.sqrt(np.sum(x * x) * np.sum(y * y)))
+        assert abs(corr) < 0.1
+
+    def test_ar_stationary_cov_matches_gamma(self):
+        model = ComputeModel(
+            _workers(1), UncertaintyModel(gamma=0.15, autocorrelation=0.6), seed=2
+        )
+        times = np.array([model.realized_compute_time(0, 100.0) for _ in range(8000)])
+        effective = times - 0.25
+        assert effective.std() / effective.mean() == pytest.approx(0.15, rel=0.15)
+
+    def test_workers_have_independent_noise_streams(self):
+        model = ComputeModel(
+            _workers(2), UncertaintyModel(gamma=0.2, autocorrelation=0.9), seed=4
+        )
+        a = np.array([model.realized_compute_time(0, 100.0) for _ in range(500)])
+        b = np.array([model.realized_compute_time(1, 100.0) for _ in range(500)])
+        # same spec, different AR state: series should differ
+        assert not np.allclose(a, b)
+
+
+class TestComputeModel:
+    def test_seed_reproducibility(self):
+        m1 = ComputeModel(_workers(), UncertaintyModel(gamma=0.1), seed=99)
+        m2 = ComputeModel(_workers(), UncertaintyModel(gamma=0.1), seed=99)
+        a = [m1.realized_compute_time(0, 10.0) for _ in range(50)]
+        b = [m2.realized_compute_time(0, 10.0) for _ in range(50)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        m1 = ComputeModel(_workers(), UncertaintyModel(gamma=0.1), seed=1)
+        m2 = ComputeModel(_workers(), UncertaintyModel(gamma=0.1), seed=2)
+        a = [m1.realized_compute_time(0, 10.0) for _ in range(20)]
+        b = [m2.realized_compute_time(0, 10.0) for _ in range(20)]
+        assert a != b
+
+    def test_predicted_times_are_noise_free(self):
+        model = ComputeModel(_workers(), UncertaintyModel(gamma=0.3), seed=0)
+        assert model.predicted_compute_time(0, 10.0) == pytest.approx(5.25)
+        assert model.predicted_transfer_time(0, 8.0) == pytest.approx(1.5)
+
+    def test_invalid_worker_index(self):
+        model = ComputeModel(_workers(2), seed=0)
+        with pytest.raises(SimulationError):
+            model.realized_compute_time(5, 1.0)
+
+    def test_empty_worker_list_rejected(self):
+        with pytest.raises(SimulationError):
+            ComputeModel([], seed=0)
+
+    def test_negative_units_rejected(self):
+        model = ComputeModel(_workers(), seed=0)
+        with pytest.raises(SimulationError):
+            model.realized_compute_time(0, -1.0)

@@ -1,0 +1,119 @@
+"""Tests for the interactive APST-DV console."""
+
+import io
+
+import pytest
+
+from repro.apst.console import APSTConsole
+from repro.apst.daemon import APSTDaemon, DaemonConfig
+from repro.platform.presets import das2_cluster
+
+
+@pytest.fixture
+def console(tmp_path):
+    (tmp_path / "load.bin").write_bytes(bytes(10_000))
+    (tmp_path / "task.xml").write_text(
+        "<task executable='app' input='load.bin'>"
+        "<divisibility input='load.bin' method='uniform' start='0'"
+        " steptype='bytes' stepsize='10' algorithm='umr'/></task>"
+    )
+    daemon = APSTDaemon(
+        das2_cluster(nodes=4, total_load=10_000.0),
+        config=DaemonConfig(base_dir=tmp_path, seed=1),
+    )
+    out = io.StringIO()
+    shell = APSTConsole(daemon, stdout=out)
+    return shell, out, tmp_path
+
+
+def _output(shell_out: io.StringIO) -> str:
+    return shell_out.getvalue()
+
+
+class TestWorkflow:
+    def test_submit_run_report(self, console):
+        shell, out, tmp = console
+        shell.onecmd(f"submit {tmp / 'task.xml'}")
+        assert "job 1 queued" in _output(out)
+        shell.onecmd("run")
+        assert "executed job(s): 1" in _output(out)
+        shell.onecmd("report 1")
+        assert "Execution report: umr" in _output(out)
+
+    def test_submit_with_algorithm_override(self, console):
+        shell, out, tmp = console
+        shell.onecmd(f"submit {tmp / 'task.xml'} simple-1")
+        shell.onecmd("run")
+        shell.onecmd("status 1")
+        assert "simple-1" in _output(out)
+
+    def test_status_all(self, console):
+        shell, out, tmp = console
+        shell.onecmd("status")
+        assert "no jobs submitted" in _output(out)
+
+    def test_gantt(self, console):
+        shell, out, tmp = console
+        shell.onecmd(f"submit {tmp / 'task.xml'}")
+        shell.onecmd("run")
+        shell.onecmd("gantt 1")
+        text = _output(out)
+        assert "Gantt" in text and "overlap" in text
+
+    def test_outputs_on_simulation_backend(self, console):
+        shell, out, tmp = console
+        shell.onecmd(f"submit {tmp / 'task.xml'}")
+        shell.onecmd("run")
+        shell.onecmd("outputs 1")
+        assert "simulation backend" in _output(out)
+
+    def test_platform_and_algorithms(self, console):
+        shell, out, _ = console
+        shell.onecmd("platform")
+        shell.onecmd("algorithms")
+        text = _output(out)
+        assert "4 workers" in text
+        assert "umr" in text and "rumr" in text
+
+
+class TestErrorHandling:
+    def test_submit_without_argument(self, console):
+        shell, out, _ = console
+        shell.onecmd("submit")
+        assert "usage" in _output(out)
+
+    def test_submit_missing_file(self, console):
+        shell, out, tmp = console
+        shell.onecmd(f"submit {tmp / 'ghost.xml'}")
+        assert "error" in _output(out)
+
+    def test_report_requires_numeric_id(self, console):
+        shell, out, _ = console
+        shell.onecmd("report one")
+        assert "integer" in _output(out)
+
+    def test_report_unknown_job(self, console):
+        shell, out, _ = console
+        shell.onecmd("report 42")
+        assert "error" in _output(out)
+
+    def test_unknown_command(self, console):
+        shell, out, _ = console
+        shell.onecmd("teleport 9")
+        assert "unknown command 'teleport'" in _output(out)
+
+    def test_run_with_nothing_queued(self, console):
+        shell, out, _ = console
+        shell.onecmd("run")
+        assert "nothing queued" in _output(out)
+
+    def test_quit_and_eof_return_true(self, console):
+        shell, _, _ = console
+        assert shell.onecmd("quit") is True
+        assert shell.onecmd("EOF") is True
+
+    def test_empty_line_is_noop(self, console):
+        shell, out, _ = console
+        before = _output(out)
+        shell.onecmd("")
+        assert _output(out) == before

@@ -1,0 +1,143 @@
+"""Tests for position-dependent cost profiles."""
+
+import pytest
+
+from repro.core.registry import make_scheduler
+from repro.errors import SimulationError
+from repro.simulation.costprofile import (
+    CostProfile,
+    PiecewiseProfile,
+    hotspot_profile,
+    profile_from_record_lengths,
+)
+from repro.simulation.master import simulate_run
+
+
+class TestPiecewiseProfile:
+    def test_normalized_to_unit_mean(self):
+        profile = PiecewiseProfile([(0.0, 50.0, 1.0), (50.0, 100.0, 3.0)])
+        assert profile.mean_cost(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_relative_costs_preserved(self):
+        profile = PiecewiseProfile([(0.0, 50.0, 1.0), (50.0, 100.0, 3.0)])
+        cheap = profile.mean_cost(0.0, 50.0)
+        dear = profile.mean_cost(50.0, 50.0)
+        assert dear / cheap == pytest.approx(3.0)
+
+    def test_mean_over_straddling_range(self):
+        profile = PiecewiseProfile([(0.0, 50.0, 1.0), (50.0, 100.0, 3.0)])
+        # 25 cheap units + 25 dear units
+        mid = profile.mean_cost(25.0, 50.0)
+        assert mid == pytest.approx(profile.mean_cost(0.0, 100.0), rel=1e-9)
+
+    def test_cost_at_positions(self):
+        profile = PiecewiseProfile([(0.0, 10.0, 1.0), (10.0, 20.0, 4.0)])
+        assert profile.cost_at(5.0) < profile.cost_at(15.0)
+
+    def test_gap_rejected(self):
+        with pytest.raises(SimulationError, match="gap"):
+            PiecewiseProfile([(0.0, 10.0, 1.0), (11.0, 20.0, 1.0)])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(SimulationError, match="start at offset 0"):
+            PiecewiseProfile([(5.0, 10.0, 1.0)])
+
+    def test_invalid_segments(self):
+        with pytest.raises(SimulationError):
+            PiecewiseProfile([])
+        with pytest.raises(SimulationError):
+            PiecewiseProfile([(0.0, 0.0, 1.0)])
+        with pytest.raises(SimulationError):
+            PiecewiseProfile([(0.0, 10.0, -1.0)])
+
+    def test_out_of_range_query(self):
+        profile = PiecewiseProfile([(0.0, 10.0, 1.0)])
+        with pytest.raises(SimulationError):
+            profile.mean_cost(5.0, 10.0)
+        with pytest.raises(SimulationError):
+            profile.mean_cost(0.0, 0.0)
+
+
+class TestHotspotProfile:
+    def test_hotspot_costs_more(self):
+        profile = hotspot_profile(300.0, hotspots=[(1 / 3, 2 / 3)], scale=2.0)
+        assert profile.mean_cost(100.0, 100.0) > profile.mean_cost(0.0, 100.0)
+        assert profile.mean_cost(0.0, 300.0) == pytest.approx(1.0)
+
+    def test_bad_hotspot_rejected(self):
+        with pytest.raises(SimulationError):
+            hotspot_profile(100.0, hotspots=[(0.5, 0.4)])
+
+
+class TestRecordLengthProfile:
+    def test_long_records_are_hot(self):
+        profile = profile_from_record_lengths([10, 10, 1000, 10])
+        # the third record's region: offset after two (10+1)-byte records
+        hot = profile.cost_at(22.0 + 500.0)
+        cold = profile.cost_at(5.0)
+        assert hot > cold * 10  # quadratic default: 100x per-byte cost
+
+    def test_total_matches_database_size(self):
+        profile = profile_from_record_lengths([3, 4, 5])
+        assert profile.total_units == pytest.approx(3 + 4 + 5 + 3)
+
+    def test_linear_cost_gives_flat_profile(self):
+        profile = profile_from_record_lengths([10, 500, 10], cost_exponent=1.0)
+        assert profile.cost_at(5.0) == pytest.approx(profile.cost_at(100.0))
+
+    def test_whole_load_mean_is_unit(self):
+        profile = profile_from_record_lengths([10, 50, 200, 10])
+        assert profile.mean_cost(0.0, profile.total_units) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            profile_from_record_lengths([])
+        with pytest.raises(SimulationError):
+            profile_from_record_lengths([10], cost_exponent=0.5)
+
+
+class TestSimulationIntegration:
+    def test_uniform_profile_changes_nothing(self, small_grid):
+        base = simulate_run(small_grid, make_scheduler("umr"), total_load=800.0,
+                            seed=0)
+        uniform = simulate_run(small_grid, make_scheduler("umr"), total_load=800.0,
+                               seed=0, cost_profile=CostProfile())
+        assert uniform.makespan == pytest.approx(base.makespan)
+
+    def test_hotspot_load_conserved_and_valid(self, small_grid):
+        profile = hotspot_profile(800.0, hotspots=[(0.6, 0.9)], scale=3.0)
+        report = simulate_run(small_grid, make_scheduler("wf"), total_load=800.0,
+                              seed=0, cost_profile=profile)
+        report.validate()
+        assert sum(c.units for c in report.chunks) == pytest.approx(800.0)
+
+    def test_hot_chunks_take_longer(self, small_grid):
+        profile = hotspot_profile(800.0, hotspots=[(0.5, 1.0)], scale=4.0)
+        report = simulate_run(small_grid, make_scheduler("simple-1"),
+                              total_load=800.0, seed=0, cost_profile=profile)
+        per_unit = {
+            c.worker_index: c.compute_time / c.units for c in report.chunks
+        }
+        # workers 0-1 got the cold half, workers 2-3 the hot half
+        assert per_unit[3] > per_unit[0] * 2.0
+
+    def test_adaptive_schedulers_absorb_hotspots_better(self, small_grid):
+        """A hotspot acts like deterministic 'uncertainty': WF's small final
+        chunks rebalance around it; SIMPLE-1 eats the full imbalance."""
+        profile = hotspot_profile(2000.0, hotspots=[(0.7, 1.0)], scale=3.0)
+        wf = simulate_run(small_grid, make_scheduler("wf"), total_load=2000.0,
+                          seed=0, cost_profile=profile)
+        simple = simulate_run(small_grid, make_scheduler("simple-1"),
+                              total_load=2000.0, seed=0, cost_profile=profile)
+        assert wf.makespan < simple.makespan * 0.8
+
+    def test_profile_inflates_observed_gamma(self, small_grid):
+        """Position-dependent costs register as prediction error -- the
+        estimator can't tell data-dependence from noise (nor could the
+        paper's: HMMER's gamma in Table 1 IS data-dependence)."""
+        profile = hotspot_profile(2000.0, hotspots=[(0.4, 0.6)], scale=3.0)
+        report = simulate_run(small_grid, make_scheduler("fixed-rumr"),
+                              total_load=2000.0, seed=0, cost_profile=profile)
+        assert report.observed_gamma() > 0.05

@@ -1,0 +1,125 @@
+"""Integration tests for the APST-DV daemon and client."""
+
+import pytest
+
+from repro.apst.client import APSTClient
+from repro.apst.daemon import APSTDaemon, DaemonConfig, JobState
+from repro.errors import SpecificationError
+from repro.platform.presets import das2_cluster
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "load.bin").write_bytes(bytes(255) * 80)  # 20400 bytes
+    (tmp_path / "probe.bin").write_bytes(bytes(100))
+    return tmp_path
+
+
+TASK_XML = """
+<task executable="app" input="load.bin">
+  <divisibility input="load.bin" method="uniform" start="0"
+                steptype="bytes" stepsize="10" algorithm="umr"
+                probe="probe.bin"/>
+</task>
+"""
+
+
+def _daemon(workspace, **kwargs):
+    grid = das2_cluster(nodes=4, total_load=20400.0)
+    return APSTDaemon(grid, config=DaemonConfig(base_dir=workspace, seed=3, **kwargs))
+
+
+class TestDaemon:
+    def test_submit_and_run(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML)
+        assert daemon.job(job_id).state is JobState.QUEUED
+        executed = daemon.run_pending()
+        assert executed == [job_id]
+        job = daemon.job(job_id)
+        assert job.state is JobState.DONE
+        assert job.report is not None
+        assert job.report.total_load == 20400.0
+
+    def test_algorithm_override(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML, algorithm="simple-1")
+        daemon.run_pending()
+        assert daemon.report(job_id).algorithm == "simple-1"
+
+    def test_spec_algorithm_used_by_default(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML)
+        daemon.run_pending()
+        assert daemon.report(job_id).algorithm == "umr"
+
+    def test_probe_size_from_probe_file(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML)
+        daemon.run_pending()
+        # probe.bin is 100 bytes -> probe phase sized accordingly
+        assert daemon.report(job_id).probe_time > 0
+
+    def test_missing_input_marks_job_failed(self, workspace):
+        daemon = _daemon(workspace)
+        xml = TASK_XML.replace("load.bin", "missing.bin")
+        job_id = daemon.submit(xml)
+        with pytest.raises(Exception):
+            daemon.run_pending()
+        assert daemon.job(job_id).state is JobState.FAILED
+        assert "missing.bin" in daemon.job(job_id).error
+
+    def test_report_before_run_raises(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML)
+        with pytest.raises(SpecificationError, match="no report"):
+            daemon.report(job_id)
+
+    def test_unknown_job_id(self, workspace):
+        daemon = _daemon(workspace)
+        with pytest.raises(SpecificationError, match="no job"):
+            daemon.job(42)
+
+    def test_multiple_jobs_back_to_back(self, workspace):
+        daemon = _daemon(workspace)
+        ids = [daemon.submit(TASK_XML, algorithm=a)
+               for a in ("simple-1", "umr", "wf")]
+        daemon.run_pending()
+        makespans = {daemon.report(i).algorithm: daemon.report(i).makespan
+                     for i in ids}
+        assert makespans["umr"] < makespans["simple-1"]
+
+    def test_gamma_flows_into_simulation(self, workspace):
+        noisy = _daemon(workspace, gamma=0.2)
+        job_id = noisy.submit(TASK_XML)
+        noisy.run_pending()
+        assert noisy.report(job_id).gamma_configured == 0.2
+
+
+class TestClient:
+    def test_submit_and_run_convenience(self, workspace):
+        client = APSTClient(_daemon(workspace))
+        report = client.submit_and_run(TASK_XML)
+        assert report.makespan > 0
+
+    def test_status_lines(self, workspace):
+        client = APSTClient(_daemon(workspace))
+        assert client.status() == "no jobs submitted"
+        job_id = client.submit(TASK_XML)
+        assert "queued" in client.status(job_id)
+        client.run()
+        status = client.status()
+        assert "done" in status and "makespan" in status
+
+    def test_task_file_path_submission(self, workspace):
+        spec_file = workspace / "task.xml"
+        spec_file.write_text(TASK_XML)
+        client = APSTClient(_daemon(workspace))
+        report = client.submit_and_run(spec_file)
+        assert report.total_load == 20400.0
+
+    def test_outputs_requires_done_job(self, workspace):
+        client = APSTClient(_daemon(workspace))
+        job_id = client.submit(TASK_XML)
+        with pytest.raises(SpecificationError, match="queued"):
+            client.outputs(job_id)

@@ -1,0 +1,92 @@
+"""Integration: the daemon driving the real local execution backend.
+
+The paper's Figure 5 flow, but through the daemon/client surface rather
+than the backend API directly -- submit the case-study XML, run, collect
+output files, merge, verify.
+"""
+
+import pytest
+
+from repro.apst.client import APSTClient
+from repro.apst.daemon import APSTDaemon, DaemonConfig, JobState
+from repro.execution.local import LocalExecutionBackend
+from repro.platform.resources import Cluster, Grid
+from repro.workloads.video import (
+    avimerge,
+    mencoder_encode,
+    write_dv_file,
+)
+
+FRAMES = 36
+
+
+class _EncodeApp:
+    def __init__(self, scratch):
+        self._scratch = scratch
+        self._n = 0
+
+    def process(self, data, units=None):
+        self._n += 1
+        src = self._scratch / f"c{self._n}.tdv"
+        src.write_bytes(data)
+        dst = src.with_suffix(".tm4v")
+        mencoder_encode(src, dst)
+        return dst.read_bytes()
+
+
+@pytest.fixture
+def case_study(tmp_path):
+    video = tmp_path / "input.tdv"
+    write_dv_file(video, frames=FRAMES, frame_bytes=256, seed=2)
+    xml = f"""
+    <task executable="run_mencoder.sh" input="input.tdv" output="mpeg4.tm4v">
+      <divisibility input="input.tdv" method="callback" load="{FRAMES}"
+                    callback="python -m repro.workloads.video_callback"
+                    arguments="input.tdv"
+                    algorithm="wf" probe_load="3"/>
+    </task>
+    """
+    grid = Grid.from_clusters(
+        Cluster.homogeneous("lan", 3, speed=12.0, bandwidth=150.0,
+                            comm_latency=0.1, comp_latency=0.05)
+    )
+    backend = LocalExecutionBackend(tmp_path / "work", app=_EncodeApp(tmp_path),
+                                    time_scale=0.01)
+    daemon = APSTDaemon(grid, backend=backend,
+                        config=DaemonConfig(base_dir=tmp_path))
+    return tmp_path, video, xml, daemon
+
+
+class TestDaemonWithLocalBackend:
+    def test_full_case_study_flow(self, case_study):
+        tmp, video, xml, daemon = case_study
+        client = APSTClient(daemon)
+        job_id = client.submit(xml)
+        client.run()
+
+        job = client.job(job_id)
+        assert job.state is JobState.DONE
+        report = client.report(job_id)
+        assert report.annotations["backend"] == "local-execution"
+        assert sum(c.units for c in report.chunks) == pytest.approx(FRAMES)
+
+        outputs = client.outputs(job_id)
+        assert outputs
+        merged = tmp / "mpeg4.tm4v"
+        avimerge(outputs, merged)
+        serial = tmp / "serial.tm4v"
+        mencoder_encode(video, serial)
+        assert merged.read_bytes() == serial.read_bytes()
+
+    def test_probe_load_respected(self, case_study):
+        """probe_load=3 frames: the backend probes with 3 work units."""
+        tmp, video, xml, daemon = case_study
+        client = APSTClient(daemon)
+        report = client.submit_and_run(xml)
+        assert report.probe_time > 0
+
+    def test_algorithm_override_on_local_backend(self, case_study):
+        tmp, video, xml, daemon = case_study
+        client = APSTClient(daemon)
+        report = client.submit_and_run(xml, algorithm="simple-2")
+        assert report.algorithm == "simple-2"

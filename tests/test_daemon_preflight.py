@@ -1,0 +1,64 @@
+"""Integration: pre-flight checks inside the daemon."""
+
+import pytest
+
+from repro.apst.daemon import APSTDaemon, DaemonConfig, JobState
+from repro.errors import SpecificationError
+from repro.platform.presets import das2_cluster
+
+
+def _daemon(tmp_path):
+    return APSTDaemon(
+        das2_cluster(4, total_load=10_000.0),
+        config=DaemonConfig(base_dir=tmp_path, seed=0),
+    )
+
+
+class TestDaemonPreflight:
+    def test_unknown_algorithm_fails_with_preflight_message(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(10_000))
+        daemon = _daemon(tmp_path)
+        job_id = daemon.submit(
+            "<task executable='a' input='load.bin'>"
+            "<divisibility input='load.bin' method='uniform' stepsize='10'"
+            " algorithm='quantum'/></task>"
+        )
+        with pytest.raises(SpecificationError, match="pre-flight"):
+            daemon.run_pending()
+        assert daemon.job(job_id).state is JobState.FAILED
+
+    def test_warnings_recorded_on_job(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(10_000))
+        daemon = _daemon(tmp_path)
+        job_id = daemon.submit(
+            "<task executable='a' input='load.bin'>"
+            "<divisibility input='load.bin' method='uniform' stepsize='10'"
+            " algorithm='umr'/></task>"
+        )
+        daemon.run_pending()
+        job = daemon.job(job_id)
+        assert job.state is JobState.DONE
+        assert any("no-probe-input" in w for w in job.warnings)
+
+    def test_missing_input_caught_before_execution(self, tmp_path):
+        daemon = _daemon(tmp_path)
+        job_id = daemon.submit(
+            "<task executable='a' input='ghost.bin'>"
+            "<divisibility input='ghost.bin' method='uniform' stepsize='10'"
+            " algorithm='umr'/></task>"
+        )
+        with pytest.raises(SpecificationError, match="ghost.bin"):
+            daemon.run_pending()
+        assert daemon.job(job_id).error is not None
+
+    def test_clean_run_has_only_expected_warnings(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(10_000))
+        (tmp_path / "probe.bin").write_bytes(bytes(20))
+        daemon = _daemon(tmp_path)
+        job_id = daemon.submit(
+            "<task executable='a' input='load.bin'>"
+            "<divisibility input='load.bin' method='uniform' stepsize='10'"
+            " algorithm='umr' probe='probe.bin'/></task>"
+        )
+        daemon.run_pending()
+        assert daemon.job(job_id).warnings == []

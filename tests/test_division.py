@@ -1,0 +1,232 @@
+"""Tests for the APST-DV load division methods (paper Section 3.4)."""
+
+import sys
+
+import pytest
+
+from repro.apst.division import (
+    CallbackDivision,
+    ChunkExtent,
+    ChunkPayload,
+    IndexDivision,
+    LoadTracker,
+    SeparatorDivision,
+    UniformBytesDivision,
+    UniformUnitsDivision,
+)
+from repro.errors import DivisionError
+
+
+class TestUniformUnits:
+    def test_snaps_to_step_multiples(self):
+        d = UniformUnitsDivision(total=100.0, step=10.0)
+        assert d.nearest_cutoff(34.0) == 30.0
+        assert d.nearest_cutoff(36.0) == 40.0
+
+    def test_end_of_load_is_always_valid(self):
+        d = UniformUnitsDivision(total=95.0, step=10.0)
+        assert d.nearest_cutoff(94.0) == 95.0
+        assert d.next_cutoff(90.0) == 95.0
+
+    def test_next_cutoff_strictly_advances(self):
+        d = UniformUnitsDivision(total=100.0, step=10.0)
+        assert d.next_cutoff(30.0) == 40.0
+        assert d.next_cutoff(31.0) == 40.0
+
+    def test_next_cutoff_beyond_end_rejected(self):
+        d = UniformUnitsDivision(total=100.0, step=10.0)
+        with pytest.raises(DivisionError):
+            d.next_cutoff(100.0)
+
+    def test_start_offset_shifts_grid(self):
+        d = UniformUnitsDivision(total=100.0, step=10.0, start=3.0)
+        assert d.nearest_cutoff(12.0) == 13.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DivisionError):
+            UniformUnitsDivision(total=0.0, step=1.0)
+        with pytest.raises(DivisionError):
+            UniformUnitsDivision(total=10.0, step=0.0)
+        with pytest.raises(DivisionError):
+            UniformUnitsDivision(total=10.0, step=1.0, start=10.0)
+
+    def test_abstract_extract_returns_none(self):
+        d = UniformUnitsDivision(total=100.0, step=10.0)
+        assert d.extract(ChunkExtent(0.0, 10.0)) is None
+
+
+class TestUniformBytes:
+    def test_file_size_is_total(self, load_file):
+        d = UniformBytesDivision(load_file, stepsize=10)
+        assert d.total_units == 10240.0
+
+    def test_extract_returns_exact_bytes(self, load_file):
+        d = UniformBytesDivision(load_file, stepsize=10)
+        payload = d.extract(ChunkExtent(offset=256.0, units=256.0))
+        assert payload.read_bytes() == bytes(range(256))
+
+    def test_extract_beyond_end_rejected(self, load_file):
+        d = UniformBytesDivision(load_file, stepsize=10)
+        with pytest.raises(DivisionError):
+            d.extract(ChunkExtent(offset=10000.0, units=1000.0))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DivisionError, match="not found"):
+            UniformBytesDivision(tmp_path / "nope.bin", stepsize=10)
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        with pytest.raises(DivisionError, match="empty"):
+            UniformBytesDivision(empty, stepsize=10)
+
+
+class TestSeparator:
+    def test_cutoffs_after_each_separator(self, tmp_path):
+        path = tmp_path / "records.txt"
+        path.write_bytes(b"aa\nbbbb\nc\n")
+        d = SeparatorDivision(path, separator=b"\n")
+        assert d.cutoffs == [0.0, 3.0, 8.0, 10.0]
+
+    def test_chunks_end_on_record_boundaries(self, tmp_path):
+        path = tmp_path / "records.txt"
+        path.write_bytes(b"aa\nbbbb\nc\n")
+        d = SeparatorDivision(path, separator="\n")
+        tracker = LoadTracker(d)
+        first = tracker.take(4.0)
+        data = d.extract(first).read_bytes()
+        assert data.endswith(b"\n")
+
+    def test_multibyte_separator_rejected(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_bytes(b"ab")
+        with pytest.raises(DivisionError, match="single byte"):
+            SeparatorDivision(path, separator="ab")
+
+
+class TestIndex:
+    def test_index_file_defines_cutoffs(self, tmp_path):
+        load = tmp_path / "load.bin"
+        load.write_bytes(bytes(100))
+        idx = tmp_path / "load.idx"
+        idx.write_text("# comment\n10\n55\n80\n")
+        d = IndexDivision(load, idx)
+        assert d.cutoffs == [0.0, 10.0, 55.0, 80.0, 100.0]
+        assert d.nearest_cutoff(50.0) == 55.0
+        assert d.nearest_cutoff(30.0) == 10.0
+
+    def test_bad_offset_line_rejected(self, tmp_path):
+        load = tmp_path / "load.bin"
+        load.write_bytes(bytes(100))
+        idx = tmp_path / "load.idx"
+        idx.write_text("ten\n")
+        with pytest.raises(DivisionError, match="bad offset"):
+            IndexDivision(load, idx)
+
+    def test_offset_outside_file_rejected(self, tmp_path):
+        load = tmp_path / "load.bin"
+        load.write_bytes(bytes(100))
+        idx = tmp_path / "load.idx"
+        idx.write_text("150\n")
+        with pytest.raises(DivisionError, match="outside"):
+            IndexDivision(load, idx)
+
+
+class TestCallback:
+    def test_in_process_function(self, tmp_path):
+        def extractor(offset, size, out):
+            out.write_bytes(bytes([offset % 256]) * size)
+
+        d = CallbackDivision(100, function=extractor, workdir=tmp_path)
+        payload = d.extract(ChunkExtent(offset=3.0, units=5.0))
+        assert payload.read_bytes() == b"\x03" * 5
+
+    def test_cutoffs_on_whole_work_units(self):
+        d = CallbackDivision(100, function=lambda o, s, p: p.write_bytes(b"x"))
+        assert d.nearest_cutoff(3.4) == 3.0
+        assert d.nearest_cutoff(3.6) == 4.0
+        assert d.next_cutoff(3.0) == 4.0
+
+    def test_external_program(self, tmp_path):
+        script = tmp_path / "extract.py"
+        script.write_text(
+            "import sys, pathlib\n"
+            "offset, size, out = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]\n"
+            "pathlib.Path(out).write_bytes(b'u' * size)\n"
+        )
+        d = CallbackDivision(
+            50, program=[sys.executable, str(script)], workdir=tmp_path
+        )
+        payload = d.extract(ChunkExtent(offset=0.0, units=7.0))
+        assert payload.read_bytes() == b"u" * 7
+
+    def test_failing_program_reports_stderr(self, tmp_path):
+        script = tmp_path / "fail.py"
+        script.write_text("import sys; print('boom', file=sys.stderr); sys.exit(3)\n")
+        d = CallbackDivision(50, program=[sys.executable, str(script)], workdir=tmp_path)
+        with pytest.raises(DivisionError, match="boom"):
+            d.extract(ChunkExtent(offset=0.0, units=1.0))
+
+    def test_program_and_function_mutually_exclusive(self):
+        with pytest.raises(DivisionError):
+            CallbackDivision(10)
+        with pytest.raises(DivisionError):
+            CallbackDivision(10, program=["x"], function=lambda o, s, p: None)
+
+
+class TestChunkPayload:
+    def test_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(DivisionError):
+            ChunkPayload(extent=ChunkExtent(0.0, 1.0))
+        with pytest.raises(DivisionError):
+            ChunkPayload(extent=ChunkExtent(0.0, 1.0), data=b"x", path=tmp_path / "f")
+
+    def test_nbytes(self, tmp_path):
+        p = ChunkPayload(extent=ChunkExtent(0.0, 3.0), data=b"abc")
+        assert p.nbytes == 3
+        f = tmp_path / "f.bin"
+        f.write_bytes(b"abcd")
+        q = ChunkPayload(extent=ChunkExtent(0.0, 4.0), path=f)
+        assert q.nbytes == 4
+        assert q.read_bytes() == b"abcd"
+
+
+class TestLoadTracker:
+    def test_sequential_consumption(self):
+        tracker = LoadTracker(UniformUnitsDivision(total=100.0, step=10.0))
+        a = tracker.take(25.0)
+        b = tracker.take(24.0)
+        assert (a.offset, a.units) == (0.0, 30.0)  # 25 snaps half-up to 30
+        assert (b.offset, b.units) == (30.0, 20.0)  # 54 snaps down to 50
+        assert tracker.remaining == 50.0
+
+    def test_too_small_request_advances_one_step(self):
+        tracker = LoadTracker(UniformUnitsDivision(total=100.0, step=10.0))
+        extent = tracker.take(1.0)
+        assert extent.units == 10.0
+
+    def test_tail_absorbed_into_final_chunk(self):
+        tracker = LoadTracker(UniformUnitsDivision(total=95.0, step=10.0))
+        tracker.take(80.0)
+        last = tracker.take(10.0)
+        # 80 -> 90 would leave 5, smaller than the chunk: absorbed
+        assert last.units == 15.0
+        assert tracker.exhausted
+
+    def test_take_exact_rest(self):
+        tracker = LoadTracker(UniformUnitsDivision(total=100.0, step=10.0))
+        tracker.take(40.0)
+        rest = tracker.take_exact_rest()
+        assert rest.units == 60.0
+        assert tracker.exhausted
+
+    def test_exhausted_tracker_rejects_take(self):
+        tracker = LoadTracker(UniformUnitsDivision(total=10.0, step=10.0))
+        tracker.take(10.0)
+        with pytest.raises(DivisionError, match="exhausted"):
+            tracker.take(1.0)
+
+    def test_nonpositive_request_rejected(self):
+        tracker = LoadTracker(UniformUnitsDivision(total=10.0, step=1.0))
+        with pytest.raises(DivisionError):
+            tracker.take(0.0)

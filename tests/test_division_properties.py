@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for load division invariants.
+
+The core safety property of APST-DV's division layer: no matter what
+sizes a scheduling algorithm requests, the load is consumed exactly once,
+front to back, in positive chunks that always end on valid cut-offs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apst.division import (
+    IndexDivision,
+    LoadTracker,
+    UniformUnitsDivision,
+)
+
+requests = st.lists(
+    st.floats(min_value=0.01, max_value=500.0, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(
+    total=st.floats(min_value=5.0, max_value=2000.0),
+    step=st.floats(min_value=0.5, max_value=50.0),
+    sizes=requests,
+)
+@settings(max_examples=200, deadline=None)
+def test_tracker_consumes_exactly_the_load(total, step, sizes):
+    division = UniformUnitsDivision(total=total, step=min(step, total))
+    tracker = LoadTracker(division)
+    extents = []
+    i = 0
+    while not tracker.exhausted:
+        extents.append(tracker.take(sizes[i % len(sizes)]))
+        i += 1
+        assert i < 100_000, "tracker failed to terminate"
+
+    # chunks are contiguous, non-overlapping, and cover [0, total)
+    assert extents[0].offset == 0.0
+    for a, b in zip(extents, extents[1:]):
+        assert abs(b.offset - a.end) < 1e-9 * max(1.0, total)
+    assert abs(extents[-1].end - total) < 1e-6 * max(1.0, total)
+    # every chunk is positive
+    assert all(e.units > 0 for e in extents)
+
+
+@given(
+    total=st.floats(min_value=10.0, max_value=1000.0),
+    step=st.floats(min_value=1.0, max_value=20.0),
+    sizes=requests,
+)
+@settings(max_examples=100, deadline=None)
+def test_interior_cutoffs_are_step_multiples(total, step, sizes):
+    step = min(step, total / 2)
+    division = UniformUnitsDivision(total=total, step=step)
+    tracker = LoadTracker(division)
+    i = 0
+    while not tracker.exhausted:
+        extent = tracker.take(sizes[i % len(sizes)])
+        i += 1
+        if extent.end < total - 1e-9:  # interior cutoff
+            multiple = extent.end / step
+            assert abs(multiple - round(multiple)) < 1e-6
+
+
+@given(
+    offsets=st.lists(st.integers(min_value=1, max_value=999), min_size=1,
+                     max_size=50, unique=True),
+    sizes=requests,
+)
+@settings(max_examples=100, deadline=None)
+def test_index_division_only_cuts_at_listed_offsets(tmp_path_factory, offsets, sizes):
+    tmp = tmp_path_factory.mktemp("idx")
+    load = tmp / "load.bin"
+    load.write_bytes(bytes(1000))
+    idx = tmp / "load.idx"
+    idx.write_text("\n".join(str(o) for o in sorted(offsets)))
+    division = IndexDivision(load, idx)
+    valid = set(division.cutoffs)
+    tracker = LoadTracker(division)
+    i = 0
+    while not tracker.exhausted:
+        extent = tracker.take(sizes[i % len(sizes)])
+        i += 1
+        assert extent.end in valid
+    assert i <= len(valid)
+
+
+@given(
+    total=st.floats(min_value=1.0, max_value=1000.0),
+    step=st.floats(min_value=0.1, max_value=10.0),
+    position=st.floats(min_value=0.0, max_value=1000.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_nearest_cutoff_is_idempotent_and_bounded(total, step, position):
+    division = UniformUnitsDivision(total=total, step=min(step, total))
+    snapped = division.nearest_cutoff(position)
+    assert 0.0 <= snapped <= total
+    assert division.nearest_cutoff(snapped) == snapped

@@ -1,0 +1,19 @@
+"""Execute the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.registry
+import repro.simulation.engine
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.simulation.engine, repro.core.registry],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,123 @@
+"""Integration tests for the real local execution backend."""
+
+import zlib
+
+import pytest
+
+from repro.apst.division import CallbackDivision, UniformBytesDivision
+from repro.core.registry import make_scheduler
+from repro.errors import ExecutionError
+from repro.execution.local import DigestApp, LocalExecutionBackend
+from repro.platform.resources import Cluster, Grid
+from repro.workloads.video import (
+    avimerge,
+    make_avisplit_callback,
+    mencoder_encode,
+    write_dv_file,
+)
+
+
+@pytest.fixture
+def lan_grid():
+    return Grid.from_clusters(
+        Cluster.homogeneous("lan", 3, speed=20.0, bandwidth=200.0,
+                            comm_latency=0.2, comp_latency=0.1)
+    )
+
+
+@pytest.fixture
+def byte_division(tmp_path):
+    path = tmp_path / "load.bin"
+    path.write_bytes(bytes(range(256)) * 8)  # 2048 bytes
+    return UniformBytesDivision(path, stepsize=64)
+
+
+class TestLocalBackend:
+    def test_digest_app_end_to_end(self, lan_grid, byte_division, tmp_path):
+        backend = LocalExecutionBackend(tmp_path / "work", time_scale=0.01)
+        report = backend.execute(
+            lan_grid, make_scheduler("wf"), byte_division, None, probe_units=64.0
+        )
+        report.validate()
+        assert report.total_load == 2048.0
+        assert report.annotations["backend"] == "local-execution"
+        assert len(backend.last_outputs) == report.num_chunks
+
+    def test_outputs_ordered_by_offset(self, lan_grid, byte_division, tmp_path):
+        backend = LocalExecutionBackend(tmp_path / "work", time_scale=0.01)
+        backend.execute(
+            lan_grid, make_scheduler("simple-2"), byte_division, None,
+            probe_units=64.0,
+        )
+        # digest outputs exist and are non-empty, one per chunk
+        assert all(p.is_file() and p.stat().st_size == 32 for p in backend.last_outputs)
+
+    def test_umr_runs_on_local_backend(self, lan_grid, byte_division, tmp_path):
+        backend = LocalExecutionBackend(tmp_path / "work", time_scale=0.01)
+        report = backend.execute(
+            lan_grid, make_scheduler("umr"), byte_division, None, probe_units=64.0
+        )
+        assert sum(c.units for c in report.chunks) == pytest.approx(2048.0)
+
+    def test_transfers_are_serialized(self, lan_grid, byte_division, tmp_path):
+        backend = LocalExecutionBackend(tmp_path / "work", time_scale=0.01)
+        report = backend.execute(
+            lan_grid, make_scheduler("simple-3"), byte_division, None,
+            probe_units=64.0,
+        )
+        intervals = sorted((c.send_start, c.send_end) for c in report.chunks)
+        for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-6
+
+    def test_invalid_time_scale(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            LocalExecutionBackend(tmp_path, time_scale=0.0)
+
+    def test_failing_app_surfaces_error(self, lan_grid, byte_division, tmp_path):
+        class Broken:
+            def process(self, data, units=None):
+                raise RuntimeError("app exploded")
+
+        backend = LocalExecutionBackend(tmp_path / "work", app=Broken(),
+                                        time_scale=0.01)
+        with pytest.raises(ExecutionError):
+            backend.execute(
+                lan_grid, make_scheduler("simple-1"), byte_division, None,
+                probe_units=64.0,
+            )
+
+
+class TestCaseStudyPipeline:
+    def test_parallel_encoding_is_byte_identical(self, lan_grid, tmp_path):
+        """The Section 5 workflow end to end on the real backend."""
+        video = tmp_path / "in.tdv"
+        write_dv_file(video, frames=40, frame_bytes=256, seed=1)
+
+        class EncodeApp:
+            def process(self, data, units=None):
+                src = tmp_path / f"enc_{id(data)}.tdv"
+                src.write_bytes(data)
+                dst = src.with_suffix(".tm4v")
+                mencoder_encode(src, dst)
+                return dst.read_bytes()
+
+        division = CallbackDivision(
+            40, function=make_avisplit_callback(video), workdir=tmp_path
+        )
+        backend = LocalExecutionBackend(tmp_path / "work", app=EncodeApp(),
+                                        time_scale=0.01)
+        report = backend.execute(
+            lan_grid, make_scheduler("rumr"), division, None, probe_units=4.0
+        )
+        assert sum(c.units for c in report.chunks) == pytest.approx(40.0)
+
+        merged = tmp_path / "merged.tm4v"
+        avimerge(backend.last_outputs, merged)
+        serial = tmp_path / "serial.tm4v"
+        mencoder_encode(video, serial)
+        assert merged.read_bytes() == serial.read_bytes()
+
+    def test_digest_app_is_default(self, tmp_path):
+        backend = LocalExecutionBackend(tmp_path)
+        assert isinstance(backend._app, DigestApp)
+        assert backend._app.process(b"abc") == __import__("hashlib").sha256(b"abc").digest()

@@ -1,0 +1,65 @@
+"""Tests for CSV export of experiments and sweeps."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, run_experiment
+from repro.analysis.export import experiment_to_csv, sweep_to_csv
+from repro.analysis.sweeps import SweepResult
+from repro.errors import ReproError
+from repro.platform.resources import Cluster, Grid
+
+
+def _grid():
+    return Grid.from_clusters(
+        Cluster.homogeneous("t", 3, speed=1.0, bandwidth=10.0,
+                            comm_latency=0.3, comp_latency=0.1)
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(
+        ExperimentConfig(
+            label="csv-test", grid_factory=_grid, total_load=300.0,
+            algorithms=("simple-1", "umr"), runs=2,
+        )
+    )
+
+
+class TestExperimentCSV:
+    def test_one_row_per_algorithm(self, result):
+        rows = list(csv.reader(io.StringIO(experiment_to_csv(result))))
+        assert rows[0][0] == "label"
+        assert len(rows) == 3
+        assert {r[3] for r in rows[1:]} == {"simple-1", "umr"}
+
+    def test_slowdown_column_consistent(self, result):
+        rows = list(csv.DictReader(io.StringIO(experiment_to_csv(result))))
+        by_name = {r["algorithm"]: r for r in rows}
+        assert float(by_name["umr"]["slowdown_vs_best"]) == 0.0
+        assert float(by_name["simple-1"]["slowdown_vs_best"]) > 0.0
+
+    def test_written_to_file(self, result, tmp_path):
+        path = tmp_path / "exp.csv"
+        experiment_to_csv(result, path)
+        assert path.read_text().startswith("label,")
+
+
+class TestSweepCSV:
+    def test_row_per_value_column_per_algorithm(self):
+        sweep = SweepResult(
+            parameter="gamma", values=(0.0, 0.1),
+            series={"umr": [10.0, 12.0], "wf": [11.0, 11.5]},
+        )
+        rows = list(csv.reader(io.StringIO(sweep_to_csv(sweep))))
+        assert rows[0] == ["gamma", "umr", "wf"]
+        assert rows[1] == ["0.0", "10.000", "11.000"]
+        assert len(rows) == 3
+
+    def test_empty_sweep_rejected(self):
+        sweep = SweepResult(parameter="x", values=(), series={})
+        with pytest.raises(ReproError):
+            sweep_to_csv(sweep)

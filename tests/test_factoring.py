@@ -1,0 +1,188 @@
+"""Tests for Weighted Factoring, plain Factoring, and GSS."""
+
+import pytest
+
+from repro.core.base import ChunkInfo, SchedulerConfig, WorkerState
+from repro.core.factoring import (
+    GuidedSelfScheduling,
+    PlainFactoring,
+    WeightedFactoring,
+)
+from repro.errors import SchedulingError
+from repro.platform.resources import WorkerSpec
+from repro.simulation.master import simulate_run
+
+
+def _estimates(speeds=(1.0, 1.0), bandwidth=10.0, comm_latency=0.0, comp_latency=0.0):
+    return [
+        WorkerSpec(f"w{i}", speed=s, bandwidth=bandwidth,
+                   comm_latency=comm_latency, comp_latency=comp_latency)
+        for i, s in enumerate(speeds)
+    ]
+
+
+def _states(n):
+    return [WorkerState(index=i, name=f"w{i}") for i in range(n)]
+
+
+def _dispatch_and_commit(s, workers, cid=0):
+    req = s.next_dispatch(0.0, workers)
+    if req is None:
+        return None
+    s.notify_dispatched(ChunkInfo(cid, req.worker_index, req.units, req.round_index, req.phase))
+    return req
+
+
+class TestChunkSizes:
+    def test_first_chunks_halve_the_load_collectively(self):
+        s = WeightedFactoring(min_chunk=1.0)
+        s.configure(SchedulerConfig(estimates=_estimates((1.0, 1.0)), total_load=1000.0))
+        workers = _states(2)
+        first = _dispatch_and_commit(s, workers, 0)
+        # batch factor 0.5, weight 0.5 -> 250 units
+        assert first.units == pytest.approx(250.0)
+
+    def test_weights_proportional_to_speed(self):
+        s = WeightedFactoring(min_chunk=1.0, adaptive=False)
+        s.configure(SchedulerConfig(estimates=_estimates((3.0, 1.0)), total_load=800.0))
+        workers = _states(2)
+        # force dispatch to each worker by marking the other busy
+        workers[1].outstanding = 99
+        fast = _dispatch_and_commit(s, workers, 0)
+        assert fast.worker_index == 0
+        assert fast.units == pytest.approx(800.0 * 0.5 * 0.75)
+
+    def test_chunk_sizes_decay_geometrically(self):
+        s = WeightedFactoring(min_chunk=0.1)
+        s.configure(SchedulerConfig(estimates=_estimates((1.0,)), total_load=1000.0,
+                                    quantum=0.1))
+        workers = _states(1)
+        sizes = []
+        for cid in range(8):
+            req = _dispatch_and_commit(s, workers, cid)
+            sizes.append(req.units)
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == pytest.approx(a / 2, rel=1e-6)
+
+    def test_min_chunk_floor_stops_decay(self):
+        s = WeightedFactoring(min_chunk=50.0)
+        s.configure(SchedulerConfig(estimates=_estimates((1.0,)), total_load=1000.0))
+        workers = _states(1)
+        sizes = []
+        while True:
+            req = _dispatch_and_commit(s, workers, len(sizes))
+            if req is None:
+                break
+            sizes.append(req.units)
+        assert all(size >= 50.0 - 1e-9 or size == sizes[-1] for size in sizes)
+        assert sum(sizes) == pytest.approx(1000.0)
+
+    def test_derived_min_chunk_scales_with_startup(self):
+        cheap = WeightedFactoring()
+        cheap.configure(SchedulerConfig(
+            estimates=_estimates((1.0,), comm_latency=0.1, comp_latency=0.1),
+            total_load=1000.0))
+        pricey = WeightedFactoring()
+        pricey.configure(SchedulerConfig(
+            estimates=_estimates((1.0,), comm_latency=5.0, comp_latency=1.0),
+            total_load=1000.0))
+        assert pricey.annotations()["min_chunk"] > cheap.annotations()["min_chunk"]
+
+
+class TestGreedyDispatch:
+    def test_prefetch_limit_blocks_busy_workers(self):
+        s = WeightedFactoring(prefetch_depth=2)
+        s.configure(SchedulerConfig(estimates=_estimates((1.0, 1.0)), total_load=1000.0))
+        workers = _states(2)
+        workers[0].outstanding = 2
+        workers[1].outstanding = 2
+        assert s.next_dispatch(0.0, workers) is None
+
+    def test_most_starved_worker_served_first(self):
+        s = WeightedFactoring()
+        s.configure(SchedulerConfig(estimates=_estimates((1.0, 1.0)), total_load=1000.0))
+        workers = _states(2)
+        workers[0].outstanding = 1
+        workers[0].outstanding_units = 100.0
+        req = s.next_dispatch(0.0, workers)
+        assert req.worker_index == 1
+
+    def test_all_load_dispatched_eventually(self):
+        s = WeightedFactoring(min_chunk=1.0)
+        s.configure(SchedulerConfig(estimates=_estimates((2.0, 1.0)), total_load=500.0))
+        workers = _states(2)
+        total = 0.0
+        for cid in range(10_000):
+            req = _dispatch_and_commit(s, workers, cid)
+            if req is None:
+                break
+            total += req.units
+        assert total == pytest.approx(500.0)
+
+
+class TestAdaptation:
+    def test_speed_estimate_moves_toward_observation(self):
+        s = WeightedFactoring(adaptation_gain=0.5)
+        s.configure(SchedulerConfig(
+            estimates=_estimates((1.0, 1.0)), total_load=1000.0))
+        # worker 0 actually runs twice as fast as estimated
+        s.notify_completion(ChunkInfo(0, 0, 100.0, 0, "factoring"),
+                            now=50.0, predicted_time=100.0, actual_time=50.0)
+        assert s._speeds[0] == pytest.approx(0.5 * 1.0 + 0.5 * 2.0)
+        assert s._speeds[1] == 1.0
+        assert s.annotations()["speed_adaptations"] == 1
+
+    def test_non_adaptive_variant_ignores_observations(self):
+        s = WeightedFactoring(adaptive=False)
+        s.configure(SchedulerConfig(estimates=_estimates((1.0, 1.0)), total_load=1000.0))
+        s.notify_completion(ChunkInfo(0, 0, 100.0, 0, "factoring"),
+                            now=50.0, predicted_time=100.0, actual_time=50.0)
+        assert s._speeds[0] == 1.0
+
+    def test_adaptation_rebalances_under_wrong_estimates(self, small_grid):
+        """With probe noise, the adaptive WF still balances completion times."""
+        report = simulate_run(small_grid, WeightedFactoring(), total_load=2000.0,
+                              gamma=0.15, seed=5)
+        ends = [w.last_end for w in report.worker_summaries()]
+        assert (max(ends) - min(ends)) / report.makespan < 0.15
+
+
+class TestVariants:
+    def test_plain_factoring_is_unweighted(self):
+        s = PlainFactoring(min_chunk=1.0)
+        s.configure(SchedulerConfig(estimates=_estimates((4.0, 1.0)), total_load=1000.0))
+        workers = _states(2)
+        workers[1].outstanding = 99
+        req = s.next_dispatch(0.0, workers)
+        # unweighted: 1000 * 0.5 / 2 regardless of speed
+        assert req.units == pytest.approx(250.0)
+        assert s.name == "factoring"
+
+    def test_gss_chunk_is_remaining_over_n(self):
+        s = GuidedSelfScheduling(min_chunk=1.0)
+        s.configure(SchedulerConfig(estimates=_estimates((1.0, 1.0)), total_load=1000.0))
+        workers = _states(2)
+        first = _dispatch_and_commit(s, workers, 0)
+        assert first.units == pytest.approx(500.0)
+        second = _dispatch_and_commit(s, workers, 1)
+        assert second.units == pytest.approx(250.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulingError):
+            WeightedFactoring(factor=1.0)
+        with pytest.raises(SchedulingError):
+            WeightedFactoring(factor=0.0)
+        with pytest.raises(SchedulingError):
+            WeightedFactoring(prefetch_depth=0)
+        with pytest.raises(SchedulingError):
+            GuidedSelfScheduling(prefetch_depth=0)
+        with pytest.raises(SchedulingError):
+            WeightedFactoring(adaptation_gain=0.0)
+
+    def test_factoring_ends_with_small_chunks(self, small_grid):
+        """The uncertainty-tolerance property: final chunks are the smallest."""
+        report = simulate_run(small_grid, WeightedFactoring(), total_load=2000.0, seed=0)
+        by_send = sorted(report.chunks, key=lambda c: c.send_start)
+        first_quarter = [c.units for c in by_send[: len(by_send) // 4]]
+        last_quarter = [c.units for c in by_send[-len(by_send) // 4:]]
+        assert min(first_quarter) > max(last_quarter)

@@ -1,0 +1,98 @@
+"""Failure-injection tests: worker failures must surface, never hang."""
+
+import pytest
+
+from repro.apst.division import UniformBytesDivision
+from repro.core.registry import make_scheduler
+from repro.errors import ExecutionError
+from repro.execution.appspec import app_spec
+from repro.execution.local import LocalExecutionBackend
+from repro.execution.process_backend import ProcessExecutionBackend
+from repro.execution.testing import FlakyApp, SlowApp
+from repro.platform.resources import Cluster, Grid
+
+
+@pytest.fixture
+def grid():
+    return Grid.from_clusters(
+        Cluster.homogeneous("f", 2, speed=500.0, bandwidth=5000.0,
+                            comm_latency=0.02, comp_latency=0.01)
+    )
+
+
+@pytest.fixture
+def division(tmp_path):
+    path = tmp_path / "load.bin"
+    path.write_bytes(bytes(1024))
+    return UniformBytesDivision(path, stepsize=64)
+
+
+class TestFlakyApp:
+    def test_deterministic_failure_index(self):
+        app = FlakyApp(fail_on_calls=[2])
+        app.process(b"a")
+        with pytest.raises(ExecutionError, match="call 2"):
+            app.process(b"b")
+
+    def test_random_failures_seeded(self):
+        a = FlakyApp(fail_probability=0.5, seed=1)
+        b = FlakyApp(fail_probability=0.5, seed=1)
+
+        def pattern(app):
+            out = []
+            for _ in range(20):
+                try:
+                    app.process(b"x")
+                    out.append(True)
+                except ExecutionError:
+                    out.append(False)
+            return out
+
+        assert pattern(a) == pattern(b)
+        assert not all(pattern(FlakyApp(fail_probability=0.5, seed=2)))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ExecutionError):
+            FlakyApp(fail_probability=1.5)
+
+
+class TestLocalBackendFailures:
+    def test_mid_run_failure_raises_not_hangs(self, grid, division, tmp_path):
+        backend = LocalExecutionBackend(
+            tmp_path / "work", app=FlakyApp(fail_on_calls=[5]), time_scale=0.01
+        )
+        with pytest.raises(ExecutionError, match="injected"):
+            backend.execute(grid, make_scheduler("wf"), division, None,
+                            probe_units=64.0)
+
+    def test_probe_failure_raises(self, grid, division, tmp_path):
+        backend = LocalExecutionBackend(
+            tmp_path / "work", app=FlakyApp(fail_on_calls=[1]), time_scale=0.01
+        )
+        with pytest.raises(ExecutionError, match="probe"):
+            backend.execute(grid, make_scheduler("wf"), division, None,
+                            probe_units=64.0)
+
+
+class TestProcessBackendFailures:
+    def test_chunk_failure_propagates_from_worker_process(self, grid, division,
+                                                          tmp_path):
+        backend = ProcessExecutionBackend(
+            tmp_path / "work",
+            app_spec=app_spec(FlakyApp, fail_on_calls=[3]),
+            time_scale=0.01,
+        )
+        with pytest.raises(ExecutionError, match="injected|failed"):
+            backend.execute(grid, make_scheduler("simple-2"), division, None,
+                            probe_units=64.0)
+
+    def test_slow_app_is_padded_not_fatal(self, grid, division, tmp_path):
+        """A slower-than-modeled app stretches times but completes."""
+        backend = ProcessExecutionBackend(
+            tmp_path / "work",
+            app_spec=app_spec(SlowApp, delay_s=0.01),
+            time_scale=0.01,
+        )
+        report = backend.execute(grid, make_scheduler("simple-1"), division,
+                                 None, probe_units=64.0)
+        report.validate()

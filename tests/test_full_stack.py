@@ -1,0 +1,119 @@
+"""Grand integration: the whole pipeline, surface to surface.
+
+XML specification -> pre-flight -> daemon -> scheduler -> backend ->
+execution report -> JSON round trip -> Gantt -> CSV -> history, in one
+flow -- the test a release would be gated on.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.gantt import overlap_metrics, render_gantt
+from repro.apst.client import APSTClient
+from repro.apst.daemon import APSTDaemon, DaemonConfig, JobState
+from repro.apst.history import ApplicationHistory
+from repro.apst.report_io import chunks_to_csv, load_report, save_report
+from repro.execution.local import LocalExecutionBackend
+from repro.platform.presets import das2_cluster
+from repro.platform.resources import Cluster, Grid
+from repro.workloads.video import VideoEncodeApp, avimerge, mencoder_encode, write_dv_file
+
+TASK_XML = """
+<task executable="a_divisible_app" input="load.bin">
+  <divisibility input="load.bin" method="uniform" start="0"
+                steptype="bytes" stepsize="10" algorithm="fixed-rumr"
+                probe="probe.bin"/>
+</task>
+"""
+
+
+class TestSimulationFullStack:
+    def test_xml_to_artifacts(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(10_000))
+        (tmp_path / "probe.bin").write_bytes(bytes(40))
+        daemon = APSTDaemon(
+            das2_cluster(8, total_load=10_000.0),
+            config=DaemonConfig(
+                base_dir=tmp_path, gamma=0.10, seed=11,
+                history_path=tmp_path / "history.json",
+            ),
+        )
+        client = APSTClient(daemon)
+
+        job_id = client.submit(TASK_XML)
+        client.run()
+        job = client.job(job_id)
+        assert job.state is JobState.DONE
+        assert job.warnings == []
+
+        report = client.report(job_id)
+        report.validate()
+
+        # artifacts
+        json_path = save_report(report, tmp_path / "report.json")
+        assert load_report(json_path).makespan == report.makespan
+        csv_text = chunks_to_csv(report)
+        assert csv_text.count("\n") == report.num_chunks + 1
+        gantt = render_gantt(report)
+        assert "fixed-rumr" in gantt
+        metrics = overlap_metrics(report)
+        assert 0.0 < metrics.overlap_fraction <= 1.0
+
+        # history recorded with the observed gamma
+        history = ApplicationHistory.load(tmp_path / "history.json")
+        assert history.run_count("a_divisible_app:load.bin") == 1
+
+    def test_status_flows_through_client(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(5_000))
+        daemon = APSTDaemon(
+            das2_cluster(4, total_load=5_000.0),
+            config=DaemonConfig(base_dir=tmp_path, seed=1),
+        )
+        client = APSTClient(daemon)
+        job_id = client.submit(TASK_XML.replace(' probe="probe.bin"', ""))
+        assert "queued" in client.status()
+        client.run()
+        assert "makespan" in client.status(job_id)
+
+
+class TestRealBackendFullStack:
+    def test_video_pipeline_through_every_layer(self, tmp_path):
+        frames = 30
+        video = tmp_path / "input.tdv"
+        write_dv_file(video, frames=frames, frame_bytes=256, seed=9)
+        xml = f"""
+        <task executable="enc" input="input.tdv" output="out.tm4v">
+          <divisibility input="input.tdv" method="callback" load="{frames}"
+                        callback="python -m repro.workloads.video_callback"
+                        arguments="input.tdv"
+                        algorithm="wf" probe_load="3"/>
+        </task>
+        """
+        grid = Grid.from_clusters(
+            Cluster.homogeneous("lan", 3, speed=15.0, bandwidth=150.0,
+                                comm_latency=0.1, comp_latency=0.05)
+        )
+        backend = LocalExecutionBackend(tmp_path / "work", app=VideoEncodeApp(),
+                                        time_scale=0.01)
+        daemon = APSTDaemon(grid, backend=backend,
+                            config=DaemonConfig(base_dir=tmp_path))
+        client = APSTClient(daemon)
+        job_id = client.submit(xml)
+        client.run()
+
+        report = client.report(job_id)
+        assert report.annotations["backend"] == "local-execution"
+        assert sum(c.units for c in report.chunks) == pytest.approx(frames)
+
+        merged = tmp_path / "out.tm4v"
+        avimerge(client.outputs(job_id), merged)
+        serial = tmp_path / "serial.tm4v"
+        mencoder_encode(video, serial)
+        assert merged.read_bytes() == serial.read_bytes()
+
+        # the report of a real run serializes and validates like any other
+        payload = json.loads(
+            save_report(report, tmp_path / "real.json").read_text()
+        )
+        assert payload["algorithm"] == "wf"

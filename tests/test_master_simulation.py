@@ -1,0 +1,207 @@
+"""Integration tests for the simulated APST-DV master."""
+
+import pytest
+
+from repro.apst.division import UniformUnitsDivision
+from repro.core.base import Scheduler
+from repro.core.registry import make_scheduler
+from repro.errors import SchedulingError, SimulationError
+from repro.simulation.master import (
+    SimulatedMaster,
+    SimulationOptions,
+    simulate_run,
+)
+
+ALL_ALGORITHMS = (
+    "simple-1", "simple-5", "umr", "wf", "factoring", "gss",
+    "rumr", "fixed-rumr", "adaptive-umr", "oneround-affine",
+    "oneround-linear", "multiinstallment-4",
+)
+
+
+class TestEveryAlgorithmRuns:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_runs_and_validates_on_small_grid(self, small_grid, name):
+        report = simulate_run(small_grid, make_scheduler(name),
+                              total_load=800.0, seed=0)
+        report.validate()
+        assert report.makespan > 0
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_runs_on_heterogeneous_grid_with_noise(self, hetero_grid, name):
+        report = simulate_run(hetero_grid, make_scheduler(name),
+                              total_load=400.0, gamma=0.15, seed=1)
+        report.validate()
+
+
+class TestMakespanBounds:
+    @pytest.mark.parametrize("name", ("simple-1", "umr", "wf", "fixed-rumr"))
+    def test_makespan_at_least_ideal_compute(self, small_grid, name):
+        report = simulate_run(small_grid, make_scheduler(name),
+                              total_load=800.0, seed=0)
+        ideal = 800.0 / small_grid.total_speed
+        assert report.makespan >= ideal
+
+    @pytest.mark.parametrize("name", ("simple-1", "umr", "wf"))
+    def test_makespan_at_least_serial_transfer_of_last_chunk(self, small_grid, name):
+        """The link must carry the whole load: makespan >= W/B + first compute."""
+        report = simulate_run(small_grid, make_scheduler(name),
+                              total_load=800.0, seed=0)
+        serial_comm = 800.0 / small_grid.workers[0].bandwidth
+        assert report.makespan > serial_comm
+
+
+class TestDeterminism:
+    def test_same_seed_same_makespan(self, small_grid):
+        a = simulate_run(small_grid, make_scheduler("wf"), total_load=500.0,
+                         gamma=0.2, seed=9)
+        b = simulate_run(small_grid, make_scheduler("wf"), total_load=500.0,
+                         gamma=0.2, seed=9)
+        assert a.makespan == b.makespan
+
+    def test_different_seeds_differ_under_noise(self, small_grid):
+        a = simulate_run(small_grid, make_scheduler("wf"), total_load=500.0,
+                         gamma=0.2, seed=1)
+        b = simulate_run(small_grid, make_scheduler("wf"), total_load=500.0,
+                         gamma=0.2, seed=2)
+        assert a.makespan != b.makespan
+
+    def test_gamma_zero_is_seed_independent(self, small_grid):
+        a = simulate_run(small_grid, make_scheduler("umr"), total_load=500.0, seed=1)
+        b = simulate_run(small_grid, make_scheduler("umr"), total_load=500.0, seed=2)
+        assert a.makespan == pytest.approx(b.makespan)
+
+
+class TestOptions:
+    def test_probe_time_included_when_requested(self, small_grid):
+        base = simulate_run(small_grid, make_scheduler("umr"), total_load=500.0,
+                            seed=0)
+        with_probe = simulate_run(
+            small_grid, make_scheduler("umr"), total_load=500.0, seed=0,
+            options=SimulationOptions(include_probe_time=True),
+        )
+        assert with_probe.makespan == pytest.approx(
+            base.makespan + base.probe_time
+        )
+        assert base.probe_time > 0
+
+    def test_simple_has_no_probe_cost(self, small_grid):
+        report = simulate_run(small_grid, make_scheduler("simple-1"),
+                              total_load=500.0, seed=0)
+        assert report.probe_time == 0.0
+
+    def test_perfect_estimates_skip_probe(self, small_grid):
+        report = simulate_run(
+            small_grid, make_scheduler("umr"), total_load=500.0, seed=0,
+            options=SimulationOptions(perfect_estimates=True),
+        )
+        assert report.probe_time == 0.0
+
+    def test_output_transfers_extend_makespan(self, small_grid):
+        base = simulate_run(small_grid, make_scheduler("umr"), total_load=500.0, seed=0)
+        with_output = simulate_run(
+            small_grid, make_scheduler("umr"), total_load=500.0, seed=0,
+            options=SimulationOptions(output_factor=0.5),
+        )
+        assert with_output.makespan > base.makespan
+
+    def test_custom_probe_units(self, small_grid):
+        report = simulate_run(
+            small_grid, make_scheduler("umr"), total_load=500.0, seed=0,
+            options=SimulationOptions(probe_units=25.0),
+        )
+        assert report.probe_time > 0
+
+    def test_quantum_quantizes_chunks(self, small_grid):
+        report = simulate_run(
+            small_grid, make_scheduler("wf"), total_load=500.0, seed=0,
+            options=SimulationOptions(quantum=10.0),
+        )
+        for c in report.chunks:
+            if c.offset + c.units < 500.0 - 1e-9:
+                assert (c.offset + c.units) % 10.0 == pytest.approx(0.0, abs=1e-6)
+
+
+class TestErrorHandling:
+    def test_stalling_scheduler_detected(self, small_grid):
+        class Staller(Scheduler):
+            name = "staller"
+            uses_probing = False
+
+            def _plan(self, config):
+                pass
+
+            def next_dispatch(self, now, workers):
+                return None  # never dispatches anything
+
+        with pytest.raises(SchedulingError, match="stalled"):
+            simulate_run(small_grid, Staller(), total_load=100.0, seed=0)
+
+    def test_invalid_worker_dispatch_detected(self, small_grid):
+        from repro.core.base import DispatchRequest
+
+        class BadTarget(Scheduler):
+            name = "bad-target"
+            uses_probing = False
+
+            def _plan(self, config):
+                self.sent = False
+
+            def next_dispatch(self, now, workers):
+                if self.sent:
+                    return None
+                self.sent = True
+                return DispatchRequest(worker_index=99, units=100.0)
+
+        with pytest.raises(SchedulingError, match="invalid worker"):
+            simulate_run(small_grid, BadTarget(), total_load=100.0, seed=0)
+
+    def test_division_total_must_match_load(self, small_grid):
+        division = UniformUnitsDivision(total=50.0, step=1.0)
+        with pytest.raises(SimulationError, match="division covers"):
+            SimulatedMaster(small_grid, make_scheduler("umr"), total_load=100.0,
+                            division=division)
+
+    def test_run_is_single_use(self, small_grid):
+        master = SimulatedMaster(small_grid, make_scheduler("simple-1"),
+                                 total_load=100.0)
+        master.run()
+        with pytest.raises(SimulationError, match="twice"):
+            master.run()
+
+
+class TestSchedulerView:
+    def test_notifications_arrive_in_order(self, small_grid):
+        events = []
+
+        class Recorder(Scheduler):
+            name = "recorder"
+            uses_probing = False
+
+            def _plan(self, config):
+                self.sent = 0
+
+            def next_dispatch(self, now, workers):
+                if self.sent >= 4:
+                    return None
+                self.sent += 1
+                from repro.core.base import DispatchRequest
+
+                return DispatchRequest(worker_index=self.sent - 1, units=25.0)
+
+            def notify_dispatched(self, chunk):
+                super().notify_dispatched(chunk)
+                events.append(("dispatch", chunk.chunk_id))
+
+            def notify_arrival(self, chunk, now):
+                events.append(("arrival", chunk.chunk_id))
+
+            def notify_completion(self, chunk, now, predicted_time, actual_time):
+                events.append(("completion", chunk.chunk_id))
+
+        simulate_run(small_grid, Recorder(), total_load=100.0, seed=0)
+        for cid in range(4):
+            d = events.index(("dispatch", cid))
+            a = events.index(("arrival", cid))
+            c = events.index(("completion", cid))
+            assert d < a < c

@@ -1,0 +1,101 @@
+"""Tests for the monitoring-service estimate source (paper Section 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.apst.monitoring import MonitoringConfig, MonitoringService
+from repro.core.registry import make_scheduler
+from repro.errors import ProbeError, SimulationError
+from repro.simulation.master import SimulationOptions, simulate_run
+
+
+class TestMonitoringService:
+    def test_estimates_are_free(self, small_grid):
+        service = MonitoringService(list(small_grid.workers), seed=0)
+        result = service.estimates()
+        assert result.duration == 0.0
+        assert len(result.estimates) == len(small_grid)
+
+    def test_errors_are_persistent_across_queries(self, small_grid):
+        service = MonitoringService(list(small_grid.workers), seed=0)
+        first = service.estimates().estimates
+        second = service.estimates().estimates
+        assert [w.speed for w in first] == [w.speed for w in second]
+
+    def test_translation_error_magnitude(self, small_grid):
+        errors = []
+        for seed in range(200):
+            service = MonitoringService(
+                list(small_grid.workers),
+                MonitoringConfig(translation_error=0.25),
+                seed=seed,
+            )
+            est = service.estimates().estimates[0]
+            errors.append(est.speed / small_grid.workers[0].speed - 1.0)
+        assert abs(float(np.mean(errors))) < 0.06
+        assert float(np.std(errors)) == pytest.approx(0.25, rel=0.2)
+
+    def test_zero_error_config_returns_truth(self, small_grid):
+        service = MonitoringService(
+            list(small_grid.workers),
+            MonitoringConfig(translation_error=0.0, latency_error=0.0),
+            seed=1,
+        )
+        for est, true in zip(service.estimates().estimates, small_grid.workers):
+            assert est.speed == pytest.approx(true.speed)
+            assert est.comm_latency == pytest.approx(true.comm_latency)
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ProbeError):
+            MonitoringService([])
+
+    def test_invalid_config(self):
+        with pytest.raises(ProbeError):
+            MonitoringConfig(translation_error=-0.1)
+
+
+class TestEstimateSourceOption:
+    def test_monitor_source_runs_and_conserves(self, small_grid):
+        options = SimulationOptions(estimate_source="monitor")
+        report = simulate_run(small_grid, make_scheduler("umr"), total_load=800.0,
+                              seed=2, options=options)
+        assert sum(c.units for c in report.chunks) == pytest.approx(800.0)
+        assert report.probe_time == 0.0
+
+    def test_monitor_estimates_degrade_umr_vs_probe(self, small_grid):
+        """The paper's rationale for probing: monitored info is free but
+        mispredicts application-level rates, hurting plan-based UMR."""
+        import statistics
+
+        def mean_makespan(source):
+            return statistics.mean(
+                simulate_run(
+                    small_grid, make_scheduler("umr"), total_load=2000.0,
+                    gamma=0.0, seed=seed,
+                    options=SimulationOptions(estimate_source=source),
+                ).makespan
+                for seed in range(8)
+            )
+
+        monitored = mean_makespan("monitor")
+        probed = mean_makespan("probe")
+        assert monitored > probed * 1.01
+
+    def test_unknown_source_rejected(self, small_grid):
+        options = SimulationOptions(estimate_source="astrology")
+        with pytest.raises(SimulationError, match="estimate_source"):
+            simulate_run(small_grid, make_scheduler("umr"), total_load=100.0,
+                         options=options)
+
+    def test_bad_monitoring_config_type_rejected(self, small_grid):
+        options = SimulationOptions(estimate_source="monitor", monitoring=42)
+        with pytest.raises(SimulationError, match="MonitoringConfig"):
+            simulate_run(small_grid, make_scheduler("umr"), total_load=100.0,
+                         options=options)
+
+    def test_perfect_estimates_still_wins(self, small_grid):
+        options = SimulationOptions(perfect_estimates=True,
+                                    estimate_source="monitor")
+        report = simulate_run(small_grid, make_scheduler("umr"), total_load=500.0,
+                              seed=0, options=options)
+        assert report.probe_time == 0.0

@@ -1,0 +1,123 @@
+"""Tests for the serialized master link."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform.resources import WorkerSpec
+from repro.simulation.compute import ComputeModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import SerializedLink
+
+
+def _link(n_workers=2, bandwidth=10.0, latency=1.0):
+    engine = SimulationEngine()
+    workers = [
+        WorkerSpec(f"w{i}", speed=1.0, bandwidth=bandwidth, comm_latency=latency)
+        for i in range(n_workers)
+    ]
+    model = ComputeModel(workers, seed=0)
+    return engine, SerializedLink(engine, model)
+
+
+class TestSerialization:
+    def test_single_transfer_duration(self):
+        engine, link = _link()
+        done = []
+        link.submit(0, 20.0, lambda rec: done.append(rec))
+        engine.run()
+        assert len(done) == 1
+        rec = done[0]
+        assert rec.start_time == 0.0
+        assert rec.end_time == pytest.approx(1.0 + 2.0)
+
+    def test_transfers_are_serialized_fifo(self):
+        engine, link = _link()
+        done = []
+        link.submit(0, 10.0, done.append)   # 1 + 1 = 2s
+        link.submit(1, 20.0, done.append)   # 1 + 2 = 3s
+        engine.run()
+        assert [r.worker_index for r in done] == [0, 1]
+        assert done[0].end_time == pytest.approx(2.0)
+        assert done[1].start_time == pytest.approx(2.0)
+        assert done[1].end_time == pytest.approx(5.0)
+
+    def test_no_overlap_among_many_transfers(self):
+        engine, link = _link(n_workers=5)
+        for i in range(5):
+            for _ in range(3):
+                link.submit(i, 5.0, lambda rec: None)
+        engine.run()
+        records = sorted(link.records, key=lambda r: r.start_time)
+        for a, b in zip(records, records[1:]):
+            assert b.start_time >= a.end_time - 1e-12
+
+    def test_zero_size_transfer_pays_latency_only(self):
+        engine, link = _link(latency=2.5)
+        done = []
+        link.submit(0, 0.0, done.append)
+        engine.run()
+        assert done[0].duration == pytest.approx(2.5)
+
+    def test_negative_size_rejected(self):
+        _, link = _link()
+        with pytest.raises(SimulationError):
+            link.submit(0, -1.0, lambda rec: None)
+
+
+class TestBookkeeping:
+    def test_busy_time_accumulates(self):
+        engine, link = _link()
+        link.submit(0, 10.0, lambda rec: None)  # 2s
+        link.submit(1, 10.0, lambda rec: None)  # 2s
+        engine.run()
+        assert link.busy_time == pytest.approx(4.0)
+
+    def test_utilization(self):
+        engine, link = _link()
+        link.submit(0, 10.0, lambda rec: None)
+        engine.run()
+        assert link.utilization(4.0) == pytest.approx(0.5)
+        with pytest.raises(SimulationError):
+            link.utilization(0.0)
+
+    def test_on_idle_fires_when_queue_drains(self):
+        engine, link = _link()
+        idles = []
+        link.on_idle = lambda: idles.append(engine.now)
+        link.submit(0, 10.0, lambda rec: None)
+        link.submit(1, 10.0, lambda rec: None)
+        engine.run()
+        # only once, when the last transfer completes
+        assert idles == [pytest.approx(4.0)]
+
+    def test_completion_callback_can_submit_more(self):
+        engine, link = _link()
+        done = []
+
+        def chain(rec):
+            done.append(rec)
+            if len(done) < 3:
+                link.submit(0, 10.0, chain)
+
+        link.submit(0, 10.0, chain)
+        engine.run()
+        assert len(done) == 3
+        assert done[-1].end_time == pytest.approx(6.0)
+
+    def test_tag_round_trips(self):
+        engine, link = _link()
+        seen = []
+        link.submit(0, 1.0, lambda rec: seen.append(rec.tag), tag="payload")
+        engine.run()
+        assert seen == ["payload"]
+
+    def test_queue_length_visible(self):
+        engine, link = _link()
+        link.submit(0, 10.0, lambda rec: None)
+        link.submit(0, 10.0, lambda rec: None)
+        link.submit(0, 10.0, lambda rec: None)
+        assert link.busy
+        assert link.queued == 2
+        engine.run()
+        assert not link.busy
+        assert link.queued == 0

@@ -1,0 +1,139 @@
+"""Tests for the lineage algorithms: one-round DLS and multi-installment."""
+
+import pytest
+
+from repro.core.multiinstallment import MultiInstallment
+from repro.core.oneround import OneRound, solve_one_round
+from repro.errors import InfeasibleScheduleError, SchedulingError
+from repro.platform.resources import Grid, WorkerSpec
+from repro.simulation.master import simulate_run
+
+
+def _workers(n=3, speed=1.0, bandwidth=10.0, comm_latency=0.0, comp_latency=0.0):
+    return [
+        WorkerSpec(f"w{i}", speed=speed, bandwidth=bandwidth,
+                   comm_latency=comm_latency, comp_latency=comp_latency)
+        for i in range(n)
+    ]
+
+
+def _finish_times(workers, chunks, affine=True):
+    """Analytic finish time per worker under serialized transfers."""
+    t = 0.0
+    finishes = []
+    for w, a in zip(workers, chunks):
+        if a <= 0:
+            continue
+        t += (w.comm_latency if affine else 0.0) + a / w.bandwidth
+        finishes.append(t + (w.comp_latency if affine else 0.0) + a / w.speed)
+    return finishes
+
+
+class TestSolveOneRound:
+    def test_load_conserved(self):
+        chunks = solve_one_round(_workers(), total_load=300.0)
+        assert sum(chunks) == pytest.approx(300.0)
+
+    def test_equal_finish_times_linear(self):
+        workers = _workers(4, bandwidth=5.0)
+        chunks = solve_one_round(workers, total_load=200.0, affine=False)
+        finishes = _finish_times(workers, chunks, affine=False)
+        assert max(finishes) == pytest.approx(min(finishes), rel=1e-9)
+
+    def test_equal_finish_times_affine(self):
+        workers = _workers(4, bandwidth=5.0, comm_latency=0.7, comp_latency=0.3)
+        chunks = solve_one_round(workers, total_load=200.0, affine=True)
+        finishes = _finish_times(workers, chunks, affine=True)
+        assert max(finishes) == pytest.approx(min(finishes), rel=1e-9)
+
+    def test_heterogeneous_faster_worker_gets_more(self):
+        workers = [
+            WorkerSpec("fast", speed=4.0, bandwidth=10.0),
+            WorkerSpec("slow", speed=1.0, bandwidth=10.0),
+        ]
+        chunks = solve_one_round(workers, total_load=100.0, affine=False)
+        assert chunks[0] > chunks[1]
+
+    def test_early_workers_get_more_under_linear_model(self):
+        """Workers served first start computing sooner, so equal finish
+        times give them larger chunks."""
+        workers = _workers(3, bandwidth=2.0)
+        chunks = solve_one_round(workers, total_load=100.0, affine=False)
+        assert chunks[0] > chunks[1] > chunks[2]
+
+    def test_infeasible_worker_excluded(self):
+        workers = [
+            WorkerSpec("good", speed=1.0, bandwidth=10.0),
+            WorkerSpec("awful", speed=0.001, bandwidth=10.0, comp_latency=10_000.0),
+        ]
+        chunks = solve_one_round(workers, total_load=10.0, affine=True)
+        assert chunks[1] == 0.0
+        assert chunks[0] == pytest.approx(10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchedulingError):
+            solve_one_round([], 10.0)
+        with pytest.raises(SchedulingError):
+            solve_one_round(_workers(), 0.0)
+
+
+class TestOneRoundScheduler:
+    def test_end_to_end_conservation(self, small_grid):
+        report = simulate_run(small_grid, OneRound(), total_load=400.0, seed=0)
+        assert sum(c.units for c in report.chunks) == pytest.approx(400.0)
+        assert report.num_rounds <= 2  # one round plus possible slack chunk
+
+    def test_simultaneous_finish_in_simulation(self, latency_free_grid):
+        report = simulate_run(
+            latency_free_grid, OneRound(affine=False), total_load=400.0, seed=0
+        )
+        ends = [max(c.compute_end for c in report.chunks if c.worker_index == i)
+                for i in range(4)]
+        assert max(ends) - min(ends) < 0.05 * report.makespan
+
+    def test_multi_round_beats_one_round_with_latencies(self, small_grid):
+        from repro.core.umr import UMR
+
+        one = simulate_run(small_grid, OneRound(), total_load=2000.0, seed=0)
+        multi = simulate_run(small_grid, UMR(), total_load=2000.0, seed=0)
+        assert multi.makespan < one.makespan
+
+    def test_annotations(self, small_grid):
+        report = simulate_run(small_grid, OneRound(), total_load=400.0, seed=0)
+        assert report.annotations["oneround_affine"] is True
+        assert report.annotations["oneround_excluded_workers"] == []
+
+
+class TestMultiInstallment:
+    def test_geometric_round_growth(self):
+        s = MultiInstallment(rounds=4)
+        from repro.core.base import SchedulerConfig
+
+        s.configure(SchedulerConfig(estimates=_workers(2, bandwidth=8.0),
+                                    total_load=1000.0))
+        sizes = [r.units for r in s._queue]
+        # ratio = B / (N * S) = 8 / 2 = 4
+        assert sizes[2] / sizes[0] == pytest.approx(4.0)
+
+    def test_load_conserved_end_to_end(self, small_grid):
+        report = simulate_run(small_grid, MultiInstallment(5), total_load=900.0, seed=0)
+        assert sum(c.units for c in report.chunks) == pytest.approx(900.0)
+        assert report.num_rounds <= 6
+
+    def test_invalid_rounds(self):
+        with pytest.raises(SchedulingError):
+            MultiInstallment(0)
+
+    def test_umr_beats_fixed_installments_with_startup_costs(self):
+        """The UMR paper's motivating comparison: optimized round count and
+        affine costs beat a 'magically fixed' round count."""
+        from repro.core.umr import UMR
+        from repro.platform.presets import das2_cluster
+
+        grid = das2_cluster(nodes=16)
+        umr = simulate_run(grid, UMR(), total_load=10_000.0, seed=0)
+        best_fixed = min(
+            simulate_run(grid, MultiInstallment(m), total_load=10_000.0, seed=0).makespan
+            for m in (2, 5)
+        )
+        assert umr.makespan < best_fixed * 1.02

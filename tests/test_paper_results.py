@@ -1,0 +1,215 @@
+"""The paper's headline experimental findings, asserted as tests.
+
+These are compact (fewer seeds than the benches) sanity versions of the
+Section 4 / Section 5 results; the full 10-run reproductions with
+paper-vs-measured tables live in benchmarks/.  Each test names the claim
+in the paper it checks.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, run_experiment
+from repro.platform.presets import (
+    PAPER_LOAD_UNITS,
+    das2_cluster,
+    grail_lan,
+    meteor_cluster,
+    mixed_grid,
+)
+
+ALGS = ("simple-1", "simple-5", "umr", "wf", "rumr", "fixed-rumr")
+RUNS = 4
+
+
+def _experiment(grid_factory, gamma, load=PAPER_LOAD_UNITS, ac=0.0, runs=RUNS):
+    return run_experiment(
+        ExperimentConfig(
+            label="test",
+            grid_factory=grid_factory,
+            total_load=load,
+            gamma=gamma,
+            algorithms=ALGS,
+            runs=runs,
+            noise_autocorrelation=ac,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def das2_g0():
+    return _experiment(lambda: das2_cluster(16), 0.0)
+
+
+@pytest.fixture(scope="module")
+def das2_g10():
+    return _experiment(lambda: das2_cluster(16), 0.10)
+
+
+@pytest.fixture(scope="module")
+def meteor_g0():
+    return _experiment(lambda: meteor_cluster(16), 0.0)
+
+
+@pytest.fixture(scope="module")
+def meteor_g10():
+    return _experiment(lambda: meteor_cluster(16), 0.10)
+
+
+@pytest.fixture(scope="module")
+def mixed_g10():
+    return _experiment(mixed_grid, 0.10)
+
+
+@pytest.fixture(scope="module")
+def grail_g20():
+    return _experiment(grail_lan, 0.20, load=1830.0, ac=0.6, runs=6)
+
+
+class TestFigure2DAS2:
+    def test_umr_and_rumr_best_at_gamma_zero(self, das2_g0):
+        """'The RUMR and UMR algorithms lead to the best performance.'"""
+        slow = das2_g0.slowdowns()
+        assert slow["umr"] < 0.02
+        assert slow["rumr"] == pytest.approx(slow["umr"], abs=0.01)
+
+    def test_rumr_equals_umr_at_gamma_zero(self, das2_g0):
+        """'RUMR degenerates to pure UMR' without uncertainty."""
+        assert das2_g0.makespan("rumr") == pytest.approx(
+            das2_g0.makespan("umr"), rel=1e-6
+        )
+
+    def test_simple1_much_slower(self, das2_g0):
+        """Paper: SIMPLE-1 26% slower (we overshoot; see EXPERIMENTS.md)."""
+        assert das2_g0.slowdowns()["simple-1"] > 0.20
+
+    def test_simple5_moderately_slower(self, das2_g0):
+        """Paper: SIMPLE-5 about 5% slower."""
+        assert 0.02 < das2_g0.slowdowns()["simple-5"] < 0.15
+
+    def test_factoring_slower_than_umr_at_gamma_zero(self, das2_g0):
+        """Paper: Factoring ~10% slower, 'due to poor overlap'."""
+        assert das2_g0.makespan("wf") > das2_g0.makespan("umr") * 1.03
+
+    def test_wf_beats_umr_at_gamma_ten(self, das2_g10):
+        """Paper: 'Weighted Factoring is about 8% faster than UMR.'"""
+        assert das2_g10.makespan("wf") < das2_g10.makespan("umr") * 0.96
+
+    def test_online_rumr_fails_to_switch_in_time(self, das2_g10):
+        """Paper: 'when RUMR discovers that it should switch ... it is too
+        late' -- so RUMR stays close to UMR, well above Fixed-RUMR."""
+        assert das2_g10.makespan("rumr") > das2_g10.makespan("fixed-rumr") * 1.04
+        switched = das2_g10.by_algorithm["rumr"].count_annotation("rumr_switched")
+        assert switched <= RUNS // 2
+
+    def test_fixed_rumr_best_at_gamma_ten(self, das2_g10):
+        """Paper: 'the Fixed-RUMR algorithm does the best'."""
+        assert das2_g10.best_algorithm == "fixed-rumr"
+
+
+class TestFigure3Meteor:
+    def test_all_sophisticated_algorithms_comparable_at_gamma_zero(self, meteor_g0):
+        """Paper: low start-up costs -> 'the UMR approach does not lead to
+        any advantage'; everything except SIMPLE-n is within a few %."""
+        slow = meteor_g0.slowdowns()
+        for name in ("umr", "wf", "rumr", "fixed-rumr"):
+            assert slow[name] < 0.10
+
+    def test_simple_n_clearly_slower_at_gamma_zero(self, meteor_g0):
+        """Paper: SIMPLE-1 +21%, SIMPLE-5 +24%."""
+        slow = meteor_g0.slowdowns()
+        assert slow["simple-1"] > 0.12
+        assert slow["simple-5"] > 0.08
+
+    def test_wf_wins_at_gamma_ten(self, meteor_g10):
+        """Paper: 'clearly the Weighted Factoring approach is the best'
+        (Fixed-RUMR ties it; everything else trails clearly)."""
+        slow = meteor_g10.slowdowns()
+        assert slow["wf"] < 0.05
+        assert slow["wf"] < slow["umr"] - 0.08
+
+    def test_umr_and_rumr_suffer_at_gamma_ten(self, meteor_g10):
+        """Paper: UMR +20%, RUMR +23% on Meteor at gamma = 10%."""
+        slow = meteor_g10.slowdowns()
+        assert slow["umr"] > 0.10
+        assert slow["rumr"] > 0.08
+
+    def test_fixed_rumr_matches_wf_at_gamma_ten(self, meteor_g10):
+        """Paper: 'Fixed-RUMR leads to roughly the same performance as
+        Weighted Factoring.'"""
+        assert meteor_g10.makespan("fixed-rumr") == pytest.approx(
+            meteor_g10.makespan("wf"), rel=0.05
+        )
+
+
+class TestFigure4Mixed:
+    def test_adaptive_algorithms_win_at_gamma_ten(self, mixed_g10):
+        """Paper: 'Weighted Factoring and Fixed-RUMR lead to the best
+        performance' on the two-cluster grid with uncertainty."""
+        slow = mixed_g10.slowdowns()
+        assert min(slow["wf"], slow["fixed-rumr"]) == 0.0
+        assert max(slow["wf"], slow["fixed-rumr"]) < 0.06
+
+    def test_simple_n_poor(self, mixed_g10):
+        """Paper: SIMPLE-1 +28%, SIMPLE-5 +14%."""
+        slow = mixed_g10.slowdowns()
+        assert slow["simple-1"] > 0.20
+        assert slow["simple-5"] > 0.07
+        assert slow["simple-1"] > slow["simple-5"]
+
+
+class TestSection5CaseStudy:
+    def test_wf_and_rumr_lead(self, grail_g20):
+        """Paper: 'Weighted Factoring leads to the best performance.
+        Interestingly, RUMR's performance is roughly the same (within 2%).'"""
+        slow = grail_g20.slowdowns()
+        assert min(slow["wf"], slow["rumr"]) == 0.0
+        assert abs(slow["wf"] - slow["rumr"]) < 0.05
+
+    def test_rumr_switches_in_every_run(self, grail_g20):
+        """Paper: 'the RUMR algorithm successfully switches to its second
+        phase in every one of the ten runs.'"""
+        rumr = grail_g20.by_algorithm["rumr"]
+        assert rumr.count_annotation("rumr_switched") == len(rumr.annotations)
+
+    def test_umr_and_fixed_rumr_trail(self, grail_g20):
+        """Paper: UMR and Fixed-RUMR ~7% slower, 'as they do not account
+        for uncertainty sufficiently'."""
+        slow = grail_g20.slowdowns()
+        assert slow["fixed-rumr"] > 0.02
+        assert slow["umr"] > 0.05
+
+    def test_simple_n_far_behind(self, grail_g20):
+        """Paper: SIMPLE-5 +38%, SIMPLE-1 +52%."""
+        slow = grail_g20.slowdowns()
+        assert slow["simple-1"] > 0.35
+        assert slow["simple-5"] > 0.30
+
+
+class TestSection43Averages:
+    def test_simple_n_always_inefficient_on_average(
+        self, das2_g0, das2_g10, meteor_g0, meteor_g10, mixed_g10
+    ):
+        """Paper conclusion 1: 'on average SIMPLE-1 and SIMPLE-5 are 28%
+        and 18% slower than the best algorithm'."""
+        from repro.analysis.metrics import mean_slowdown_across
+
+        scenarios = [
+            r.slowdowns()
+            for r in (das2_g0, das2_g10, meteor_g0, meteor_g10, mixed_g10)
+        ]
+        means = mean_slowdown_across(scenarios)
+        assert means["simple-1"] > 0.18
+        assert means["simple-5"] > 0.08
+        assert means["simple-1"] > means["simple-5"]
+
+    def test_umr_poor_under_uncertainty_on_average(
+        self, das2_g10, meteor_g10, mixed_g10
+    ):
+        """Paper conclusion 2: UMR 'on average 17% slower than the best
+        algorithm' when uncertainty is significant."""
+        from repro.analysis.metrics import mean_slowdown_across
+
+        means = mean_slowdown_across(
+            [r.slowdowns() for r in (das2_g10, meteor_g10, mixed_g10)]
+        )
+        assert means["umr"] > 0.10

@@ -1,0 +1,80 @@
+"""Round-trip tests for platform XML serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apst.division import LoadTracker, SeparatorDivision
+from repro.apst.xmlspec import parse_platform, platform_to_xml
+from repro.platform.presets import das2_cluster, grail_lan, mixed_grid
+from repro.platform.resources import Grid, WorkerSpec
+
+
+class TestPlatformRoundTrip:
+    @pytest.mark.parametrize("factory", [
+        lambda: das2_cluster(4), grail_lan, mixed_grid,
+    ])
+    def test_presets_round_trip(self, factory):
+        grid = factory()
+        rebuilt = parse_platform(platform_to_xml(grid))
+        assert len(rebuilt) == len(grid)
+        for a, b in zip(rebuilt.workers, grid.workers):
+            assert a.name == b.name
+            assert a.speed == pytest.approx(b.speed)
+            assert a.bandwidth == pytest.approx(b.bandwidth)
+            assert a.comm_latency == pytest.approx(b.comm_latency)
+            assert a.comp_latency == pytest.approx(b.comp_latency)
+            assert a.cluster == b.cluster
+
+    @given(
+        params=st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=100.0),
+                st.floats(min_value=0.01, max_value=1000.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_grids_round_trip_exactly(self, params):
+        grid = Grid(workers=tuple(
+            WorkerSpec(f"w{i}", speed=s, bandwidth=b, comm_latency=lat)
+            for i, (s, b, lat) in enumerate(params)
+        ))
+        rebuilt = parse_platform(platform_to_xml(grid))
+        # repr() serialization: exact float round trip
+        assert rebuilt.workers == grid.workers
+
+
+class TestSeparatorDivisionFuzz:
+    @given(
+        records=st.lists(
+            st.binary(min_size=0, max_size=30).map(
+                lambda b: b.replace(b"\n", b"x")
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        requests=st.lists(st.floats(min_value=0.5, max_value=200.0),
+                          min_size=1, max_size=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chunks_always_hold_whole_records(self, tmp_path_factory, records,
+                                              requests):
+        tmp = tmp_path_factory.mktemp("sep")
+        path = tmp / "records.db"
+        path.write_bytes(b"".join(r + b"\n" for r in records))
+        division = SeparatorDivision(path, separator=b"\n")
+        tracker = LoadTracker(division)
+        reassembled = b""
+        i = 0
+        while not tracker.exhausted:
+            extent = tracker.take(requests[i % len(requests)])
+            i += 1
+            chunk = division.extract(extent).read_bytes()
+            assert chunk.endswith(b"\n")
+            reassembled += chunk
+        # chunks partition the file exactly
+        assert reassembled == path.read_bytes()

@@ -1,0 +1,138 @@
+"""Tests for submission pre-flight checks."""
+
+import pytest
+
+from repro.apst.division import UniformBytesDivision, UniformUnitsDivision
+from repro.apst.preflight import Finding, preflight_check
+from repro.apst.xmlspec import DivisibilitySpec, TaskSpec
+from repro.platform.resources import Cluster, Grid
+
+
+@pytest.fixture
+def grid():
+    return Grid.from_clusters(
+        Cluster.homogeneous("g", 4, speed=1.0, bandwidth=10.0)
+    )
+
+
+def _task(method="uniform", algorithm="umr", **kwargs):
+    defaults = dict(input="load.bin", method=method, algorithm=algorithm)
+    if method == "uniform":
+        defaults.update(steptype="bytes", stepsize=10)
+    defaults.update(kwargs)
+    return TaskSpec(executable="app", divisibility=DivisibilitySpec(**defaults))
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+class TestAlgorithmChecks:
+    def test_unknown_algorithm_is_error(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        findings = preflight_check(_task(algorithm="warp-drive"), grid,
+                                   base_dir=tmp_path)
+        assert "unknown-algorithm" in _codes(findings)
+        assert any(f.severity == "error" for f in findings)
+
+    def test_simple_n_gets_performance_warning(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        findings = preflight_check(_task(algorithm="simple-1"), grid,
+                                   base_dir=tmp_path)
+        assert "static-chunking" in _codes(findings)
+
+    def test_clean_submission_has_no_errors(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        (tmp_path / "probe.bin").write_bytes(bytes(10))
+        findings = preflight_check(_task(probe="probe.bin"), grid,
+                                   base_dir=tmp_path)
+        assert not [f for f in findings if f.severity == "error"]
+
+
+class TestFileChecks:
+    def test_missing_input(self, grid, tmp_path):
+        findings = preflight_check(_task(), grid, base_dir=tmp_path)
+        assert "missing-input" in _codes(findings)
+
+    def test_empty_input(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(b"")
+        findings = preflight_check(_task(), grid, base_dir=tmp_path)
+        assert "empty-input" in _codes(findings)
+
+    def test_missing_index_file(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        findings = preflight_check(
+            _task(method="index", indexfile="load.idx"), grid, base_dir=tmp_path
+        )
+        assert "missing-index" in _codes(findings)
+
+    def test_missing_callback_program(self, grid, tmp_path):
+        findings = preflight_check(
+            _task(method="callback", callback="extract.pl", load=100),
+            grid, base_dir=tmp_path,
+        )
+        assert "missing-callback" in _codes(findings)
+
+    def test_module_callback_not_flagged(self, grid, tmp_path):
+        findings = preflight_check(
+            _task(method="callback",
+                  callback="python -m repro.workloads.video_callback",
+                  load=100),
+            grid, base_dir=tmp_path,
+        )
+        assert "missing-callback" not in _codes(findings)
+
+
+class TestProbeChecks:
+    def test_probing_algorithm_without_probe_warns(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        findings = preflight_check(_task(algorithm="umr"), grid, base_dir=tmp_path)
+        assert "no-probe-input" in _codes(findings)
+
+    def test_simple_does_not_need_probe(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        findings = preflight_check(_task(algorithm="simple-1"), grid,
+                                   base_dir=tmp_path)
+        assert "no-probe-input" not in _codes(findings)
+
+    def test_missing_probe_file_is_error(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        findings = preflight_check(_task(probe="ghost.bin"), grid,
+                                   base_dir=tmp_path)
+        assert "missing-probe" in _codes(findings)
+
+
+class TestDivisionChecks:
+    def test_coarse_division_warns(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        division = UniformUnitsDivision(total=100.0, step=50.0)
+        findings = preflight_check(_task(probe_load=5), grid,
+                                   base_dir=tmp_path, division=division)
+        assert "coarse-division" in _codes(findings)
+
+    def test_indivisible_load_is_error(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        division = UniformUnitsDivision(total=100.0, step=100.0)
+        findings = preflight_check(_task(probe_load=5), grid,
+                                   base_dir=tmp_path, division=division)
+        assert "indivisible-load" in _codes(findings)
+
+    def test_very_fine_division_warns(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(100))
+        division = UniformUnitsDivision(total=1e9, step=1.0)
+        findings = preflight_check(_task(probe_load=5), grid,
+                                   base_dir=tmp_path, division=division)
+        assert "very-fine-division" in _codes(findings)
+
+    def test_tiny_load_warns(self, grid, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(2))
+        division = UniformBytesDivision(tmp_path / "load.bin", stepsize=1)
+        findings = preflight_check(_task(probe_load=1), grid,
+                                   base_dir=tmp_path, division=division)
+        assert "load-smaller-than-platform" in _codes(findings)
+
+
+class TestFindingFormat:
+    def test_str_rendering(self):
+        f = Finding("warning", "demo", "something looks off")
+        assert str(f) == "[warning] demo: something looks off"

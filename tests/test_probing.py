@@ -1,0 +1,78 @@
+"""Tests for probe-based resource information collection (Section 3.5)."""
+
+import pytest
+
+from repro.apst.probing import (
+    ProbeResult,
+    default_probe_units,
+    perfect_information,
+    run_probe_phase,
+)
+from repro.errors import ProbeError
+from repro.simulation.compute import ComputeModel, UncertaintyModel
+
+
+class TestProbePhase:
+    def test_estimates_exact_on_deterministic_platform(self, hetero_grid):
+        model = ComputeModel(hetero_grid.workers, seed=0)
+        result = run_probe_phase(list(hetero_grid.workers), model, probe_units=5.0)
+        for est, true in zip(result.estimates, hetero_grid.workers):
+            assert est.speed == pytest.approx(true.speed, rel=1e-6)
+            assert est.bandwidth == pytest.approx(true.bandwidth, rel=1e-6)
+            assert est.comm_latency == pytest.approx(true.comm_latency, rel=1e-6)
+            assert est.comp_latency == pytest.approx(true.comp_latency, rel=1e-6)
+
+    def test_probe_duration_covers_serialized_transfers(self, hetero_grid):
+        model = ComputeModel(hetero_grid.workers, seed=0)
+        result = run_probe_phase(list(hetero_grid.workers), model, probe_units=5.0)
+        serial_comm = sum(
+            2 * w.comm_latency + 5.0 / w.bandwidth for w in hetero_grid.workers
+        )
+        assert result.duration >= serial_comm
+
+    def test_noisy_platform_gives_noisy_speed_estimates(self, small_grid):
+        model = ComputeModel(small_grid.workers, UncertaintyModel(gamma=0.2), seed=3)
+        result = run_probe_phase(list(small_grid.workers), model, probe_units=5.0)
+        speeds = [e.speed for e in result.estimates]
+        true = small_grid.workers[0].speed
+        assert any(abs(s - true) / true > 0.01 for s in speeds)
+
+    def test_estimates_preserve_names_and_clusters(self, small_grid):
+        model = ComputeModel(small_grid.workers, seed=0)
+        result = run_probe_phase(list(small_grid.workers), model, probe_units=1.0)
+        assert [e.name for e in result.estimates] == [w.name for w in small_grid.workers]
+        assert all(e.cluster == "test" for e in result.estimates)
+
+    def test_empty_platform_rejected(self, small_grid):
+        model = ComputeModel(small_grid.workers, seed=0)
+        with pytest.raises(ProbeError):
+            run_probe_phase([], model, probe_units=1.0)
+
+    def test_nonpositive_probe_rejected(self, small_grid):
+        model = ComputeModel(small_grid.workers, seed=0)
+        with pytest.raises(ProbeError):
+            run_probe_phase(list(small_grid.workers), model, probe_units=0.0)
+
+
+class TestPerfectInformation:
+    def test_returns_truth_at_zero_cost(self, hetero_grid):
+        result = perfect_information(list(hetero_grid.workers))
+        assert isinstance(result, ProbeResult)
+        assert result.duration == 0.0
+        assert result.estimates == list(hetero_grid.workers)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProbeError):
+            perfect_information([])
+
+
+class TestDefaultProbeUnits:
+    def test_fraction_of_load(self):
+        assert default_probe_units(10_000.0) == pytest.approx(20.0)
+
+    def test_floor_for_small_loads(self):
+        assert default_probe_units(10.0) == 1.0
+
+    def test_invalid_load(self):
+        with pytest.raises(ProbeError):
+            default_probe_units(0.0)

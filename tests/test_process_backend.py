@@ -1,0 +1,180 @@
+"""Tests for the multi-process execution backend and its protocol."""
+
+import io
+import json
+
+import pytest
+
+from repro.apst.division import UniformBytesDivision
+from repro.core.registry import make_scheduler
+from repro.errors import ExecutionError
+from repro.execution.appspec import app_spec, load_app
+from repro.execution.local import DigestApp
+from repro.execution.process_backend import ProcessExecutionBackend
+from repro.execution.worker_proc import serve
+from repro.platform.resources import Cluster, Grid
+
+
+class TestAppSpec:
+    def test_round_trip(self):
+        spec = app_spec(DigestApp)
+        app = load_app(spec)
+        assert isinstance(app, DigestApp)
+
+    def test_kwargs_forwarded(self):
+        from repro.workloads.synthetic import SyntheticApp
+
+        spec = app_spec(SyntheticApp, flops_per_unit=123.0)
+        app = load_app(spec)
+        assert app._flops_per_unit == 123.0
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ExecutionError):
+            load_app("")
+        with pytest.raises(ExecutionError):
+            load_app("no-colon")
+        with pytest.raises(ExecutionError):
+            load_app("nonexistent.module:Thing")
+        with pytest.raises(ExecutionError):
+            load_app("repro.execution.local:NotAClass")
+        with pytest.raises(ExecutionError):
+            load_app("repro.execution.local:DigestApp|{bad json")
+        with pytest.raises(ExecutionError):
+            load_app('repro.execution.local:DigestApp|[1,2]')
+
+    def test_non_processor_rejected(self):
+        with pytest.raises(ExecutionError, match="process"):
+            load_app("pathlib:PurePath")
+
+
+class TestWorkerProtocol:
+    def _serve(self, requests, tmp_path):
+        stdin = io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n")
+        stdout = io.StringIO()
+        status = serve(app_spec(DigestApp), str(tmp_path), stdin=stdin, stdout=stdout)
+        replies = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        return status, replies
+
+    def test_ready_process_shutdown(self, tmp_path):
+        chunk = tmp_path / "c.in"
+        chunk.write_bytes(b"hello")
+        status, replies = self._serve(
+            [{"cmd": "process", "chunk_id": 3, "path": str(chunk), "units": 5.0},
+             {"cmd": "shutdown"}],
+            tmp_path,
+        )
+        assert status == 0
+        assert replies[0]["status"] == "ready"
+        assert replies[1]["status"] == "ok"
+        assert replies[1]["chunk_id"] == 3
+        assert replies[-1]["status"] == "bye"
+        import hashlib
+
+        from pathlib import Path
+
+        result = Path(replies[1]["result_path"]).read_bytes()
+        assert result == hashlib.sha256(b"hello").digest()
+
+    def test_min_wall_time_padding(self, tmp_path):
+        chunk = tmp_path / "c.in"
+        chunk.write_bytes(b"x")
+        status, replies = self._serve(
+            [{"cmd": "process", "chunk_id": 0, "path": str(chunk),
+              "units": 1.0, "min_wall_time": 0.05},
+             {"cmd": "shutdown"}],
+            tmp_path,
+        )
+        assert replies[1]["wall_time"] >= 0.05
+
+    def test_missing_file_reports_error_and_keeps_serving(self, tmp_path):
+        good = tmp_path / "ok.in"
+        good.write_bytes(b"fine")
+        status, replies = self._serve(
+            [{"cmd": "process", "chunk_id": 0, "path": str(tmp_path / "nope"),
+              "units": 1.0},
+             {"cmd": "process", "chunk_id": 1, "path": str(good), "units": 4.0},
+             {"cmd": "shutdown"}],
+            tmp_path,
+        )
+        assert status == 0
+        assert replies[1]["status"] == "error"
+        assert replies[2]["status"] == "ok"
+
+    def test_garbage_request_handled(self, tmp_path):
+        stdin = io.StringIO("{not json}\n" + json.dumps({"cmd": "shutdown"}) + "\n")
+        stdout = io.StringIO()
+        status = serve(app_spec(DigestApp), str(tmp_path), stdin=stdin, stdout=stdout)
+        assert status == 0
+        replies = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        assert replies[1]["status"] == "error"
+
+    def test_unknown_command(self, tmp_path):
+        status, replies = self._serve(
+            [{"cmd": "levitate"}, {"cmd": "shutdown"}], tmp_path
+        )
+        assert replies[1]["status"] == "error"
+
+    def test_bad_app_spec_is_fatal(self, tmp_path):
+        stdout = io.StringIO()
+        status = serve("junk", str(tmp_path), stdin=io.StringIO(""), stdout=stdout)
+        assert status == 1
+        assert json.loads(stdout.getvalue().splitlines()[0])["status"] == "fatal"
+
+
+@pytest.fixture
+def proc_grid():
+    return Grid.from_clusters(
+        Cluster.homogeneous("proc", 2, speed=200.0, bandwidth=2000.0,
+                            comm_latency=0.05, comp_latency=0.02)
+    )
+
+
+@pytest.fixture
+def byte_division(tmp_path):
+    path = tmp_path / "load.bin"
+    path.write_bytes(bytes(range(256)) * 8)  # 2048 bytes
+    return UniformBytesDivision(path, stepsize=64)
+
+
+class TestProcessBackend:
+    def test_end_to_end_with_worker_processes(self, proc_grid, byte_division, tmp_path):
+        backend = ProcessExecutionBackend(
+            tmp_path / "work", app_spec=app_spec(DigestApp), time_scale=0.02,
+        )
+        report = backend.execute(
+            proc_grid, make_scheduler("wf"), byte_division, None,
+            probe_units=64.0,
+        )
+        report.validate()
+        assert report.annotations["backend"] == "process-execution"
+        assert report.annotations["workers"] == 2
+        assert sum(c.units for c in report.chunks) == pytest.approx(2048.0)
+        assert len(backend.last_outputs) == report.num_chunks
+        assert all(p.is_file() for p in backend.last_outputs)
+
+    def test_umr_on_process_backend(self, proc_grid, byte_division, tmp_path):
+        backend = ProcessExecutionBackend(
+            tmp_path / "work", app_spec=app_spec(DigestApp), time_scale=0.02,
+        )
+        report = backend.execute(
+            proc_grid, make_scheduler("umr"), byte_division, None,
+            probe_units=64.0,
+        )
+        report.validate()
+
+    def test_unimportable_app_fails_at_startup(self, proc_grid, byte_division, tmp_path):
+        backend = ProcessExecutionBackend(
+            tmp_path / "work", app_spec="repro.tests.no_such:App",
+            time_scale=0.02,
+        )
+        with pytest.raises(ExecutionError):
+            backend.execute(
+                proc_grid, make_scheduler("simple-1"), byte_division, None,
+                probe_units=64.0,
+            )
+
+    def test_invalid_construction(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            ProcessExecutionBackend(tmp_path, app_spec="x:y", time_scale=0.0)
+        with pytest.raises(ExecutionError):
+            ProcessExecutionBackend(tmp_path, app_spec="", time_scale=0.01)

@@ -1,0 +1,93 @@
+"""Tests for report serialization (JSON round trip, CSV export)."""
+
+import json
+
+import pytest
+
+from repro.apst.report_io import (
+    chunks_to_csv,
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+)
+from repro.core.registry import make_scheduler
+from repro.errors import ReproError
+from repro.simulation.master import simulate_run
+
+
+@pytest.fixture
+def report(small_grid):
+    return simulate_run(small_grid, make_scheduler("fixed-rumr"),
+                        total_load=500.0, gamma=0.1, seed=7)
+
+
+class TestJSONRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, report):
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt.algorithm == report.algorithm
+        assert rebuilt.makespan == report.makespan
+        assert rebuilt.annotations == report.annotations
+        assert len(rebuilt.chunks) == len(report.chunks)
+        for a, b in zip(rebuilt.chunks, report.chunks):
+            assert (a.chunk_id, a.units, a.send_start, a.compute_end) == (
+                b.chunk_id, b.units, b.send_start, b.compute_end
+            )
+
+    def test_file_round_trip_validates(self, report, tmp_path):
+        path = save_report(report, tmp_path / "report.json")
+        loaded = load_report(path)
+        assert loaded.makespan == report.makespan
+        assert loaded.observed_gamma() == pytest.approx(report.observed_gamma())
+
+    def test_json_is_deterministic(self, report, tmp_path):
+        a = save_report(report, tmp_path / "a.json").read_text()
+        b = save_report(report, tmp_path / "b.json").read_text()
+        assert a == b
+
+    def test_version_checked(self, report):
+        data = report_to_dict(report)
+        data["format_version"] = 999
+        with pytest.raises(ReproError, match="version"):
+            report_from_dict(data)
+
+    def test_missing_field_reported(self, report):
+        data = report_to_dict(report)
+        del data["makespan"]
+        with pytest.raises(ReproError, match="missing"):
+            report_from_dict(data)
+
+    def test_malformed_json_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="malformed"):
+            load_report(bad)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_report(tmp_path / "nope.json")
+
+    def test_non_object_payload(self):
+        with pytest.raises(ReproError):
+            report_from_dict([1, 2, 3])
+
+    def test_loaded_report_is_validated(self, report, tmp_path):
+        data = report_to_dict(report)
+        data["total_load"] = 999999.0  # break conservation
+        path = tmp_path / "corrupt.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(Exception, match="not conserved"):
+            load_report(path)
+
+
+class TestCSV:
+    def test_header_and_rows(self, report):
+        text = chunks_to_csv(report)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("chunk_id,worker_index,worker_name")
+        assert len(lines) == 1 + report.num_chunks
+
+    def test_written_to_file(self, report, tmp_path):
+        path = tmp_path / "chunks.csv"
+        chunks_to_csv(report, path)
+        assert path.read_text().count("\n") >= report.num_chunks

@@ -1,0 +1,126 @@
+"""Unit tests for the platform description layer."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.resources import Cluster, Grid, WorkerSpec
+
+
+class TestWorkerSpec:
+    def test_valid_worker(self):
+        w = WorkerSpec("w0", speed=2.0, bandwidth=10.0, comm_latency=0.5, comp_latency=0.1)
+        assert w.comm_comp_ratio == 5.0
+        assert w.unit_compute_time() == 0.5
+        assert w.unit_transfer_time() == 0.1
+
+    @pytest.mark.parametrize("field,value", [
+        ("speed", 0.0), ("speed", -1.0), ("bandwidth", 0.0),
+        ("comm_latency", -0.1), ("comp_latency", -1.0),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        kwargs = dict(name="w", speed=1.0, bandwidth=1.0, comm_latency=0.0, comp_latency=0.0)
+        kwargs[field] = value
+        with pytest.raises(PlatformError):
+            WorkerSpec(**kwargs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PlatformError, match="name"):
+            WorkerSpec("", speed=1.0, bandwidth=1.0)
+
+    def test_nan_speed_rejected(self):
+        with pytest.raises(PlatformError):
+            WorkerSpec("w", speed=float("nan"), bandwidth=1.0)
+
+    def test_affine_compute_time(self):
+        w = WorkerSpec("w", speed=2.0, bandwidth=4.0, comp_latency=1.0)
+        assert w.compute_time(6.0) == pytest.approx(1.0 + 3.0)
+        assert w.compute_time(0.0) == pytest.approx(1.0)
+
+    def test_affine_transfer_time(self):
+        w = WorkerSpec("w", speed=2.0, bandwidth=4.0, comm_latency=0.5)
+        assert w.transfer_time(8.0) == pytest.approx(0.5 + 2.0)
+
+    def test_negative_chunk_rejected(self):
+        w = WorkerSpec("w", speed=1.0, bandwidth=1.0)
+        with pytest.raises(PlatformError):
+            w.compute_time(-1.0)
+
+    def test_scaled_preserves_other_fields(self):
+        w = WorkerSpec("w", speed=2.0, bandwidth=4.0, comm_latency=0.5, cluster="c")
+        s = w.scaled(speed_factor=0.5, bandwidth_factor=2.0)
+        assert s.speed == 1.0 and s.bandwidth == 8.0
+        assert s.comm_latency == 0.5 and s.cluster == "c" and s.name == "w"
+
+
+class TestCluster:
+    def test_homogeneous_factory(self):
+        c = Cluster.homogeneous("das2", 4, speed=1.0, bandwidth=2.0, comm_latency=0.1)
+        assert len(c) == 4
+        assert [w.name for w in c.workers] == [f"das2-{i:02d}" for i in range(4)]
+        assert all(w.cluster == "das2" for w in c.workers)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(PlatformError):
+            Cluster("c", ())
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(PlatformError):
+            Cluster.homogeneous("c", 0, speed=1.0, bandwidth=1.0)
+
+    def test_mismatched_worker_cluster_rejected(self):
+        w = WorkerSpec("w", speed=1.0, bandwidth=1.0, cluster="other")
+        with pytest.raises(PlatformError, match="declares cluster"):
+            Cluster("mine", (w,))
+
+
+class TestGrid:
+    def test_from_clusters_concatenates_in_order(self):
+        a = Cluster.homogeneous("a", 2, speed=1.0, bandwidth=1.0)
+        b = Cluster.homogeneous("b", 3, speed=2.0, bandwidth=2.0)
+        grid = Grid.from_clusters(a, b)
+        assert len(grid) == 5
+        assert grid.clusters == ("a", "b")
+        assert [w.cluster for w in grid] == ["a", "a", "b", "b", "b"]
+
+    def test_duplicate_worker_names_rejected(self):
+        w = WorkerSpec("same", speed=1.0, bandwidth=1.0)
+        with pytest.raises(PlatformError, match="duplicate"):
+            Grid(workers=(w, w))
+
+    def test_duplicate_cluster_names_rejected(self):
+        a = Cluster.homogeneous("x", 1, speed=1.0, bandwidth=1.0)
+        with pytest.raises(PlatformError, match="duplicate"):
+            Grid.from_clusters(a, a)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(PlatformError):
+            Grid(workers=())
+
+    def test_total_and_mean_speed(self, hetero_grid):
+        assert hetero_grid.total_speed == pytest.approx(3.5)
+        assert hetero_grid.mean_speed == pytest.approx(3.5 / 3)
+
+    def test_comm_comp_ratio_homogeneous(self, small_grid):
+        assert small_grid.comm_comp_ratio == pytest.approx(10.0)
+
+    def test_index_of(self, hetero_grid):
+        assert hetero_grid.index_of("mid") == 1
+        with pytest.raises(PlatformError):
+            hetero_grid.index_of("missing")
+
+    def test_subset_preserves_order(self, hetero_grid):
+        sub = hetero_grid.subset([2, 0])
+        assert [w.name for w in sub] == ["slow", "fast"]
+
+    def test_subset_out_of_range(self, hetero_grid):
+        with pytest.raises(PlatformError):
+            hetero_grid.subset([5])
+
+    def test_subset_empty_rejected(self, hetero_grid):
+        with pytest.raises(PlatformError):
+            hetero_grid.subset([])
+
+    def test_cluster_workers(self, small_grid):
+        assert len(small_grid.cluster_workers("test")) == 4
+        with pytest.raises(PlatformError):
+            small_grid.cluster_workers("nope")

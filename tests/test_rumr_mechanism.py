@@ -1,0 +1,137 @@
+"""White-box tests of RUMR's switch mechanism.
+
+These drive the scheduler directly (no simulator), constructing the exact
+conditions of the paper's finding: evidence of uncertainty arriving
+before vs after the final round has started transmitting.
+"""
+
+import pytest
+
+from repro.core.base import ChunkInfo, SchedulerConfig, WorkerState
+from repro.core.rumr import RUMR
+from repro.platform.resources import WorkerSpec
+
+
+def _config(n=4, load=2000.0):
+    estimates = [
+        WorkerSpec(f"w{i}", speed=1.0, bandwidth=10.0, comm_latency=0.5,
+                   comp_latency=0.2)
+        for i in range(n)
+    ]
+    return SchedulerConfig(estimates=estimates, total_load=load)
+
+
+def _states(n=4):
+    return [WorkerState(index=i, name=f"w{i}") for i in range(n)]
+
+
+def _pop_chunks(scheduler, count, workers):
+    """Dispatch ``count`` chunks from the scheduler, committing each."""
+    chunks = []
+    for _ in range(count):
+        req = scheduler.next_dispatch(0.0, workers)
+        assert req is not None
+        info = ChunkInfo(len(chunks), req.worker_index, req.units,
+                         req.round_index, req.phase)
+        scheduler.notify_dispatched(info)
+        chunks.append(info)
+    return chunks
+
+
+def _feed_noisy_completions(scheduler, chunks, *, ratio_cycle, now=100.0):
+    """Report completions whose actual/predicted ratios cycle over values."""
+    for k, chunk in enumerate(chunks):
+        predicted = 10.0
+        actual = predicted * ratio_cycle[k % len(ratio_cycle)]
+        scheduler.notify_completion(chunk, now + k, predicted, actual)
+
+
+class TestSwitchInTime:
+    def test_early_evidence_triggers_switch(self):
+        scheduler = RUMR()
+        scheduler.configure(_config())
+        workers = _states()
+        # dispatch only the first round, leaving later rounds reclaimable
+        first_round = _pop_chunks(scheduler, 4, workers)
+        # strong, unmistakable uncertainty (CoV ~ 0.3 within workers):
+        # several completions per worker
+        evidence = first_round * 6
+        _feed_noisy_completions(scheduler, evidence, ratio_cycle=(0.7, 1.3, 1.0))
+        assert scheduler._switched is True
+        assert scheduler._phase2_load > 0
+        # the reclaimed load now comes back as factoring dispatches
+        req = None
+        while True:
+            req = scheduler.next_dispatch(200.0, workers)
+            if req is None or req.phase == "rumr-factoring":
+                break
+            scheduler.notify_dispatched(
+                ChunkInfo(99, req.worker_index, req.units, req.round_index,
+                          req.phase)
+            )
+        assert req is not None and req.phase == "rumr-factoring"
+
+
+class TestSwitchTooLate:
+    def test_evidence_after_final_round_started_is_too_late(self):
+        scheduler = RUMR()
+        scheduler.configure(_config())
+        workers = _states()
+        # dispatch the ENTIRE UMR queue: every round has started
+        all_chunks = []
+        while scheduler._umr_queue:
+            all_chunks.extend(_pop_chunks(scheduler, 1, workers))
+        _feed_noisy_completions(scheduler, all_chunks * 3, ratio_cycle=(0.7, 1.3, 1.0))
+        assert scheduler._switched is False
+        assert scheduler._switch_too_late is True
+        ann = scheduler.annotations()
+        assert ann["rumr_switch_too_late"] is True
+        assert ann["rumr_undispatched_at_detection"] == pytest.approx(0.0)
+
+    def test_partial_final_round_cannot_be_reclaimed(self):
+        scheduler = RUMR()
+        scheduler.configure(_config())
+        workers = _states()
+        queue_len = len(scheduler._umr_queue)
+        # dispatch all but the last two chunks -- the final round is started
+        dispatched = _pop_chunks(scheduler, queue_len - 2, workers)
+        last_round = scheduler._umr_queue[0].round_index
+        assert last_round in scheduler._rounds_started
+        _feed_noisy_completions(scheduler, dispatched * 3, ratio_cycle=(0.7, 1.3, 1.0))
+        # remaining chunks belong to a started round: nothing reclaimable
+        assert scheduler._switched is False
+        assert scheduler._switch_too_late is True
+
+
+class TestNoFalsePositives:
+    def test_constant_residuals_never_trigger(self):
+        scheduler = RUMR()
+        scheduler.configure(_config())
+        workers = _states()
+        chunks = _pop_chunks(scheduler, 4, workers)
+        _feed_noisy_completions(scheduler, chunks * 10, ratio_cycle=(1.0,))
+        assert scheduler._switched is False
+        assert scheduler._switch_too_late is False
+
+    def test_per_worker_bias_alone_never_triggers(self):
+        """Probe bias: each worker consistently 30% off, zero variance
+        within workers -- must NOT look like uncertainty."""
+        scheduler = RUMR()
+        scheduler.configure(_config())
+        workers = _states()
+        chunks = _pop_chunks(scheduler, 4, workers)
+        for repeat in range(10):
+            for chunk in chunks:
+                bias = (0.7, 1.3, 0.9, 1.1)[chunk.worker_index]
+                scheduler.notify_completion(chunk, 100.0 + repeat, 10.0,
+                                            10.0 * bias)
+        assert scheduler._switched is False
+
+    def test_mild_uncertainty_below_threshold_never_triggers(self):
+        scheduler = RUMR()
+        scheduler.configure(_config())
+        workers = _states()
+        chunks = _pop_chunks(scheduler, 4, workers)
+        # CoV ~ 0.03: well below the 0.095 threshold
+        _feed_noisy_completions(scheduler, chunks * 15, ratio_cycle=(0.97, 1.03, 1.0))
+        assert scheduler._switched is False

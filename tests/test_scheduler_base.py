@@ -1,0 +1,113 @@
+"""Tests for the shared scheduler protocol."""
+
+import pytest
+
+from repro.core.base import (
+    ChunkInfo,
+    DispatchRequest,
+    Scheduler,
+    SchedulerConfig,
+    WorkerState,
+)
+from repro.errors import SchedulingError
+from repro.platform.resources import WorkerSpec
+
+
+def _estimates(n=2):
+    return [WorkerSpec(f"w{i}", speed=float(i + 1), bandwidth=10.0) for i in range(n)]
+
+
+class _Dummy(Scheduler):
+    name = "dummy"
+
+    def _plan(self, config):
+        self.planned = True
+
+    def next_dispatch(self, now, workers):
+        return None
+
+
+class TestSchedulerConfig:
+    def test_valid_config(self):
+        c = SchedulerConfig(estimates=_estimates(3), total_load=100.0, quantum=1.0)
+        assert c.num_workers == 3
+        assert c.total_speed == pytest.approx(6.0)
+
+    def test_empty_estimates_rejected(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(estimates=[], total_load=100.0)
+
+    def test_nonpositive_load_rejected(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(estimates=_estimates(), total_load=0.0)
+
+    def test_load_below_quantum_rejected(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(estimates=_estimates(), total_load=0.5, quantum=1.0)
+
+
+class TestDispatchRequest:
+    def test_valid(self):
+        r = DispatchRequest(worker_index=1, units=5.0, round_index=2, phase="x")
+        assert r.units == 5.0
+
+    def test_invalid_worker(self):
+        with pytest.raises(SchedulingError):
+            DispatchRequest(worker_index=-1, units=5.0)
+
+    def test_nonpositive_units(self):
+        with pytest.raises(SchedulingError):
+            DispatchRequest(worker_index=0, units=0.0)
+
+
+class TestSchedulerLifecycle:
+    def test_use_before_configure_fails(self):
+        s = _Dummy()
+        with pytest.raises(SchedulingError, match="configure"):
+            _ = s.config
+
+    def test_configure_triggers_plan(self):
+        s = _Dummy()
+        s.configure(SchedulerConfig(estimates=_estimates(), total_load=10.0))
+        assert s.planned
+        assert s.configured
+
+    def test_dispatch_bookkeeping(self):
+        s = _Dummy()
+        s.configure(SchedulerConfig(estimates=_estimates(), total_load=10.0))
+        assert s.remaining_units == 10.0
+        s.notify_dispatched(ChunkInfo(0, 0, 4.0, 0, "x"))
+        assert s.dispatched_units == 4.0
+        assert s.remaining_units == 6.0
+        assert not s.done_dispatching()
+        s.notify_dispatched(ChunkInfo(1, 1, 6.0, 0, "x"))
+        assert s.done_dispatching()
+
+    def test_reconfigure_resets_bookkeeping(self):
+        s = _Dummy()
+        s.configure(SchedulerConfig(estimates=_estimates(), total_load=10.0))
+        s.notify_dispatched(ChunkInfo(0, 0, 10.0, 0, "x"))
+        s.configure(SchedulerConfig(estimates=_estimates(), total_load=20.0))
+        assert s.dispatched_units == 0.0
+        assert s.remaining_units == 20.0
+
+    def test_speed_weights_normalized(self):
+        s = _Dummy()
+        weights = s.speed_weights(_estimates(2))  # speeds 1, 2
+        assert weights == [pytest.approx(1 / 3), pytest.approx(2 / 3)]
+
+    def test_default_notifications_are_noops(self):
+        s = _Dummy()
+        s.configure(SchedulerConfig(estimates=_estimates(), total_load=10.0))
+        s.notify_arrival(ChunkInfo(0, 0, 1.0, 0, "x"), now=0.0)
+        s.notify_completion(ChunkInfo(0, 0, 1.0, 0, "x"), 1.0, 1.0, 1.1)
+        assert s.annotations() == {}
+
+
+class TestWorkerState:
+    def test_observed_rate(self):
+        w = WorkerState(index=0, name="w")
+        assert w.observed_rate is None
+        w.completed_units = 10.0
+        w.busy_time = 5.0
+        assert w.observed_rate == pytest.approx(2.0)

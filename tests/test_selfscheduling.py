@@ -1,0 +1,108 @@
+"""Tests for CSS and Trapezoid Self-Scheduling."""
+
+import pytest
+
+from repro.core.base import ChunkInfo, SchedulerConfig, WorkerState
+from repro.core.selfscheduling import ChunkSelfScheduling, TrapezoidSelfScheduling
+from repro.errors import SchedulingError
+from repro.platform.resources import WorkerSpec
+from repro.simulation.master import simulate_run
+
+
+def _config(n=2, load=1000.0, quantum=1.0):
+    estimates = [WorkerSpec(f"w{i}", speed=1.0, bandwidth=10.0) for i in range(n)]
+    return SchedulerConfig(estimates=estimates, total_load=load, quantum=quantum)
+
+
+def _drain(s, n_workers):
+    workers = [WorkerState(index=i, name=f"w{i}") for i in range(n_workers)]
+    sizes = []
+    while True:
+        req = s.next_dispatch(0.0, workers)
+        if req is None:
+            break
+        s.notify_dispatched(
+            ChunkInfo(len(sizes), req.worker_index, req.units, req.round_index, req.phase)
+        )
+        sizes.append(req.units)
+        assert len(sizes) < 100_000
+    return sizes
+
+
+class TestCSS:
+    def test_fixed_chunk_size(self):
+        s = ChunkSelfScheduling(chunk_fraction=0.1)
+        s.configure(_config(n=2, load=1000.0))
+        sizes = _drain(s, 2)
+        # per-worker share 500, fraction 0.1 -> 50-unit chunks
+        assert all(size == pytest.approx(50.0) for size in sizes[:-1])
+        assert sum(sizes) == pytest.approx(1000.0)
+
+    def test_name_includes_fraction(self):
+        assert ChunkSelfScheduling(chunk_fraction=0.25).name == "css-0.25"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulingError):
+            ChunkSelfScheduling(chunk_fraction=0.0)
+        with pytest.raises(SchedulingError):
+            ChunkSelfScheduling(chunk_fraction=1.5)
+        with pytest.raises(SchedulingError):
+            ChunkSelfScheduling(prefetch_depth=0)
+
+    def test_end_to_end(self, small_grid):
+        report = simulate_run(small_grid, ChunkSelfScheduling(), total_load=500.0, seed=0)
+        report.validate()
+
+
+class TestTSS:
+    def test_sizes_decrease_linearly(self):
+        s = TrapezoidSelfScheduling(first_chunk=100.0, last_chunk=20.0)
+        s.configure(_config(n=1, load=1000.0))
+        sizes = _drain(s, 1)
+        diffs = [a - b for a, b in zip(sizes, sizes[1:])]
+        # constant decrement until the floor / final remainder
+        assert diffs[0] == pytest.approx(diffs[1], rel=1e-6)
+        assert sizes[0] == pytest.approx(100.0)
+        assert sum(sizes) == pytest.approx(1000.0)
+
+    def test_default_first_chunk_is_half_share(self):
+        s = TrapezoidSelfScheduling()
+        s.configure(_config(n=4, load=1000.0))
+        sizes = _drain(s, 4)
+        assert sizes[0] == pytest.approx(1000.0 / (2 * 4))
+
+    def test_floor_at_last_chunk(self):
+        s = TrapezoidSelfScheduling(first_chunk=100.0, last_chunk=30.0)
+        s.configure(_config(n=1, load=2000.0))
+        sizes = _drain(s, 1)
+        assert all(size >= 30.0 - 1e-9 or size == sizes[-1] for size in sizes)
+
+    def test_last_clamped_to_first(self):
+        s = TrapezoidSelfScheduling(first_chunk=10.0, last_chunk=100.0)
+        s.configure(_config(n=1, load=100.0))
+        sizes = _drain(s, 1)
+        assert sizes[0] == pytest.approx(10.0)
+
+    def test_end_to_end_beats_simple1(self, small_grid):
+        from repro.core.simple import SimpleN
+
+        tss = simulate_run(small_grid, TrapezoidSelfScheduling(),
+                           total_load=2000.0, seed=0)
+        simple = simulate_run(small_grid, SimpleN(1), total_load=2000.0, seed=0)
+        assert tss.makespan < simple.makespan
+
+    def test_registry_names(self):
+        from repro.core.registry import make_scheduler
+
+        assert make_scheduler("tss").name == "tss"
+        assert make_scheduler("css").name.startswith("css")
+
+
+class TestEndToEndInvariants:
+    @pytest.mark.parametrize("name", ["tss", "css"])
+    def test_conservation_under_noise(self, hetero_grid, name):
+        from repro.core.registry import make_scheduler
+
+        report = simulate_run(hetero_grid, make_scheduler(name),
+                              total_load=400.0, gamma=0.2, seed=3)
+        assert sum(c.units for c in report.chunks) == pytest.approx(400.0)

@@ -1,0 +1,140 @@
+"""Tests for the HMMER-like sequence database workload."""
+
+import pytest
+
+from repro.apst.division import IndexDivision, LoadTracker, SeparatorDivision
+from repro.errors import ReproError
+from repro.workloads.sequences import (
+    SequenceScanApp,
+    build_record_index,
+    database_statistics,
+    generate_sequence_database,
+    read_records,
+)
+
+
+@pytest.fixture
+def database(tmp_path):
+    path = tmp_path / "seqs.db"
+    generate_sequence_database(path, records=300, mean_length=40, seed=4)
+    return path
+
+
+class TestGeneration:
+    def test_record_count(self, database):
+        assert len(read_records(database)) == 300
+
+    def test_deterministic(self, tmp_path):
+        a = generate_sequence_database(tmp_path / "a.db", records=50, seed=9)
+        b = generate_sequence_database(tmp_path / "b.db", records=50, seed=9)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_records_are_protein_like(self, database):
+        records = read_records(database)
+        alphabet = set(b"ACDEFGHIKLMNPQRSTVWY")
+        assert all(set(r) <= alphabet for r in records)
+        assert all(len(r) >= 1 for r in records)
+
+    def test_heavy_tail_produces_outliers(self, tmp_path):
+        path = generate_sequence_database(
+            tmp_path / "big.db", records=5000, mean_length=50,
+            outlier_rate=0.01, outlier_scale=27.0, seed=1,
+        )
+        stats = database_statistics(path)
+        assert stats["spread"] > 5.0  # HMMER-style enormous spread
+        # the defining HMMER relation: spread dwarfs the CoV (Table 1:
+        # 2700% spread at 9% CoV)
+        assert stats["spread"] > 3.0 * stats["cov"]
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ReproError):
+            generate_sequence_database(tmp_path / "x.db", records=0)
+
+
+class TestIndexing:
+    def test_index_matches_record_boundaries(self, database, tmp_path):
+        index = build_record_index(database, tmp_path / "seqs.idx")
+        offsets = [int(line) for line in index.read_text().split()]
+        data = database.read_bytes()
+        assert offsets[-1] == len(data)
+        for off in offsets:
+            assert data[off - 1:off] == b"\n"
+
+    def test_index_division_cuts_on_records(self, database, tmp_path):
+        index = build_record_index(database, tmp_path / "seqs.idx")
+        division = IndexDivision(database, index)
+        tracker = LoadTracker(division)
+        while not tracker.exhausted:
+            extent = tracker.take(450.0)
+            chunk = division.extract(extent).read_bytes()
+            assert chunk.endswith(b"\n")
+            # every chunk holds whole records
+            assert all(r for r in chunk[:-1].split(b"\n"))
+
+    def test_separator_division_equivalent_cutoffs(self, database, tmp_path):
+        index = build_record_index(database, tmp_path / "seqs.idx")
+        via_index = IndexDivision(database, index)
+        via_separator = SeparatorDivision(database, separator=b"\n")
+        assert via_index.cutoffs == via_separator.cutoffs
+
+    def test_unterminated_database_rejected(self, tmp_path):
+        bad = tmp_path / "bad.db"
+        bad.write_bytes(b"ACDEF")  # no trailing newline
+        with pytest.raises(ReproError, match="record boundary"):
+            build_record_index(bad, tmp_path / "bad.idx")
+        with pytest.raises(ReproError, match="record boundary"):
+            read_records(bad)
+
+
+class TestStatistics:
+    def test_statistics_fields(self, database):
+        stats = database_statistics(database)
+        assert stats["records"] == 300
+        assert stats["total_bytes"] == database.stat().st_size
+        assert stats["mean_length"] > 0
+        assert stats["spread"] >= 0.0
+
+
+class TestScanApp:
+    def test_result_shape(self, database):
+        app = SequenceScanApp(work_per_residue=2)
+        records = read_records(database)
+        chunk = b"\n".join(records[:10]) + b"\n"
+        result = app.process(chunk)
+        assert len(result) == 32 + 8
+
+    def test_deterministic(self, database):
+        app = SequenceScanApp(work_per_residue=2)
+        chunk = read_records(database)[0] + b"\n"
+        assert app.process(chunk) == app.process(chunk)
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(ReproError):
+            SequenceScanApp().process(b"")
+
+    def test_invalid_work(self):
+        with pytest.raises(ReproError):
+            SequenceScanApp(work_per_residue=0)
+
+
+class TestEndToEnd:
+    def test_sequence_scan_on_local_backend(self, database, tmp_path):
+        """Separator division + real scanning app through the backend."""
+        from repro.core.registry import make_scheduler
+        from repro.execution.local import LocalExecutionBackend
+        from repro.platform.resources import Cluster, Grid
+
+        division = SeparatorDivision(database, separator=b"\n")
+        grid = Grid.from_clusters(
+            Cluster.homogeneous("lan", 3, speed=5000.0, bandwidth=50_000.0,
+                                comm_latency=0.05, comp_latency=0.02)
+        )
+        backend = LocalExecutionBackend(
+            tmp_path / "work", app=SequenceScanApp(work_per_residue=1),
+            time_scale=0.02,
+        )
+        report = backend.execute(grid, make_scheduler("wf"), division, None,
+                                 probe_units=division.total_units * 0.02)
+        assert sum(c.units for c in report.chunks) == pytest.approx(
+            division.total_units
+        )

@@ -1,0 +1,98 @@
+"""Tests for SIMPLE-n static chunking."""
+
+import pytest
+
+from repro.core.base import SchedulerConfig
+from repro.core.simple import SimpleN
+from repro.errors import SchedulingError
+from repro.platform.resources import WorkerSpec
+from repro.simulation.master import simulate_run
+
+
+def _config(n_workers=4, load=100.0):
+    estimates = [
+        WorkerSpec(f"w{i}", speed=1.0, bandwidth=10.0) for i in range(n_workers)
+    ]
+    return SchedulerConfig(estimates=estimates, total_load=load)
+
+
+def _drain(scheduler):
+    """Pull every dispatch, mimicking the driver's bookkeeping."""
+    from repro.core.base import ChunkInfo, WorkerState
+
+    workers = [WorkerState(index=i, name=f"w{i}") for i in range(scheduler.config.num_workers)]
+    out = []
+    cid = 0
+    while True:
+        req = scheduler.next_dispatch(0.0, workers)
+        if req is None:
+            return out
+        out.append(req)
+        scheduler.notify_dispatched(
+            ChunkInfo(cid, req.worker_index, req.units, req.round_index, req.phase)
+        )
+        cid += 1
+
+
+class TestPlan:
+    def test_simple1_one_chunk_per_worker(self):
+        s = SimpleN(1)
+        s.configure(_config(4, 100.0))
+        dispatches = _drain(s)
+        assert len(dispatches) == 4
+        assert all(d.units == pytest.approx(25.0) for d in dispatches)
+        assert [d.worker_index for d in dispatches] == [0, 1, 2, 3]
+
+    def test_simple5_round_major_order(self):
+        s = SimpleN(5)
+        s.configure(_config(2, 100.0))
+        dispatches = _drain(s)
+        assert len(dispatches) == 10
+        assert all(d.units == pytest.approx(10.0) for d in dispatches)
+        assert [d.worker_index for d in dispatches[:4]] == [0, 1, 0, 1]
+        assert [d.round_index for d in dispatches[:4]] == [0, 0, 1, 1]
+
+    def test_total_equals_load(self):
+        s = SimpleN(3)
+        s.configure(_config(5, 123.0))
+        dispatches = _drain(s)
+        assert sum(d.units for d in dispatches) == pytest.approx(123.0)
+
+    def test_name_and_probing_flag(self):
+        s = SimpleN(5)
+        assert s.name == "simple-5"
+        assert s.uses_probing is False
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimpleN(0)
+
+    def test_last_chunk_clamped_to_remaining(self):
+        """If the driver hands out more than requested (cut-off snapping),
+        later planned chunks shrink instead of overshooting the load."""
+        from repro.core.base import ChunkInfo, WorkerState
+
+        s = SimpleN(1)
+        s.configure(_config(2, 100.0))
+        workers = [WorkerState(index=i, name=f"w{i}") for i in range(2)]
+        first = s.next_dispatch(0.0, workers)
+        # driver dispatched more than asked (snap-to-cutoff)
+        s.notify_dispatched(ChunkInfo(0, 0, first.units + 30.0, 0, "simple"))
+        second = s.next_dispatch(0.0, workers)
+        assert second.units == pytest.approx(20.0)
+
+
+class TestEndToEnd:
+    def test_simple1_makespan_formula(self, latency_free_grid):
+        """SIMPLE-1 on a homogeneous latency-free star: the last worker
+        computes after all N serialized transfers."""
+        report = simulate_run(
+            latency_free_grid, SimpleN(1), total_load=80.0, seed=0
+        )
+        # transfers: 80/8 = 10s total; each worker computes 20 units in 20s
+        assert report.makespan == pytest.approx(10.0 + 20.0)
+
+    def test_simple5_beats_simple1_with_communication(self, latency_free_grid):
+        r1 = simulate_run(latency_free_grid, SimpleN(1), total_load=400.0, seed=0)
+        r5 = simulate_run(latency_free_grid, SimpleN(5), total_load=400.0, seed=0)
+        assert r5.makespan < r1.makespan

@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for simulation-wide invariants.
+
+For *any* platform in a broad random family and *any* of the paper's
+algorithms, a completed run must conserve the load, respect causality on
+every chunk, keep the master link exclusive, and never beat the physical
+lower bounds (aggregate compute rate; serialized link).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import make_scheduler
+from repro.platform.resources import Grid, WorkerSpec
+from repro.simulation.master import simulate_run
+
+platforms = st.builds(
+    lambda speeds, ratio, nlat, clat: Grid(
+        workers=tuple(
+            WorkerSpec(
+                name=f"w{i}",
+                speed=s,
+                bandwidth=s * ratio,
+                comm_latency=nlat,
+                comp_latency=clat,
+            )
+            for i, s in enumerate(speeds)
+        )
+    ),
+    speeds=st.lists(st.floats(min_value=0.2, max_value=5.0), min_size=1, max_size=8),
+    ratio=st.floats(min_value=2.0, max_value=60.0),
+    nlat=st.floats(min_value=0.0, max_value=5.0),
+    clat=st.floats(min_value=0.0, max_value=2.0),
+)
+
+algorithms = st.sampled_from(
+    ["simple-1", "simple-3", "umr", "wf", "rumr", "fixed-rumr", "gss"]
+)
+
+
+@given(
+    grid=platforms,
+    algorithm=algorithms,
+    load=st.floats(min_value=50.0, max_value=5000.0),
+    gamma=st.sampled_from([0.0, 0.1, 0.25]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=80, deadline=None)
+def test_any_run_satisfies_global_invariants(grid, algorithm, load, gamma, seed):
+    report = simulate_run(
+        grid, make_scheduler(algorithm), total_load=load, gamma=gamma, seed=seed
+    )
+    # validate() checks causality, conservation, and link exclusivity
+    report.validate()
+
+    # physical lower bound 1: aggregate compute rate (noise can only make a
+    # chunk at most 1/MIN_NOISE_FACTOR faster; use the hard floor)
+    from repro.simulation.compute import MIN_NOISE_FACTOR
+
+    ideal = load / grid.total_speed
+    assert report.makespan >= ideal * MIN_NOISE_FACTOR - 1e-6
+
+    # physical lower bound 2: all load crosses the serialized link
+    serial_comm = sum(
+        c.units / grid.workers[c.worker_index].bandwidth for c in report.chunks
+    )
+    assert report.makespan >= serial_comm * 0.999 - 1e-6
+
+    # every worker that received load did positive work
+    for summary in report.worker_summaries():
+        assert summary.busy_time > 0
+        assert summary.units > 0
+
+
+@given(
+    grid=platforms,
+    load=st.floats(min_value=50.0, max_value=2000.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_umr_never_loses_to_its_own_prediction_badly(grid, load, seed):
+    """At gamma = 0 the realized UMR makespan must stay near the plan's
+    prediction -- a drifting gap would mean the dispatch model and the
+    analytic model disagree."""
+    scheduler = make_scheduler("umr")
+    report = simulate_run(grid, scheduler, total_load=load, seed=seed)
+    predicted = scheduler.plan.stats.predicted_makespan
+    assert report.makespan <= predicted * 1.35 + 5.0
+
+
+@given(
+    grid=platforms,
+    algorithm=algorithms,
+    load=st.floats(min_value=50.0, max_value=2000.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_gamma_zero_runs_are_deterministic(grid, algorithm, load):
+    a = simulate_run(grid, make_scheduler(algorithm), total_load=load, seed=1)
+    b = simulate_run(grid, make_scheduler(algorithm), total_load=load, seed=2)
+    assert a.makespan == b.makespan
+    assert a.num_chunks == b.num_chunks

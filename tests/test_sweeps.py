@@ -1,0 +1,68 @@
+"""Tests for the parameter sweep helper."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+from repro.analysis.sweeps import SweepResult, run_sweep
+from repro.errors import ReproError
+from repro.platform.resources import Cluster, Grid
+
+
+def _grid(n=3):
+    return Grid.from_clusters(
+        Cluster.homogeneous("t", n, speed=1.0, bandwidth=10.0,
+                            comm_latency=0.3, comp_latency=0.1)
+    )
+
+
+def _gamma_config(gamma):
+    return ExperimentConfig(
+        label=f"g={gamma}", grid_factory=_grid, total_load=400.0,
+        gamma=gamma, algorithms=("umr", "wf"), runs=2,
+    )
+
+
+class TestRunSweep:
+    def test_series_aligned_with_values(self):
+        sweep = run_sweep("gamma", [0.0, 0.2], _gamma_config)
+        assert sweep.values == (0.0, 0.2)
+        assert set(sweep.series) == {"umr", "wf"}
+        assert all(len(v) == 2 for v in sweep.series.values())
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ReproError):
+            run_sweep("gamma", [], _gamma_config)
+
+    def test_makespans_increase_with_gamma_for_umr(self):
+        sweep = run_sweep("gamma", [0.0, 0.25], _gamma_config)
+        assert sweep.series["umr"][1] > sweep.series["umr"][0]
+
+
+class TestSweepResult:
+    def test_slowdown_series_zero_for_best(self):
+        sweep = SweepResult(
+            parameter="x", values=(1, 2),
+            series={"a": [10.0, 30.0], "b": [20.0, 15.0]},
+        )
+        slow = sweep.slowdown_series()
+        assert slow["a"] == [pytest.approx(0.0), pytest.approx(1.0)]
+        assert slow["b"] == [pytest.approx(1.0), pytest.approx(0.0)]
+
+    def test_crossover_found(self):
+        sweep = SweepResult(
+            parameter="x", values=(1, 2, 3),
+            series={"a": [10.0, 10.0, 10.0], "b": [12.0, 11.0, 9.0]},
+        )
+        assert sweep.crossover("a", "b") == 3
+
+    def test_no_crossover(self):
+        sweep = SweepResult(
+            parameter="x", values=(1, 2),
+            series={"a": [10.0, 10.0], "b": [12.0, 11.0]},
+        )
+        assert sweep.crossover("a", "b") is None
+
+    def test_unknown_algorithm(self):
+        sweep = SweepResult(parameter="x", values=(1,), series={"a": [1.0]})
+        with pytest.raises(ReproError):
+            sweep.crossover("a", "zz")

@@ -1,0 +1,134 @@
+"""Cross-validation: analytic models vs the discrete-event simulator.
+
+Two independent implementations of the same cost model must agree to
+float precision at gamma = 0 -- the strongest correctness evidence the
+repository has for either implementation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import make_scheduler
+from repro.errors import SchedulingError
+from repro.platform.presets import das2_cluster, grail_lan, meteor_cluster
+from repro.platform.resources import Cluster, Grid, WorkerSpec
+from repro.simulation.master import simulate_run
+from repro.theory.models import (
+    dispatch_schedule_makespan,
+    lower_bounds,
+    one_round_makespan,
+    report_replay_makespan,
+    static_chunking_makespan,
+)
+
+
+class TestLowerBounds:
+    def test_bounds_computed(self, small_grid):
+        lb = lower_bounds(small_grid, 1000.0)
+        assert lb["compute"] == pytest.approx(250.0)
+        assert lb["link"] == pytest.approx(100.0)
+        assert lb["combined"] >= max(lb["compute"], lb["link"])
+
+    def test_every_algorithm_respects_bounds(self, small_grid):
+        lb = lower_bounds(small_grid, 800.0)
+        for name in ("simple-1", "umr", "wf", "fixed-rumr", "oneround-affine"):
+            report = simulate_run(small_grid, make_scheduler(name),
+                                  total_load=800.0, seed=0)
+            assert report.makespan >= lb["combined"] - 1e-9
+
+    def test_invalid_load(self, small_grid):
+        with pytest.raises(SchedulingError):
+            lower_bounds(small_grid, 0.0)
+
+
+class TestStaticChunkingModel:
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_matches_simulator_homogeneous(self, small_grid, n):
+        analytic = static_chunking_makespan(small_grid, 800.0, n)
+        simulated = simulate_run(small_grid, make_scheduler(f"simple-{n}"),
+                                 total_load=800.0, seed=0)
+        assert simulated.makespan == pytest.approx(analytic, rel=1e-9)
+
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_matches_simulator_heterogeneous(self, hetero_grid, n):
+        # load divisible by N*n so unit-quantized cut-offs match W/(N*n)
+        load = 360.0
+        analytic = static_chunking_makespan(hetero_grid, load, n)
+        simulated = simulate_run(hetero_grid, make_scheduler(f"simple-{n}"),
+                                 total_load=load, seed=0)
+        assert simulated.makespan == pytest.approx(analytic, rel=1e-9)
+
+    def test_matches_on_paper_platforms(self):
+        load = 5600.0  # divisible by 16 and by 7 (grail)
+        for grid in (das2_cluster(16), meteor_cluster(16), grail_lan()):
+            analytic = static_chunking_makespan(grid, load, 1)
+            simulated = simulate_run(grid, make_scheduler("simple-1"),
+                                     total_load=load, seed=0)
+            assert simulated.makespan == pytest.approx(analytic, rel=1e-9)
+
+
+class TestScheduleReplay:
+    @pytest.mark.parametrize(
+        "name",
+        ["simple-5", "umr", "wf", "fixed-rumr", "oneround-affine",
+         "multiinstallment-4", "tss", "gss"],
+    )
+    def test_replaying_any_recorded_run_reproduces_its_makespan(
+        self, hetero_grid, name
+    ):
+        report = simulate_run(hetero_grid, make_scheduler(name),
+                              total_load=400.0, seed=0)
+        replayed = report_replay_makespan(hetero_grid, report)
+        assert replayed == pytest.approx(report.makespan, rel=1e-9)
+
+    def test_replay_on_paper_platform(self):
+        grid = das2_cluster(16)
+        report = simulate_run(grid, make_scheduler("umr"),
+                              total_load=10_000.0, seed=0)
+        assert report_replay_makespan(grid, report) == pytest.approx(
+            report.makespan, rel=1e-9
+        )
+
+    def test_one_round_model_consistent_with_solver(self, hetero_grid):
+        from repro.core.oneround import solve_one_round
+
+        chunks = solve_one_round(list(hetero_grid.workers), 300.0, affine=True)
+        makespan = one_round_makespan(hetero_grid, chunks)
+        # equal-finish construction: the analytic makespan equals every
+        # participating worker's finish time; just sanity-bound it
+        lb = lower_bounds(hetero_grid, 300.0)
+        assert makespan >= lb["compute"]
+
+    def test_invalid_dispatches(self, small_grid):
+        with pytest.raises(SchedulingError):
+            dispatch_schedule_makespan(small_grid, [(99, 10.0)])
+        with pytest.raises(SchedulingError):
+            dispatch_schedule_makespan(small_grid, [(0, -1.0)])
+
+
+@given(
+    speeds=st.lists(st.floats(min_value=0.3, max_value=4.0), min_size=1,
+                    max_size=6),
+    ratio=st.floats(min_value=3.0, max_value=40.0),
+    nlat=st.floats(min_value=0.0, max_value=3.0),
+    clat=st.floats(min_value=0.0, max_value=1.0),
+    load=st.floats(min_value=50.0, max_value=5000.0),
+    algorithm=st.sampled_from(["simple-1", "simple-4", "umr", "wf", "gss"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_simulator_equals_analytic_replay(
+    speeds, ratio, nlat, clat, load, algorithm
+):
+    grid = Grid(
+        workers=tuple(
+            WorkerSpec(f"w{i}", speed=s, bandwidth=s * ratio,
+                       comm_latency=nlat, comp_latency=clat)
+            for i, s in enumerate(speeds)
+        )
+    )
+    report = simulate_run(grid, make_scheduler(algorithm), total_load=load,
+                          seed=0)
+    assert report_replay_makespan(grid, report) == pytest.approx(
+        report.makespan, rel=1e-9
+    )

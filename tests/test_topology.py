@@ -1,0 +1,112 @@
+"""Tests for multi-level topologies and their collapse to the star model."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.topology import GridTopology, paper_two_cluster_topology
+
+
+def _simple_topology():
+    topo = GridTopology("m")
+    topo.add_link("m", "router", bandwidth=5.0, latency=1.0)
+    topo.add_worker("router", "w0", speed=1.0, bandwidth=50.0, latency=0.2)
+    topo.add_worker("router", "w1", speed=2.0, bandwidth=2.0, latency=0.3)
+    return topo
+
+
+class TestConstruction:
+    def test_links_must_be_added_top_down(self):
+        topo = GridTopology("m")
+        with pytest.raises(PlatformError, match="top-down"):
+            topo.add_link("ghost", "x", bandwidth=1.0)
+
+    def test_no_duplicate_nodes(self):
+        topo = GridTopology("m")
+        topo.add_link("m", "a", bandwidth=1.0)
+        with pytest.raises(PlatformError, match="already exists"):
+            topo.add_link("m", "a", bandwidth=2.0)
+
+    def test_invalid_link_parameters(self):
+        topo = GridTopology("m")
+        with pytest.raises(PlatformError):
+            topo.add_link("m", "a", bandwidth=0.0)
+        with pytest.raises(PlatformError):
+            topo.add_link("m", "a", bandwidth=1.0, latency=-1.0)
+
+    def test_add_cluster_convenience(self):
+        topo = GridTopology("m")
+        topo.add_cluster("m", "c", 3, uplink_bandwidth=4.0, lan_bandwidth=40.0,
+                         speed=1.0)
+        grid = topo.collapse_to_grid()
+        assert len(grid) == 3
+        assert all(w.cluster == "c" for w in grid.workers)
+
+
+class TestCollapse:
+    def test_bottleneck_bandwidth(self):
+        topo = _simple_topology()
+        # w0: min(5, 50) = 5 (WAN-bound); w1: min(5, 2) = 2 (LAN-bound)
+        assert topo.path_parameters("w0") == (5.0, pytest.approx(1.2))
+        assert topo.path_parameters("w1") == (2.0, pytest.approx(1.3))
+
+    def test_latencies_sum_along_path(self):
+        grid = _simple_topology().collapse_to_grid()
+        w0 = grid.workers[grid.index_of("w0")]
+        assert w0.comm_latency == pytest.approx(1.2)
+
+    def test_compute_parameters_preserved(self):
+        grid = _simple_topology().collapse_to_grid()
+        assert grid.workers[grid.index_of("w1")].speed == 2.0
+
+    def test_deep_paths(self):
+        topo = GridTopology("m")
+        topo.add_link("m", "a", bandwidth=10.0, latency=0.5)
+        topo.add_link("a", "b", bandwidth=3.0, latency=0.5)
+        topo.add_worker("b", "w", speed=1.0, bandwidth=7.0, latency=0.5)
+        assert topo.path_parameters("w") == (3.0, pytest.approx(1.5))
+
+    def test_nonworker_query_rejected(self):
+        topo = _simple_topology()
+        with pytest.raises(PlatformError, match="worker leaf"):
+            topo.path_parameters("router")
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(PlatformError, match="no workers"):
+            GridTopology("m").collapse_to_grid()
+
+    def test_dangling_router_rejected(self):
+        topo = _simple_topology()
+        topo.add_link("router", "dead-end", bandwidth=1.0)
+        with pytest.raises(PlatformError, match="dangling"):
+            topo.collapse_to_grid()
+
+
+class TestPaperTopology:
+    def test_collapses_to_paper_scale_star(self):
+        grid = paper_two_cluster_topology().collapse_to_grid()
+        assert len(grid) == 16
+        assert sorted(grid.clusters) == ["das2", "meteor"]
+
+    def test_wan_is_the_bottleneck_for_das2(self):
+        topo = paper_two_cluster_topology()
+        from repro.platform.presets import mixed_grid
+
+        ref = mixed_grid().cluster_workers("das2")[0]
+        bandwidth, latency = topo.path_parameters("das2-00")
+        assert bandwidth == pytest.approx(ref.bandwidth)
+        assert latency == pytest.approx(ref.comm_latency, rel=0.01)
+
+    def test_collapsed_grid_schedules_like_the_preset(self):
+        """UMR on the collapsed topology lands close to UMR on the
+        directly-calibrated mixed preset."""
+        from repro.core.registry import make_scheduler
+        from repro.platform.presets import PAPER_LOAD_UNITS, mixed_grid
+        from repro.simulation.master import simulate_run
+
+        collapsed = paper_two_cluster_topology().collapse_to_grid()
+        preset = mixed_grid()
+        a = simulate_run(collapsed, make_scheduler("umr"),
+                         total_load=PAPER_LOAD_UNITS, seed=0)
+        b = simulate_run(preset, make_scheduler("umr"),
+                         total_load=PAPER_LOAD_UNITS, seed=0)
+        assert a.makespan == pytest.approx(b.makespan, rel=0.05)

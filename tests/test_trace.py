@@ -1,0 +1,131 @@
+"""Tests for chunk traces and the execution report."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.trace import ChunkTrace, ExecutionReport
+
+
+def _chunk(cid=0, worker=0, units=10.0, send=(0.0, 1.0), comp=(1.0, 3.0),
+           predicted=2.0, phase="umr", round_index=0):
+    return ChunkTrace(
+        chunk_id=cid,
+        worker_index=worker,
+        worker_name=f"w{worker}",
+        units=units,
+        offset=0.0,
+        round_index=round_index,
+        phase=phase,
+        send_start=send[0],
+        send_end=send[1],
+        compute_start=comp[0],
+        compute_end=comp[1],
+        predicted_compute=predicted,
+    )
+
+
+def _report(chunks, total=None, makespan=10.0):
+    if total is None:
+        total = sum(c.units for c in chunks)
+    return ExecutionReport(
+        algorithm="test",
+        total_load=total,
+        makespan=makespan,
+        probe_time=0.0,
+        chunks=chunks,
+        link_busy_time=1.0,
+        gamma_configured=0.0,
+    )
+
+
+class TestChunkTrace:
+    def test_derived_times(self):
+        c = _chunk(send=(0.0, 2.0), comp=(3.0, 7.0))
+        assert c.transfer_time == 2.0
+        assert c.queue_time == 1.0
+        assert c.compute_time == 4.0
+        assert c.completed
+
+    def test_causality_violation_detected(self):
+        c = _chunk(send=(0.0, 5.0), comp=(3.0, 7.0))  # compute before arrival
+        with pytest.raises(SimulationError, match="causality"):
+            c.validate()
+
+    def test_incomplete_chunk_detected(self):
+        c = _chunk()
+        c.compute_end = -1.0
+        with pytest.raises(SimulationError, match="never completed"):
+            c.validate()
+
+
+class TestExecutionReport:
+    def test_valid_report_passes(self):
+        report = _report([_chunk(0), _chunk(1, send=(1.0, 2.0), comp=(2.0, 4.0))])
+        report.validate()
+
+    def test_load_conservation_checked(self):
+        report = _report([_chunk(units=10.0)], total=25.0)
+        with pytest.raises(SimulationError, match="not conserved"):
+            report.validate()
+
+    def test_overlapping_transfers_detected(self):
+        a = _chunk(0, send=(0.0, 2.0), comp=(2.0, 3.0))
+        b = _chunk(1, send=(1.0, 3.0), comp=(3.0, 4.0))  # overlaps a's send
+        with pytest.raises(SimulationError, match="overlapping"):
+            _report([a, b]).validate()
+
+    def test_nonpositive_makespan_rejected(self):
+        with pytest.raises(SimulationError):
+            _report([_chunk()], makespan=0.0).validate()
+
+    def test_observed_gamma_zero_for_exact_predictions(self):
+        chunks = [
+            _chunk(0, comp=(1.0, 3.0), predicted=2.0),
+            _chunk(1, send=(1.0, 2.0), comp=(3.0, 5.0), predicted=2.0),
+        ]
+        assert _report(chunks).observed_gamma() == 0.0
+
+    def test_observed_gamma_positive_for_dispersed_ratios(self):
+        chunks = [
+            _chunk(0, comp=(1.0, 2.0), predicted=2.0),   # ratio 0.5
+            _chunk(1, send=(1.0, 2.0), comp=(3.0, 7.0), predicted=2.0),  # ratio 2.0
+        ]
+        assert _report(chunks).observed_gamma() > 0.5
+
+    def test_num_rounds_and_phase_load(self):
+        chunks = [
+            _chunk(0, round_index=0, phase="umr"),
+            _chunk(1, send=(1.0, 2.0), comp=(2.0, 3.0), round_index=2, phase="factoring"),
+        ]
+        report = _report(chunks)
+        assert report.num_rounds == 3
+        assert report.phase_load() == {"umr": 10.0, "factoring": 10.0}
+
+    def test_worker_summaries_aggregate(self):
+        chunks = [
+            _chunk(0, worker=0, comp=(1.0, 3.0)),
+            _chunk(1, worker=0, send=(1.0, 2.0), comp=(3.0, 6.0)),
+            _chunk(2, worker=1, send=(2.0, 3.0), comp=(3.0, 4.0)),
+        ]
+        summaries = _report(chunks).worker_summaries()
+        assert len(summaries) == 2
+        w0 = summaries[0]
+        assert w0.chunks == 2
+        assert w0.units == 20.0
+        assert w0.busy_time == pytest.approx(2.0 + 3.0)
+
+    def test_gantt_rows_sorted_by_worker_then_time(self):
+        chunks = [
+            _chunk(0, worker=1, send=(0.0, 1.0), comp=(1.0, 2.0)),
+            _chunk(1, worker=0, send=(1.0, 2.0), comp=(2.0, 3.0)),
+        ]
+        rows = _report(chunks).gantt_rows()
+        assert [r[0] for r in rows] == ["w0", "w1"]
+
+    def test_render_contains_key_fields(self):
+        report = _report([_chunk()])
+        report.annotations["custom_note"] = "hello"
+        text = report.render(max_chunks=5)
+        assert "makespan" in text
+        assert "custom_note" in text
+        assert "w0" in text

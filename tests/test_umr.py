@@ -1,0 +1,159 @@
+"""Tests for the UMR multi-round plan and scheduler."""
+
+import math
+
+import pytest
+
+from repro.core.base import SchedulerConfig
+from repro.core.umr import (
+    UMR,
+    compute_umr_plan,
+    proportional_one_round,
+)
+from repro.errors import InfeasibleScheduleError, SchedulingError
+from repro.platform.presets import das2_cluster, meteor_cluster
+from repro.platform.resources import WorkerSpec
+from repro.simulation.master import simulate_run
+
+
+def _homogeneous(n=4, speed=1.0, bandwidth=10.0, comm_latency=0.5, comp_latency=0.2):
+    return [
+        WorkerSpec(f"w{i}", speed=speed, bandwidth=bandwidth,
+                   comm_latency=comm_latency, comp_latency=comp_latency)
+        for i in range(n)
+    ]
+
+
+class TestPlanMath:
+    def test_load_conservation(self):
+        plan = compute_umr_plan(_homogeneous(), total_load=1000.0)
+        assert plan.total_units == pytest.approx(1000.0)
+
+    def test_homogeneous_round_is_uniform(self):
+        plan = compute_umr_plan(_homogeneous(), total_load=1000.0)
+        for round_chunks in plan.rounds:
+            assert max(round_chunks) == pytest.approx(min(round_chunks))
+
+    def test_recurrence_holds_between_rounds(self):
+        """Dispatch time of round j+1 equals compute time of round j
+        (the UMR steady-state condition) for all interior rounds."""
+        workers = _homogeneous()
+        plan = compute_umr_plan(workers, total_load=1000.0)
+        # the final round is rescaled to conserve load, so test interior ones
+        for j in range(plan.num_rounds - 2):
+            compute_j = workers[0].comp_latency + plan.rounds[j][0] / workers[0].speed
+            dispatch_j1 = sum(
+                w.comm_latency + a / w.bandwidth
+                for w, a in zip(workers, plan.rounds[j + 1])
+            )
+            assert dispatch_j1 == pytest.approx(compute_j, rel=1e-6)
+
+    def test_chunks_grow_when_compute_bound(self):
+        # rho = sum S/B = 4/10 < 1 -> geometric growth
+        plan = compute_umr_plan(_homogeneous(), total_load=1000.0)
+        totals = plan.round_totals()
+        assert all(b > a for a, b in zip(totals, totals[1:]))
+        assert plan.stats.growth_ratio == pytest.approx(10.0 / 4.0)
+
+    def test_heterogeneous_equal_compute_time_within_round(self):
+        workers = [
+            WorkerSpec("a", speed=2.0, bandwidth=20.0, comm_latency=0.3, comp_latency=0.1),
+            WorkerSpec("b", speed=1.0, bandwidth=10.0, comm_latency=0.5, comp_latency=0.2),
+            WorkerSpec("c", speed=0.5, bandwidth=5.0, comm_latency=0.7, comp_latency=0.4),
+        ]
+        plan = compute_umr_plan(workers, total_load=500.0)
+        for round_chunks in plan.rounds[:-1]:  # last round is rescaled
+            times = [
+                w.comp_latency + a / w.speed for w, a in zip(workers, round_chunks)
+            ]
+            assert max(times) == pytest.approx(min(times), rel=1e-6)
+
+    def test_round_count_responds_to_startup_costs(self):
+        """Higher start-up costs make many rounds expensive -> fewer rounds."""
+        cheap = compute_umr_plan(
+            _homogeneous(comm_latency=0.05, comp_latency=0.02), total_load=1000.0
+        )
+        pricey = compute_umr_plan(
+            _homogeneous(comm_latency=5.0, comp_latency=2.0), total_load=1000.0
+        )
+        assert pricey.num_rounds <= cheap.num_rounds
+
+    def test_predicted_makespan_exceeds_ideal(self):
+        workers = _homogeneous()
+        plan = compute_umr_plan(workers, total_load=1000.0)
+        ideal = 1000.0 / sum(w.speed for w in workers)
+        assert plan.stats.predicted_makespan > ideal
+
+    def test_tiny_load_is_infeasible(self):
+        with pytest.raises(InfeasibleScheduleError):
+            compute_umr_plan(_homogeneous(comp_latency=50.0), total_load=1.0,
+                             quantum=1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchedulingError):
+            compute_umr_plan([], total_load=10.0)
+        with pytest.raises(SchedulingError):
+            compute_umr_plan(_homogeneous(), total_load=-1.0)
+
+
+class TestProportionalFallback:
+    def test_chunks_proportional_to_speed(self):
+        workers = [
+            WorkerSpec("a", speed=3.0, bandwidth=10.0),
+            WorkerSpec("b", speed=1.0, bandwidth=10.0),
+        ]
+        plan = proportional_one_round(workers, total_load=100.0)
+        assert plan.rounds[0][0] == pytest.approx(75.0)
+        assert plan.rounds[0][1] == pytest.approx(25.0)
+        assert math.isnan(plan.stats.growth_ratio)
+
+
+class TestUMRScheduler:
+    def test_end_to_end_load_conserved(self, small_grid):
+        report = simulate_run(small_grid, UMR(), total_load=500.0, seed=0)
+        assert sum(c.units for c in report.chunks) == pytest.approx(500.0)
+
+    def test_fallback_on_infeasible_load(self):
+        grid_workers = _homogeneous(comp_latency=60.0)
+        from repro.platform.resources import Grid
+
+        grid = Grid(workers=tuple(grid_workers))
+        report = simulate_run(grid, UMR(), total_load=2.0, seed=0)
+        assert report.annotations["umr_fallback_one_round"] is True
+
+    def test_annotations_present(self, small_grid):
+        report = simulate_run(small_grid, UMR(), total_load=500.0, seed=0)
+        assert report.annotations["umr_rounds"] >= 1
+        assert report.annotations["umr_t0"] > 0
+
+    def test_makespan_close_to_prediction_at_gamma_zero(self):
+        grid = das2_cluster(nodes=16)
+        scheduler = UMR()
+        report = simulate_run(grid, scheduler, total_load=10_000.0, seed=0)
+        predicted = scheduler.plan.stats.predicted_makespan
+        assert report.makespan == pytest.approx(predicted, rel=0.05)
+
+    def test_beats_simple1_on_das2(self):
+        """The headline Figure 2 ordering at gamma = 0."""
+        from repro.core.simple import SimpleN
+
+        grid = das2_cluster(nodes=16)
+        umr = simulate_run(grid, UMR(), total_load=10_000.0, seed=1)
+        simple = simulate_run(grid, SimpleN(1), total_load=10_000.0, seed=1)
+        assert simple.makespan > umr.makespan * 1.2
+
+    def test_no_advantage_on_low_latency_meteor(self):
+        """Figure 3, gamma = 0: low start-up costs erase UMR's edge."""
+        from repro.core.factoring import WeightedFactoring
+
+        grid = meteor_cluster(nodes=16)
+        umr = simulate_run(grid, UMR(), total_load=10_000.0, seed=1)
+        wf = simulate_run(grid, WeightedFactoring(), total_load=10_000.0, seed=1)
+        assert wf.makespan < umr.makespan * 1.15
+
+    def test_respects_estimates_not_truth(self, small_grid):
+        """UMR plans from probe estimates; with perfect estimates disabled
+        and a noisy platform the plan differs run to run."""
+        r1 = simulate_run(small_grid, UMR(), total_load=500.0, gamma=0.3, seed=1)
+        r2 = simulate_run(small_grid, UMR(), total_load=500.0, gamma=0.3, seed=2)
+        assert r1.makespan != r2.makespan

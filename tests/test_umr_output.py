@@ -1,0 +1,84 @@
+"""Tests for output-transfer-aware UMR."""
+
+import pytest
+
+from repro.core.registry import make_scheduler
+from repro.core.umr import UMR
+from repro.core.umr_output import OutputAwareUMR, output_transformed_estimates
+from repro.errors import SchedulingError
+from repro.platform.resources import WorkerSpec
+from repro.simulation.master import SimulationOptions, simulate_run
+
+
+def _workers(n=4):
+    return [
+        WorkerSpec(f"w{i}", speed=1.0, bandwidth=10.0, comm_latency=0.5,
+                   comp_latency=0.2)
+        for i in range(n)
+    ]
+
+
+class TestTransform:
+    def test_zero_factor_is_identity(self):
+        workers = _workers()
+        assert output_transformed_estimates(workers, 0.0) == workers
+
+    def test_bandwidth_shrinks_and_latency_doubles(self):
+        transformed = output_transformed_estimates(_workers(), 0.5)
+        assert transformed[0].bandwidth == pytest.approx(10.0 / 1.5)
+        assert transformed[0].comm_latency == pytest.approx(1.0)
+        # compute side untouched
+        assert transformed[0].speed == 1.0
+        assert transformed[0].comp_latency == 0.2
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(SchedulingError):
+            output_transformed_estimates(_workers(), -0.1)
+        with pytest.raises(SchedulingError):
+            OutputAwareUMR(-1.0)
+
+
+class TestScheduling:
+    def test_load_conserved(self, small_grid):
+        options = SimulationOptions(output_factor=0.3)
+        report = simulate_run(small_grid, OutputAwareUMR(0.3), total_load=2000.0,
+                              seed=0, options=options)
+        assert sum(c.units for c in report.chunks) == pytest.approx(2000.0)
+
+    def test_fewer_or_smaller_early_rounds_than_stock_umr(self):
+        """Budgeting link time for outputs leaves less for input dispatch,
+        so the output-aware plan's growth is gentler (higher rho)."""
+        workers = _workers()
+        from repro.core.base import SchedulerConfig
+
+        stock = UMR()
+        stock.configure(SchedulerConfig(estimates=workers, total_load=2000.0))
+        aware = OutputAwareUMR(0.5)
+        aware.configure(SchedulerConfig(estimates=workers, total_load=2000.0))
+        assert aware.plan.stats.growth_ratio < stock.plan.stats.growth_ratio
+
+    def test_beats_stock_umr_when_outputs_are_heavy(self, small_grid):
+        """With heavy output transfers on the shared link, the plan that
+        budgets for them wins."""
+        options = SimulationOptions(output_factor=0.8)
+        aware = simulate_run(small_grid, OutputAwareUMR(0.8), total_load=2000.0,
+                             seed=0, options=options)
+        stock = simulate_run(small_grid, UMR(), total_load=2000.0, seed=0,
+                             options=options)
+        assert aware.makespan < stock.makespan
+
+    def test_equivalent_to_umr_without_outputs(self, small_grid):
+        aware = simulate_run(small_grid, OutputAwareUMR(0.0), total_load=2000.0,
+                             seed=0)
+        stock = simulate_run(small_grid, UMR(), total_load=2000.0, seed=0)
+        assert aware.makespan == pytest.approx(stock.makespan, rel=1e-9)
+
+    def test_annotation_carries_factor(self, small_grid):
+        report = simulate_run(small_grid, OutputAwareUMR(0.25), total_load=2000.0,
+                              seed=0,
+                              options=SimulationOptions(output_factor=0.25))
+        assert report.annotations["umr_output_factor"] == 0.25
+        assert report.algorithm == "umr-out"
+
+    def test_registry_entry(self):
+        assert make_scheduler("umr-out").name == "umr-out"

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the UMR plan mathematics.
+
+For any platform in a broad random family, a computed UMR plan must:
+conserve the load exactly, keep every chunk non-negative, satisfy the
+steady-state dispatch recurrence on its interior rounds, and equalize
+per-round compute times across heterogeneous workers.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.umr import compute_umr_plan
+from repro.errors import InfeasibleScheduleError
+from repro.platform.resources import WorkerSpec
+
+worker_lists = st.lists(
+    st.builds(
+        lambda i, speed, ratio, nlat, clat: WorkerSpec(
+            name=f"w{i}",
+            speed=speed,
+            bandwidth=speed * ratio,
+            comm_latency=nlat,
+            comp_latency=clat,
+        ),
+        i=st.integers(0, 10_000),
+        speed=st.floats(min_value=0.2, max_value=8.0),
+        ratio=st.floats(min_value=3.0, max_value=80.0),
+        nlat=st.floats(min_value=0.0, max_value=4.0),
+        clat=st.floats(min_value=0.0, max_value=1.5),
+    ),
+    min_size=1,
+    max_size=10,
+    unique_by=lambda w: w.name,
+)
+
+
+def _plan_or_skip(workers, load):
+    try:
+        return compute_umr_plan(workers, load)
+    except InfeasibleScheduleError:
+        assume(False)
+
+
+@given(workers=worker_lists, load=st.floats(min_value=100.0, max_value=50_000.0))
+@settings(max_examples=150, deadline=None)
+def test_plan_conserves_load(workers, load):
+    plan = _plan_or_skip(workers, load)
+    assert plan.total_units == pytest.approx(load, rel=1e-9)
+
+
+@given(workers=worker_lists, load=st.floats(min_value=100.0, max_value=50_000.0))
+@settings(max_examples=150, deadline=None)
+def test_chunks_are_nonnegative(workers, load):
+    plan = _plan_or_skip(workers, load)
+    for round_chunks in plan.rounds:
+        assert all(a >= 0.0 for a in round_chunks)
+
+
+@given(workers=worker_lists, load=st.floats(min_value=500.0, max_value=50_000.0))
+@settings(max_examples=100, deadline=None)
+def test_interior_rounds_satisfy_dispatch_recurrence(workers, load):
+    """Dispatch time of round j+1 equals the common compute time of round j
+    (UMR's steady-state pipelining condition), for interior rounds."""
+    plan = _plan_or_skip(workers, load)
+    assume(plan.num_rounds >= 3)
+    for j in range(plan.num_rounds - 2):
+        # common compute time of round j: any worker with a positive chunk
+        compute_times = [
+            w.comp_latency + a / w.speed
+            for w, a in zip(workers, plan.rounds[j])
+            if a > 0
+        ]
+        assume(compute_times)
+        t_j = compute_times[0]
+        dispatch_next = sum(
+            w.comm_latency + a / w.bandwidth
+            for w, a in zip(workers, plan.rounds[j + 1])
+        )
+        assert dispatch_next == pytest.approx(t_j, rel=1e-6, abs=1e-6)
+
+
+@given(workers=worker_lists, load=st.floats(min_value=500.0, max_value=50_000.0))
+@settings(max_examples=100, deadline=None)
+def test_rounds_equalize_compute_times_across_workers(workers, load):
+    plan = _plan_or_skip(workers, load)
+    for round_chunks in plan.rounds[:-1]:  # final round is rescaled
+        times = [
+            w.comp_latency + a / w.speed
+            for w, a in zip(workers, round_chunks)
+            if a > 0
+        ]
+        if len(times) >= 2:
+            assert max(times) == pytest.approx(min(times), rel=1e-6)
+
+
+@given(workers=worker_lists, load=st.floats(min_value=100.0, max_value=50_000.0))
+@settings(max_examples=100, deadline=None)
+def test_predicted_makespan_bounded_below_by_ideal(workers, load):
+    plan = _plan_or_skip(workers, load)
+    ideal = load / sum(w.speed for w in workers)
+    assert plan.stats.predicted_makespan >= ideal - 1e-9

@@ -1,0 +1,207 @@
+"""Tests for the toy DV/MP4 video toolchain (case-study substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.workloads.video import (
+    avimerge,
+    avisplit,
+    dv_frame_stride,
+    make_avisplit_callback,
+    mencoder_encode,
+    read_dv_frames,
+    read_dv_header,
+    read_mp4_frames,
+    write_dv_file,
+)
+
+
+@pytest.fixture
+def video(tmp_path):
+    path = tmp_path / "movie.tdv"
+    write_dv_file(path, frames=30, frame_bytes=256, seed=5)
+    return path
+
+
+class TestContainer:
+    def test_header_round_trip(self, video):
+        assert read_dv_header(video) == (30, 256)
+
+    def test_frames_are_indexed_in_order(self, video):
+        frames = read_dv_frames(video)
+        assert [i for i, _ in frames] == list(range(30))
+        assert all(len(p) == 256 for _, p in frames)
+
+    def test_deterministic_content(self, tmp_path):
+        a = tmp_path / "a.tdv"
+        b = tmp_path / "b.tdv"
+        write_dv_file(a, frames=10, frame_bytes=128, seed=9)
+        write_dv_file(b, frames=10, frame_bytes=128, seed=9)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_file_size_matches_stride(self, video):
+        expected = 12 + 30 * dv_frame_stride(256)
+        assert video.stat().st_size == expected
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_dv_file(tmp_path / "x.tdv", frames=0)
+        with pytest.raises(ReproError):
+            write_dv_file(tmp_path / "x.tdv", frames=1, frame_bytes=0)
+
+    def test_non_video_file_rejected(self, tmp_path):
+        junk = tmp_path / "junk.tdv"
+        junk.write_bytes(b"not a video at all")
+        with pytest.raises(ReproError, match="not a TDV"):
+            read_dv_header(junk)
+
+
+class TestAvisplit:
+    def test_extracts_requested_range(self, video, tmp_path):
+        out = tmp_path / "part.tdv"
+        avisplit(video, 10, 5, out)
+        frames = read_dv_frames(out)
+        assert [i for i, _ in frames] == [10, 11, 12, 13, 14]
+
+    def test_payloads_preserved(self, video, tmp_path):
+        original = dict(read_dv_frames(video))
+        out = tmp_path / "part.tdv"
+        avisplit(video, 3, 4, out)
+        for index, payload in read_dv_frames(out):
+            assert payload == original[index]
+
+    def test_out_of_range_rejected(self, video, tmp_path):
+        with pytest.raises(ReproError, match="outside"):
+            avisplit(video, 28, 5, tmp_path / "x.tdv")
+        with pytest.raises(ReproError):
+            avisplit(video, -1, 2, tmp_path / "x.tdv")
+        with pytest.raises(ReproError):
+            avisplit(video, 0, 0, tmp_path / "x.tdv")
+
+
+class TestEncodeMerge:
+    def test_encode_preserves_frames(self, video, tmp_path):
+        encoded = tmp_path / "full.tm4v"
+        mencoder_encode(video, encoded)
+        assert read_mp4_frames(encoded) == read_dv_frames(video)
+
+    def test_encoded_file_is_smaller(self, video, tmp_path):
+        encoded = tmp_path / "full.tm4v"
+        mencoder_encode(video, encoded)
+        assert encoded.stat().st_size < video.stat().st_size
+
+    def test_split_encode_merge_equals_serial_encode(self, video, tmp_path):
+        serial = tmp_path / "serial.tm4v"
+        mencoder_encode(video, serial)
+        parts = []
+        for k, (start, count) in enumerate([(0, 12), (12, 10), (22, 8)]):
+            raw = tmp_path / f"p{k}.tdv"
+            avisplit(video, start, count, raw)
+            enc = tmp_path / f"p{k}.tm4v"
+            mencoder_encode(raw, enc)
+            parts.append(enc)
+        merged = tmp_path / "merged.tm4v"
+        avimerge(parts, merged)
+        assert merged.read_bytes() == serial.read_bytes()
+
+    def test_merge_accepts_any_part_order(self, video, tmp_path):
+        parts = []
+        for k, (start, count) in enumerate([(0, 10), (10, 10), (20, 10)]):
+            raw = tmp_path / f"p{k}.tdv"
+            avisplit(video, start, count, raw)
+            enc = tmp_path / f"p{k}.tm4v"
+            mencoder_encode(raw, enc)
+            parts.append(enc)
+        merged = tmp_path / "merged.tm4v"
+        avimerge(list(reversed(parts)), merged)
+        serial = tmp_path / "serial.tm4v"
+        mencoder_encode(video, serial)
+        assert merged.read_bytes() == serial.read_bytes()
+
+    def test_merge_rejects_gaps(self, video, tmp_path):
+        a = tmp_path / "a.tdv"
+        avisplit(video, 0, 10, a)
+        ea = tmp_path / "a.tm4v"
+        mencoder_encode(a, ea)
+        b = tmp_path / "b.tdv"
+        avisplit(video, 15, 10, b)  # gap: frames 10-14 missing
+        eb = tmp_path / "b.tm4v"
+        mencoder_encode(b, eb)
+        with pytest.raises(ReproError, match="contiguous"):
+            avimerge([ea, eb], tmp_path / "m.tm4v")
+
+    def test_merge_rejects_empty(self, tmp_path):
+        with pytest.raises(ReproError):
+            avimerge([], tmp_path / "m.tm4v")
+
+    @given(cuts=st.lists(st.integers(min_value=1, max_value=29), unique=True,
+                         max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_any_partition_merges_identically(self, tmp_path_factory, cuts):
+        """Property: divisibility at frame boundaries -- ANY partition of the
+        frame range yields a byte-identical merged encoding."""
+        tmp = tmp_path_factory.mktemp("parts")
+        video = tmp / "movie.tdv"
+        write_dv_file(video, frames=30, frame_bytes=256, seed=5)
+        bounds = [0, *sorted(cuts), 30]
+        parts = []
+        for k, (start, end) in enumerate(zip(bounds, bounds[1:])):
+            if end <= start:
+                continue
+            raw = tmp / f"p{k}.tdv"
+            avisplit(video, start, end - start, raw)
+            enc = tmp / f"p{k}.tm4v"
+            mencoder_encode(raw, enc)
+            parts.append(enc)
+        merged = tmp / "merged.tm4v"
+        avimerge(parts, merged)
+        serial = tmp / "serial.tm4v"
+        mencoder_encode(video, serial)
+        assert merged.read_bytes() == serial.read_bytes()
+
+
+class TestCallback:
+    def test_in_process_callback(self, video, tmp_path):
+        callback = make_avisplit_callback(video)
+        out = tmp_path / "chunk.tdv"
+        callback(5, 3, out)
+        assert [i for i, _ in read_dv_frames(out)] == [5, 6, 7]
+
+    def test_external_program_matches_in_process(self, video, tmp_path):
+        import subprocess
+        import sys
+
+        out = tmp_path / "ext.tdv"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.workloads.video_callback",
+             str(video), "5", "3", str(out)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        ref = tmp_path / "ref.tdv"
+        make_avisplit_callback(video)(5, 3, ref)
+        assert out.read_bytes() == ref.read_bytes()
+
+    def test_external_program_reports_errors(self, video, tmp_path):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.workloads.video_callback",
+             str(video), "25", "20", str(tmp_path / "x.tdv")],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert "avisplit failed" in result.stderr
+
+    def test_external_program_usage_error(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.workloads.video_callback"],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 2

@@ -1,0 +1,53 @@
+"""Tests for the library-level VideoEncodeApp chunk processor."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.execution.appspec import app_spec, load_app
+from repro.workloads.video import (
+    VideoEncodeApp,
+    avisplit,
+    mencoder_encode,
+    write_dv_file,
+)
+
+
+@pytest.fixture
+def video(tmp_path):
+    path = tmp_path / "v.tdv"
+    write_dv_file(path, frames=12, frame_bytes=128, seed=6)
+    return path
+
+
+class TestVideoEncodeApp:
+    def test_matches_mencoder_encode(self, video, tmp_path):
+        chunk = tmp_path / "chunk.tdv"
+        avisplit(video, 2, 5, chunk)
+        app = VideoEncodeApp()
+        encoded = app.process(chunk.read_bytes())
+        reference = tmp_path / "ref.tm4v"
+        mencoder_encode(chunk, reference)
+        assert encoded == reference.read_bytes()
+
+    def test_no_temp_files_leak(self, video, tmp_path):
+        import tempfile
+        from pathlib import Path
+
+        before = set(Path(tempfile.gettempdir()).glob("*.tdv"))
+        VideoEncodeApp().process(video.read_bytes())
+        after = set(Path(tempfile.gettempdir()).glob("*.tdv"))
+        assert after == before
+
+    def test_invalid_level(self):
+        with pytest.raises(ReproError):
+            VideoEncodeApp(level=10)
+
+    def test_loadable_via_app_spec(self, video):
+        spec = app_spec(VideoEncodeApp, level=1)
+        app = load_app(spec)
+        result = app.process(video.read_bytes())
+        assert result[:4] == b"TM4V"
+
+    def test_corrupt_chunk_raises(self):
+        with pytest.raises(ReproError):
+            VideoEncodeApp().process(b"definitely not a video")

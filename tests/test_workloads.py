@@ -1,0 +1,127 @@
+"""Tests for the synthetic app and Table-1 application profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.applications import (
+    TABLE1_APPLICATIONS,
+    UnitCostModel,
+    profile_by_name,
+    table1_rows,
+)
+from repro.workloads.synthetic import SyntheticApp, SyntheticWorkload
+
+
+class TestSyntheticWorkload:
+    def test_valid(self):
+        w = SyntheticWorkload(total_units=100.0, gamma=0.1)
+        assert w.division_step == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            SyntheticWorkload(total_units=0.0)
+        with pytest.raises(ReproError):
+            SyntheticWorkload(total_units=10.0, gamma=-0.1)
+        with pytest.raises(ReproError):
+            SyntheticWorkload(total_units=10.0, probe_units=0.0)
+
+
+class TestSyntheticApp:
+    def test_result_contains_digest_and_length(self):
+        app = SyntheticApp(flops_per_unit=10.0)
+        result = app.process(b"hello world")
+        assert len(result) == 32 + 8
+        assert int.from_bytes(result[32:], "little") == 11
+
+    def test_deterministic_digest(self):
+        app = SyntheticApp(flops_per_unit=10.0)
+        a = app.process(b"payload")
+        b = app.process(b"payload")
+        assert a == b
+
+    def test_work_scales_with_units(self):
+        import time
+
+        app = SyntheticApp(flops_per_unit=300_000.0)
+        t0 = time.perf_counter()
+        app.process(b"x", units=1.0)
+        small = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        app.process(b"x", units=30.0)
+        large = time.perf_counter() - t0
+        assert large > small * 3
+
+    def test_process_file(self, tmp_path):
+        app = SyntheticApp(flops_per_unit=1.0)
+        src = tmp_path / "in.bin"
+        src.write_bytes(b"abc")
+        out = app.process_file(src, tmp_path / "out.bin")
+        assert out.read_bytes() == app.process(b"abc")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            SyntheticApp(flops_per_unit=0.0)
+        with pytest.raises(ReproError):
+            SyntheticApp(gamma=-1.0)
+
+
+class TestUnitCostModels:
+    def test_constant(self):
+        costs = UnitCostModel(kind="constant").sample(100, np.random.default_rng(0))
+        assert np.all(costs == 1.0)
+
+    def test_normal_cov(self):
+        model = UnitCostModel(kind="normal", cov=0.1)
+        costs = model.sample(20_000, np.random.default_rng(0))
+        assert np.std(costs) / np.mean(costs) == pytest.approx(0.1, rel=0.05)
+
+    def test_uniform_bounds(self):
+        model = UnitCostModel(kind="uniform", halfwidth=0.2)
+        costs = model.sample(10_000, np.random.default_rng(0))
+        assert costs.min() >= 0.8 and costs.max() <= 1.2
+
+    def test_mixture_produces_outliers(self):
+        model = UnitCostModel(kind="mixture", cov=0.05,
+                              outlier_probability=0.01, outlier_scale=20.0)
+        costs = model.sample(10_000, np.random.default_rng(0))
+        assert costs.max() == pytest.approx(20.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            UnitCostModel(kind="pareto").sample(10, np.random.default_rng(0))
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReproError):
+            UnitCostModel(kind="constant").sample(0, np.random.default_rng(0))
+
+
+class TestTable1:
+    def test_four_applications(self):
+        assert [p.name for p in TABLE1_APPLICATIONS] == [
+            "HMMER", "MPEG", "VFleet", "Data Mining",
+        ]
+
+    @pytest.mark.parametrize("profile", TABLE1_APPLICATIONS,
+                             ids=lambda p: p.name)
+    def test_r_matches_paper_within_2_percent(self, profile):
+        assert profile.comm_comp_ratio == pytest.approx(profile.paper_r, rel=0.02)
+
+    def test_gamma_and_spread_match_paper_shape(self):
+        rows = {r["application"]: r for r in table1_rows(units=400_000, seed=0)}
+        # HMMER: moderate CoV, enormous spread
+        assert rows["HMMER"]["gamma"] == pytest.approx(0.09, abs=0.05)
+        assert rows["HMMER"]["spread"] > 10.0
+        # MPEG: ~10% CoV, ~30% spread
+        assert rows["MPEG"]["gamma"] == pytest.approx(0.10, abs=0.03)
+        assert rows["MPEG"]["spread"] == pytest.approx(0.30, abs=0.1)
+        # VFleet: nearly deterministic
+        assert rows["VFleet"]["gamma"] < 0.02
+        assert rows["VFleet"]["spread"] < 0.05
+        # Data Mining: no uncertainty data in the paper
+        assert rows["Data Mining"]["gamma"] is None
+
+    def test_profile_lookup(self):
+        assert profile_by_name("hmmer").name == "HMMER"
+        with pytest.raises(KeyError):
+            profile_by_name("doom")

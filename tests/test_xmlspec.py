@@ -1,0 +1,218 @@
+"""Tests for the XML application and platform specifications."""
+
+import pytest
+
+from repro.apst.division import (
+    CallbackDivision,
+    IndexDivision,
+    SeparatorDivision,
+    UniformBytesDivision,
+)
+from repro.apst.xmlspec import (
+    DivisibilitySpec,
+    build_division,
+    parse_platform,
+    parse_task,
+    task_to_xml,
+)
+from repro.errors import SpecificationError
+
+FIGURE_1 = """
+<task executable="a_divisible_app" input="bigfile">
+  <divisibility input="bigfile" method="uniform" start="0"
+                steptype="bytes" stepsize="10"
+                algorithm="rumr" probe="probefile"/>
+</task>
+"""
+
+FIGURE_6 = """
+<task executable="run_mencoder.sh" arguments="input.avi mpeg4.avi"
+      input="input.avi" output="mpeg4.avi">
+  <divisibility input="input.avi" method="callback" load="1830"
+                callback="callback_avisplit.pl" arguments="input.avi"
+                algorithm="rumr" probe="probe.avi" probe_load="21"/>
+</task>
+"""
+
+
+class TestPaperListings:
+    def test_figure_1_parses(self):
+        spec = parse_task(FIGURE_1)
+        assert spec.executable == "a_divisible_app"
+        d = spec.divisibility
+        assert d.method == "uniform"
+        assert d.steptype == "bytes"
+        assert d.stepsize == 10
+        assert d.start == 0
+        assert d.algorithm == "rumr"
+        assert d.probe == "probefile"
+
+    def test_figure_6_parses(self):
+        spec = parse_task(FIGURE_6)
+        assert spec.output == "mpeg4.avi"
+        d = spec.divisibility
+        assert d.method == "callback"
+        assert d.load == 1830
+        assert d.callback == "callback_avisplit.pl"
+        assert d.probe_load == 21
+
+    @pytest.mark.parametrize("xml", [FIGURE_1, FIGURE_6])
+    def test_round_trip(self, xml):
+        spec = parse_task(xml)
+        assert parse_task(task_to_xml(spec)) == spec
+
+
+class TestValidation:
+    def test_wrong_root_element(self):
+        with pytest.raises(SpecificationError, match="task"):
+            parse_task("<job executable='x'/>")
+
+    def test_missing_executable(self):
+        with pytest.raises(SpecificationError, match="executable"):
+            parse_task("<task><divisibility input='f' method='uniform'/></task>")
+
+    def test_missing_divisibility(self):
+        with pytest.raises(SpecificationError, match="exactly one"):
+            parse_task("<task executable='x'/>")
+
+    def test_two_divisibility_elements(self):
+        xml = (
+            "<task executable='x'>"
+            "<divisibility input='f' method='uniform' stepsize='1'/>"
+            "<divisibility input='f' method='uniform' stepsize='1'/>"
+            "</task>"
+        )
+        with pytest.raises(SpecificationError, match="exactly one"):
+            parse_task(xml)
+
+    def test_unknown_method(self):
+        with pytest.raises(SpecificationError, match="method"):
+            DivisibilitySpec(input="f", method="magic")
+
+    def test_separator_requires_separator_char(self):
+        with pytest.raises(SpecificationError, match="separator"):
+            DivisibilitySpec(input="f", method="uniform", steptype="separator")
+
+    def test_index_requires_indexfile(self):
+        with pytest.raises(SpecificationError, match="indexfile"):
+            DivisibilitySpec(input="f", method="index")
+
+    def test_callback_requires_program_and_load(self):
+        with pytest.raises(SpecificationError, match="callback"):
+            DivisibilitySpec(input="f", method="callback", load=10)
+        with pytest.raises(SpecificationError, match="load"):
+            DivisibilitySpec(input="f", method="callback", callback="p.pl")
+
+    def test_non_integer_attribute(self):
+        xml = (
+            "<task executable='x'>"
+            "<divisibility input='f' method='uniform' stepsize='ten'/>"
+            "</task>"
+        )
+        with pytest.raises(SpecificationError, match="integer"):
+            parse_task(xml)
+
+    def test_unknown_attribute_rejected(self):
+        xml = (
+            "<task executable='x'>"
+            "<divisibility input='f' method='uniform' stepsize='1' wibble='2'/>"
+            "</task>"
+        )
+        with pytest.raises(SpecificationError, match="unknown"):
+            parse_task(xml)
+
+    def test_malformed_xml(self):
+        with pytest.raises(SpecificationError, match="malformed"):
+            parse_task("<task executable='x'")
+
+    def test_missing_file_path(self, tmp_path):
+        with pytest.raises(SpecificationError, match="not found"):
+            parse_task(tmp_path / "nope.xml")
+
+
+class TestBuildDivision:
+    def test_uniform_bytes(self, tmp_path):
+        (tmp_path / "bigfile").write_bytes(bytes(100))
+        spec = parse_task(FIGURE_1).divisibility
+        division = build_division(spec, tmp_path)
+        assert isinstance(division, UniformBytesDivision)
+        assert division.total_units == 100.0
+
+    def test_separator(self, tmp_path):
+        (tmp_path / "records").write_bytes(b"a\nb\n")
+        spec = DivisibilitySpec(input="records", method="uniform",
+                                steptype="separator", separator="\n")
+        division = build_division(spec, tmp_path)
+        assert isinstance(division, SeparatorDivision)
+
+    def test_index(self, tmp_path):
+        (tmp_path / "load").write_bytes(bytes(50))
+        (tmp_path / "load.idx").write_text("25\n")
+        spec = DivisibilitySpec(input="load", method="index", indexfile="load.idx")
+        division = build_division(spec, tmp_path)
+        assert isinstance(division, IndexDivision)
+
+    def test_callback_module_form(self, tmp_path):
+        from repro.workloads.video import write_dv_file
+
+        write_dv_file(tmp_path / "in.tdv", frames=10, frame_bytes=64)
+        spec = DivisibilitySpec(
+            input="in.tdv", method="callback", load=10,
+            callback="python -m repro.workloads.video_callback",
+            arguments="in.tdv",
+        )
+        division = build_division(spec, tmp_path)
+        assert isinstance(division, CallbackDivision)
+        from repro.apst.division import ChunkExtent
+
+        payload = division.extract(ChunkExtent(offset=2.0, units=3.0))
+        assert payload.nbytes > 0
+
+
+class TestPlatformXML:
+    def test_homogeneous_cluster(self):
+        grid = parse_platform(
+            "<platform><cluster name='c' nodes='3' speed='1.5' bandwidth='12'"
+            " comm_latency='0.5' comp_latency='0.1'/></platform>"
+        )
+        assert len(grid) == 3
+        assert grid.workers[0].speed == 1.5
+        assert grid.workers[0].comm_latency == 0.5
+
+    def test_explicit_workers(self):
+        grid = parse_platform(
+            "<platform><cluster name='c'>"
+            "<worker name='a' speed='1' bandwidth='2'/>"
+            "<worker name='b' speed='2' bandwidth='4' comm_latency='0.3'/>"
+            "</cluster></platform>"
+        )
+        assert [w.name for w in grid] == ["a", "b"]
+        assert grid.workers[1].comm_latency == 0.3
+
+    def test_loose_workers_form_default_cluster(self):
+        grid = parse_platform(
+            "<platform><worker name='x' speed='1' bandwidth='2'/></platform>"
+        )
+        assert grid.clusters == ("default",)
+
+    def test_preset_reference(self):
+        grid = parse_platform("<platform><preset name='grail'/></platform>")
+        assert len(grid) == 7
+
+    def test_unknown_preset(self):
+        with pytest.raises(SpecificationError):
+            parse_platform("<platform><preset name='fermilab'/></platform>")
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(SpecificationError, match="no workers"):
+            parse_platform("<platform/>")
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown platform element"):
+            parse_platform("<platform><router name='r'/></platform>")
+
+    def test_bad_number(self):
+        with pytest.raises(SpecificationError, match="number"):
+            parse_platform(
+                "<platform><cluster name='c' nodes='2' speed='fast' bandwidth='1'/></platform>"
+            )
