@@ -1,0 +1,67 @@
+"""Multi-job service: several tenants sharing one Grid platform.
+
+The paper's APST-DV daemon runs one divisible-load application at a
+time.  This example runs a small multi-tenant trace -- one long batch
+job, then three short interactive jobs arriving mid-flight -- under the
+three worker-lease policies and prints the service reports:
+
+* ``fifo``       -- exclusive platform access, jobs queue (the sequential
+                    daemon behaviour);
+* ``static``     -- the grid is pre-cut into fixed sub-grids;
+* ``fair-share`` -- weighted proportional leases, re-arbitrated whenever
+                    a job arrives or finishes, so released capacity
+                    accelerates the survivors mid-flight.
+
+Run:  python examples/multijob_service.py
+"""
+
+from repro import das2_cluster, make_scheduler
+from repro.service import ServiceClock, ServiceJobSpec
+
+
+def trace() -> list[ServiceJobSpec]:
+    """One big batch job, then small high-weight interactive jobs."""
+    jobs = [
+        # (load units, algorithm, arrival s, tenant, weight)
+        (50_000.0, "umr", 0.0, "batch", 1.0),
+        (4_000.0, "umr", 60.0, "alice", 4.0),
+        (6_000.0, "wf", 150.0, "bob", 4.0),
+        (3_000.0, "umr", 240.0, "alice", 4.0),
+    ]
+    return [
+        ServiceJobSpec(
+            job_id=i,
+            scheduler_factory=lambda a=algorithm: make_scheduler(a),
+            total_load=load,
+            arrival=arrival,
+            tenant=tenant,
+            weight=weight,
+            seed=7,
+        )
+        for i, (load, algorithm, arrival, tenant, weight) in enumerate(jobs, 1)
+    ]
+
+
+def main() -> None:
+    grid = das2_cluster(nodes=8)
+    print(f"Platform: {len(grid)} workers (DAS-2 constants), 4 jobs, "
+          f"3 tenants\n")
+
+    services = {}
+    for policy in ("fifo", "static", "fair-share"):
+        outcome = ServiceClock(grid, policy=policy).run(trace())
+        services[policy] = outcome.service
+        print(outcome.service.render())
+        print()
+
+    fifo, fair = services["fifo"], services["fair-share"]
+    print(
+        f"fair-share cuts mean stretch from {fifo.mean_stretch:.1f} (fifo) "
+        f"to {fair.mean_stretch:.1f}: small jobs lease a slice immediately\n"
+        f"instead of queueing behind the batch job, and inherit its workers "
+        f"when it finishes."
+    )
+
+
+if __name__ == "__main__":
+    main()

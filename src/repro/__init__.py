@@ -40,12 +40,22 @@ from .simulation import ExecutionReport, SimulationOptions, UncertaintyModel, si
 # imported last: the advisor pulls in repro.apst, whose probing module
 # needs repro.simulation fully initialized first
 from .apst.advisor import Recommendation, recommend_algorithm  # noqa: E402
+from .service import (  # noqa: E402  (also layered on repro.apst)
+    MultiJobService,
+    ServiceClock,
+    ServiceReport,
+    WorkerLeaseArbiter,
+)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "Recommendation",
     "recommend_algorithm",
+    "MultiJobService",
+    "ServiceClock",
+    "ServiceReport",
+    "WorkerLeaseArbiter",
     "Scheduler",
     "make_scheduler",
     "available_algorithms",

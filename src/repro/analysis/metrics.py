@@ -70,6 +70,43 @@ def slowdowns_vs_best(stats: Sequence[MakespanStats]) -> dict[str, float]:
     return {s.algorithm: s.mean / best - 1.0 for s in stats}
 
 
+def stretch(turnaround: float, dedicated_makespan: float) -> float:
+    """Stretch (slowdown) of one job in a shared service.
+
+    The ratio of a job's turnaround time (finish minus arrival, including
+    queueing) to the makespan it would achieve alone on the full dedicated
+    platform.  1.0 means the job was not slowed at all by sharing; the
+    multi-job service reports mean/max stretch per scheduling policy.
+
+    >>> stretch(1200.0, 600.0)
+    2.0
+    """
+    if dedicated_makespan <= 0:
+        raise ReproError(f"dedicated makespan must be positive, got {dedicated_makespan}")
+    if turnaround < 0:
+        raise ReproError(f"turnaround must be non-negative, got {turnaround}")
+    return turnaround / dedicated_makespan
+
+
+def aggregate_utilization(busy_time: float, num_workers: int, span: float) -> float:
+    """Platform-level utilization: busy worker-seconds over capacity.
+
+    ``busy_time`` is the total worker-seconds spent computing retained
+    chunks across all jobs; capacity is ``num_workers * span`` where
+    ``span`` is the service horizon (first arrival to last completion).
+
+    >>> aggregate_utilization(800.0, 4, 400.0)
+    0.5
+    """
+    if num_workers <= 0:
+        raise ReproError(f"num_workers must be positive, got {num_workers}")
+    if busy_time < 0:
+        raise ReproError(f"busy_time must be non-negative, got {busy_time}")
+    if span <= 0:
+        return 0.0
+    return busy_time / (num_workers * span)
+
+
 def mean_slowdown_across(scenarios: Sequence[dict[str, float]]) -> dict[str, float]:
     """Average each algorithm's slowdown over several scenarios.
 

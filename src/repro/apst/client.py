@@ -51,6 +51,8 @@ class APSTClient:
             if job.error:
                 line += f" error={job.error}"
             lines.append(line)
+            for warning in job.warnings:
+                lines.append(f"  warning: {warning}")
         return "\n".join(lines)
 
     def report(self, job_id: int) -> ExecutionReport:
@@ -61,8 +63,23 @@ class APSTClient:
         """Output files the job produced (real-execution backends only)."""
         job = self._daemon.job(job_id)
         if job.state is not JobState.DONE:
-            raise SpecificationError(f"job {job_id} is {job.state.value}, not done")
+            detail = f"job {job_id} is {job.state.value}, not done"
+            if job.error:
+                detail += f" (error: {job.error})"
+            raise SpecificationError(detail)
         return list(job.outputs)
+
+    def cancel(self, job_id: int) -> Job:
+        """Cancel a queued job (errors for running/finished jobs)."""
+        return self._daemon.cancel(job_id)
+
+    def drain(self) -> list[int]:
+        """Run everything queued and refuse further submissions."""
+        return self._daemon.drain()
+
+    def stats(self) -> dict[str, int]:
+        """Job counts per state (the daemon's ``stats`` lifecycle verb)."""
+        return self._daemon.stats()
 
     def job(self, job_id: int) -> Job:
         return self._daemon.job(job_id)

@@ -11,6 +11,9 @@ Commands::
     submit TASK.xml [ALGORITHM]   queue a task (optionally overriding the
                                   spec's algorithm)
     run                           process all queued jobs
+    cancel JOB                    cancel a queued job
+    drain                         run everything queued, refuse new work
+    stats                         job counts per state
     status [JOB]                  one line per job
     report JOB                    the detailed execution report
     gantt JOB                     text Gantt chart + overlap metrics
@@ -89,6 +92,41 @@ class APSTConsole(cmd.Cmd):
             self._say(f"executed job(s): {', '.join(map(str, executed))}")
         else:
             self._say("nothing queued")
+
+    def do_cancel(self, arg: str) -> None:
+        """cancel JOB -- cancel a queued job."""
+        job_id = self._job_id(arg)
+        if job_id is None:
+            return
+        try:
+            self._client.cancel(job_id)
+        except ReproError as exc:
+            self._fail(str(exc))
+            return
+        self._say(f"job {job_id} cancelled")
+
+    def do_drain(self, _arg: str) -> None:
+        """drain -- run every queued job and stop accepting submissions."""
+        try:
+            executed = self._client.drain()
+        except Exception as exc:
+            self._fail(str(exc))
+            return
+        if executed:
+            self._say(f"drained job(s): {', '.join(map(str, executed))}")
+        else:
+            self._say("nothing queued; daemon no longer accepts submissions")
+
+    def do_stats(self, _arg: str) -> None:
+        """stats -- job counts per state."""
+        stats = self._client.stats()
+        draining = stats.pop("draining", 0)
+        total = stats.pop("total", 0)
+        parts = [f"{name}={count}" for name, count in stats.items() if count]
+        self._say(
+            f"{total} job(s): " + (", ".join(parts) if parts else "none")
+            + (" [draining]" if draining else "")
+        )
 
     def do_status(self, arg: str) -> None:
         """status [JOB] -- job states (all jobs, or one)."""

@@ -23,7 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Protocol
+from typing import Callable, Protocol
 
 from ..core.base import Scheduler
 from ..core.registry import make_scheduler
@@ -56,6 +56,7 @@ class JobState(Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -71,6 +72,21 @@ class Job:
     outputs: list[Path] = field(default_factory=list)
     #: pre-flight warnings recorded at run time (errors fail the job)
     warnings: list[str] = field(default_factory=list)
+
+
+@dataclass
+class PreparedJob:
+    """A job validated and ready to execute: division built, probe sized.
+
+    Produced by :meth:`APSTDaemon.prepare`; consumed by the daemon's own
+    sequential path and by the multi-job service layer, which needs a
+    fresh scheduler instance per lease segment (``scheduler_factory``).
+    """
+
+    job: Job
+    division: DivisionMethod
+    probe_units: float | None
+    scheduler_factory: Callable[[], Scheduler]
 
 
 @dataclass
@@ -123,10 +139,15 @@ class APSTDaemon:
         self._config = config or DaemonConfig()
         self._jobs: dict[int, Job] = {}
         self._ids = itertools.count(1)
+        self._draining = False
 
     @property
     def platform(self) -> Grid:
         return self._platform
+
+    @property
+    def config(self) -> DaemonConfig:
+        return self._config
 
     def submit(self, task: TaskSpec | str | Path, *, algorithm: str | None = None) -> int:
         """Queue a task (XML string, file path, or parsed spec); returns job id.
@@ -135,6 +156,10 @@ class APSTDaemon:
         is how the evaluation runs the same application "back-to-back"
         under every DLS algorithm.
         """
+        if self._draining:
+            raise SpecificationError(
+                "daemon is draining; new submissions are not accepted"
+            )
         if not isinstance(task, TaskSpec):
             task = parse_task(task)
         name = algorithm or task.divisibility.algorithm
@@ -158,6 +183,39 @@ class APSTDaemon:
 
     def jobs(self) -> list[Job]:
         return list(self._jobs.values())
+
+    def cancel(self, job_id: int) -> Job:
+        """Cancel a QUEUED job.  Running or finished jobs cannot be cancelled."""
+        job = self.job(job_id)
+        if job.state is not JobState.QUEUED:
+            raise SpecificationError(
+                f"cannot cancel job {job_id}: it is {job.state.value} "
+                "(only queued jobs can be cancelled)"
+            )
+        job.state = JobState.CANCELLED
+        return job
+
+    def stop_accepting(self) -> None:
+        """Refuse new submissions from now on (the drain half-step)."""
+        self._draining = True
+
+    def drain(self) -> list[int]:
+        """Run everything queued, then stop accepting new submissions."""
+        self.stop_accepting()
+        return self.run_pending()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> dict[str, int]:
+        """Job counts per state, plus totals (the ``stats`` lifecycle verb)."""
+        counts = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            counts[job.state.value] += 1
+        counts["total"] = len(self._jobs)
+        counts["draining"] = int(self._draining)
+        return counts
 
     def report(self, job_id: int) -> ExecutionReport:
         job = self.job(job_id)
@@ -193,9 +251,9 @@ class APSTDaemon:
                 gamma=gamma,
                 autocorrelation=self._config.noise_autocorrelation,
             )
-            job.warnings.append(
-                f"[info] auto-selected algorithm: {recommendation.rationale}"
-            )
+            note = f"[info] auto-selected algorithm: {recommendation.rationale}"
+            if note not in job.warnings:  # called once per lease segment
+                job.warnings.append(note)
             return recommendation.build()
         if job.algorithm == "rumr-learned":
             from ..core.rumr import RUMR, rumr_with_known_gamma
@@ -221,14 +279,44 @@ class APSTDaemon:
         history.record(self.application_key(job.task), job.report)
         history.save(self._config.history_path)
 
+    def prepare(self, job_id: int) -> PreparedJob:
+        """Pre-flight a job and build its division, without running it.
+
+        The sequential path (:meth:`run_pending`) and the multi-job service
+        layer share this step; the service then drives the returned
+        ``scheduler_factory`` once per lease segment.
+        """
+        job = self.job(job_id)
+        self._preflight(job, division=None)
+        division = build_division(job.task.divisibility, self._config.base_dir)
+        self._preflight(job, division=division)
+        probe_units = self._probe_units(job.task, division)
+        return PreparedJob(
+            job=job,
+            division=division,
+            probe_units=probe_units,
+            scheduler_factory=lambda: self._make_scheduler(job, division),
+        )
+
+    def record_result(self, job: Job, report: ExecutionReport) -> None:
+        """Install an externally produced report and mark the job DONE.
+
+        The multi-job service layer runs jobs through its own clock and
+        hands the per-job reports back through this method, so history
+        learning and the client-facing verbs see service jobs exactly
+        like sequential ones.
+        """
+        job.report = report
+        job.state = JobState.DONE
+        self._record_history(job)
+
     def _run_job(self, job: Job) -> None:
         job.state = JobState.RUNNING
         try:
-            self._preflight(job, division=None)
-            division = build_division(job.task.divisibility, self._config.base_dir)
-            self._preflight(job, division=division)
-            scheduler = self._make_scheduler(job, division)
-            probe_units = self._probe_units(job.task, division)
+            prepared = self.prepare(job.job_id)
+            division = prepared.division
+            scheduler = prepared.scheduler_factory()
+            probe_units = prepared.probe_units
             if self._backend == "simulation":
                 job.report = self._simulate(scheduler, division, probe_units)
             else:
@@ -292,19 +380,47 @@ class APSTDaemon:
         division: DivisionMethod,
         probe_units: float | None,
     ) -> ExecutionReport:
-        options = self._config.simulation_options or SimulationOptions()
-        if probe_units is not None and options.probe_units is None:
-            options = dataclasses.replace(options, probe_units=probe_units)
-        master = SimulatedMaster(
+        return self.simulate_segment(
             self._platform,
             scheduler,
             division.total_units,
+            division=division,
+            probe_units=probe_units,
+            seed=self._config.seed,
+        )
+
+    def simulate_segment(
+        self,
+        grid: Grid,
+        scheduler: Scheduler,
+        total_units: float,
+        *,
+        division: DivisionMethod | None = None,
+        probe_units: float | None = None,
+        seed: int | None = None,
+        quantum: float | None = None,
+    ) -> ExecutionReport:
+        """One simulated run on ``grid`` under the daemon's configuration.
+
+        The sequential path runs each job as a single segment on the full
+        platform; the multi-job service layer calls this once per lease
+        segment, on a sub-grid, with the job's remaining load.
+        """
+        options = self._config.simulation_options or SimulationOptions()
+        if probe_units is not None and options.probe_units is None:
+            options = dataclasses.replace(options, probe_units=probe_units)
+        if quantum is not None and quantum != options.quantum:
+            options = dataclasses.replace(options, quantum=quantum)
+        master = SimulatedMaster(
+            grid,
+            scheduler,
+            total_units,
             division=division,
             uncertainty=UncertaintyModel(
                 gamma=self._config.gamma,
                 autocorrelation=self._config.noise_autocorrelation,
             ),
-            seed=self._config.seed,
+            seed=seed,
             options=options,
         )
         return master.run()

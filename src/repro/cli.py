@@ -8,6 +8,8 @@ Sub-commands
              platform and print the figure-style comparison table.
 ``presets``  List the calibrated platform presets.
 ``table1``   Regenerate Table 1 (application characteristics).
+``service``  Run several tasks concurrently under a worker-lease policy
+             and print the service report (wait/turnaround/stretch).
 """
 
 from __future__ import annotations
@@ -160,6 +162,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    from .service import MultiJobService
+
+    platform = _load_platform(args.platform)
+    daemon = APSTDaemon(
+        platform,
+        config=DaemonConfig(
+            base_dir=Path(args.base_dir), gamma=args.gamma, seed=args.seed
+        ),
+    )
+    from .errors import ServiceError
+
+    try:
+        service = MultiJobService(daemon, policy=args.policy, slots=args.slots)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    arrivals: list[float] = []
+    if args.arrivals:
+        try:
+            arrivals = [float(a) for a in args.arrivals.split(",") if a.strip()]
+        except ValueError:
+            raise SystemExit(f"bad --arrivals value: {args.arrivals!r}")
+    tasks = [task for task in args.tasks for _ in range(args.count)]
+    for i, task in enumerate(tasks):
+        service.submit(
+            Path(task),
+            algorithm=args.algorithm,
+            arrival=arrivals[i] if i < len(arrivals) else 0.0,
+        )
+    outcome = service.run()
+    print(outcome.service.render())
+    failed = [j for j in daemon.jobs() if j.error is not None]
+    for job in failed:
+        print(f"job {job.job_id} FAILED: {job.error}")
+    if args.reports:
+        for job_id in sorted(outcome.reports):
+            print()
+            print(outcome.reports[job_id].render())
+    return 1 if failed else 0
+
+
 def _cmd_console(args: argparse.Namespace) -> int:
     from .apst.console import APSTConsole
 
@@ -247,6 +290,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", default=None, metavar="PATH",
                        help="also write the series as CSV to PATH")
     sweep.set_defaults(func=_cmd_sweep)
+
+    service = sub.add_parser(
+        "service", help="run several task XMLs concurrently under a lease policy"
+    )
+    service.add_argument("tasks", nargs="+", help="task XML specification path(s)")
+    service.add_argument("--platform", default="das2")
+    service.add_argument("--policy", default="fair-share",
+                         choices=["fifo", "static", "fair-share"],
+                         help="worker-lease arbitration policy")
+    service.add_argument("--slots", type=int, default=None,
+                         help="fixed sub-grid count for --policy static")
+    service.add_argument("--arrivals", default=None,
+                         help="comma-separated arrival times, one per job (default: all 0)")
+    service.add_argument("--algorithm", default=None,
+                         help="override every spec's algorithm")
+    service.add_argument("--count", type=int, default=1,
+                         help="submit each task this many times")
+    service.add_argument("--base-dir", default=".")
+    service.add_argument("--gamma", type=float, default=0.0)
+    service.add_argument("--seed", type=int, default=None)
+    service.add_argument("--reports", action="store_true",
+                         help="also print each job's detailed execution report")
+    service.set_defaults(func=_cmd_service)
 
     console = sub.add_parser("console", help="interactive APST-DV client console")
     console.add_argument("--platform", default="das2")

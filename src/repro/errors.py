@@ -43,3 +43,7 @@ class ExecutionError(ReproError):
 
 class ProbeError(ReproError):
     """Resource probing failed or produced unusable estimates."""
+
+
+class ServiceError(ReproError):
+    """The multi-job scheduling service was asked to do something invalid."""

@@ -1,0 +1,260 @@
+"""Worker-lease arbitration: partitioning one Grid among concurrent jobs.
+
+A divisible-load job does not need any *particular* worker -- it needs
+capacity.  The arbiter exploits that: it hands each RUNNING job a
+disjoint *lease* (a subset of platform worker indices) and re-arbitrates
+at every service epoch (job arrival or completion).  Three policies:
+
+* ``fifo``          -- exclusive: the oldest admitted job leases the whole
+                       grid; everyone else waits.  This is exactly the
+                       sequential behaviour of ``APSTDaemon.run_pending``.
+* ``static``        -- the grid is pre-cut into ``slots`` fixed sub-grids;
+                       each job occupies one slot until it finishes.  Jobs
+                       start sooner than under FIFO but finished slots'
+                       capacity never helps a still-running neighbour.
+* ``fair-share``    -- weighted proportional sharing: each active job
+                       leases workers in proportion to
+                       ``weight x remaining load`` (largest-remainder
+                       rounding, every job >= 1 worker).  When a job
+                       finishes, its workers are re-leased to the
+                       survivors mid-flight.
+
+Leases are *sticky*: re-arbitration keeps a job on its current workers
+wherever counts allow, so an epoch that does not change a job's
+allocation does not interrupt it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ServiceError
+
+POLICIES = ("fifo", "static", "fair-share")
+
+
+@dataclass(frozen=True)
+class LeaseRequest:
+    """One job's claim on the platform, as seen by the arbiter.
+
+    ``remaining`` is the undispatched load at arbitration time -- the
+    quantity fair-share weighs leases by.  ``max_workers`` optionally caps
+    the lease; requesting a zero-worker lease is invalid by definition (a
+    running divisible-load job always needs at least one worker).
+    """
+
+    job_id: int
+    remaining: float
+    weight: float = 1.0
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.remaining <= 0:
+            raise ServiceError(
+                f"job {self.job_id}: lease request with no remaining load "
+                f"({self.remaining}); finished jobs must release, not request"
+            )
+        if self.weight <= 0:
+            raise ServiceError(
+                f"job {self.job_id}: lease weight must be positive, got {self.weight}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ServiceError(
+                f"job {self.job_id}: zero-worker lease request "
+                f"(max_workers={self.max_workers}); a job needs >= 1 worker"
+            )
+
+
+class WorkerLeaseArbiter:
+    """Stateful lease assignment over ``num_workers`` platform workers."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        policy: str = "fair-share",
+        *,
+        slots: int | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError(
+                f"cannot arbitrate over {num_workers} workers; need at least one"
+            )
+        if policy not in POLICIES:
+            raise ServiceError(
+                f"unknown lease policy {policy!r}; options: {', '.join(POLICIES)}"
+            )
+        self._n = num_workers
+        self._policy = policy
+        if slots is None:
+            slots = min(4, num_workers) if policy == "static" else 1
+        if not 1 <= slots <= num_workers:
+            raise ServiceError(
+                f"slots must be in [1, {num_workers}], got {slots}"
+            )
+        self._slots = slots
+        self._blocks = self._make_blocks(num_workers, slots)
+        self._leases: dict[int, tuple[int, ...]] = {}
+        self._block_of: dict[int, int] = {}
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def num_workers(self) -> int:
+        return self._n
+
+    def lease_of(self, job_id: int) -> tuple[int, ...]:
+        return self._leases.get(job_id, ())
+
+    def release(self, job_id: int) -> None:
+        """Forget a finished/cancelled job's lease and (static) its slot."""
+        self._leases.pop(job_id, None)
+        self._block_of.pop(job_id, None)
+
+    def assign(
+        self,
+        running: Sequence[LeaseRequest],
+        queued: Sequence[LeaseRequest],
+    ) -> dict[int, tuple[int, ...]]:
+        """Leases for this epoch: every returned job should be RUNNING.
+
+        ``running`` must be in lease-grant order (oldest first); ``queued``
+        in admission order.  Jobs absent from the result stay queued.
+        Every granted lease has >= 1 worker, leases are disjoint, and a
+        running job whose allocation is unchanged keeps its exact workers.
+        """
+        ids = [r.job_id for r in (*running, *queued)]
+        if len(set(ids)) != len(ids):
+            raise ServiceError(f"duplicate job ids in arbitration: {ids}")
+        for r in running:
+            if r.job_id not in self._leases:
+                raise ServiceError(
+                    f"job {r.job_id} claims to be running but holds no lease"
+                )
+        if self._policy == "fifo":
+            result = self._assign_fifo(running, queued)
+        elif self._policy == "static":
+            result = self._assign_static(running, queued)
+        else:
+            result = self._assign_fair(running, queued)
+        self._leases = dict(result)
+        return result
+
+    # -- policies ------------------------------------------------------------
+    def _assign_fifo(
+        self, running: Sequence[LeaseRequest], queued: Sequence[LeaseRequest]
+    ) -> dict[int, tuple[int, ...]]:
+        if len(running) > 1:
+            raise ServiceError(
+                f"fifo policy cannot have {len(running)} concurrent jobs"
+            )
+        everything = tuple(range(self._n))
+        if running:
+            return {running[0].job_id: everything}
+        if queued:
+            return {queued[0].job_id: everything}
+        return {}
+
+    def _assign_static(
+        self, running: Sequence[LeaseRequest], queued: Sequence[LeaseRequest]
+    ) -> dict[int, tuple[int, ...]]:
+        result: dict[int, tuple[int, ...]] = {}
+        for r in running:  # running jobs keep their slot, always
+            block = self._block_of.get(r.job_id)
+            if block is None:
+                raise ServiceError(f"running job {r.job_id} lost its slot")
+            result[r.job_id] = self._blocks[block]
+        occupied = {self._block_of[r.job_id] for r in running}
+        free = [i for i in range(self._slots) if i not in occupied]
+        for r, block in zip(queued, free):
+            self._block_of[r.job_id] = block
+            result[r.job_id] = self._blocks[block]
+        return result
+
+    def _assign_fair(
+        self, running: Sequence[LeaseRequest], queued: Sequence[LeaseRequest]
+    ) -> dict[int, tuple[int, ...]]:
+        active = [*running, *queued][: self._n]  # >= 1 worker each
+        if not active:
+            return {}
+        shares = [r.weight * r.remaining for r in active]
+        counts = self._proportional_counts(
+            shares, self._n, caps=[r.max_workers for r in active]
+        )
+        # Sticky placement: keep current workers up to the new count ...
+        result: dict[int, list[int]] = {}
+        free = set(range(self._n))
+        for r, count in zip(active, counts):
+            keep = [w for w in self._leases.get(r.job_id, ()) if w in free][:count]
+            result[r.job_id] = keep
+            free -= set(keep)
+        # ... then fill deficits from the free pool, lowest index first.
+        pool = sorted(free)
+        for r, count in zip(active, counts):
+            need = count - len(result[r.job_id])
+            if need > 0:
+                result[r.job_id].extend(pool[:need])
+                del pool[:need]
+        return {
+            job_id: tuple(sorted(workers))
+            for job_id, workers in result.items()
+            if workers
+        }
+
+    # -- helpers -------------------------------------------------------------
+    @staticmethod
+    def _make_blocks(n: int, slots: int) -> list[tuple[int, ...]]:
+        """Near-even contiguous partition of ``range(n)`` into ``slots``."""
+        blocks = []
+        start = 0
+        for i in range(slots):
+            size = n // slots + (1 if i < n % slots else 0)
+            blocks.append(tuple(range(start, start + size)))
+            start += size
+        return blocks
+
+    @staticmethod
+    def _proportional_counts(
+        shares: Sequence[float], n: int, caps: Sequence[int | None]
+    ) -> list[int]:
+        """Integer worker counts proportional to ``shares``, summing <= n.
+
+        Every job gets at least one worker; the rest go by largest
+        remainder (ties resolve to the earlier job, deterministically).
+        Caps are honoured; capacity nobody may take is left idle.
+        """
+        k = len(shares)
+        if k > n:
+            raise ServiceError(f"cannot grant {k} leases over {n} workers")
+        total = sum(shares)
+        raw = [(n - k) * s / total for s in shares]
+        counts = [1 + math.floor(r) for r in raw]
+        remainder_order = sorted(
+            range(k), key=lambda i: (-(raw[i] - math.floor(raw[i])), i)
+        )
+        leftover = n - sum(counts)
+        for i in remainder_order[:leftover]:
+            counts[i] += 1
+        # honour per-job caps, recycling the excess to uncapped jobs
+        excess = 0
+        for i, cap in enumerate(caps):
+            if cap is not None and counts[i] > cap:
+                excess += counts[i] - cap
+                counts[i] = cap
+        while excess > 0:
+            progressed = False
+            for i in remainder_order:
+                cap = caps[i]
+                if cap is None or counts[i] < cap:
+                    counts[i] += 1
+                    excess -= 1
+                    progressed = True
+                    if excess == 0:
+                        break
+            if not progressed:
+                break  # everyone capped: leave the rest idle
+        return counts

@@ -1,0 +1,126 @@
+"""Service-level reporting: what multi-tenant operators look at.
+
+A single job's quality metric is its makespan; a shared service is judged
+on how jobs fare *against each other*: how long they queue (wait), how
+long submission-to-completion takes (turnaround), how much sharing slowed
+each job versus a dedicated platform (stretch), and how busy the platform
+capacity was overall (aggregate utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import format_seconds
+from ..analysis.metrics import aggregate_utilization, stretch
+from ..errors import ServiceError
+
+
+@dataclass(frozen=True)
+class JobServiceRecord:
+    """Service-side lifecycle of one job (timings in service seconds)."""
+
+    job_id: int
+    tenant: str
+    algorithm: str
+    arrival: float
+    start: float
+    finish: float
+    #: makespan of the same job alone on the full platform (stretch baseline)
+    dedicated_makespan: float
+    #: lease segments the job ran in (1 = never re-leased)
+    segments: int
+    #: largest lease the job held
+    peak_workers: int
+
+    def __post_init__(self) -> None:
+        if not self.arrival <= self.start <= self.finish:
+            raise ServiceError(
+                f"job {self.job_id}: inconsistent lifecycle "
+                f"arrival={self.arrival} start={self.start} finish={self.finish}"
+            )
+
+    @property
+    def wait(self) -> float:
+        """Seconds spent in the admission queue before the first lease."""
+        return self.start - self.arrival
+
+    @property
+    def turnaround(self) -> float:
+        """Submission-to-completion time."""
+        return self.finish - self.arrival
+
+    @property
+    def stretch(self) -> float:
+        """Turnaround over the dedicated-platform makespan (>= ~1)."""
+        return stretch(self.turnaround, self.dedicated_makespan)
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate view of one multi-job service run under one policy."""
+
+    policy: str
+    num_workers: int
+    records: list[JobServiceRecord] = field(default_factory=list)
+    #: worker-seconds spent computing retained chunks, over all jobs
+    busy_worker_seconds: float = 0.0
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def span(self) -> float:
+        """Service horizon: first arrival to last completion."""
+        if not self.records:
+            return 0.0
+        return max(r.finish for r in self.records) - min(r.arrival for r in self.records)
+
+    @property
+    def utilization(self) -> float:
+        return aggregate_utilization(self.busy_worker_seconds, self.num_workers, self.span)
+
+    @property
+    def mean_wait(self) -> float:
+        return self._mean([r.wait for r in self.records])
+
+    @property
+    def mean_turnaround(self) -> float:
+        return self._mean([r.turnaround for r in self.records])
+
+    @property
+    def mean_stretch(self) -> float:
+        return self._mean([r.stretch for r in self.records])
+
+    @property
+    def max_stretch(self) -> float:
+        return max((r.stretch for r in self.records), default=0.0)
+
+    @staticmethod
+    def _mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    def render(self) -> str:
+        """Human-readable service report (per-job rows + aggregates)."""
+        lines = [
+            f"=== Service report: policy={self.policy} "
+            f"({self.num_jobs} jobs on {self.num_workers} workers) ===",
+            f"{'job':>4s} {'tenant':10s} {'algorithm':12s} {'arrival':>9s} "
+            f"{'wait':>9s} {'turnaround':>11s} {'stretch':>8s} "
+            f"{'segs':>4s} {'peak':>4s}",
+        ]
+        for r in sorted(self.records, key=lambda r: r.job_id):
+            lines.append(
+                f"{r.job_id:4d} {r.tenant:10s} {r.algorithm:12s} {r.arrival:9.1f} "
+                f"{r.wait:9.1f} {r.turnaround:11.1f} {r.stretch:8.2f} "
+                f"{r.segments:4d} {r.peak_workers:4d}"
+            )
+        lines += [
+            f"span            : {format_seconds(self.span)} ({self.span:.1f}s)",
+            f"utilization     : {self.utilization:.1%} of {self.num_workers} workers",
+            f"mean wait       : {self.mean_wait:.1f}s",
+            f"mean turnaround : {self.mean_turnaround:.1f}s",
+            f"mean stretch    : {self.mean_stretch:.2f} (max {self.max_stretch:.2f})",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""The multi-job service facade: daemon jobs through the service clock.
+
+:class:`MultiJobService` is the deployment-shaped entry point: it accepts
+the same XML task submissions as :class:`~repro.apst.daemon.APSTDaemon`
+(plus service metadata -- tenant, priority, weight, arrival), then runs
+everything queued *concurrently* under a worker-lease policy instead of
+sequentially.  Finished jobs are handed back to the daemon as ordinary
+DONE jobs, so ``status``/``report``/``outputs`` and cross-run history
+learning keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..apst.daemon import APSTDaemon, Job, JobState
+from ..apst.xmlspec import TaskSpec
+from ..errors import ServiceError
+from .arbiter import WorkerLeaseArbiter
+from .clock import ServiceClock, ServiceOutcome
+from .manager import JobManager, ServiceJobSpec
+from .report import ServiceReport
+
+
+class MultiJobService:
+    """Concurrent execution of daemon jobs over a shared platform."""
+
+    def __init__(
+        self,
+        daemon: APSTDaemon,
+        *,
+        policy: str = "fair-share",
+        slots: int | None = None,
+    ) -> None:
+        self._daemon = daemon
+        # built eagerly so a bad policy/slots fails at construction
+        self._arbiter = WorkerLeaseArbiter(
+            len(daemon.platform), policy, slots=slots
+        )
+        self._manager = JobManager()  # tenant accounts persist across runs
+        self._meta: dict[int, dict] = {}
+        self._last_outcome: ServiceOutcome | None = None
+
+    @property
+    def policy(self) -> str:
+        return self._arbiter.policy
+
+    @property
+    def daemon(self) -> APSTDaemon:
+        return self._daemon
+
+    @property
+    def manager(self) -> JobManager:
+        return self._manager
+
+    @property
+    def last_outcome(self) -> ServiceOutcome | None:
+        return self._last_outcome
+
+    # -- lifecycle verbs -----------------------------------------------------
+    def submit(
+        self,
+        task: TaskSpec | str | Path,
+        *,
+        algorithm: str | None = None,
+        tenant: str = "default",
+        priority: int = 0,
+        weight: float = 1.0,
+        arrival: float = 0.0,
+    ) -> int:
+        """Queue a task with service metadata; returns the daemon job id."""
+        if not tenant:
+            raise ServiceError("tenant must be non-empty")
+        if weight <= 0:
+            raise ServiceError(f"weight must be positive, got {weight}")
+        if arrival < 0:
+            raise ServiceError(f"arrival must be non-negative, got {arrival}")
+        job_id = self._daemon.submit(task, algorithm=algorithm)
+        self._meta[job_id] = {
+            "tenant": tenant,
+            "priority": priority,
+            "weight": weight,
+            "arrival": arrival,
+        }
+        return job_id
+
+    def cancel(self, job_id: int) -> Job:
+        """Cancel a QUEUED job (delegates to the daemon's state machine)."""
+        return self._daemon.cancel(job_id)
+
+    def stats(self) -> dict[str, int]:
+        return self._daemon.stats()
+
+    def drain(self) -> ServiceOutcome:
+        """Run everything queued, then refuse further submissions."""
+        self._daemon.stop_accepting()
+        return self.run()
+
+    # -- execution -----------------------------------------------------------
+    def run(self) -> ServiceOutcome:
+        """Run every queued job concurrently under the lease policy."""
+        specs = []
+        for job in self._daemon.jobs():
+            if job.state is not JobState.QUEUED:
+                continue
+            job.state = JobState.RUNNING
+            try:
+                prepared = self._daemon.prepare(job.job_id)
+            except Exception as exc:
+                job.state = JobState.FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                continue
+            meta = self._meta.get(job.job_id, {})
+            specs.append(
+                ServiceJobSpec(
+                    job_id=job.job_id,
+                    scheduler_factory=prepared.scheduler_factory,
+                    total_load=prepared.division.total_units,
+                    arrival=meta.get("arrival", 0.0),
+                    tenant=meta.get("tenant", "default"),
+                    priority=meta.get("priority", 0),
+                    weight=meta.get("weight", 1.0),
+                    division=prepared.division,
+                    probe_units=prepared.probe_units,
+                    seed=self._daemon.config.seed,
+                )
+            )
+        if not specs:
+            outcome = ServiceOutcome(
+                reports={},
+                service=ServiceReport(
+                    policy=self._arbiter.policy,
+                    num_workers=len(self._daemon.platform),
+                ),
+            )
+            self._last_outcome = outcome
+            return outcome
+        clock = ServiceClock(
+            self._daemon.platform,
+            arbiter=self._arbiter,
+            manager=self._manager,
+            simulate=self._daemon.simulate_segment,
+        )
+        try:
+            outcome = clock.run(specs)
+        except Exception as exc:
+            for spec in specs:
+                job = self._daemon.job(spec.job_id)
+                if job.state is JobState.RUNNING:
+                    job.state = JobState.FAILED
+                    job.error = f"{type(exc).__name__}: {exc}"
+            raise
+        for job_id, report in outcome.reports.items():
+            self._daemon.record_result(self._daemon.job(job_id), report)
+        self._last_outcome = outcome
+        return outcome

@@ -11,7 +11,7 @@ utilization).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable
 
 from .._util import coefficient_of_variation, format_seconds
@@ -51,6 +51,30 @@ class ChunkTrace:
     @property
     def completed(self) -> bool:
         return self.compute_end >= 0.0
+
+    def shifted(
+        self,
+        dt: float,
+        *,
+        worker_index: int | None = None,
+        chunk_id: int | None = None,
+    ) -> "ChunkTrace":
+        """Copy with all timestamps moved by ``dt``.
+
+        The multi-job service layer simulates each lease segment on its own
+        clock starting at zero; assembling a per-job report re-bases the
+        segment's chunks onto the job timeline (and remaps sub-grid worker
+        indices back to platform indices).
+        """
+        return replace(
+            self,
+            chunk_id=self.chunk_id if chunk_id is None else chunk_id,
+            worker_index=self.worker_index if worker_index is None else worker_index,
+            send_start=self.send_start + dt,
+            send_end=self.send_end + dt,
+            compute_start=self.compute_start + dt,
+            compute_end=self.compute_end + dt,
+        )
 
     def validate(self) -> None:
         """Causality checks; a violation is a simulator bug."""
@@ -145,6 +169,20 @@ class ExecutionReport:
             if c.predicted_compute > 0 and c.completed
         ]
         return coefficient_of_variation(ratios)
+
+    def completed_by(self, at: float, *, tolerance: float = 1e-9) -> list[ChunkTrace]:
+        """Chunks whose computation finished by (relative) time ``at``.
+
+        This is the preemption boundary the service layer uses when a lease
+        change interrupts a run mid-flight: finished chunks are retained,
+        everything in transfer or still computing is re-dispatched on the
+        new lease.
+        """
+        return [c for c in self.chunks if c.completed and c.compute_end <= at + tolerance]
+
+    def completed_units_by(self, at: float) -> float:
+        """Load units whose computation finished by (relative) time ``at``."""
+        return sum(c.units for c in self.completed_by(at))
 
     def worker_summaries(self) -> list[WorkerSummary]:
         """Aggregate chunk traces per worker."""

@@ -87,3 +87,55 @@ class TestCompare:
         out = capsys.readouterr().out
         for name in ("simple-1", "simple-5", "umr", "wf", "rumr", "fixed-rumr"):
             assert name in out
+
+
+class TestService:
+    @pytest.fixture
+    def task_file(self, tmp_path):
+        (tmp_path / "load.bin").write_bytes(bytes(10_000))
+        spec = tmp_path / "task.xml"
+        spec.write_text(
+            "<task executable='app' input='load.bin'>"
+            "<divisibility input='load.bin' method='uniform' start='0'"
+            " steptype='bytes' stepsize='10' algorithm='umr'/></task>"
+        )
+        return spec
+
+    def test_service_prints_report(self, capsys, task_file, tmp_path):
+        code = main([
+            "service", str(task_file), "--count", "2",
+            "--arrivals", "0,100", "--policy", "fair-share",
+            "--base-dir", str(tmp_path), "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Service report: policy=fair-share" in out
+        assert "stretch" in out and "utilization" in out
+
+    def test_service_with_per_job_reports(self, capsys, task_file, tmp_path):
+        code = main([
+            "service", str(task_file), "--policy", "fifo",
+            "--base-dir", str(tmp_path), "--seed", "1", "--reports",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Execution report: umr" in out
+
+    def test_service_bad_arrivals_exits(self, task_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["service", str(task_file), "--arrivals", "soon",
+                  "--base-dir", str(tmp_path)])
+
+    def test_service_failure_sets_exit_code(self, capsys, task_file, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text(
+            "<task executable='app' input='missing.bin'>"
+            "<divisibility input='missing.bin' method='uniform' start='0'"
+            " steptype='bytes' stepsize='10' algorithm='umr'/></task>"
+        )
+        code = main([
+            "service", str(task_file), str(bad),
+            "--base-dir", str(tmp_path), "--seed", "1",
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out

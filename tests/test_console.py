@@ -117,3 +117,37 @@ class TestErrorHandling:
         before = _output(out)
         shell.onecmd("")
         assert _output(out) == before
+
+
+class TestLifecycleVerbs:
+    def test_cancel_queued_job(self, console):
+        shell, out, tmp = console
+        shell.onecmd(f"submit {tmp / 'task.xml'}")
+        shell.onecmd("cancel 1")
+        assert "job 1 cancelled" in _output(out)
+        shell.onecmd("cancel 1")
+        assert "it is cancelled" in _output(out)
+
+    def test_cancel_needs_valid_id(self, console):
+        shell, out, _ = console
+        shell.onecmd("cancel")
+        assert "a job id is required" in _output(out)
+        shell.onecmd("cancel two")
+        assert "job id must be an integer" in _output(out)
+
+    def test_drain_then_submit_refused(self, console):
+        shell, out, tmp = console
+        shell.onecmd(f"submit {tmp / 'task.xml'}")
+        shell.onecmd("drain")
+        assert "drained job(s): 1" in _output(out)
+        shell.onecmd(f"submit {tmp / 'task.xml'}")
+        assert "daemon is draining" in _output(out)
+
+    def test_stats_summarises_states(self, console):
+        shell, out, tmp = console
+        shell.onecmd(f"submit {tmp / 'task.xml'}")
+        shell.onecmd(f"submit {tmp / 'task.xml'}")
+        shell.onecmd("cancel 2")
+        shell.onecmd("run")
+        shell.onecmd("stats")
+        assert "2 job(s): done=1, cancelled=1" in _output(out)

@@ -96,6 +96,55 @@ class TestDaemon:
         assert noisy.report(job_id).gamma_configured == 0.2
 
 
+class TestLifecycle:
+    def test_cancel_queued_job(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML)
+        job = daemon.cancel(job_id)
+        assert job.state is JobState.CANCELLED
+        assert daemon.run_pending() == []  # cancelled jobs are not run
+
+    def test_cancel_done_job_raises(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML)
+        daemon.run_pending()
+        with pytest.raises(SpecificationError, match="it is done"):
+            daemon.cancel(job_id)
+
+    def test_duplicate_cancel_raises(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML)
+        daemon.cancel(job_id)
+        with pytest.raises(SpecificationError, match="it is cancelled"):
+            daemon.cancel(job_id)
+
+    def test_cancel_unknown_job_raises(self, workspace):
+        with pytest.raises(SpecificationError, match="no job"):
+            _daemon(workspace).cancel(42)
+
+    def test_drain_runs_queue_then_refuses(self, workspace):
+        daemon = _daemon(workspace)
+        job_id = daemon.submit(TASK_XML)
+        assert daemon.drain() == [job_id]
+        assert daemon.draining
+        with pytest.raises(SpecificationError, match="draining"):
+            daemon.submit(TASK_XML)
+
+    def test_stats_counts_per_state(self, workspace):
+        daemon = _daemon(workspace)
+        daemon.submit(TASK_XML)
+        daemon.run_pending()
+        cancelled = daemon.submit(TASK_XML)
+        daemon.cancel(cancelled)
+        daemon.submit(TASK_XML)
+        stats = daemon.stats()
+        assert stats["done"] == 1
+        assert stats["cancelled"] == 1
+        assert stats["queued"] == 1
+        assert stats["total"] == 3
+        assert stats["draining"] == 0
+
+
 class TestClient:
     def test_submit_and_run_convenience(self, workspace):
         client = APSTClient(_daemon(workspace))
@@ -123,3 +172,28 @@ class TestClient:
         job_id = client.submit(TASK_XML)
         with pytest.raises(SpecificationError, match="queued"):
             client.outputs(job_id)
+
+    def test_outputs_surfaces_failure_cause(self, workspace):
+        """A FAILED job's error must appear in the outputs() message."""
+        client = APSTClient(_daemon(workspace))
+        job_id = client.submit(TASK_XML.replace("load.bin", "missing.bin"))
+        with pytest.raises(Exception):
+            client.run()
+        with pytest.raises(SpecificationError, match="missing.bin"):
+            client.outputs(job_id)
+
+    def test_status_shows_warnings(self, workspace):
+        client = APSTClient(_daemon(workspace))
+        job_id = client.submit(TASK_XML)
+        client.job(job_id).warnings.append("[warn] probe file is tiny")
+        status = client.status(job_id)
+        assert "warning: [warn] probe file is tiny" in status
+
+    def test_client_cancel_drain_stats_passthrough(self, workspace):
+        client = APSTClient(_daemon(workspace))
+        first = client.submit(TASK_XML)
+        second = client.submit(TASK_XML)
+        assert client.cancel(first).state is JobState.CANCELLED
+        assert client.drain() == [second]
+        assert client.stats()["draining"] == 1
+        assert "cancelled" in client.status(first)

@@ -1,0 +1,155 @@
+"""Unit tests for the worker-lease arbiter (no simulation involved)."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import LeaseRequest, WorkerLeaseArbiter
+
+
+def req(job_id, remaining=100.0, weight=1.0, max_workers=None):
+    return LeaseRequest(
+        job_id=job_id, remaining=remaining, weight=weight, max_workers=max_workers
+    )
+
+
+class TestLeaseRequest:
+    def test_zero_worker_lease_request_rejected(self):
+        with pytest.raises(ServiceError, match="zero-worker lease"):
+            LeaseRequest(job_id=1, remaining=10.0, max_workers=0)
+
+    def test_no_remaining_load_rejected(self):
+        with pytest.raises(ServiceError, match="no remaining load"):
+            LeaseRequest(job_id=1, remaining=0.0)
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ServiceError, match="weight must be positive"):
+            LeaseRequest(job_id=1, remaining=10.0, weight=0.0)
+
+
+class TestConstruction:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ServiceError, match="at least one"):
+            WorkerLeaseArbiter(0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ServiceError, match="unknown lease policy"):
+            WorkerLeaseArbiter(4, "round-robin")
+
+    def test_bad_slots_rejected(self):
+        with pytest.raises(ServiceError, match="slots"):
+            WorkerLeaseArbiter(4, "static", slots=9)
+
+
+class TestFifo:
+    def test_first_queued_job_leases_everything(self):
+        arb = WorkerLeaseArbiter(6, "fifo")
+        leases = arb.assign([], [req(1), req(2)])
+        assert leases == {1: (0, 1, 2, 3, 4, 5)}
+
+    def test_running_job_is_exclusive(self):
+        arb = WorkerLeaseArbiter(4, "fifo")
+        arb.assign([], [req(1)])
+        leases = arb.assign([req(1, remaining=50.0)], [req(2)])
+        assert leases == {1: (0, 1, 2, 3)}
+
+    def test_two_running_jobs_is_an_error(self):
+        arb = WorkerLeaseArbiter(4, "fifo")
+        arb.assign([], [req(1)])
+        arb._leases[2] = (0,)  # corrupt state on purpose
+        with pytest.raises(ServiceError, match="fifo"):
+            arb.assign([req(1), req(2)], [])
+
+
+class TestStatic:
+    def test_blocks_partition_the_grid(self):
+        arb = WorkerLeaseArbiter(10, "static", slots=4)
+        leases = arb.assign([], [req(i) for i in range(1, 5)])
+        workers = sorted(w for lease in leases.values() for w in lease)
+        assert workers == list(range(10))
+        assert {len(lease) for lease in leases.values()} == {2, 3}
+
+    def test_excess_jobs_wait_for_a_slot(self):
+        arb = WorkerLeaseArbiter(8, "static", slots=2)
+        leases = arb.assign([], [req(1), req(2), req(3)])
+        assert set(leases) == {1, 2}
+
+    def test_running_job_keeps_its_slot(self):
+        arb = WorkerLeaseArbiter(8, "static", slots=2)
+        first = arb.assign([], [req(1), req(2)])
+        second = arb.assign([req(1), req(2)], [])
+        assert first == second
+
+    def test_released_slot_is_reused(self):
+        arb = WorkerLeaseArbiter(8, "static", slots=2)
+        first = arb.assign([], [req(1), req(2), req(3)])
+        arb.release(1)
+        second = arb.assign([req(2)], [req(3)])
+        assert second[3] == first[1]  # job 3 takes job 1's freed slot
+        assert second[2] == first[2]
+
+
+class TestFairShare:
+    def test_equal_jobs_split_evenly(self):
+        arb = WorkerLeaseArbiter(8, "fair-share")
+        leases = arb.assign([], [req(1), req(2)])
+        assert len(leases[1]) == len(leases[2]) == 4
+        assert set(leases[1]) | set(leases[2]) == set(range(8))
+        assert set(leases[1]) & set(leases[2]) == set()
+
+    def test_share_proportional_to_weight_times_remaining(self):
+        arb = WorkerLeaseArbiter(12, "fair-share")
+        leases = arb.assign([], [req(1, remaining=300.0), req(2, remaining=100.0)])
+        assert len(leases[1]) == 9 and len(leases[2]) == 3
+
+    def test_weights_need_not_sum_to_one(self):
+        """Only weight ratios matter: (0.6, 0.2, 0.2) == (3, 1, 1)."""
+        arb1 = WorkerLeaseArbiter(10, "fair-share")
+        arb2 = WorkerLeaseArbiter(10, "fair-share")
+        small = arb1.assign(
+            [], [req(1, weight=0.6), req(2, weight=0.2), req(3, weight=0.2)]
+        )
+        large = arb2.assign(
+            [], [req(1, weight=3.0), req(2, weight=1.0), req(3, weight=1.0)]
+        )
+        assert small == large
+        # min-1 reservation + largest remainder over the rest: (5, 3, 2)
+        assert [len(small[i]) for i in (1, 2, 3)] == [5, 3, 2]
+
+    def test_every_active_job_gets_at_least_one_worker(self):
+        arb = WorkerLeaseArbiter(4, "fair-share")
+        leases = arb.assign([], [req(1, remaining=1e9), req(2, remaining=1.0)])
+        assert len(leases[2]) >= 1
+
+    def test_more_jobs_than_workers_queues_the_tail(self):
+        arb = WorkerLeaseArbiter(2, "fair-share")
+        leases = arb.assign([], [req(i) for i in range(1, 5)])
+        assert set(leases) == {1, 2}
+
+    def test_max_workers_cap_is_honoured(self):
+        arb = WorkerLeaseArbiter(8, "fair-share")
+        leases = arb.assign([], [req(1, max_workers=2), req(2)])
+        assert len(leases[1]) == 2 and len(leases[2]) == 6
+
+    def test_sticky_leases_on_reassignment(self):
+        arb = WorkerLeaseArbiter(8, "fair-share")
+        first = arb.assign([], [req(1), req(2)])
+        second = arb.assign([req(1, remaining=100.0), req(2, remaining=100.0)], [])
+        assert first == second  # same shares -> no churn at all
+
+    def test_released_workers_flow_to_survivors(self):
+        arb = WorkerLeaseArbiter(8, "fair-share")
+        first = arb.assign([], [req(1), req(2)])
+        arb.release(2)
+        second = arb.assign([req(1, remaining=50.0)], [])
+        assert set(second[1]) == set(range(8))
+        assert set(first[1]) <= set(second[1])  # kept its old workers
+
+    def test_duplicate_ids_rejected(self):
+        arb = WorkerLeaseArbiter(4, "fair-share")
+        with pytest.raises(ServiceError, match="duplicate"):
+            arb.assign([], [req(1), req(1)])
+
+    def test_running_without_lease_rejected(self):
+        arb = WorkerLeaseArbiter(4, "fair-share")
+        with pytest.raises(ServiceError, match="holds no lease"):
+            arb.assign([req(1)], [])
