@@ -25,6 +25,7 @@ True
 """
 
 from .core import PAPER_ALGORITHMS, Scheduler, available_algorithms, make_scheduler
+from .obs import OBS_DISABLED, MetricsRegistry, Observability
 from .platform import (
     Cluster,
     Grid,
@@ -50,6 +51,9 @@ from .service import (  # noqa: E402  (also layered on repro.apst)
 __version__ = "0.1.0"
 
 __all__ = [
+    "MetricsRegistry",
+    "OBS_DISABLED",
+    "Observability",
     "Recommendation",
     "recommend_algorithm",
     "MultiJobService",

@@ -29,9 +29,15 @@ from pathlib import Path
 
 from ..core.registry import available_algorithms
 from ..errors import ReproError
+from ..obs import get_logger
 from ..platform.calibrate import platform_summary
 from .client import APSTClient
 from .daemon import APSTDaemon
+
+#: Diagnostics go through the ``repro.obs`` logging bridge (never bare
+#: ``print``) so the CLI's ``-q``/``-v`` flags govern them uniformly;
+#: command *results* are written to the console's own stdout.
+_log = get_logger("console")
 
 
 class APSTConsole(cmd.Cmd):
@@ -52,6 +58,7 @@ class APSTConsole(cmd.Cmd):
         self.stdout.write(text + "\n")
 
     def _fail(self, message: str) -> None:
+        _log.debug("command failed: %s", message)
         self._say(f"error: {message}")
 
     def _job_id(self, arg: str) -> int | None:
@@ -79,6 +86,7 @@ class APSTConsole(cmd.Cmd):
         except Exception as exc:
             self._fail(str(exc))
             return
+        _log.info("submitted %s as job %d", path, job_id)
         self._say(f"job {job_id} queued")
 
     def do_run(self, _arg: str) -> None:
@@ -89,6 +97,7 @@ class APSTConsole(cmd.Cmd):
             self._fail(str(exc))
             return
         if executed:
+            _log.info("ran %d job(s)", len(executed))
             self._say(f"executed job(s): {', '.join(map(str, executed))}")
         else:
             self._say("nothing queued")

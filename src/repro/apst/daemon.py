@@ -28,6 +28,14 @@ from typing import Callable, Protocol
 from ..core.base import Scheduler
 from ..core.registry import make_scheduler
 from ..errors import SpecificationError
+from ..obs import (
+    JOB_CANCELLED,
+    JOB_COMPLETED,
+    JOB_FAILED,
+    JOB_SUBMITTED,
+    OBS_DISABLED,
+    Observability,
+)
 from ..platform.resources import Grid
 from ..simulation.master import SimulatedMaster, SimulationOptions
 from ..simulation.compute import UncertaintyModel
@@ -97,6 +105,11 @@ class DaemonConfig:
     suggestion): every finished job's observed gamma is recorded there,
     and the ``rumr-learned`` algorithm consults it -- falling back to
     online RUMR until enough history exists.
+
+    ``observability`` arms live telemetry: job lifecycle events, chunk
+    metrics, wall-clock tracing, and engine profiling flow through the
+    handle for every job this daemon runs.  ``None`` keeps the hot path
+    observation-free.
     """
 
     base_dir: Path = Path(".")
@@ -105,6 +118,7 @@ class DaemonConfig:
     seed: int | None = None
     simulation_options: SimulationOptions | None = None
     history_path: Path | None = None
+    observability: Observability | None = None
 
     def __post_init__(self) -> None:
         self.base_dir = Path(self.base_dir)
@@ -137,6 +151,7 @@ class APSTDaemon:
         self._platform = platform
         self._backend = backend
         self._config = config or DaemonConfig()
+        self._obs = self._config.observability or OBS_DISABLED
         self._jobs: dict[int, Job] = {}
         self._ids = itertools.count(1)
         self._draining = False
@@ -148,6 +163,19 @@ class APSTDaemon:
     @property
     def config(self) -> DaemonConfig:
         return self._config
+
+    @property
+    def observability(self) -> Observability:
+        """The daemon's telemetry handle (the shared no-op when unset)."""
+        return self._obs
+
+    def _count_job_event(self, outcome: str) -> None:
+        if self._obs.metrics is not None:
+            self._obs.metrics.counter(
+                "repro_daemon_jobs_total",
+                "Daemon job lifecycle transitions",
+                labels={"outcome": outcome},
+            ).inc()
 
     def submit(self, task: TaskSpec | str | Path, *, algorithm: str | None = None) -> int:
         """Queue a task (XML string, file path, or parsed spec); returns job id.
@@ -165,6 +193,14 @@ class APSTDaemon:
         name = algorithm or task.divisibility.algorithm
         job = Job(job_id=next(self._ids), task=task, algorithm=name)
         self._jobs[job.job_id] = job
+        if self._obs.enabled:
+            self._obs.emit(
+                JOB_SUBMITTED,
+                job_id=job.job_id,
+                algorithm=name,
+                executable=task.executable,
+            )
+            self._count_job_event("submitted")
         return job.job_id
 
     def run_pending(self) -> list[int]:
@@ -193,6 +229,9 @@ class APSTDaemon:
                 "(only queued jobs can be cancelled)"
             )
         job.state = JobState.CANCELLED
+        if self._obs.enabled:
+            self._obs.emit(JOB_CANCELLED, job_id=job.job_id, algorithm=job.algorithm)
+            self._count_job_event("cancelled")
         return job
 
     def stop_accepting(self) -> None:
@@ -309,6 +348,15 @@ class APSTDaemon:
         job.report = report
         job.state = JobState.DONE
         self._record_history(job)
+        if self._obs.enabled:
+            self._obs.emit(
+                JOB_COMPLETED,
+                job_id=job.job_id,
+                algorithm=report.algorithm,
+                makespan=report.makespan,
+                chunks=report.num_chunks,
+            )
+            self._count_job_event("done")
 
     def _run_job(self, job: Job) -> None:
         job.state = JobState.RUNNING
@@ -330,9 +378,26 @@ class APSTDaemon:
                 job.outputs = list(getattr(self._backend, "last_outputs", []))
             job.state = JobState.DONE
             self._record_history(job)
+            if self._obs.enabled:
+                self._obs.emit(
+                    JOB_COMPLETED,
+                    job_id=job.job_id,
+                    algorithm=job.report.algorithm,
+                    makespan=job.report.makespan,
+                    chunks=job.report.num_chunks,
+                )
+                self._count_job_event("done")
         except Exception as exc:
             job.state = JobState.FAILED
             job.error = f"{type(exc).__name__}: {exc}"
+            if self._obs.enabled:
+                self._obs.emit(
+                    JOB_FAILED,
+                    job_id=job.job_id,
+                    algorithm=job.algorithm,
+                    error=job.error,
+                )
+                self._count_job_event("failed")
             raise
 
     def _preflight(self, job: Job, division: DivisionMethod | None) -> None:
@@ -411,6 +476,8 @@ class APSTDaemon:
             options = dataclasses.replace(options, probe_units=probe_units)
         if quantum is not None and quantum != options.quantum:
             options = dataclasses.replace(options, quantum=quantum)
+        if self._obs.enabled and options.observability is None:
+            options = dataclasses.replace(options, observability=self._obs)
         master = SimulatedMaster(
             grid,
             scheduler,

@@ -13,6 +13,7 @@ original RUMR algorithm assumed a known gamma.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,17 +29,31 @@ MIN_RUNS_TO_LEARN = 2
 
 @dataclass
 class RunRecord:
-    """One recorded application execution."""
+    """One recorded application execution.
+
+    Beyond the learning inputs (``observed_gamma``), each record carries
+    an observability summary -- chunk count, service-layer retransmits,
+    and mean chunk queue time -- so future schedulers can weigh past
+    executions by more than their makespan.  The summary fields are
+    optional on disk: version-1 files written before they existed load
+    with the defaults below.
+    """
 
     algorithm: str
     makespan: float
     observed_gamma: float
+    chunks: int = 0
+    retransmits: int = 0
+    mean_queue_time: float = 0.0
 
     def to_dict(self) -> dict:
         return {
             "algorithm": self.algorithm,
             "makespan": self.makespan,
             "observed_gamma": self.observed_gamma,
+            "chunks": self.chunks,
+            "retransmits": self.retransmits,
+            "mean_queue_time": self.mean_queue_time,
         }
 
     @staticmethod
@@ -48,6 +63,9 @@ class RunRecord:
                 algorithm=str(data["algorithm"]),
                 makespan=float(data["makespan"]),
                 observed_gamma=float(data["observed_gamma"]),
+                chunks=int(data.get("chunks", 0)),
+                retransmits=int(data.get("retransmits", 0)),
+                mean_queue_time=float(data.get("mean_queue_time", 0.0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed history record: {data!r}") from exc
@@ -64,10 +82,20 @@ class ApplicationHistory:
         """Append one run's observations for ``application``."""
         if not application:
             raise ReproError("application name must be non-empty")
+        queue_times = [
+            c.queue_time
+            for c in report.chunks
+            if c.completed and not math.isnan(c.queue_time)
+        ]
         record = RunRecord(
             algorithm=report.algorithm,
             makespan=report.makespan,
             observed_gamma=report.observed_gamma(),
+            chunks=report.num_chunks,
+            retransmits=int(report.annotations.get("service_retransmitted_chunks", 0)),
+            mean_queue_time=(
+                sum(queue_times) / len(queue_times) if queue_times else 0.0
+            ),
         )
         self.runs.setdefault(application, []).append(record)
         return record

@@ -41,6 +41,8 @@ def run_probe_phase(
     workers: list[WorkerSpec] | tuple[WorkerSpec, ...],
     compute_model: ComputeModel,
     probe_units: float,
+    *,
+    obs=None,
 ) -> ProbeResult:
     """Simulate one probing round over all workers.
 
@@ -56,6 +58,11 @@ def run_probe_phase(
     4. compute the probe chunk       -> estimates ``speed``
 
     The phase ends when the slowest worker has reported back.
+
+    ``obs`` is an optional :class:`~repro.obs.Observability` handle; when
+    its bus is armed, each worker's raw probe measurements are published
+    as ``probe.worker_measured`` events (the live counterpart of the
+    probe table APST-DV logs before an execution).
     """
     check_positive("probe_units", probe_units, ProbeError)
     if not workers:
@@ -91,6 +98,19 @@ def run_probe_phase(
                 cluster=spec.cluster,
             )
         )
+        if obs is not None and obs.enabled:
+            from ..obs import PROBE_WORKER_MEASURED
+
+            obs.emit(
+                PROBE_WORKER_MEASURED,
+                sim_time=arrival,
+                worker=spec.name,
+                worker_index=index,
+                speed_estimate=speed_est,
+                bandwidth_estimate=bandwidth_est,
+                comm_latency=noop_comm,
+                comp_latency=noop_comp,
+            )
     return ProbeResult(
         estimates=estimates,
         duration=max(finish_times),

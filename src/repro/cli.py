@@ -10,6 +10,13 @@ Sub-commands
 ``table1``   Regenerate Table 1 (application characteristics).
 ``service``  Run several tasks concurrently under a worker-lease policy
              and print the service report (wait/turnaround/stretch).
+``trace``    Export an instrumented run as a Chrome trace-event JSON
+             file (open it at https://ui.perfetto.dev).
+``metrics``  Run task(s) instrumented and print the metrics registry in
+             Prometheus text (or JSON) exposition.
+
+Global ``-v``/``-q`` flags control the ``repro.obs`` logging bridge; all
+diagnostic output honours them uniformly.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from .apst.client import APSTClient
 from .apst.daemon import APSTDaemon, DaemonConfig
 from .apst.xmlspec import parse_platform
 from .core.registry import PAPER_ALGORITHMS, available_algorithms
+from .obs import Observability, configure_logging
 from .platform.presets import (
     PAPER_LOAD_UNITS,
     preset_by_name,
@@ -39,6 +47,20 @@ def _load_platform(value: str):
         return preset_by_name(value)
     except KeyError as exc:
         raise SystemExit(str(exc)) from exc
+
+
+def _worker_names(platform) -> dict[int, str]:
+    return {i: w.name for i, w in enumerate(platform)}
+
+
+def _write_metrics(registry, path: str) -> Path:
+    """Write the registry; ``.json`` suffix selects JSON exposition."""
+    out = Path(path)
+    if out.suffix == ".json":
+        out.write_text(registry.to_json(indent=2))
+    else:
+        out.write_text(registry.render_prometheus())
+    return out
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -166,10 +188,12 @@ def _cmd_service(args: argparse.Namespace) -> int:
     from .service import MultiJobService
 
     platform = _load_platform(args.platform)
+    obs = Observability.armed() if (args.trace_out or args.metrics_out) else None
     daemon = APSTDaemon(
         platform,
         config=DaemonConfig(
-            base_dir=Path(args.base_dir), gamma=args.gamma, seed=args.seed
+            base_dir=Path(args.base_dir), gamma=args.gamma, seed=args.seed,
+            observability=obs,
         ),
     )
     from .errors import ServiceError
@@ -200,7 +224,81 @@ def _cmd_service(args: argparse.Namespace) -> int:
         for job_id in sorted(outcome.reports):
             print()
             print(outcome.reports[job_id].render())
+    if args.trace_out:
+        from .obs import build_chrome_trace, write_chrome_trace
+
+        trace = build_chrome_trace(
+            reports=outcome.reports,
+            tracer=obs.tracer,
+            leases=outcome.leases,
+            worker_names=_worker_names(platform),
+            metadata={"policy": outcome.service.policy},
+        )
+        out = write_chrome_trace(args.trace_out, trace)
+        print(
+            f"chrome trace written to {out} "
+            f"({len(trace['traceEvents'])} events; open at https://ui.perfetto.dev)"
+        )
+    if args.metrics_out:
+        out = _write_metrics(obs.metrics, args.metrics_out)
+        print(f"metrics written to {out}")
     return 1 if failed else 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .obs import build_chrome_trace, write_chrome_trace
+
+    obs = Observability.armed()
+    platform = _load_platform(args.platform)
+    daemon = APSTDaemon(
+        platform,
+        config=DaemonConfig(
+            base_dir=Path(args.base_dir), gamma=args.gamma, seed=args.seed,
+            observability=obs,
+        ),
+    )
+    client = APSTClient(daemon)
+    job_id = client.submit(Path(args.task), algorithm=args.algorithm)
+    client.run()
+    report = client.report(job_id)
+    trace = build_chrome_trace(
+        reports={job_id: report},
+        tracer=obs.tracer,
+        worker_names=_worker_names(platform),
+        metadata={"algorithm": report.algorithm, "makespan": report.makespan},
+    )
+    out = write_chrome_trace(args.out, trace)
+    print(
+        f"chrome trace written to {out} "
+        f"({len(trace['traceEvents'])} events; open at https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    obs = Observability.armed()
+    platform = _load_platform(args.platform)
+    daemon = APSTDaemon(
+        platform,
+        config=DaemonConfig(
+            base_dir=Path(args.base_dir), gamma=args.gamma, seed=args.seed,
+            observability=obs,
+        ),
+    )
+    client = APSTClient(daemon)
+    for task in args.tasks:
+        client.submit(Path(task), algorithm=args.algorithm)
+    client.run()
+    text = obs.metrics.to_json(indent=2) if args.json else obs.metrics.render_prometheus()
+    if args.out:
+        out = _write_metrics(obs.metrics, args.out)
+        print(f"metrics written to {out}")
+    else:
+        print(text)
+    if args.profile and obs.profiler is not None:
+        print()
+        print(obs.profiler.report().render())
+    return 0
 
 
 def _cmd_console(args: argparse.Namespace) -> int:
@@ -246,6 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="apst-dv",
         description="APST-DV reproduction: divisible load scheduling on grid platforms",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more diagnostic output (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less diagnostic output (errors only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one task XML and print its report")
@@ -312,7 +414,45 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--seed", type=int, default=None)
     service.add_argument("--reports", action="store_true",
                          help="also print each job's detailed execution report")
+    service.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write a Chrome trace-event JSON of the run "
+                              "(chunk lanes, lease lanes, wall-clock spans)")
+    service.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write the metrics registry (.json for JSON, "
+                              "otherwise Prometheus text)")
     service.set_defaults(func=_cmd_service)
+
+    trace = sub.add_parser("trace", help="observability trace tooling")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export", help="run one task instrumented and export a Chrome trace"
+    )
+    trace_export.add_argument("task", help="path to the task XML specification")
+    trace_export.add_argument("--out", default="trace.json", metavar="PATH",
+                              help="output path (default: trace.json)")
+    trace_export.add_argument("--platform", default="das2")
+    trace_export.add_argument("--algorithm", default=None)
+    trace_export.add_argument("--base-dir", default=".")
+    trace_export.add_argument("--gamma", type=float, default=0.0)
+    trace_export.add_argument("--seed", type=int, default=None)
+    trace_export.set_defaults(func=_cmd_trace_export)
+
+    metrics = sub.add_parser(
+        "metrics", help="run task(s) instrumented and print the metrics registry"
+    )
+    metrics.add_argument("tasks", nargs="+", help="task XML specification path(s)")
+    metrics.add_argument("--platform", default="das2")
+    metrics.add_argument("--algorithm", default=None)
+    metrics.add_argument("--base-dir", default=".")
+    metrics.add_argument("--gamma", type=float, default=0.0)
+    metrics.add_argument("--seed", type=int, default=None)
+    metrics.add_argument("--json", action="store_true",
+                         help="JSON exposition instead of Prometheus text")
+    metrics.add_argument("--out", default=None, metavar="PATH",
+                         help="write to PATH instead of stdout")
+    metrics.add_argument("--profile", action="store_true",
+                         help="also print the engine profiler report")
+    metrics.set_defaults(func=_cmd_metrics)
 
     console = sub.add_parser("console", help="interactive APST-DV client console")
     console.add_argument("--platform", default="das2")
@@ -326,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    configure_logging(args.verbose - args.quiet)
     return args.func(args)
 
 

@@ -1,0 +1,238 @@
+"""``repro.obs``: structured tracing, metrics, and profiling.
+
+The observability layer of the reproduction, used by every other layer
+(engine, scheduler driver, daemon, multi-job service, CLI):
+
+* :mod:`repro.obs.events` -- typed event bus with pluggable sinks
+  (ring buffer, JSONL, stdlib-logging bridge);
+* :mod:`repro.obs.metrics` -- counters / gauges / fixed-bucket
+  histograms with Prometheus-text and JSON exposition;
+* :mod:`repro.obs.tracing` -- wall-clock span tracing of the host
+  process;
+* :mod:`repro.obs.chrome_trace` -- Chrome trace-event (Perfetto)
+  export rendering simulated time and wall time as separate track
+  groups;
+* :mod:`repro.obs.profile` -- engine throughput / heap / phase
+  profiling.
+
+Everything hangs off one :class:`Observability` handle.  The default is
+:data:`OBS_DISABLED`: every component is ``None``, ``enabled`` is
+False, and instrumented hot paths pay a single attribute check (the
+overhead budget is enforced by ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+
+from .events import (
+    CHUNK_COMPLETED,
+    CHUNK_DISPATCHED,
+    EVENT_TYPES,
+    JOB_ADMITTED,
+    JOB_CANCELLED,
+    JOB_COMPLETED,
+    JOB_FAILED,
+    JOB_PREEMPTED,
+    JOB_SUBMITTED,
+    LEASE_GRANTED,
+    LEASE_REVOKED,
+    OBS_LOGGER_NAME,
+    PROBE_FINISHED,
+    PROBE_WORKER_MEASURED,
+    ROUND_STARTED,
+    Event,
+    EventBus,
+    JsonlSink,
+    LoggingSink,
+    RingBufferSink,
+)
+from .chrome_trace import (
+    build_chrome_trace,
+    lease_trace_events,
+    report_trace_events,
+    tracer_trace_events,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .profile import EngineProfile, EngineProfiler
+from .tracing import Span, Tracer
+
+
+class _NullContext:
+    """Reusable no-op context manager (cheaper than nullcontext())."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Observability:
+    """Bundle of the observability components one run threads through.
+
+    Components are optional and independent; an all-``None`` instance is
+    the no-op default, and ``enabled`` is the one flag hot paths check.
+    """
+
+    __slots__ = ("bus", "metrics", "tracer", "profiler", "_enabled")
+
+    def __init__(
+        self,
+        *,
+        bus: EventBus | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        profiler: EngineProfiler | None = None,
+    ) -> None:
+        self.bus = bus
+        self.metrics = metrics
+        self.tracer = tracer
+        self.profiler = profiler
+        self._enabled = any(
+            component is not None for component in (bus, metrics, tracer, profiler)
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @classmethod
+    def armed(
+        cls,
+        *,
+        ring_capacity: int = 16384,
+        with_logging: bool = False,
+    ) -> "Observability":
+        """A fully instrumented handle: ring buffer, metrics, tracer, profiler."""
+        bus = EventBus([RingBufferSink(ring_capacity)])
+        if with_logging:
+            bus.attach(LoggingSink())
+        return cls(
+            bus=bus,
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+            profiler=EngineProfiler(),
+        )
+
+    # -- convenience ---------------------------------------------------------
+    def emit(self, name: str, *, sim_time: float | None = None, **fields) -> None:
+        """Publish an event if a bus is attached (no-op otherwise)."""
+        if self.bus is not None:
+            self.bus.emit(name, sim_time=sim_time, **fields)
+
+    def span(self, name: str, **args):
+        """Wall-clock span via the tracer and profiler (no-op when off)."""
+        if self.tracer is None and self.profiler is None:
+            return _NULL_CONTEXT
+        return self._span(name, args)
+
+    @contextmanager
+    def _span(self, name: str, args: dict):
+        if self.tracer is not None and self.profiler is not None:
+            with self.tracer.span(name, **args), self.profiler.phase(name):
+                yield
+        elif self.tracer is not None:
+            with self.tracer.span(name, **args):
+                yield
+        else:
+            assert self.profiler is not None
+            with self.profiler.phase(name):
+                yield
+
+    def ring_events(self, name: str | None = None) -> list[Event]:
+        """Events buffered in the first ring-buffer sink (if any)."""
+        if self.bus is not None:
+            for sink in self.bus.sinks:
+                if isinstance(sink, RingBufferSink):
+                    return sink.events(name)
+        return []
+
+    def close(self) -> None:
+        if self.bus is not None:
+            self.bus.close()
+
+
+#: The shared no-op default every instrumented layer falls back to.
+OBS_DISABLED = Observability()
+
+
+# -- logging bridge ---------------------------------------------------------
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.obs`` tree, subject to one verbosity knob."""
+    return logging.getLogger(f"{OBS_LOGGER_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0, *, stream=None) -> logging.Logger:
+    """Wire the ``repro.obs`` logger tree for CLI use.
+
+    ``verbosity``: -1 (``-q``) shows only errors, 0 shows warnings,
+    1 (``-v``) shows info, 2+ (``-vv``) shows the full debug/event
+    stream.  Returns the root ``repro.obs`` logger.
+    """
+    level = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}.get(
+        max(-1, min(verbosity, 2)), logging.DEBUG
+    )
+    logger = logging.getLogger(OBS_LOGGER_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        logger.addHandler(handler)
+    return logger
+
+
+__all__ = [
+    "CHUNK_COMPLETED",
+    "CHUNK_DISPATCHED",
+    "Counter",
+    "EVENT_TYPES",
+    "EngineProfile",
+    "EngineProfiler",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "JOB_ADMITTED",
+    "JOB_CANCELLED",
+    "JOB_COMPLETED",
+    "JOB_FAILED",
+    "JOB_PREEMPTED",
+    "JOB_SUBMITTED",
+    "JsonlSink",
+    "LEASE_GRANTED",
+    "LEASE_REVOKED",
+    "LoggingSink",
+    "MetricsRegistry",
+    "OBS_DISABLED",
+    "OBS_LOGGER_NAME",
+    "Observability",
+    "PROBE_FINISHED",
+    "PROBE_WORKER_MEASURED",
+    "ROUND_STARTED",
+    "RingBufferSink",
+    "Span",
+    "Tracer",
+    "build_chrome_trace",
+    "configure_logging",
+    "get_logger",
+    "lease_trace_events",
+    "parse_prometheus",
+    "report_trace_events",
+    "tracer_trace_events",
+    "write_chrome_trace",
+]

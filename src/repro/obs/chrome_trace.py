@@ -1,0 +1,235 @@
+"""Chrome trace-event (Perfetto / ``chrome://tracing``) export.
+
+Renders a run as the JSON trace-event format both viewers accept:
+
+* **Simulated time** -- one process (``pid``) per job, one thread
+  (``tid``) per worker lane plus a master-link lane, a complete-event
+  (``ph == "X"``) per chunk transfer and per chunk computation.  This is
+  the paper's detailed execution report, but scrubbable.
+* **Lease lanes** -- for service runs, one process whose per-worker rows
+  show which job held each worker over service time (the arbiter's
+  decisions made visible).
+* **Wall-clock time** -- a separate process holding the host-side spans
+  a :class:`~repro.obs.tracing.Tracer` collected (engine loops,
+  scheduler planning), so simulator *performance* sits next to simulator
+  *output* in one view.
+
+Timestamps (``ts``/``dur``) are microseconds, per the format. Simulated
+and wall timelines use disjoint ``pid`` ranges so Perfetto groups them
+separately; they are not aligned (one is simulated seconds, the other
+host seconds) and are not meant to be.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+#: Process-id layout: wall-clock spans, lease lanes, then one pid per job.
+WALL_PID = 1
+LEASE_PID = 2
+SIM_PID_BASE = 10
+
+#: Thread-id layout within a simulated-time process.
+LINK_TID = 0
+WORKER_TID_BASE = 1
+
+_US = 1e6  # seconds -> microseconds
+
+
+def _meta(name: str, pid: int, args: dict, tid: int = 0) -> dict:
+    return {"ph": "M", "name": name, "pid": pid, "tid": tid, "args": args}
+
+
+def _complete(name, cat, pid, tid, start_s, duration_s, args=None) -> dict:
+    event = {
+        "ph": "X",
+        "name": name,
+        "cat": cat,
+        "pid": pid,
+        "tid": tid,
+        "ts": start_s * _US,
+        "dur": max(0.0, duration_s) * _US,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def report_trace_events(
+    report,
+    *,
+    pid: int = SIM_PID_BASE,
+    label: str | None = None,
+    worker_names: Mapping[int, str] | None = None,
+) -> list[dict]:
+    """Trace events for one :class:`ExecutionReport` (simulated time).
+
+    Each worker gets a lane of chunk-computation spans; the serialized
+    master link gets its own lane of transfer spans.  Incomplete chunks
+    (preempted mid-flight) are skipped -- they have no extent to draw.
+    """
+    title = label or f"simulated: {report.algorithm}"
+    events = [
+        _meta("process_name", pid, {"name": title}),
+        _meta("process_sort_index", pid, {"sort_index": pid}),
+        _meta("thread_name", pid, {"name": "master link"}, tid=LINK_TID),
+    ]
+    names: dict[int, str] = dict(worker_names or {})
+    for chunk in report.chunks:
+        names.setdefault(chunk.worker_index, chunk.worker_name)
+    for index in sorted(names):
+        events.append(
+            _meta(
+                "thread_name",
+                pid,
+                {"name": f"{names[index]} (w{index})"},
+                tid=WORKER_TID_BASE + index,
+            )
+        )
+    for chunk in report.chunks:
+        if not chunk.completed:
+            continue
+        args = {
+            "chunk_id": chunk.chunk_id,
+            "units": chunk.units,
+            "round": chunk.round_index,
+            "phase": chunk.phase,
+        }
+        events.append(
+            _complete(
+                f"xfer #{chunk.chunk_id}",
+                "transfer",
+                pid,
+                LINK_TID,
+                chunk.send_start,
+                chunk.transfer_time,
+                args,
+            )
+        )
+        events.append(
+            _complete(
+                f"chunk #{chunk.chunk_id} ({chunk.phase})",
+                "compute",
+                pid,
+                WORKER_TID_BASE + chunk.worker_index,
+                chunk.compute_start,
+                chunk.compute_time,
+                args,
+            )
+        )
+    return events
+
+
+def lease_trace_events(
+    leases: Iterable,
+    *,
+    pid: int = LEASE_PID,
+    worker_names: Mapping[int, str] | None = None,
+) -> list[dict]:
+    """Per-worker lanes showing lease ownership over service time.
+
+    ``leases`` is an iterable of objects with ``job_id``, ``workers``
+    (platform indices), ``start``, and ``end`` attributes -- the
+    :class:`~repro.service.clock.LeaseSegment` log of a service run.
+    """
+    leases = list(leases)
+    events = [
+        _meta("process_name", pid, {"name": "worker leases"}),
+        _meta("process_sort_index", pid, {"sort_index": pid}),
+    ]
+    names = dict(worker_names or {})
+    seen: set[int] = set()
+    for segment in leases:
+        seen.update(segment.workers)
+    for index in sorted(seen):
+        events.append(
+            _meta(
+                "thread_name",
+                pid,
+                {"name": f"{names.get(index, f'worker {index}')} lease"},
+                tid=WORKER_TID_BASE + index,
+            )
+        )
+    for segment in leases:
+        for index in segment.workers:
+            events.append(
+                _complete(
+                    f"job {segment.job_id}",
+                    "lease",
+                    pid,
+                    WORKER_TID_BASE + index,
+                    segment.start,
+                    segment.end - segment.start,
+                    {"job_id": segment.job_id, "workers": len(segment.workers)},
+                )
+            )
+    return events
+
+
+def tracer_trace_events(tracer, *, pid: int = WALL_PID) -> list[dict]:
+    """The wall-clock track group, from a :class:`Tracer`'s spans."""
+    events = [
+        _meta("process_name", pid, {"name": "host wall clock"}),
+        _meta("process_sort_index", pid, {"sort_index": pid}),
+        _meta("thread_name", pid, {"name": "host"}, tid=0),
+    ]
+    for span in tracer.spans():
+        events.append(
+            _complete(
+                span.name,
+                span.category,
+                pid,
+                0,
+                span.start,
+                span.duration,
+                dict(span.args) if span.args else None,
+            )
+        )
+    return events
+
+
+def build_chrome_trace(
+    *,
+    reports: Mapping[int, object] | None = None,
+    tracer=None,
+    leases: Iterable | None = None,
+    worker_names: Mapping[int, str] | None = None,
+    labels: Mapping[int, str] | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """Assemble a complete Chrome trace object.
+
+    ``reports`` maps a job id to its :class:`ExecutionReport`; each job
+    becomes its own simulated-time process.  ``tracer`` contributes the
+    wall-clock group, ``leases`` the arbitration lanes.
+    """
+    events: list[dict] = []
+    if tracer is not None:
+        events.extend(tracer_trace_events(tracer))
+    if leases is not None:
+        events.extend(lease_trace_events(leases, worker_names=worker_names))
+    for offset, (job_id, report) in enumerate(sorted((reports or {}).items())):
+        label = (labels or {}).get(job_id) or (
+            f"job {job_id}: {report.algorithm} (simulated time)"
+        )
+        events.extend(
+            report_trace_events(
+                report,
+                pid=SIM_PID_BASE + offset,
+                label=label,
+                worker_names=worker_names,
+            )
+        )
+    trace = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metadata:
+        trace["otherData"] = metadata
+    return trace
+
+
+def write_chrome_trace(path: str | Path, trace: dict) -> Path:
+    """Write a trace object as JSON; returns the path written."""
+    out = Path(path)
+    out.write_text(json.dumps(trace, sort_keys=True))
+    return out

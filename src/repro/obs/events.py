@@ -1,0 +1,249 @@
+"""Structured event bus: typed events, pluggable sinks, zero dependencies.
+
+The paper's diagnostic instrument is APST-DV's *detailed execution
+report* -- a post-hoc artifact.  This module is the live counterpart: a
+small publish/subscribe bus over a fixed taxonomy of typed events
+(chunk dispatched/completed, round started, probe finished, job
+admitted/preempted/cancelled/completed, lease granted/revoked), so the
+engine, the daemon, and the multi-job service can be observed while they
+run without changing what they compute.
+
+Design constraints:
+
+* **Zero dependencies** -- stdlib only, importable everywhere.
+* **Closed taxonomy** -- ``emit`` rejects event names outside
+  :data:`EVENT_TYPES`; an unknown name is a programming error, not a new
+  feature.
+* **Pluggable sinks** -- anything with a ``write(event)`` method:
+  an in-memory ring buffer (:class:`RingBufferSink`), a JSONL file
+  (:class:`JsonlSink`), or the stdlib :mod:`logging` bridge
+  (:class:`LoggingSink`).
+* **Pay nothing when off** -- a bus with no sinks reports
+  ``enabled == False``; instrumented call sites guard on that.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable
+
+from ..errors import ReproError
+
+# -- taxonomy ---------------------------------------------------------------
+
+#: Simulation-layer events (simulated-time stamped).
+CHUNK_DISPATCHED = "chunk.dispatched"
+CHUNK_COMPLETED = "chunk.completed"
+ROUND_STARTED = "round.started"
+PROBE_WORKER_MEASURED = "probe.worker_measured"
+PROBE_FINISHED = "probe.finished"
+
+#: Daemon/service lifecycle events.
+JOB_SUBMITTED = "job.submitted"
+JOB_ADMITTED = "job.admitted"
+JOB_PREEMPTED = "job.preempted"
+JOB_CANCELLED = "job.cancelled"
+JOB_COMPLETED = "job.completed"
+JOB_FAILED = "job.failed"
+LEASE_GRANTED = "lease.granted"
+LEASE_REVOKED = "lease.revoked"
+
+#: The closed set of event names the bus accepts.
+EVENT_TYPES = frozenset(
+    {
+        CHUNK_DISPATCHED,
+        CHUNK_COMPLETED,
+        ROUND_STARTED,
+        PROBE_WORKER_MEASURED,
+        PROBE_FINISHED,
+        JOB_SUBMITTED,
+        JOB_ADMITTED,
+        JOB_PREEMPTED,
+        JOB_CANCELLED,
+        JOB_COMPLETED,
+        JOB_FAILED,
+        LEASE_GRANTED,
+        LEASE_REVOKED,
+    }
+)
+
+#: Logger name every observability record flows through.
+OBS_LOGGER_NAME = "repro.obs"
+
+
+@dataclass(slots=True)
+class Event:
+    """One observed occurrence.
+
+    ``sim_time`` is the simulated clock (seconds) where it applies --
+    engine/service events carry it, pure lifecycle events may not.
+    ``wall_time`` is the host clock (``time.time()``) at emission.
+    ``fields`` holds the event-type-specific payload (JSON-serializable
+    scalars, lists, and dicts only).
+
+    Treat instances as immutable.  The class is ``slots`` rather than
+    ``frozen`` because construction sits on the emit hot path and
+    frozen dataclasses build through ``object.__setattr__``.
+    """
+
+    name: str
+    wall_time: float
+    sim_time: float | None = None
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data = {"name": self.name, "wall_time": self.wall_time}
+        if self.sim_time is not None:
+            data["sim_time"] = self.sim_time
+        if self.fields:
+            data["fields"] = self.fields
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "Event":
+        try:
+            return Event(
+                name=str(data["name"]),
+                wall_time=float(data["wall_time"]),
+                sim_time=(
+                    float(data["sim_time"]) if data.get("sim_time") is not None else None
+                ),
+                fields=dict(data.get("fields", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed event record: {data!r}") from exc
+
+
+# -- sinks ------------------------------------------------------------------
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events, evicting the oldest."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ReproError(f"ring buffer capacity must be >= 1, got {capacity}")
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._buffer.maxlen or 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def write(self, event: Event) -> None:
+        self._buffer.append(event)
+
+    def events(self, name: str | None = None) -> list[Event]:
+        """Buffered events, oldest first (optionally filtered by name)."""
+        if name is None:
+            return list(self._buffer)
+        return [e for e in self._buffer if e.name == name]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JsonlSink:
+    """Appends one JSON object per event to a file (or open stream)."""
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._stream = open(Path(target), "a", encoding="utf-8")
+            self._owns = True
+
+    def write(self, event: Event) -> None:
+        self._stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+    @staticmethod
+    def read(path: str | Path) -> list[Event]:
+        """Load a JSONL event file back into :class:`Event` objects."""
+        events = []
+        for line_no, line in enumerate(Path(path).read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"malformed JSONL at line {line_no}: {exc}") from exc
+            events.append(Event.from_dict(data))
+        return events
+
+
+class LoggingSink:
+    """Bridges events onto the stdlib :mod:`logging` tree.
+
+    Records go to the ``repro.obs`` logger at DEBUG (or the level given),
+    so ordinary ``-v``/``-q`` verbosity handling applies to the event
+    stream exactly like to any other diagnostic.
+    """
+
+    def __init__(
+        self, logger: logging.Logger | None = None, level: int = logging.DEBUG
+    ) -> None:
+        self._logger = logger or logging.getLogger(OBS_LOGGER_NAME)
+        self._level = level
+
+    def write(self, event: Event) -> None:
+        if not self._logger.isEnabledFor(self._level):
+            return
+        at = "" if event.sim_time is None else f" t={event.sim_time:.3f}s"
+        detail = " ".join(f"{k}={v}" for k, v in sorted(event.fields.items()))
+        self._logger.log(self._level, "%s%s %s", event.name, at, detail)
+
+
+# -- the bus ----------------------------------------------------------------
+
+
+class EventBus:
+    """Fan-out of typed events to the attached sinks."""
+
+    def __init__(self, sinks: Iterable | None = None) -> None:
+        self._sinks: list = list(sinks or [])
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one sink is attached (cheap hot-path guard)."""
+        return bool(self._sinks)
+
+    @property
+    def sinks(self) -> list:
+        return list(self._sinks)
+
+    def attach(self, sink) -> None:
+        if not hasattr(sink, "write"):
+            raise ReproError(f"sink {sink!r} has no write() method")
+        self._sinks.append(sink)
+
+    def emit(self, name: str, *, sim_time: float | None = None, **fields) -> None:
+        """Publish one event to every sink; no-op when no sink is attached."""
+        if not self._sinks:
+            return
+        if name not in EVENT_TYPES:
+            raise ReproError(
+                f"unknown event type {name!r}; the taxonomy is closed "
+                f"(see repro.obs.events.EVENT_TYPES)"
+            )
+        event = Event(name=name, wall_time=time.time(), sim_time=sim_time, fields=fields)
+        for sink in self._sinks:
+            sink.write(event)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

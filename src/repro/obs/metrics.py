@@ -1,0 +1,309 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+A deliberately small, dependency-free subset of the Prometheus data
+model, enough to answer the operator questions the multi-job service
+raises (how many chunks were dispatched? how long do chunks queue? how
+many jobs were preempted?) with two expositions:
+
+* :meth:`MetricsRegistry.render_prometheus` -- the text exposition
+  format (``# HELP`` / ``# TYPE`` / sample lines), scrape-ready;
+* :meth:`MetricsRegistry.to_json` -- a structured dump for programmatic
+  consumers and the ``apst-dv metrics --format json`` verb.
+
+:func:`parse_prometheus` round-trips the text format back into samples;
+the test suite uses it to prove the exposition is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from typing import Sequence
+
+from ..errors import ReproError
+
+#: Default histogram buckets (seconds): spans probe latencies to long runs.
+DEFAULT_TIME_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0)
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ReproError(f"invalid metric name {name!r}")
+    if name[0].isdigit():
+        raise ReproError(f"metric name cannot start with a digit: {name!r}")
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_labels(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease (inc {amount})")
+        self._value += amount
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        return [(self.name, self.labels, self._value)]
+
+    def to_dict(self) -> dict:
+        return {"type": self.kind, "labels": self.labels, "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, heap high-water)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def max(self, value: float) -> None:
+        """High-water update: keep the larger of current and ``value``."""
+        if value > self._value:
+            self._value = float(value)
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        return [(self.name, self.labels, self._value)]
+
+    def to_dict(self) -> dict:
+        return {"type": self.kind, "labels": self.labels, "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches everything else.  ``observe`` is O(log buckets).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: dict[str, str] | None = None,
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels or {})
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ReproError(f"histogram {name} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ReproError(f"histogram {name} has duplicate bucket bounds")
+        if bounds and bounds[-1] == math.inf:
+            bounds = bounds[:-1]  # +Inf is implicit
+        self._bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bounds(self) -> list[float]:
+        return list(self._bounds)
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value):
+            return  # NaN observations carry no information
+        self._bucket_counts[bisect_left(self._bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative counts per upper bound (including ``+Inf``)."""
+        out: dict[float, int] = {}
+        running = 0
+        for bound, n in zip([*self._bounds, math.inf], self._bucket_counts):
+            running += n
+            out[bound] = running
+        return out
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        rows: list[tuple[str, dict[str, str], float]] = []
+        for bound, cumulative in self.bucket_counts().items():
+            rows.append(
+                (
+                    f"{self.name}_bucket",
+                    {**self.labels, "le": _format_value(bound)},
+                    float(cumulative),
+                )
+            )
+        rows.append((f"{self.name}_sum", self.labels, self._sum))
+        rows.append((f"{self.name}_count", self.labels, float(self._count)))
+        return rows
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "labels": self.labels,
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": {
+                _format_value(b): n for b, n in self.bucket_counts().items()
+            },
+        }
+
+
+class MetricsRegistry:
+    """Namespace of metrics, keyed by (name, frozen label set)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        key = (name, tuple(sorted((labels or {}).items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help=help, labels=labels, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ReproError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: dict[str, str] | None = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def metrics(self) -> list:
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- exposition ----------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format, families sorted by name."""
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for metric in self.metrics():
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, labels, value in metric.samples():
+                lines.append(
+                    f"{sample_name}{_format_labels(labels)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        data: dict[str, list] = {}
+        for metric in self.metrics():
+            data.setdefault(metric.name, []).append(metric.to_dict())
+        return json.dumps(data, indent=indent, sort_keys=True)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse text exposition back into ``{'name{labels}': value}`` samples.
+
+    A minimal parser for round-trip testing and the CLI self-check; it
+    understands the subset :meth:`MetricsRegistry.render_prometheus`
+    emits (HELP/TYPE comments, single-line samples, +Inf).
+    """
+    samples: dict[str, float] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        # the value is the last whitespace-separated token; the sample id
+        # (name + optional {labels}) is everything before it
+        try:
+            key, value_text = line.rsplit(None, 1)
+        except ValueError as exc:
+            raise ReproError(f"malformed exposition line {line_no}: {raw!r}") from exc
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            try:
+                value = float(value_text)
+            except ValueError as exc:
+                raise ReproError(
+                    f"bad sample value on line {line_no}: {raw!r}"
+                ) from exc
+        if key in samples:
+            raise ReproError(f"duplicate sample {key!r} on line {line_no}")
+        samples[key] = value
+    return samples

@@ -1,0 +1,122 @@
+"""Lightweight profiling of the discrete-event engine itself.
+
+The ROADMAP's north star is a service that runs "as fast as the hardware
+allows"; before optimising the simulator we need numbers on the
+simulator.  :class:`EngineProfiler` aggregates, across every
+:class:`~repro.simulation.engine.SimulationEngine` run it observes:
+
+* events processed and wall seconds spent inside ``run()`` (hence
+  events/second, the engine's core throughput figure);
+* the event-heap depth high-water mark (memory pressure / heap cost);
+* per-phase wall time (probe, scheduler planning, engine loop, ...)
+  accumulated via :meth:`phase`.
+
+The profiler is passed to the engine as an optional collaborator; the
+engine pays a single ``is not None`` check per hot-path operation when
+profiling is off.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Accumulated wall time of one named phase."""
+
+    name: str
+    calls: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Snapshot of everything the profiler measured."""
+
+    events_processed: int
+    engine_wall_seconds: float
+    engine_runs: int
+    heap_high_water: int
+    phases: dict[str, PhaseStat] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        if self.engine_wall_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.engine_wall_seconds
+
+    def render(self) -> str:
+        lines = [
+            "=== Engine profile ===",
+            f"events processed : {self.events_processed} "
+            f"in {self.engine_wall_seconds * 1e3:.1f}ms over {self.engine_runs} run(s)",
+            f"throughput       : {self.events_per_second:,.0f} events/s",
+            f"heap high-water  : {self.heap_high_water} pending events",
+        ]
+        if self.phases:
+            lines.append("--- per-phase wall time ---")
+            for name in sorted(self.phases):
+                p = self.phases[name]
+                lines.append(
+                    f"  {name:24s} {p.seconds * 1e3:9.1f}ms over {p.calls} call(s)"
+                )
+        return "\n".join(lines)
+
+
+class EngineProfiler:
+    """Accumulates engine throughput, heap depth, and phase wall time."""
+
+    def __init__(self) -> None:
+        self._events = 0
+        self._wall = 0.0
+        self._runs = 0
+        self._heap_high_water = 0
+        self._phase_calls: dict[str, int] = {}
+        self._phase_seconds: dict[str, float] = {}
+
+    # -- engine collaborators (called from SimulationEngine) ----------------
+    def note_heap_depth(self, depth: int) -> None:
+        if depth > self._heap_high_water:
+            self._heap_high_water = depth
+
+    def note_run(self, events: int, wall_seconds: float) -> None:
+        self._events += events
+        self._wall += wall_seconds
+        self._runs += 1
+
+    # -- phase timing --------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Accumulate the enclosed block's wall time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phase_calls[name] = self._phase_calls.get(name, 0) + 1
+            self._phase_seconds[name] = self._phase_seconds.get(name, 0.0) + elapsed
+
+    def add_phase_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record phase time measured externally (hot loops batch this)."""
+        self._phase_calls[name] = self._phase_calls.get(name, 0) + calls
+        self._phase_seconds[name] = self._phase_seconds.get(name, 0.0) + seconds
+
+    # -- reporting -------------------------------------------------------------
+    def report(self) -> EngineProfile:
+        return EngineProfile(
+            events_processed=self._events,
+            engine_wall_seconds=self._wall,
+            engine_runs=self._runs,
+            heap_high_water=self._heap_high_water,
+            phases={
+                name: PhaseStat(
+                    name=name,
+                    calls=self._phase_calls[name],
+                    seconds=self._phase_seconds[name],
+                )
+                for name in self._phase_seconds
+            },
+        )

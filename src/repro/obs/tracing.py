@@ -1,0 +1,101 @@
+"""Span-based wall-clock tracing of the host process.
+
+The simulator reports *simulated* time; this module measures the other
+axis -- how long the reproduction itself takes to run.  A
+:class:`Tracer` records named spans (engine hot loops, scheduler
+planning calls, probe construction) on the host's monotonic clock,
+relative to the tracer's creation instant, so a whole service run's
+spans share one timeline.
+
+Spans nest naturally (the context manager tracks depth), and the Chrome
+trace exporter (:mod:`repro.obs.chrome_trace`) renders them as a
+separate *wall-clock* track group next to the simulated-time worker
+lanes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed wall-clock span (times in seconds since tracer epoch)."""
+
+    name: str
+    start: float
+    duration: float
+    category: str = "wall"
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Tracer:
+    """Collects wall-clock spans on one monotonic timeline."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._spans: list[Span] = []
+        self._depth = 0
+
+    @property
+    def epoch_wall_time(self) -> float:
+        """Host ``perf_counter`` value the timeline is relative to."""
+        return self._epoch
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Completed spans in completion order (optionally filtered)."""
+        if name is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.name == name]
+
+    def elapsed(self) -> float:
+        """Seconds since the tracer was created."""
+        return time.perf_counter() - self._epoch
+
+    def total(self, name: str) -> float:
+        """Summed duration of every span with ``name``."""
+        return sum(s.duration for s in self._spans if s.name == name)
+
+    @contextmanager
+    def span(self, name: str, *, category: str = "wall", **args):
+        """Record a wall-clock span around the enclosed block."""
+        start = time.perf_counter() - self._epoch
+        depth = self._depth
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            self._spans.append(
+                Span(
+                    name=name,
+                    start=start,
+                    duration=time.perf_counter() - self._epoch - start,
+                    category=category,
+                    depth=depth,
+                    args=args,
+                )
+            )
+
+    def add_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: float,
+        category: str = "wall",
+        **args,
+    ) -> Span:
+        """Record an externally measured span (start relative to epoch)."""
+        span = Span(
+            name=name, start=start, duration=duration, category=category, args=args
+        )
+        self._spans.append(span)
+        return span

@@ -11,7 +11,7 @@ per-job simulations (:mod:`~repro.service.clock`), service-level metrics
 """
 
 from .arbiter import POLICIES, LeaseRequest, WorkerLeaseArbiter
-from .clock import ServiceClock, ServiceOutcome, default_segment_simulator
+from .clock import LeaseSegment, ServiceClock, ServiceOutcome, default_segment_simulator
 from .manager import JobManager, ServiceJobSpec, TenantAccount
 from .report import JobServiceRecord, ServiceReport
 from .service import MultiJobService
@@ -21,6 +21,7 @@ __all__ = [
     "JobManager",
     "JobServiceRecord",
     "LeaseRequest",
+    "LeaseSegment",
     "MultiJobService",
     "ServiceClock",
     "ServiceJobSpec",

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import ServiceError
+from ..obs import OBS_DISABLED, Observability
 
 POLICIES = ("fifo", "static", "fair-share")
 
@@ -76,6 +77,7 @@ class WorkerLeaseArbiter:
         policy: str = "fair-share",
         *,
         slots: int | None = None,
+        observability: Observability | None = None,
     ) -> None:
         if num_workers < 1:
             raise ServiceError(
@@ -97,6 +99,28 @@ class WorkerLeaseArbiter:
         self._blocks = self._make_blocks(num_workers, slots)
         self._leases: dict[int, tuple[int, ...]] = {}
         self._block_of: dict[int, int] = {}
+        obs = observability or OBS_DISABLED
+        if obs.metrics is not None:
+            labels = {"policy": policy}
+            self._m_assignments = obs.metrics.counter(
+                "repro_arbiter_assignments_total",
+                "Arbitration rounds (one per service epoch).",
+                labels=labels,
+            )
+            self._m_changes = obs.metrics.counter(
+                "repro_arbiter_lease_changes_total",
+                "Jobs whose worker lease changed across an arbitration round.",
+                labels=labels,
+            )
+            self._g_active = obs.metrics.gauge(
+                "repro_arbiter_active_jobs",
+                "Jobs granted a lease by the latest arbitration round.",
+                labels=labels,
+            )
+        else:
+            self._m_assignments = None
+            self._m_changes = None
+            self._g_active = None
 
     # -- public API ---------------------------------------------------------
     @property
@@ -141,6 +165,16 @@ class WorkerLeaseArbiter:
             result = self._assign_static(running, queued)
         else:
             result = self._assign_fair(running, queued)
+        if self._m_assignments is not None:
+            self._m_assignments.inc()
+            changed = sum(
+                1
+                for jid, lease in result.items()
+                if self._leases.get(jid) is not None and self._leases[jid] != lease
+            )
+            if changed:
+                self._m_changes.inc(changed)
+            self._g_active.set(float(len(result)))
         self._leases = dict(result)
         return result
 

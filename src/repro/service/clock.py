@@ -37,6 +37,15 @@ from typing import Iterable, Protocol
 from ..apst.division import DivisionMethod, UniformUnitsDivision
 from ..core.base import Scheduler
 from ..errors import ServiceError
+from ..obs import (
+    JOB_ADMITTED,
+    JOB_COMPLETED,
+    JOB_PREEMPTED,
+    LEASE_GRANTED,
+    LEASE_REVOKED,
+    OBS_DISABLED,
+    Observability,
+)
 from ..platform.resources import Grid
 from ..simulation.compute import UncertaintyModel
 from ..simulation.master import SimulatedMaster, SimulationOptions
@@ -106,6 +115,24 @@ def default_segment_simulator(
 
 
 @dataclass
+class LeaseSegment:
+    """One contiguous interval during which a job held a fixed lease.
+
+    The service-run lease log is built from these; the Chrome-trace
+    exporter renders them as per-worker ownership lanes.
+    """
+
+    job_id: int
+    workers: tuple[int, ...]
+    start: float
+    end: float = -1.0
+
+    @property
+    def closed(self) -> bool:
+        return self.end >= self.start
+
+
+@dataclass
 class _RunningJob:
     """Clock-internal dynamic state of one job holding a lease."""
 
@@ -123,6 +150,11 @@ class _RunningJob:
     probe_time: float = 0.0
     annotations: dict = field(default_factory=dict)
     peak_workers: int = 0
+    #: chunks that were in transfer/compute at a preemption and had to be
+    #: re-dispatched on a later lease segment
+    retransmits: int = 0
+    #: the lease-log entry of the current segment (end still open)
+    open_segment: LeaseSegment | None = None
 
     @property
     def projected_finish(self) -> float:
@@ -142,6 +174,8 @@ class ServiceOutcome:
 
     reports: dict[int, ExecutionReport]
     service: ServiceReport
+    #: chronological lease log (who held which workers, when)
+    leases: list[LeaseSegment] = field(default_factory=list)
 
 
 class ServiceClock:
@@ -159,15 +193,34 @@ class ServiceClock:
         gamma: float = 0.0,
         autocorrelation: float = 0.0,
         options: SimulationOptions | None = None,
+        observability: Observability | None = None,
     ) -> None:
         self._grid = grid
-        self._arbiter = arbiter or WorkerLeaseArbiter(len(grid), policy, slots=slots)
+        self._obs = observability or OBS_DISABLED
+        self._arbiter = arbiter or WorkerLeaseArbiter(
+            len(grid), policy, slots=slots, observability=self._obs
+        )
         if self._arbiter.num_workers != len(grid):
             raise ServiceError(
                 f"arbiter covers {self._arbiter.num_workers} workers, "
                 f"but the grid has {len(grid)}"
             )
         self._manager = manager or JobManager()
+        # The dedicated-makespan baseline is a counterfactual (the job alone
+        # on the full platform), not part of the service execution: keep it
+        # un-instrumented so it neither pollutes the event stream nor counts
+        # against the observability overhead budget.
+        self._baseline_simulate: SegmentSimulator = simulate or (
+            default_segment_simulator(
+                gamma=gamma, autocorrelation=autocorrelation, options=options
+            )
+        )
+        if self._obs.enabled and (options is None or options.observability is None):
+            # Standalone (daemon-less) use: thread the service-level handle
+            # down into the per-segment simulations as well.
+            options = dataclasses.replace(
+                options or SimulationOptions(), observability=self._obs
+            )
         self._simulate: SegmentSimulator = simulate or default_segment_simulator(
             gamma=gamma, autocorrelation=autocorrelation, options=options
         )
@@ -195,6 +248,7 @@ class ServiceClock:
         records: list[JobServiceRecord] = []
         busy_box = [0.0]
         dedicated_cache: dict[int, float] = {}
+        self._lease_log: list[LeaseSegment] = []
 
         now = pending[0].arrival if pending else 0.0
         epochs = 0
@@ -248,6 +302,15 @@ class ServiceClock:
                     spec = next(s for s in queued if s.job_id == jid)
                     queued.remove(spec)
                     rj = _RunningJob(spec=spec, job_start=now, remaining=spec.total_load)
+                    if self._obs.enabled:
+                        self._obs.emit(
+                            JOB_ADMITTED,
+                            sim_time=now,
+                            job_id=jid,
+                            tenant=spec.tenant,
+                            wait=now - spec.arrival,
+                            workers=len(lease),
+                        )
                     self._start_segment(rj, lease, now)
                     running[jid] = rj
                     start_order.append(jid)
@@ -274,7 +337,7 @@ class ServiceClock:
             records=records,
             busy_worker_seconds=busy_box[0],
         )
-        return ServiceOutcome(reports=reports, service=service)
+        return ServiceOutcome(reports=reports, service=service, leases=self._lease_log)
 
     # -- segment management -------------------------------------------------
     def _request(self, rj: _RunningJob, now: float) -> LeaseRequest:
@@ -315,6 +378,17 @@ class ServiceClock:
         rj.segment_report = report
         rj.segment_index = segment_index
         rj.peak_workers = max(rj.peak_workers, len(lease))
+        segment = LeaseSegment(job_id=spec.job_id, workers=lease, start=now)
+        rj.open_segment = segment
+        self._lease_log.append(segment)
+        if self._obs.enabled:
+            self._obs.emit(
+                LEASE_GRANTED,
+                sim_time=now,
+                job_id=spec.job_id,
+                segment=segment_index,
+                workers=list(lease),
+            )
 
     def _absorb(
         self,
@@ -334,12 +408,50 @@ class ServiceClock:
         rj.annotations.update(rj.segment_report.annotations)
         self._manager.charge(rj.spec.tenant, len(rj.lease) * occupancy_seconds)
 
+    def _close_segment(self, rj: _RunningJob, now: float) -> None:
+        """End the open lease-log entry (idempotent) and publish the revoke."""
+        segment = rj.open_segment
+        if segment is None:
+            return
+        segment.end = now
+        rj.open_segment = None
+        if self._obs.enabled:
+            self._obs.emit(
+                LEASE_REVOKED,
+                sim_time=now,
+                job_id=rj.spec.job_id,
+                workers=list(segment.workers),
+                duration=now - segment.start,
+            )
+
     def _truncate(self, rj: _RunningJob, now: float, busy_box: list[float]) -> None:
         """Preempt the current segment at ``now`` (chunk granularity)."""
         assert rj.segment_report is not None
-        kept = rj.segment_report.completed_by(now - rj.segment_start)
-        self._absorb(rj, kept, now - rj.segment_start, busy_box)
+        elapsed = now - rj.segment_start
+        kept = rj.segment_report.completed_by(elapsed)
+        dispatched = sum(
+            1 for c in rj.segment_report.chunks if c.send_start <= elapsed + _EPS
+        )
+        lost = max(0, dispatched - len(kept))
+        rj.retransmits += lost
+        self._absorb(rj, kept, elapsed, busy_box)
         rj.remaining = max(0.0, rj.segment_total - sum(c.units for c in kept))
+        self._close_segment(rj, now)
+        if self._obs.enabled:
+            self._obs.emit(
+                JOB_PREEMPTED,
+                sim_time=now,
+                job_id=rj.spec.job_id,
+                segment=rj.segment_index,
+                kept_chunks=len(kept),
+                retransmitted_chunks=lost,
+                remaining=rj.remaining,
+            )
+            if self._obs.metrics is not None:
+                self._obs.metrics.counter(
+                    "repro_service_preemptions_total",
+                    help="Chunk-granularity job preemptions in the service clock.",
+                ).inc()
 
     def _complete(
         self,
@@ -353,6 +465,7 @@ class ServiceClock:
             rj, rj.segment_report.chunks, finish - rj.segment_start, busy_box
         )
         rj.remaining = 0.0
+        self._close_segment(rj, finish)
         return self._finalize(rj, finish, busy_box, dedicated_cache)
 
     def _finalize(
@@ -387,6 +500,7 @@ class ServiceClock:
                     **rj.annotations,
                     "service_segments": rj.segment_index + 1,
                     "service_policy": self._arbiter.policy,
+                    "service_retransmitted_chunks": rj.retransmits,
                 },
             )
             report.validate()
@@ -402,12 +516,27 @@ class ServiceClock:
             dedicated_makespan=dedicated_cache[spec.job_id],
             segments=rj.segment_index + 1,
             peak_workers=rj.peak_workers,
+            retransmits=rj.retransmits,
         )
+        if self._obs.enabled:
+            self._obs.emit(
+                JOB_COMPLETED,
+                sim_time=finish,
+                job_id=spec.job_id,
+                makespan=finish - rj.job_start,
+                segments=rj.segment_index + 1,
+                retransmits=rj.retransmits,
+            )
+            if self._obs.metrics is not None:
+                self._obs.metrics.histogram(
+                    "repro_service_job_wait_seconds",
+                    help="Time jobs spent queued before their first lease.",
+                ).observe(rj.job_start - spec.arrival)
         return report, record
 
     def _dedicated_makespan(self, spec: ServiceJobSpec) -> float:
         """The stretch baseline: the job alone on the full platform."""
-        report = self._simulate(
+        report = self._baseline_simulate(
             self._grid,
             spec.scheduler_factory(),
             spec.total_load,

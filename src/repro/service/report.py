@@ -14,6 +14,12 @@ from dataclasses import dataclass, field
 from .._util import format_seconds
 from ..analysis.metrics import aggregate_utilization, stretch
 from ..errors import ServiceError
+from ..obs import get_logger
+
+#: Diagnostics use the ``repro.obs`` logging bridge (no bare ``print``)
+#: so CLI verbosity flags apply uniformly; ``render()`` stays a pure
+#: string builder for the caller to display.
+_log = get_logger("service.report")
 
 
 @dataclass(frozen=True)
@@ -32,6 +38,8 @@ class JobServiceRecord:
     segments: int
     #: largest lease the job held
     peak_workers: int
+    #: chunks caught in transfer/compute at a preemption and re-dispatched
+    retransmits: int = 0
 
     def __post_init__(self) -> None:
         if not self.arrival <= self.start <= self.finish:
@@ -103,18 +111,20 @@ class ServiceReport:
 
     def render(self) -> str:
         """Human-readable service report (per-job rows + aggregates)."""
+        if not self.records:
+            _log.warning("rendering a service report with no completed jobs")
         lines = [
             f"=== Service report: policy={self.policy} "
             f"({self.num_jobs} jobs on {self.num_workers} workers) ===",
             f"{'job':>4s} {'tenant':10s} {'algorithm':12s} {'arrival':>9s} "
             f"{'wait':>9s} {'turnaround':>11s} {'stretch':>8s} "
-            f"{'segs':>4s} {'peak':>4s}",
+            f"{'segs':>4s} {'peak':>4s} {'rtx':>4s}",
         ]
         for r in sorted(self.records, key=lambda r: r.job_id):
             lines.append(
                 f"{r.job_id:4d} {r.tenant:10s} {r.algorithm:12s} {r.arrival:9.1f} "
                 f"{r.wait:9.1f} {r.turnaround:11.1f} {r.stretch:8.2f} "
-                f"{r.segments:4d} {r.peak_workers:4d}"
+                f"{r.segments:4d} {r.peak_workers:4d} {r.retransmits:4d}"
             )
         lines += [
             f"span            : {format_seconds(self.span)} ({self.span:.1f}s)",

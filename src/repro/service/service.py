@@ -35,7 +35,8 @@ class MultiJobService:
         self._daemon = daemon
         # built eagerly so a bad policy/slots fails at construction
         self._arbiter = WorkerLeaseArbiter(
-            len(daemon.platform), policy, slots=slots
+            len(daemon.platform), policy, slots=slots,
+            observability=daemon.observability,
         )
         self._manager = JobManager()  # tenant accounts persist across runs
         self._meta: dict[int, dict] = {}
@@ -140,6 +141,7 @@ class MultiJobService:
             arbiter=self._arbiter,
             manager=self._manager,
             simulate=self._daemon.simulate_segment,
+            observability=self._daemon.observability,
         )
         try:
             outcome = clock.run(specs)

@@ -17,9 +17,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..obs.profile import EngineProfiler
 
 EventCallback = Callable[..., None]
 
@@ -76,12 +80,13 @@ class SimulationEngine:
     2.5
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, profiler: "EngineProfiler | None" = None) -> None:
         self._heap: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._profiler = profiler
 
     @property
     def now(self) -> float:
@@ -112,6 +117,8 @@ class SimulationEngine:
             )
         event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback, args=args)
         heapq.heappush(self._heap, event)
+        if self._profiler is not None:
+            self._profiler.note_heap_depth(len(self._heap))
         return EventHandle(event)
 
     def step(self) -> bool:
@@ -145,6 +152,7 @@ class SimulationEngine:
             raise SimulationError("run() is not reentrant")
         self._running = True
         executed = 0
+        run_start = perf_counter() if self._profiler is not None else 0.0
         try:
             while self._heap:
                 next_time = self._next_pending_time()
@@ -164,6 +172,8 @@ class SimulationEngine:
                 self._now = max(self._now, until)
         finally:
             self._running = False
+            if self._profiler is not None:
+                self._profiler.note_run(executed, perf_counter() - run_start)
 
     def _next_pending_time(self) -> float | None:
         """Time of the next non-cancelled event, or None if drained."""

@@ -20,11 +20,20 @@ result is an :class:`~repro.simulation.trace.ExecutionReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..apst.division import DivisionMethod, LoadTracker, UniformUnitsDivision
 from ..apst.probing import default_probe_units, perfect_information, run_probe_phase
 from ..core.base import ChunkInfo, Scheduler, SchedulerConfig, WorkerState
 from ..errors import SchedulingError, SimulationError
+from ..obs import (
+    CHUNK_COMPLETED,
+    CHUNK_DISPATCHED,
+    OBS_DISABLED,
+    PROBE_FINISHED,
+    ROUND_STARTED,
+    Observability,
+)
 from ..platform.resources import Grid, WorkerSpec
 from .compute import DETERMINISTIC, ComputeModel, UncertaintyModel
 from .engine import SimulationEngine
@@ -68,6 +77,10 @@ class SimulationOptions:
     quantum:
         Division granularity when the workload does not carry its own
         division method.
+    observability:
+        Optional :class:`~repro.obs.Observability` handle; when set, the
+        run emits chunk/round/probe events, records metrics, and feeds
+        the engine profiler.  ``None`` (the default) is a strict no-op.
     """
 
     include_probe_time: bool = False
@@ -78,6 +91,7 @@ class SimulationOptions:
     output_factor: float = 0.0
     quantum: float = 1.0
     max_events: int = MAX_EVENTS
+    observability: Observability | None = None
 
 
 @dataclass
@@ -121,7 +135,10 @@ class SimulatedMaster:
         self._total_load = float(total_load)
         self._uncertainty = uncertainty
         self._seed = seed
-        self._engine = SimulationEngine()
+        self._obs = self._options.observability or OBS_DISABLED
+        # Cached for the per-chunk hot path: one indirection, no kwargs repack.
+        self._bus = self._obs.bus
+        self._engine = SimulationEngine(profiler=self._obs.profiler)
         self._model = ComputeModel(
             grid.workers, uncertainty, seed=seed, cost_profile=cost_profile
         )
@@ -138,16 +155,57 @@ class SimulatedMaster:
         self._pending_outputs = 0
         self._probe_time = 0.0
         self._finished = False
+        self._max_round = -1
+        self._plan_seconds = 0.0
+        self._plan_calls = 0
+        metrics = self._obs.metrics
+        if metrics is not None:
+            self._m_dispatched = metrics.counter(
+                "repro_chunks_dispatched_total",
+                "Chunks pushed onto the serialized master link",
+            )
+            self._m_completed = metrics.counter(
+                "repro_chunks_completed_total", "Chunk computations finished"
+            )
+            self._m_units = metrics.counter(
+                "repro_units_dispatched_total", "Load units dispatched"
+            )
+            self._m_rounds = metrics.counter(
+                "repro_rounds_started_total", "Scheduling rounds entered"
+            )
+            self._m_queue = metrics.histogram(
+                "repro_chunk_queue_seconds",
+                "Simulated seconds chunks waited on the worker before computing",
+            )
+            self._m_compute = metrics.histogram(
+                "repro_chunk_compute_seconds",
+                "Simulated seconds chunks spent computing",
+            )
+        else:
+            self._m_dispatched = None
+            self._m_completed = None
+            self._m_units = None
+            self._m_rounds = None
+            self._m_queue = None
+            self._m_compute = None
 
     # -- public API ---------------------------------------------------------
     def run(self) -> ExecutionReport:
         """Execute the full run and return its execution report."""
         if self._finished:
             raise SimulationError("SimulatedMaster.run() called twice")
-        self._probe()
-        self._configure_scheduler()
-        self._pump()
-        self._engine.run(max_events=self._options.max_events)
+        with self._obs.span("probe", algorithm=self._scheduler.name):
+            self._probe()
+        with self._obs.span("scheduler.plan", algorithm=self._scheduler.name):
+            self._configure_scheduler()
+        with self._obs.span("engine.run", algorithm=self._scheduler.name):
+            self._pump()
+            self._engine.run(max_events=self._options.max_events)
+        profiler = self._obs.profiler
+        if profiler is not None and self._plan_calls:
+            profiler.add_phase_time(
+                "scheduler.next_dispatch", self._plan_seconds, self._plan_calls
+            )
         self._check_termination()
         self._finished = True
         makespan = self._engine.now + (
@@ -192,7 +250,9 @@ class SimulatedMaster:
             probe_units = self._options.probe_units
             if probe_units is None:
                 probe_units = default_probe_units(self._total_load)
-            result = run_probe_phase(list(self._grid.workers), self._model, probe_units)
+            result = run_probe_phase(
+                list(self._grid.workers), self._model, probe_units, obs=self._obs
+            )
         else:
             # SIMPLE-n: no probing; the algorithm only needs worker count,
             # but the config interface wants specs -- hand it unit dummies.
@@ -200,6 +260,15 @@ class SimulatedMaster:
             result = type(result)(estimates=result.estimates, duration=0.0, probe_units=0.0)
         self._estimates = result.estimates
         self._probe_time = result.duration
+        if self._obs.enabled:
+            self._obs.emit(
+                PROBE_FINISHED,
+                sim_time=0.0,
+                source=source,
+                duration=result.duration,
+                probe_units=result.probe_units,
+                workers=len(self._estimates),
+            )
 
     def _configure_scheduler(self) -> None:
         self._scheduler.configure(
@@ -213,10 +282,21 @@ class SimulatedMaster:
     # -- dispatch pump ---------------------------------------------------------
     def _pump(self) -> None:
         """Feed the link while it is free and the algorithm has work."""
+        profiler = self._obs.profiler
         while not self._link.busy and not self._tracker.exhausted:
-            request = self._scheduler.next_dispatch(
-                self._engine.now, [w.state for w in self._workers]
-            )
+            if profiler is not None:
+                # Accumulate locally; flushed to the profiler once per run()
+                # so the hot loop pays two clock reads and a float add.
+                plan_start = perf_counter()
+                request = self._scheduler.next_dispatch(
+                    self._engine.now, [w.state for w in self._workers]
+                )
+                self._plan_seconds += perf_counter() - plan_start
+                self._plan_calls += 1
+            else:
+                request = self._scheduler.next_dispatch(
+                    self._engine.now, [w.state for w in self._workers]
+                )
             if request is None:
                 return
             if not 0 <= request.worker_index < len(self._workers):
@@ -239,6 +319,33 @@ class SimulatedMaster:
                 ),
             )
             self._chunk_counter += 1
+            if self._obs.enabled:
+                if request.round_index > self._max_round:
+                    self._max_round = request.round_index
+                    if self._bus is not None:
+                        self._bus.emit(
+                            ROUND_STARTED,
+                            sim_time=self._engine.now,
+                            round=request.round_index,
+                            phase=request.phase,
+                            algorithm=self._scheduler.name,
+                        )
+                    if self._m_rounds is not None:
+                        self._m_rounds.inc()
+                if self._bus is not None:
+                    self._bus.emit(
+                        CHUNK_DISPATCHED,
+                        sim_time=self._engine.now,
+                        chunk_id=chunk.chunk_id,
+                        worker=chunk.worker_name,
+                        worker_index=chunk.worker_index,
+                        units=chunk.units,
+                        round=chunk.round_index,
+                        phase=chunk.phase,
+                    )
+                if self._m_dispatched is not None:
+                    self._m_dispatched.inc()
+                    self._m_units.inc(chunk.units)
             runtime = self._workers[request.worker_index]
             runtime.state.outstanding += 1
             runtime.state.outstanding_units += extent.units
@@ -286,6 +393,22 @@ class SimulatedMaster:
         state.completed_chunks += 1
         state.completed_units += chunk.units
         state.busy_time += chunk.compute_time
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_COMPLETED,
+                    sim_time=self._engine.now,
+                    chunk_id=chunk.chunk_id,
+                    worker=chunk.worker_name,
+                    worker_index=chunk.worker_index,
+                    units=chunk.units,
+                    queue_time=chunk.queue_time,
+                    compute_time=chunk.compute_time,
+                )
+            if self._m_completed is not None:
+                self._m_completed.inc()
+                self._m_queue.observe(chunk.queue_time)
+                self._m_compute.observe(chunk.compute_time)
         self._scheduler.notify_completion(
             self._info(chunk),
             self._engine.now,

@@ -11,6 +11,7 @@ utilization).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Iterable
 
@@ -37,15 +38,28 @@ class ChunkTrace:
 
     @property
     def transfer_time(self) -> float:
+        """Seconds on the master link; NaN until the transfer has finished."""
+        if self.send_start < 0.0 or self.send_end < 0.0:
+            return math.nan
         return self.send_end - self.send_start
 
     @property
     def compute_time(self) -> float:
+        """Seconds computing; NaN until the computation has finished."""
+        if self.compute_start < 0.0 or self.compute_end < 0.0:
+            return math.nan
         return self.compute_end - self.compute_start
 
     @property
     def queue_time(self) -> float:
-        """Seconds the chunk sat on the worker before computation started."""
+        """Seconds the chunk sat on the worker before computation started.
+
+        NaN while the chunk is still in transfer or not yet started -- a
+        difference of the ``-1.0`` "unset" sentinels is meaningless, not
+        merely zero.
+        """
+        if self.send_end < 0.0 or self.compute_start < 0.0:
+            return math.nan
         return self.compute_start - self.send_end
 
     @property

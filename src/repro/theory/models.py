@@ -110,7 +110,30 @@ def report_replay_makespan(grid: Grid, report) -> float:
     For a gamma = 0 run on the simulation backend, this must equal the
     reported makespan (minus the probe, which the report excludes) to
     float precision.
+
+    The replay recomputes every transfer and compute cost from the grid
+    parameters, but honours each chunk's *recorded* send time as a lower
+    bound on when its transfer may begin: schedulers that gate dispatch
+    (e.g. Weighted Factoring's bounded prefetch depth) deliberately let
+    the link idle, and a purely greedy replay would under-estimate their
+    makespan rather than validate it.
     """
     ordered = sorted(report.chunks, key=lambda c: c.send_start)
-    dispatches = [(c.worker_index, c.units) for c in ordered]
-    return dispatch_schedule_makespan(grid, dispatches)
+    workers = grid.workers
+    link_free = 0.0
+    worker_free = [0.0] * len(workers)
+    finish = 0.0
+    for c in ordered:
+        if not 0 <= c.worker_index < len(workers):
+            raise SchedulingError(f"invalid worker index {c.worker_index}")
+        if c.units < 0:
+            raise SchedulingError("negative chunk")
+        w = workers[c.worker_index]
+        send_start = max(link_free, c.send_start)
+        arrival = send_start + w.comm_latency + c.units / w.bandwidth
+        link_free = arrival
+        start = max(arrival, worker_free[c.worker_index])
+        end = start + w.comp_latency + c.units / w.speed
+        worker_free[c.worker_index] = end
+        finish = max(finish, end)
+    return finish

@@ -1,0 +1,167 @@
+"""Tests for the structured event bus and its sinks."""
+
+import io
+import logging
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    CHUNK_COMPLETED,
+    CHUNK_DISPATCHED,
+    EVENT_TYPES,
+    JOB_SUBMITTED,
+    OBS_LOGGER_NAME,
+    Event,
+    EventBus,
+    JsonlSink,
+    LoggingSink,
+    RingBufferSink,
+)
+
+
+def _emit_n(bus, n, name=CHUNK_DISPATCHED):
+    for i in range(n):
+        bus.emit(name, sim_time=float(i), chunk_id=i)
+
+
+class TestEvent:
+    def test_dict_round_trip(self):
+        event = Event(
+            name=CHUNK_DISPATCHED,
+            wall_time=123.5,
+            sim_time=7.25,
+            fields={"chunk_id": 3, "worker": "w0"},
+        )
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_optional_sim_time_omitted(self):
+        event = Event(name=JOB_SUBMITTED, wall_time=1.0)
+        data = event.to_dict()
+        assert "sim_time" not in data
+        assert Event.from_dict(data).sim_time is None
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ReproError, match="malformed"):
+            Event.from_dict({"name": "x"})
+
+
+class TestRingBufferSink:
+    def test_eviction_keeps_newest_in_order(self):
+        sink = RingBufferSink(capacity=3)
+        bus = EventBus([sink])
+        _emit_n(bus, 5)
+        ids = [e.fields["chunk_id"] for e in sink.events()]
+        assert ids == [2, 3, 4]  # oldest evicted first, order preserved
+        assert len(sink) == 3
+
+    def test_name_filter(self):
+        sink = RingBufferSink(capacity=10)
+        bus = EventBus([sink])
+        bus.emit(CHUNK_DISPATCHED, chunk_id=0)
+        bus.emit(CHUNK_COMPLETED, chunk_id=0)
+        assert [e.name for e in sink.events(CHUNK_COMPLETED)] == [CHUNK_COMPLETED]
+
+    def test_clear(self):
+        sink = RingBufferSink(capacity=4)
+        bus = EventBus([sink])
+        _emit_n(bus, 2)
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ReproError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        bus = EventBus([sink])
+        _emit_n(bus, 3)
+        bus.emit(JOB_SUBMITTED, job_id=1, algorithm="umr")
+        bus.close()
+
+        events = JsonlSink.read(path)
+        assert len(events) == 4
+        assert [e.name for e in events[:3]] == [CHUNK_DISPATCHED] * 3
+        assert events[3].name == JOB_SUBMITTED
+        assert events[3].fields == {"job_id": 1, "algorithm": "umr"}
+        assert events[0].sim_time == 0.0
+
+    def test_stream_target(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        bus = EventBus([sink])
+        _emit_n(bus, 2)
+        bus.close()  # flushes but must not close a borrowed stream
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "chunk.dispatched", "wall_time": 1.0}\nnot json\n')
+        with pytest.raises(ReproError, match="line 2"):
+            JsonlSink.read(path)
+
+
+class TestLoggingSink:
+    def test_bridges_to_stdlib_logging(self):
+        logger = logging.getLogger(f"{OBS_LOGGER_NAME}.test_bridge")
+        logger.setLevel(logging.DEBUG)
+        logger.propagate = False
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        logger.addHandler(handler)
+        try:
+            bus = EventBus([LoggingSink(logger)])
+            bus.emit(CHUNK_DISPATCHED, sim_time=1.5, chunk_id=7, worker="w3")
+            text = stream.getvalue()
+            assert "chunk.dispatched" in text
+            assert "chunk_id=7" in text
+            assert "t=1.500s" in text
+        finally:
+            logger.removeHandler(handler)
+
+    def test_disabled_level_suppresses(self):
+        logger = logging.getLogger(f"{OBS_LOGGER_NAME}.test_quiet")
+        logger.setLevel(logging.ERROR)
+        logger.propagate = False
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        logger.addHandler(handler)
+        try:
+            bus = EventBus([LoggingSink(logger, level=logging.DEBUG)])
+            bus.emit(CHUNK_DISPATCHED, chunk_id=1)
+            assert stream.getvalue() == ""
+        finally:
+            logger.removeHandler(handler)
+
+
+class TestEventBus:
+    def test_unknown_event_name_rejected(self):
+        bus = EventBus([RingBufferSink()])
+        with pytest.raises(ReproError, match="taxonomy is closed"):
+            bus.emit("chunk.teleported")
+
+    def test_disabled_without_sinks(self):
+        bus = EventBus()
+        assert not bus.enabled
+        bus.emit("chunk.teleported")  # no sinks: not even validated
+
+    def test_attach_requires_write(self):
+        bus = EventBus()
+        with pytest.raises(ReproError, match="write"):
+            bus.attach(object())
+        bus.attach(RingBufferSink())
+        assert bus.enabled
+
+    def test_fan_out_to_all_sinks(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        bus = EventBus([a, b])
+        _emit_n(bus, 2)
+        assert len(a) == len(b) == 2
+
+    def test_taxonomy_is_nonempty_and_namespaced(self):
+        assert EVENT_TYPES
+        assert all("." in name for name in EVENT_TYPES)

@@ -1,0 +1,136 @@
+"""Tests for the metrics registry and Prometheus exposition."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry, parse_prometheus
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = MetricsRegistry().counter("repro_test_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ReproError, match="cannot decrease"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec_max(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4
+        g.max(10)
+        g.max(3)  # high-water: no decrease
+        assert g.value == 10
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1.0, 5.0))
+        h.observe(1.0)   # exactly on a bound -> that bucket (le semantics)
+        h.observe(1.5)
+        h.observe(5.0)
+        h.observe(99.0)  # +Inf bucket
+        counts = h.bucket_counts()
+        assert counts[1.0] == 1
+        assert counts[5.0] == 3  # cumulative
+        assert counts[math.inf] == 4
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.5)
+
+    def test_nan_observations_ignored(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1.0,))
+        h.observe(math.nan)
+        assert h.count == 0
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            MetricsRegistry().histogram("repro_h", buckets=(1.0, 1.0))
+
+    def test_mean(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(10.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean() == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_a_total") is reg.counter("repro_a_total")
+        assert len(reg) == 1
+
+    def test_same_name_different_labels_coexist(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", labels={"outcome": "done"}).inc()
+        reg.counter("repro_jobs_total", labels={"outcome": "failed"}).inc(2)
+        assert len(reg) == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x")
+        with pytest.raises(ReproError, match="already registered"):
+            reg.gauge("repro_x")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ReproError):
+            reg.counter("bad name")
+        with pytest.raises(ReproError):
+            reg.counter("9starts_with_digit")
+
+
+class TestExposition:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_chunks_total", "Chunks dispatched").inc(42)
+        reg.gauge("repro_heap_depth", "Heap depth").set(17)
+        h = reg.histogram("repro_queue_seconds", "Queue time", buckets=(0.5, 2.0))
+        h.observe(0.25)
+        h.observe(1.0)
+        h.observe(10.0)
+        reg.counter("repro_jobs_total", labels={"outcome": "done"}).inc(3)
+        return reg
+
+    def test_prometheus_text_round_trips_through_parser(self):
+        text = self._populated().render_prometheus()
+        samples = parse_prometheus(text)
+        assert samples["repro_chunks_total"] == 42
+        assert samples["repro_heap_depth"] == 17
+        assert samples['repro_queue_seconds_bucket{le="0.5"}'] == 1
+        assert samples['repro_queue_seconds_bucket{le="2"}'] == 2
+        assert samples['repro_queue_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["repro_queue_seconds_sum"] == pytest.approx(11.25)
+        assert samples["repro_queue_seconds_count"] == 3
+        assert samples['repro_jobs_total{outcome="done"}'] == 3
+
+    def test_help_and_type_headers_present(self):
+        text = self._populated().render_prometheus()
+        assert "# HELP repro_chunks_total Chunks dispatched" in text
+        assert "# TYPE repro_chunks_total counter" in text
+        assert "# TYPE repro_queue_seconds histogram" in text
+
+    def test_json_exposition_is_valid(self):
+        data = json.loads(self._populated().to_json())
+        assert data["repro_chunks_total"][0]["value"] == 42
+        assert data["repro_queue_seconds"][0]["count"] == 3
+        assert data["repro_queue_seconds"][0]["buckets"]["+Inf"] == 3
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", labels={"path": 'a"b\\c'}).inc()
+        text = reg.render_prometheus()
+        assert '\\"' in text and "\\\\" in text
+
+    def test_parser_rejects_duplicates_and_garbage(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            parse_prometheus("repro_a 1\nrepro_a 2\n")
+        with pytest.raises(ReproError, match="bad sample value"):
+            parse_prometheus("repro_a not_a_number\n")

@@ -1,0 +1,172 @@
+"""Tests for wall-clock tracing, profiling, and the Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EngineProfiler,
+    Observability,
+    Tracer,
+    build_chrome_trace,
+    lease_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.chrome_trace import LEASE_PID, SIM_PID_BASE, WALL_PID
+from repro.platform.presets import das2_cluster
+from repro.service import LeaseSegment
+from repro.simulation import SimulationOptions, simulate_run
+from repro import make_scheduler
+
+
+def _instrumented_report(obs):
+    grid = das2_cluster(nodes=4)
+    return simulate_run(
+        grid,
+        make_scheduler("umr"),
+        total_load=10_000.0,
+        seed=3,
+        options=SimulationOptions(observability=obs),
+    )
+
+
+class TestTracer:
+    def test_spans_nest_and_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner"):
+                pass
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]  # completion order
+        inner, outer = spans
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.duration >= inner.duration
+        assert outer.args == {"kind": "test"}
+        assert tracer.total("outer") == outer.duration
+
+    def test_add_span_external_measurement(self):
+        tracer = Tracer()
+        tracer.add_span("engine.run", start=1.0, duration=0.5, category="engine")
+        (span,) = tracer.spans("engine.run")
+        assert span.end == 1.5
+        assert span.category == "engine"
+
+
+class TestEngineProfiler:
+    def test_engine_reports_throughput_and_heap(self):
+        obs = Observability.armed()
+        _instrumented_report(obs)
+        profile = obs.profiler.report()
+        assert profile.events_processed > 0
+        assert profile.engine_runs >= 1
+        assert profile.heap_high_water >= 1
+        assert profile.events_per_second > 0
+        text = profile.render()
+        assert "events/s" in text and "heap high-water" in text
+
+    def test_phase_accumulation(self):
+        profiler = EngineProfiler()
+        with profiler.phase("plan"):
+            pass
+        profiler.add_phase_time("plan", 0.25, calls=3)
+        stat = profiler.report().phases["plan"]
+        assert stat.calls == 4
+        assert stat.seconds >= 0.25
+
+
+class TestChromeTrace:
+    def test_trace_is_valid_json_with_required_fields(self, tmp_path):
+        obs = Observability.armed()
+        report = _instrumented_report(obs)
+        trace = build_chrome_trace(
+            reports={1: report},
+            tracer=obs.tracer,
+            metadata={"algorithm": report.algorithm},
+        )
+        out = write_chrome_trace(tmp_path / "trace.json", trace)
+
+        loaded = json.loads(out.read_text())  # must be parseable JSON
+        events = loaded["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["pid"], int)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0.0
+                assert event["dur"] >= 0.0
+
+    def test_sim_and_wall_groups_are_separate_pids(self):
+        obs = Observability.armed()
+        report = _instrumented_report(obs)
+        trace = build_chrome_trace(reports={1: report}, tracer=obs.tracer)
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert WALL_PID in pids
+        assert SIM_PID_BASE in pids
+        wall_cats = {
+            e.get("cat")
+            for e in trace["traceEvents"]
+            if e["pid"] == WALL_PID and e["ph"] == "X"
+        }
+        assert wall_cats  # the tracer contributed spans (probe/plan/engine)
+
+    def test_one_lane_per_worker(self):
+        obs = Observability.armed()
+        report = _instrumented_report(obs)
+        trace = build_chrome_trace(reports={1: report})
+        thread_names = [
+            e
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == SIM_PID_BASE
+        ]
+        # 4 workers + the master-link lane
+        assert len(thread_names) == 5
+
+    def test_lease_lanes(self):
+        segments = [
+            LeaseSegment(job_id=1, workers=(0, 1), start=0.0, end=10.0),
+            LeaseSegment(job_id=2, workers=(1,), start=10.0, end=12.0),
+        ]
+        events = lease_trace_events(segments)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 3  # one per (segment, worker)
+        assert all(e["pid"] == LEASE_PID for e in spans)
+        assert {e["name"] for e in spans} == {"job 1", "job 2"}
+
+    def test_incomplete_chunks_skipped(self):
+        obs = Observability.armed()
+        report = _instrumented_report(obs)
+        report.chunks[0].compute_end = -1.0  # preempted mid-compute
+        trace = build_chrome_trace(reports={1: report})
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert f"xfer #{report.chunks[0].chunk_id}" not in names
+
+
+class TestObservabilityHandle:
+    def test_disabled_handle_is_inert(self):
+        from repro.obs import OBS_DISABLED
+
+        assert not OBS_DISABLED.enabled
+        OBS_DISABLED.emit("job.submitted", job_id=1)  # no bus: silently dropped
+        with OBS_DISABLED.span("anything"):
+            pass
+        assert OBS_DISABLED.ring_events() == []
+
+    def test_armed_handle_collects_everything(self):
+        obs = Observability.armed()
+        assert obs.enabled
+        report = _instrumented_report(obs)
+        assert report.makespan > 0
+        dispatched = obs.ring_events("chunk.dispatched")
+        completed = obs.ring_events("chunk.completed")
+        assert len(dispatched) == len(completed) == report.num_chunks
+        samples = obs.metrics.render_prometheus()
+        assert "repro_chunks_dispatched_total" in samples
+        assert obs.tracer.spans("engine.run")
+
+    def test_sim_time_stamps_match_report(self):
+        obs = Observability.armed()
+        report = _instrumented_report(obs)
+        by_id = {c.chunk_id: c for c in report.chunks}
+        for event in obs.ring_events("chunk.completed"):
+            chunk = by_id[event.fields["chunk_id"]]
+            assert event.sim_time == pytest.approx(chunk.compute_end)

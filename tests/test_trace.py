@@ -1,5 +1,7 @@
 """Tests for chunk traces and the execution report."""
 
+import math
+
 import pytest
 
 from repro.errors import SimulationError
@@ -56,6 +58,24 @@ class TestChunkTrace:
         c.compute_end = -1.0
         with pytest.raises(SimulationError, match="never completed"):
             c.validate()
+
+    def test_incomplete_chunk_times_are_nan(self):
+        # Regression: differences against the -1.0 "unset" sentinels used
+        # to yield negative nonsense (e.g. queue_time == -1 - send_end).
+        undispatched = _chunk(send=(-1.0, -1.0), comp=(-1.0, -1.0))
+        assert math.isnan(undispatched.transfer_time)
+        assert math.isnan(undispatched.queue_time)
+        assert math.isnan(undispatched.compute_time)
+
+        in_transfer = _chunk(send=(5.0, -1.0), comp=(-1.0, -1.0))
+        assert math.isnan(in_transfer.transfer_time)
+        assert math.isnan(in_transfer.queue_time)
+
+        computing = _chunk(send=(0.0, 2.0), comp=(3.0, -1.0))
+        assert computing.transfer_time == 2.0
+        assert computing.queue_time == 1.0
+        assert math.isnan(computing.compute_time)
+        assert not computing.completed
 
 
 class TestExecutionReport:
