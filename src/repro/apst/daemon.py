@@ -12,8 +12,15 @@ Two backends exist:
 * ``"simulation"`` -- the discrete-event substrate (default; substitutes
   for the paper's Grid testbed);
 * any object implementing :class:`ExecutionBackend` -- notably
-  :class:`repro.execution.LocalExecutionBackend`, which really moves chunk
-  bytes and really computes.
+  :class:`repro.execution.LocalExecutionBackend` and
+  :class:`repro.execution.ProcessExecutionBackend`, which really move
+  chunk bytes and really compute.
+
+Either way the scheduler-driving loop is the shared
+:class:`~repro.dispatch.core.DispatchCore`; a backend merely supplies its
+clock + transport + compute host (a
+:class:`~repro.dispatch.protocols.DispatchSubstrate`), and the daemon's
+observability handle instruments every backend identically.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from typing import Callable, Protocol
 from ..core.base import Scheduler
 from ..core.registry import make_scheduler
 from ..errors import SpecificationError
+from ..dispatch.core import DispatchCore, DispatchOptions
+from ..dispatch.protocols import DispatchSubstrate
 from ..obs import (
     JOB_CANCELLED,
     JOB_COMPLETED,
@@ -45,17 +54,20 @@ from .xmlspec import TaskSpec, build_division, parse_task
 
 
 class ExecutionBackend(Protocol):
-    """Anything that can run a scheduler over a division method."""
+    """A real execution mechanism: provide clock + transport + compute host.
 
-    def execute(
+    The daemon owns the scheduler-driving loop (the shared
+    :class:`~repro.dispatch.core.DispatchCore`); a backend only supplies
+    the substrate it runs on.  ``last_outputs``, if present, lists the
+    result files of the most recent run in chunk-offset order.
+    """
+
+    def substrate(
         self,
         grid: Grid,
-        scheduler: Scheduler,
         division: DivisionMethod,
-        task: TaskSpec,
-        *,
-        probe_units: float | None,
-    ) -> ExecutionReport:
+        task: TaskSpec | None,
+    ) -> DispatchSubstrate:
         ...
 
 
@@ -368,14 +380,9 @@ class APSTDaemon:
             if self._backend == "simulation":
                 job.report = self._simulate(scheduler, division, probe_units)
             else:
-                job.report = self._backend.execute(
-                    self._platform,
-                    scheduler,
-                    division,
-                    job.task,
-                    probe_units=probe_units,
+                job.report, job.outputs = self._execute_on_backend(
+                    scheduler, division, job.task, probe_units
                 )
-                job.outputs = list(getattr(self._backend, "last_outputs", []))
             job.state = JobState.DONE
             self._record_history(job)
             if self._obs.enabled:
@@ -438,6 +445,28 @@ class APSTDaemon:
             if probe_path.is_file():
                 return float(probe_path.stat().st_size)
         return None
+
+    def _execute_on_backend(
+        self,
+        scheduler: Scheduler,
+        division: DivisionMethod,
+        task: TaskSpec,
+        probe_units: float | None,
+    ) -> tuple[ExecutionReport, list[Path]]:
+        """Drive the shared dispatch core over the backend's substrate."""
+        options = DispatchOptions(probe_units=probe_units)
+        if self._obs.enabled:
+            options.observability = self._obs
+        core = DispatchCore(
+            self._platform,
+            scheduler,
+            division.total_units,
+            substrate=self._backend.substrate(self._platform, division, task),
+            division=division,
+            options=options,
+        )
+        report = core.run()
+        return report, core.outputs_in_offset_order()
 
     def _simulate(
         self,

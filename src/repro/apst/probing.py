@@ -6,19 +6,48 @@ the transfer and computation times, and it launches no-op jobs / transfers
 empty files to estimate the communication and computation start-up costs.
 One round of probing runs before the real application execution.
 
-The probe phase is simulated with the same cost models as the main run, so
-when uncertainty is enabled the estimates inherit single-sample noise --
-the realistic imperfection that adaptive algorithms then correct online.
+This module is the **single source of probe-round semantics** for every
+execution backend.  :func:`run_probe_phase` drives the round over a
+:class:`ProbeCostSource` -- the one thing that differs per backend:
+
+* the simulation backend hands in its
+  :class:`~repro.simulation.compute.ComputeModel`, so when uncertainty is
+  enabled the estimates inherit single-sample noise -- the realistic
+  imperfection that adaptive algorithms then correct online;
+* the real backends hand in *measuring* cost sources whose calls actually
+  move bytes / run the application (scaled to wall clock) and return the
+  observed modeled durations.
+
+Either way the round structure, the estimate arithmetic, and the reported
+probe duration are computed here, identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 from .._util import check_positive
 from ..errors import ProbeError
 from ..platform.resources import WorkerSpec
-from ..simulation.compute import ComputeModel
+
+
+class ProbeCostSource(Protocol):
+    """Realized per-worker costs, as the probe round observes them.
+
+    ``ComputeModel`` satisfies this natively (model-drawn durations); the
+    real backends implement it by measurement -- a call may sleep through
+    the scaled transfer or really compute on probe bytes.  Calls are made
+    in the serialized probe order (per worker: no-op transfer, probe
+    transfer, no-op compute, probe compute), so measuring implementations
+    may rely on that sequence.
+    """
+
+    def realized_transfer_time(self, index: int, units: float) -> float:
+        ...
+
+    def realized_compute_time(self, index: int, units: float) -> float:
+        ...
 
 #: Floor on measured (time - latency) differences, to keep estimates finite
 #: when a probe happens to run faster than the no-op calibration.
@@ -39,12 +68,12 @@ class ProbeResult:
 
 def run_probe_phase(
     workers: list[WorkerSpec] | tuple[WorkerSpec, ...],
-    compute_model: ComputeModel,
+    costs: ProbeCostSource,
     probe_units: float,
     *,
     obs=None,
 ) -> ProbeResult:
-    """Simulate one probing round over all workers.
+    """Run one probing round over all workers.
 
     For each worker, in grid order over the serialized master link:
 
@@ -73,17 +102,17 @@ def run_probe_phase(
     finish_times: list[float] = []
     for index, spec in enumerate(workers):
         # serialized on the master uplink
-        noop_comm = compute_model.realized_transfer_time(index, 0.0)
+        noop_comm = costs.realized_transfer_time(index, 0.0)
         link_time += noop_comm
-        probe_comm = compute_model.realized_transfer_time(index, probe_units)
+        probe_comm = costs.realized_transfer_time(index, probe_units)
         link_time += probe_comm
         arrival = link_time
 
         bandwidth_est = probe_units / max(_MIN_MEASURED, probe_comm - noop_comm)
 
         # on-worker, overlapped across workers
-        noop_comp = compute_model.realized_compute_time(index, 0.0)
-        probe_comp = compute_model.realized_compute_time(index, probe_units)
+        noop_comp = costs.realized_compute_time(index, 0.0)
+        probe_comp = costs.realized_compute_time(index, probe_units)
         finish_times.append(arrival + noop_comp + probe_comp)
 
         speed_est = probe_units / max(_MIN_MEASURED, probe_comp - noop_comp)

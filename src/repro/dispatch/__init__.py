@@ -1,0 +1,34 @@
+"""``repro.dispatch``: the backend-agnostic master dispatch core.
+
+One scheduler-driving loop (:class:`DispatchCore`) shared by the
+simulation, threaded-local, and process execution backends; what differs
+per backend is captured by the :class:`Clock` / :class:`Transport` /
+:class:`ComputeHost` protocols, bundled into a :class:`DispatchSubstrate`.
+See DESIGN.md Section 4.5.
+"""
+
+# ``core`` needs ``repro.simulation.trace`` at import time while
+# ``repro.simulation.master`` needs ``repro.dispatch.core``; importing the
+# trace module first keeps the cycle one-directional regardless of which
+# package is imported first.
+from ..simulation import trace as _trace  # noqa: F401
+
+from .core import MAX_EVENTS, DispatchCore, DispatchOptions
+from .protocols import (
+    Clock,
+    ComputeHost,
+    DispatchSubstrate,
+    RetryPolicy,
+    Transport,
+)
+
+__all__ = [
+    "Clock",
+    "ComputeHost",
+    "DispatchCore",
+    "DispatchOptions",
+    "DispatchSubstrate",
+    "MAX_EVENTS",
+    "RetryPolicy",
+    "Transport",
+]

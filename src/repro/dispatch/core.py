@@ -1,0 +1,548 @@
+"""The backend-agnostic dispatch core: one master loop for every backend.
+
+APST-DV's daemon drives a DLS algorithm over *some* execution mechanism
+-- the paper's deployments use Ssh/Scp/Globus, our reproduction uses a
+discrete-event simulation, a thread pool, or worker processes -- and the
+whole point of the architecture (paper Section 3) is that the scheduler
+cannot tell which.  :class:`DispatchCore` is that loop, written once:
+
+1. optionally run a probe round (Section 3.5) to estimate resources;
+2. hand the estimates and total load to the DLS algorithm;
+3. whenever the serialized master link is free, ask the algorithm for
+   the next dispatch, snap the requested size to a valid cut-off point
+   via the load's division method, and ship the chunk;
+4. deliver arrival/completion notifications back to the algorithm
+   (which adaptive algorithms use to refine their resource view);
+5. apply the per-chunk retry/retransmit policy to failures;
+6. optionally ship output data back over the same link;
+7. assemble the detailed :class:`~repro.simulation.trace.ExecutionReport`.
+
+What differs per backend arrives as a
+:class:`~repro.dispatch.protocols.DispatchSubstrate` (clock, transport,
+compute host, probe cost source); the backends themselves are thin
+adapters in :mod:`repro.simulation.master`, :mod:`repro.execution.local`
+and :mod:`repro.execution.process_backend`.
+
+Observability (``chunk.dispatched`` / ``chunk.completed`` /
+``probe.finished`` events, chunk metrics, probe/plan/run spans) is
+emitted here, so every backend is instrumented identically and pays the
+same near-zero cost when the shared :data:`~repro.obs.OBS_DISABLED`
+handle is in effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+
+from ..apst.division import ChunkExtent, DivisionMethod, LoadTracker, UniformUnitsDivision
+from ..apst.probing import default_probe_units, perfect_information, run_probe_phase
+from ..core.base import ChunkInfo, DispatchRequest, Scheduler, SchedulerConfig, WorkerState
+from ..errors import ExecutionError, SchedulingError, SimulationError
+from ..obs import (
+    CHUNK_COMPLETED,
+    CHUNK_DISPATCHED,
+    CHUNK_RETRANSMITTED,
+    OBS_DISABLED,
+    PROBE_FINISHED,
+    ROUND_STARTED,
+    Observability,
+)
+from ..platform.resources import Grid, WorkerSpec
+from ..simulation.trace import ChunkTrace, ExecutionReport
+from .protocols import DispatchSubstrate, RetryPolicy
+
+#: Safety bound on simulation events; generous for every paper workload.
+MAX_EVENTS = 5_000_000
+
+#: Consecutive idle scheduler polls (with nothing in flight) before the
+#: driver declares a stall on hosts where wall time advances on its own.
+_MAX_IDLE_TICKS = 1000
+
+
+@dataclass
+class DispatchOptions:
+    """Knobs of one dispatched run, meaningful on every backend.
+
+    Parameters
+    ----------
+    include_probe_time:
+        Count the probe round in the reported makespan.  Defaults to
+        False: the paper's figures compare application makespans with
+        probing as a separate preparatory step (its SIMPLE-n baselines do
+        not probe at all, yet UMR still wins by only ~5% over SIMPLE-5 --
+        impossible if minutes of probing were billed to UMR).  The probe
+        duration is always recorded in the report either way.
+    perfect_estimates:
+        Skip probing and hand the algorithm the true platform parameters
+        (ablation mode).  Shorthand for ``estimate_source="oracle"``.
+    estimate_source:
+        Where resource estimates come from: ``"probe"`` (application-level
+        probing, APST-DV's choice), ``"oracle"`` (the truth, zero cost), or
+        ``"monitor"`` (an NWS/Ganglia-like monitoring service: zero cost,
+        persistent application-translation error -- the paper's Section
+        3.5 alternative).
+    monitoring:
+        Error model for ``estimate_source="monitor"``.
+    probe_units:
+        Probe chunk size; None picks :func:`default_probe_units`.
+    output_factor:
+        Units of output shipped back per unit of input (0 = ignore
+        outputs, as in the paper's synthetic experiments; the MPEG-4 case
+        study produces compressed output, ~0.1).  Applied only on
+        transports that can ship outputs over the link.
+    quantum:
+        Division granularity when the workload does not carry its own
+        division method.
+    max_events:
+        Safety bound on event-driven hosts (livelock detection).
+    observability:
+        Optional :class:`~repro.obs.Observability` handle; when set, the
+        run emits chunk/round/probe events, records metrics, and feeds
+        the engine profiler.  ``None`` (the default) is a strict no-op.
+    retry:
+        Per-chunk failure policy.  The default (one attempt) fails the
+        run on the first chunk failure; a larger ``max_attempts``
+        retransmits failed chunks over the serialized link.
+    """
+
+    include_probe_time: bool = False
+    perfect_estimates: bool = False
+    estimate_source: str = "probe"
+    monitoring: object | None = None
+    probe_units: float | None = None
+    output_factor: float = 0.0
+    quantum: float = 1.0
+    max_events: int = MAX_EVENTS
+    observability: Observability | None = None
+    retry: RetryPolicy = RetryPolicy()
+
+
+class DispatchCore:
+    """One application run of ``scheduler`` on ``grid`` over a substrate.
+
+    The core owns every backend-independent concern of the master loop;
+    the substrate's transport and compute host call back into it
+    (:meth:`chunk_arrived`, :meth:`chunk_completed`, :meth:`chunk_failed`,
+    :meth:`output_done`) as chunks move through the system.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        scheduler: Scheduler,
+        total_load: float,
+        *,
+        substrate: DispatchSubstrate,
+        division: DivisionMethod | None = None,
+        options: DispatchOptions | None = None,
+    ) -> None:
+        self._grid = grid
+        self._scheduler = scheduler
+        self._options = options or DispatchOptions()
+        self._division = division or UniformUnitsDivision(
+            total=total_load, step=self._options.quantum
+        )
+        if abs(self._division.total_units - total_load) > 1e-9 * max(1.0, total_load):
+            raise SimulationError(
+                f"division covers {self._division.total_units} units, "
+                f"but total_load is {total_load}"
+            )
+        self._total_load = float(total_load)
+        self._substrate = substrate
+        self._clock = substrate.clock
+        self._transport = substrate.transport
+        self._host = substrate.host
+        self._obs = self._options.observability or OBS_DISABLED
+        # Cached for the per-chunk hot path: one indirection, no kwargs repack.
+        self._bus = self._obs.bus
+        self._tracker = LoadTracker(self._division)
+        self._states = [
+            WorkerState(index=i, name=w.name) for i, w in enumerate(grid.workers)
+        ]
+        self._estimates: list[WorkerSpec] = []
+        self._chunk_counter = 0
+        self._chunks: list[ChunkTrace] = []
+        self._extents: dict[int, ChunkExtent] = {}
+        self._attempts: dict[int, int] = {}
+        self._retry_queue: list[ChunkTrace] = []
+        self._retransmits = 0
+        self._results: dict[int, Path] = {}
+        self._outstanding = 0
+        self._pending_outputs = 0
+        self._probe_time = 0.0
+        self._finished = False
+        self._max_round = -1
+        self._plan_seconds = 0.0
+        self._plan_calls = 0
+        metrics = self._obs.metrics
+        if metrics is not None:
+            self._m_dispatched = metrics.counter(
+                "repro_chunks_dispatched_total",
+                "Chunks pushed onto the serialized master link",
+            )
+            self._m_completed = metrics.counter(
+                "repro_chunks_completed_total", "Chunk computations finished"
+            )
+            self._m_units = metrics.counter(
+                "repro_units_dispatched_total", "Load units dispatched"
+            )
+            self._m_rounds = metrics.counter(
+                "repro_rounds_started_total", "Scheduling rounds entered"
+            )
+            self._m_retransmitted = metrics.counter(
+                "repro_chunks_retransmitted_total",
+                "Chunks re-shipped after a worker-side failure",
+            )
+            self._m_queue = metrics.histogram(
+                "repro_chunk_queue_seconds",
+                "Modeled seconds chunks waited on the worker before computing",
+            )
+            self._m_compute = metrics.histogram(
+                "repro_chunk_compute_seconds",
+                "Modeled seconds chunks spent computing",
+            )
+        else:
+            self._m_dispatched = None
+            self._m_completed = None
+            self._m_units = None
+            self._m_rounds = None
+            self._m_retransmitted = None
+            self._m_queue = None
+            self._m_compute = None
+        substrate.bind(self)
+
+    # -- public API ---------------------------------------------------------
+    def run(self) -> ExecutionReport:
+        """Execute the full run and return its execution report."""
+        if self._finished:
+            raise SimulationError(f"{type(self).__name__}.run() called twice")
+        self._host.start()
+        try:
+            with self._obs.span("probe", algorithm=self._scheduler.name):
+                self._probe()
+            with self._obs.span("scheduler.plan", algorithm=self._scheduler.name):
+                self._configure_scheduler()
+            main_start = self._clock.now()
+            with self._obs.span("engine.run", algorithm=self._scheduler.name):
+                self._drive()
+            makespan = self._clock.now() - main_start
+        finally:
+            self._host.stop()
+        profiler = self._obs.profiler
+        if profiler is not None and self._plan_calls:
+            profiler.add_phase_time(
+                "scheduler.next_dispatch", self._plan_seconds, self._plan_calls
+            )
+        if self._options.include_probe_time:
+            makespan += self._probe_time
+        annotations = {**self._scheduler.annotations(), **self._substrate.annotations}
+        if self._retransmits:
+            annotations["retransmitted_chunks"] = self._retransmits
+        report = ExecutionReport(
+            algorithm=self._scheduler.name,
+            total_load=self._total_load,
+            makespan=makespan,
+            probe_time=self._probe_time,
+            chunks=self._chunks,
+            link_busy_time=self._transport.busy_time,
+            gamma_configured=self._substrate.gamma_configured,
+            seed=self._substrate.seed,
+            annotations=annotations,
+        )
+        report.validate()
+        self._finished = True
+        return report
+
+    def outputs_in_offset_order(self) -> list[Path]:
+        """Result files of the run, ordered by chunk offset in the load."""
+        ordered = sorted(self._chunks, key=lambda c: c.offset)
+        return [self._results[c.chunk_id] for c in ordered if c.chunk_id in self._results]
+
+    # -- phases -------------------------------------------------------------
+    def _probe(self) -> None:
+        source = self._options.estimate_source
+        if self._options.perfect_estimates:
+            source = "oracle"
+        if source not in ("probe", "oracle", "monitor"):
+            raise SimulationError(f"unknown estimate_source {source!r}")
+        if source == "oracle":
+            result = perfect_information(list(self._grid.workers))
+        elif source == "monitor":
+            from ..apst.monitoring import MonitoringConfig, MonitoringService
+
+            config = self._options.monitoring
+            if config is not None and not isinstance(config, MonitoringConfig):
+                raise SimulationError(
+                    "options.monitoring must be a MonitoringConfig"
+                )
+            service = MonitoringService(
+                list(self._grid.workers), config, seed=self._substrate.seed
+            )
+            result = service.estimates()
+        elif self._scheduler.uses_probing:
+            probe_units = self._options.probe_units
+            if probe_units is None:
+                probe_units = default_probe_units(self._total_load)
+            result = run_probe_phase(
+                list(self._grid.workers),
+                self._substrate.probe_costs,
+                probe_units,
+                obs=self._obs,
+            )
+        else:
+            # SIMPLE-n: no probing; the algorithm only needs worker count,
+            # but the config interface wants specs -- hand it unit dummies.
+            result = perfect_information(list(self._grid.workers))
+            result = type(result)(estimates=result.estimates, duration=0.0, probe_units=0.0)
+        self._estimates = result.estimates
+        self._probe_time = result.duration
+        if self._obs.enabled:
+            self._obs.emit(
+                PROBE_FINISHED,
+                sim_time=0.0,
+                source=source,
+                duration=result.duration,
+                probe_units=result.probe_units,
+                workers=len(self._estimates),
+            )
+
+    def _configure_scheduler(self) -> None:
+        self._scheduler.configure(
+            SchedulerConfig(
+                estimates=self._estimates,
+                total_load=self._total_load,
+                quantum=self._options.quantum,
+            )
+        )
+
+    # -- the drive loop -----------------------------------------------------
+    def _drive(self) -> None:
+        """Feed the link while the algorithm has work; wait for progress.
+
+        On event-driven hosts "waiting" means stepping the simulation
+        engine; on real hosts it means blocking on worker completions.
+        Either way, dispatch decisions happen between progress steps, so
+        the scheduler observes the identical sequence of states on every
+        backend.
+        """
+        idle_ticks = 0
+        while True:
+            self._host.poll()
+            if (
+                self._tracker.exhausted
+                and self._outstanding == 0
+                and not self._retry_queue
+                and not self._transport.busy
+                and self._pending_outputs == 0
+            ):
+                return
+            if self._retry_queue and not self._transport.busy:
+                self._resend(self._retry_queue.pop(0))
+                idle_ticks = 0
+                continue
+            if not self._transport.busy and not self._tracker.exhausted:
+                request = self._next_dispatch()
+                if request is not None:
+                    self._dispatch(request)
+                    idle_ticks = 0
+                    continue
+            if (
+                self._outstanding > 0
+                or self._transport.busy
+                or self._pending_outputs > 0
+            ):
+                if not self._host.wait():
+                    raise SimulationError(
+                        "dispatch core has in-flight work but no further "
+                        "progress is possible (event queue drained)"
+                    )
+                idle_ticks = 0
+                continue
+            # The scheduler declined with nothing in flight: on hosts where
+            # time advances on its own, give it a moment; otherwise (and
+            # after too many moments) this is a stall.
+            idle_ticks += 1
+            if idle_ticks > _MAX_IDLE_TICKS or not self._host.idle_tick():
+                raise SchedulingError(
+                    f"{self._scheduler.name} stalled with "
+                    f"{self._tracker.remaining:.3f} units undispatched "
+                    f"(dispatched {self._tracker.consumed:.3f} of {self._total_load})"
+                )
+
+    def _next_dispatch(self) -> DispatchRequest | None:
+        if self._obs.profiler is None:
+            return self._scheduler.next_dispatch(self._clock.now(), list(self._states))
+        # Accumulate locally; flushed to the profiler once per run()
+        # so the hot loop pays two clock reads and a float add.
+        plan_start = perf_counter()
+        request = self._scheduler.next_dispatch(self._clock.now(), list(self._states))
+        self._plan_seconds += perf_counter() - plan_start
+        self._plan_calls += 1
+        return request
+
+    def _dispatch(self, request: DispatchRequest) -> None:
+        if not 0 <= request.worker_index < len(self._states):
+            raise SchedulingError(
+                f"{self._scheduler.name} dispatched to invalid worker "
+                f"{request.worker_index}"
+            )
+        extent = self._tracker.take(request.units)
+        now = self._clock.now()
+        chunk = ChunkTrace(
+            chunk_id=self._chunk_counter,
+            worker_index=request.worker_index,
+            worker_name=self._grid.workers[request.worker_index].name,
+            units=extent.units,
+            offset=extent.offset,
+            round_index=request.round_index,
+            phase=request.phase,
+            send_start=now,
+            predicted_compute=self._estimates[request.worker_index].compute_time(
+                extent.units
+            ),
+        )
+        self._chunk_counter += 1
+        self._chunks.append(chunk)
+        self._extents[chunk.chunk_id] = extent
+        self._attempts[chunk.chunk_id] = 1
+        if self._obs.enabled:
+            if request.round_index > self._max_round:
+                self._max_round = request.round_index
+                if self._bus is not None:
+                    self._bus.emit(
+                        ROUND_STARTED,
+                        sim_time=now,
+                        round=request.round_index,
+                        phase=request.phase,
+                        algorithm=self._scheduler.name,
+                    )
+                if self._m_rounds is not None:
+                    self._m_rounds.inc()
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_DISPATCHED,
+                    sim_time=now,
+                    chunk_id=chunk.chunk_id,
+                    worker=chunk.worker_name,
+                    worker_index=chunk.worker_index,
+                    units=chunk.units,
+                    round=chunk.round_index,
+                    phase=chunk.phase,
+                )
+            if self._m_dispatched is not None:
+                self._m_dispatched.inc()
+                self._m_units.inc(chunk.units)
+        state = self._states[request.worker_index]
+        state.outstanding += 1
+        state.outstanding_units += extent.units
+        self._outstanding += 1
+        self._scheduler.notify_dispatched(self._info(chunk))
+        self._transport.send(chunk, extent)
+
+    def _resend(self, chunk: ChunkTrace) -> None:
+        """Ship a failed chunk again (driver-internal: no scheduler notice)."""
+        state = self._states[chunk.worker_index]
+        state.outstanding += 1
+        state.outstanding_units += chunk.units
+        self._outstanding += 1
+        chunk.send_start = self._clock.now()
+        self._transport.send(chunk, self._extents[chunk.chunk_id])
+
+    # -- substrate callbacks ------------------------------------------------
+    def chunk_arrived(self, chunk: ChunkTrace, payload: object) -> None:
+        """The transport finished shipping ``chunk``; hand it to its worker."""
+        if self._attempts[chunk.chunk_id] == 1:
+            self._scheduler.notify_arrival(self._info(chunk), self._clock.now())
+        self._host.enqueue(chunk, payload)
+
+    def chunk_completed(self, chunk: ChunkTrace, result_path: Path | None = None) -> None:
+        """The host finished computing ``chunk`` (timestamps already set)."""
+        state = self._states[chunk.worker_index]
+        state.outstanding -= 1
+        state.outstanding_units -= chunk.units
+        state.completed_chunks += 1
+        state.completed_units += chunk.units
+        state.busy_time += chunk.compute_time
+        self._outstanding -= 1
+        if result_path is not None:
+            self._results[chunk.chunk_id] = result_path
+        now = self._clock.now()
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_COMPLETED,
+                    sim_time=now,
+                    chunk_id=chunk.chunk_id,
+                    worker=chunk.worker_name,
+                    worker_index=chunk.worker_index,
+                    units=chunk.units,
+                    queue_time=chunk.queue_time,
+                    compute_time=chunk.compute_time,
+                )
+            if self._m_completed is not None:
+                self._m_completed.inc()
+                self._m_queue.observe(chunk.queue_time)
+                self._m_compute.observe(chunk.compute_time)
+        self._scheduler.notify_completion(
+            self._info(chunk),
+            now,
+            predicted_time=chunk.predicted_compute,
+            actual_time=chunk.compute_time,
+        )
+        if self._options.output_factor > 0 and self._transport.supports_outputs:
+            self._pending_outputs += 1
+            self._transport.send_output(
+                chunk, chunk.units * self._options.output_factor
+            )
+
+    def chunk_failed(self, chunk: ChunkTrace, message: str) -> None:
+        """The host failed to compute ``chunk``; retry or abort per policy.
+
+        Retransmission is invisible to the scheduling algorithm (it saw
+        one dispatch and will see one completion); the driver re-ships
+        the same extent over the serialized link and the report counts
+        the extra shipment under ``retransmitted_chunks``.
+        """
+        attempts = self._attempts.get(chunk.chunk_id, 1)
+        if attempts >= self._options.retry.max_attempts:
+            raise ExecutionError(message)
+        self._attempts[chunk.chunk_id] = attempts + 1
+        self._retransmits += 1
+        state = self._states[chunk.worker_index]
+        state.outstanding -= 1
+        state.outstanding_units -= chunk.units
+        self._outstanding -= 1
+        chunk.send_start = chunk.send_end = -1.0
+        chunk.compute_start = chunk.compute_end = -1.0
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_RETRANSMITTED,
+                    sim_time=self._clock.now(),
+                    chunk_id=chunk.chunk_id,
+                    worker=chunk.worker_name,
+                    worker_index=chunk.worker_index,
+                    units=chunk.units,
+                    attempt=attempts + 1,
+                    reason=message,
+                )
+            if self._m_retransmitted is not None:
+                self._m_retransmitted.inc()
+        self._retry_queue.append(chunk)
+
+    def output_done(self) -> None:
+        """The transport finished shipping one output back to the master."""
+        self._pending_outputs -= 1
+
+    # -- bookkeeping --------------------------------------------------------
+    @staticmethod
+    def _info(chunk: ChunkTrace) -> ChunkInfo:
+        return ChunkInfo(
+            chunk_id=chunk.chunk_id,
+            worker_index=chunk.worker_index,
+            units=chunk.units,
+            round_index=chunk.round_index,
+            phase=chunk.phase,
+        )

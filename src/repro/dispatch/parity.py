@@ -1,0 +1,108 @@
+"""Cross-backend parity harness: same decisions on every substrate.
+
+The point of the unified :class:`~repro.dispatch.core.DispatchCore` is
+that the scheduling algorithm cannot tell which execution mechanism it
+runs on.  This module makes that claim testable: run the same scheduler
+over the same platform and division on each backend and compare the
+*decision sequence* -- chunk sizes and per-worker assignments in dispatch
+order.
+
+For the comparison to be exact the run must be timing-independent:
+
+* ``estimate_source="oracle"`` hands every backend identical resource
+  estimates (probe measurements would differ between modeled and real
+  clocks);
+* the scheduler must be pre-planned (``simple-n``, ``umr``: the dispatch
+  queue is fixed once estimates are known).  Algorithms that react to
+  observed completion times (``wf`` picks the emptiest worker, RUMR
+  re-estimates gamma online) legitimately diverge on real backends and
+  are out of scope;
+* the simulation runs its DETERMINISTIC uncertainty model, and the real
+  backends pad real work up to the same modeled costs.
+
+Used by ``tests/test_dispatch_core.py`` (exact parity) and
+``benchmarks/bench_backend_consistency.py`` (makespan agreement).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..apst.division import UniformBytesDivision
+from ..core.registry import make_scheduler
+from ..platform.resources import Grid
+from ..simulation.trace import ExecutionReport
+from .core import DispatchOptions
+
+#: Backend kinds understood by :func:`run_backend`.
+BACKENDS = ("simulation", "local", "process")
+
+#: Schedulers whose dispatch queue is fixed once estimates are known.
+TIMING_INDEPENDENT_ALGORITHMS = ("simple-1", "simple-2", "simple-5", "umr")
+
+
+def chunk_signature(report: ExecutionReport) -> list[tuple[float, int]]:
+    """The scheduler's decision sequence: (units, worker) in dispatch order."""
+    ordered = sorted(report.chunks, key=lambda c: c.chunk_id)
+    return [(round(c.units, 6), c.worker_index) for c in ordered]
+
+
+def parity_options(**overrides) -> DispatchOptions:
+    """Dispatch options that make the decision sequence timing-independent."""
+    options = DispatchOptions(estimate_source="oracle")
+    for name, value in overrides.items():
+        setattr(options, name, value)
+    return options
+
+
+def run_backend(
+    kind: str,
+    grid: Grid,
+    algorithm: str,
+    load_file: str | Path,
+    *,
+    stepsize: int = 64,
+    workdir: str | Path | None = None,
+    time_scale: float = 0.01,
+    options: DispatchOptions | None = None,
+) -> ExecutionReport:
+    """One run of ``algorithm`` over ``load_file`` on the named backend.
+
+    ``workdir`` is required for the real backends (chunk/result files);
+    a per-backend subdirectory is created under it.
+    """
+    division = UniformBytesDivision(Path(load_file), stepsize=stepsize)
+    scheduler = make_scheduler(algorithm)
+    opts = options or parity_options()
+    if kind == "simulation":
+        from ..simulation.master import simulate_run
+
+        return simulate_run(
+            grid,
+            scheduler,
+            division.total_units,
+            division=division,
+            seed=0,
+            options=opts,
+        )
+    if workdir is None:
+        raise ValueError(f"backend {kind!r} needs a workdir")
+    if kind == "local":
+        from ..execution.local import LocalExecutionBackend
+
+        backend = LocalExecutionBackend(
+            Path(workdir) / "local", time_scale=time_scale
+        )
+        return backend.execute(grid, scheduler, division, None, options=opts)
+    if kind == "process":
+        from ..execution.appspec import app_spec
+        from ..execution.local import DigestApp
+        from ..execution.process_backend import ProcessExecutionBackend
+
+        backend = ProcessExecutionBackend(
+            Path(workdir) / "process",
+            app_spec=app_spec(DigestApp),
+            time_scale=time_scale,
+        )
+        return backend.execute(grid, scheduler, division, None, options=opts)
+    raise ValueError(f"unknown backend kind {kind!r}; expected one of {BACKENDS}")

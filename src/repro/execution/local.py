@@ -2,21 +2,25 @@
 
 The paper deploys chunks to remote workers over Ssh/Scp/Globus; APST hides
 those mechanisms from the scheduler.  This backend is our local stand-in
-with the same shape: a master thread that *serially* "transfers" chunks
-(really extracting the chunk payload via the division method, writing it
-into the worker's inbox directory, and holding the link for the modeled
-transfer duration), and one thread per worker that *really computes* on
-the chunk bytes (via a pluggable application processor), padded up to the
-modeled duration when the real computation is faster.
+with the same shape, expressed as a substrate for the shared
+:class:`~repro.dispatch.core.DispatchCore`:
 
-Every duration is scaled by ``time_scale`` (wall seconds per modeled
-second) so that a 6000-second modeled run finishes in seconds of wall
-clock; all reported times are in modeled seconds, directly comparable to
-the simulation backend.  Because the computation and the thread scheduling
-are real, observed times carry genuine (hardware) noise on top of the
-model -- this backend is how the repository demonstrates the full
-APST-DV code path end to end, including the case study's split/encode/
-merge pipeline.
+* the clock is scaled wall time (``time_scale`` wall seconds per modeled
+  second, so a 6000-second modeled run finishes in seconds);
+* the transport is the master thread itself *serially* "transferring"
+  chunks -- extracting the chunk payload via the division method and
+  holding the link (sleeping) for the modeled transfer duration;
+* the compute host is one thread per worker that *really computes* on the
+  chunk bytes (via a pluggable application processor), padded up to the
+  modeled duration when the real computation is faster;
+* the probe cost source *measures* those scaled transfers and real
+  computations, so estimates carry genuine measurement noise.
+
+All reported times are in modeled seconds, directly comparable to the
+simulation backend.  Because the computation and the thread scheduling
+are real, observed times carry hardware noise on top of the model -- this
+backend is how the repository demonstrates the full APST-DV code path end
+to end, including the case study's split/encode/merge pipeline.
 """
 
 from __future__ import annotations
@@ -26,14 +30,14 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Protocol
+from typing import Protocol
 
-from ..apst.division import ChunkExtent, DivisionMethod, LoadTracker
-from ..apst.probing import default_probe_units
+from ..apst.division import ChunkExtent, DivisionMethod
 from ..apst.xmlspec import TaskSpec
-from ..core.base import ChunkInfo, Scheduler, SchedulerConfig, WorkerState
-from ..errors import ExecutionError, SchedulingError
-from ..platform.resources import Grid, WorkerSpec
+from ..dispatch.core import DispatchCore, DispatchOptions
+from ..dispatch.protocols import DispatchSubstrate
+from ..errors import ExecutionError
+from ..platform.resources import Grid
 from ..simulation.trace import ChunkTrace, ExecutionReport
 
 
@@ -53,20 +57,236 @@ class DigestApp:
         return hashlib.sha256(data).digest()
 
 
-@dataclass
-class _Completion:
-    chunk: ChunkTrace
-    result_path: Path
-    wall_compute: float
+class ScaledWallClock:
+    """Modeled time derived from the wall clock: (elapsed wall) / scale."""
+
+    __slots__ = ("_scale", "_t0")
+
+    def __init__(self, scale: float) -> None:
+        self._scale = scale
+        self._t0 = time.perf_counter()
+
+    def now(self) -> float:
+        """Current modeled time in seconds."""
+        return (time.perf_counter() - self._t0) / self._scale
+
+    def sleep_model(self, model_seconds: float) -> None:
+        """Hold the calling thread for a modeled duration."""
+        if model_seconds > 0:
+            time.sleep(model_seconds * self._scale)
+
+
+def payload_for(
+    division: DivisionMethod, extent: ChunkExtent, payload_cap: int
+) -> bytes:
+    """Chunk bytes for an extent: real division payload, or synthetic."""
+    payload_obj = division.extract(extent) if extent.units > 0 else None
+    if payload_obj is not None:
+        return payload_obj.read_bytes()
+    # abstract load: synthesize a placeholder payload (capped)
+    return bytes(min(int(extent.units), payload_cap))
+
+
+class _LocalTransport:
+    """The master thread sleeping through the transfer IS the serialized link."""
+
+    supports_outputs = False
+
+    def __init__(
+        self, grid: Grid, division: DivisionMethod, clock: ScaledWallClock, payload_cap: int
+    ) -> None:
+        self._grid = grid
+        self._division = division
+        self._clock = clock
+        self._payload_cap = payload_cap
+        self._busy_time = 0.0
+        self._core: DispatchCore | None = None
+
+    def bind(self, core: DispatchCore) -> None:
+        self._core = core
+
+    @property
+    def busy(self) -> bool:
+        return False  # send() blocks, so the link is free between calls
+
+    @property
+    def busy_time(self) -> float:
+        return self._busy_time
+
+    def send(self, chunk: ChunkTrace, extent: ChunkExtent) -> None:
+        payload = payload_for(self._division, extent, self._payload_cap)
+        duration = self._grid.workers[chunk.worker_index].transfer_time(extent.units)
+        self._clock.sleep_model(duration)
+        self._busy_time += duration
+        chunk.send_end = self._clock.now()
+        self._core.chunk_arrived(chunk, payload)
+
+    def send_output(self, chunk: ChunkTrace, units: float) -> None:
+        raise ExecutionError("local transport does not ship outputs over the link")
 
 
 @dataclass
-class _WorkerRuntime:
-    state: WorkerState
+class _WorkerThread:
     inbox: "queue.Queue[tuple[ChunkTrace, bytes] | None]" = field(
         default_factory=queue.Queue
     )
     thread: threading.Thread | None = None
+
+
+class _LocalThreadHost:
+    """One thread per worker, really computing on chunk bytes."""
+
+    time_advances_when_idle = True
+
+    #: seconds of wall clock to wait on worker completions before giving up
+    DRAIN_TIMEOUT_S = 60.0
+
+    def __init__(
+        self,
+        grid: Grid,
+        app: AppProcessor,
+        workdir: Path,
+        clock: ScaledWallClock,
+        scale: float,
+    ) -> None:
+        self._grid = grid
+        self._app = app
+        self._workdir = workdir
+        self._clock = clock
+        self._scale = scale
+        self._workers = [_WorkerThread() for _ in grid.workers]
+        #: ("ok", chunk, out_path) | ("fail", chunk, message) | ("crash", None, message)
+        self._completions: "queue.Queue[tuple]" = queue.Queue()
+        self._core: DispatchCore | None = None
+
+    def bind(self, core: DispatchCore) -> None:
+        self._core = core
+
+    def start(self) -> None:
+        for i, spec in enumerate(self._grid.workers):
+            runtime = self._workers[i]
+            (self._workdir / spec.name).mkdir(parents=True, exist_ok=True)
+            runtime.thread = threading.Thread(
+                target=self._worker_loop, args=(i, runtime), daemon=True,
+                name=f"apstdv-worker-{spec.name}",
+            )
+            runtime.thread.start()
+
+    def stop(self) -> None:
+        for runtime in self._workers:
+            runtime.inbox.put(None)
+        for runtime in self._workers:
+            if runtime.thread is not None:
+                runtime.thread.join(timeout=30.0)
+
+    def enqueue(self, chunk: ChunkTrace, payload: object) -> None:
+        assert isinstance(payload, bytes)
+        self._workers[chunk.worker_index].inbox.put((chunk, payload))
+
+    def poll(self) -> None:
+        while True:
+            try:
+                completion = self._completions.get(block=False)
+            except queue.Empty:
+                return
+            self._deliver(completion)
+
+    def wait(self) -> bool:
+        try:
+            completion = self._completions.get(block=True, timeout=self.DRAIN_TIMEOUT_S)
+        except queue.Empty:
+            raise ExecutionError("timed out waiting for worker completions") from None
+        self._deliver(completion)
+        self.poll()
+        return True
+
+    def idle_tick(self) -> bool:
+        time.sleep(0.001)
+        return True
+
+    def _deliver(self, completion: tuple) -> None:
+        kind, chunk, detail = completion
+        if kind == "ok":
+            self._core.chunk_completed(chunk, result_path=detail)
+        elif kind == "fail":
+            self._core.chunk_failed(chunk, detail)
+        else:
+            raise ExecutionError(detail)
+
+    def _worker_loop(self, index: int, runtime: _WorkerThread) -> None:
+        spec = self._grid.workers[index]
+        try:
+            while True:
+                item = runtime.inbox.get()
+                if item is None:
+                    return
+                chunk, payload = item
+                try:
+                    chunk.compute_start = self._clock.now()
+                    wall_start = time.perf_counter()
+                    in_path = self._workdir / spec.name / f"chunk_{chunk.chunk_id}.in"
+                    in_path.write_bytes(payload)
+                    result = self._app.process(payload, units=chunk.units)
+                    out_path = self._workdir / spec.name / f"chunk_{chunk.chunk_id}.out"
+                    out_path.write_bytes(result)
+                    wall_compute = time.perf_counter() - wall_start
+                    target_model = spec.comp_latency + chunk.units / spec.speed
+                    self._clock.sleep_model(target_model - wall_compute / self._scale)
+                    chunk.compute_end = self._clock.now()
+                except Exception as exc:
+                    # per-chunk failure: report it, keep serving (the core's
+                    # retry policy may re-ship the chunk to this worker)
+                    self._completions.put(
+                        ("fail", chunk, f"worker thread failed: {exc}")
+                    )
+                else:
+                    self._completions.put(("ok", chunk, out_path))
+        except BaseException as exc:  # the worker itself died
+            self._completions.put(("crash", None, f"worker thread failed: {exc}"))
+
+
+class _LocalProbeCosts:
+    """Measured probe costs: scaled sleeps for transfers, real app computes."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        division: DivisionMethod,
+        app: AppProcessor,
+        clock: ScaledWallClock,
+        scale: float,
+        payload_cap: int,
+    ) -> None:
+        self._grid = grid
+        self._division = division
+        self._app = app
+        self._clock = clock
+        self._scale = scale
+        self._payload_cap = payload_cap
+
+    def realized_transfer_time(self, index: int, units: float) -> float:
+        spec = self._grid.workers[index]
+        start = self._clock.now()
+        self._clock.sleep_model(spec.transfer_time(units))
+        return max(1e-9, self._clock.now() - start)
+
+    def realized_compute_time(self, index: int, units: float) -> float:
+        spec = self._grid.workers[index]
+        start = self._clock.now()
+        if units > 0:
+            # probe computation (real work on synthetic probe bytes)
+            payload = payload_for(self._division, ChunkExtent(0.0, units), self._payload_cap)
+            wall = time.perf_counter()
+            try:
+                self._app.process(payload, units=units)
+            except Exception as exc:
+                raise ExecutionError(f"probe computation failed: {exc}") from exc
+            elapsed = (time.perf_counter() - wall) / self._scale
+            self._clock.sleep_model(spec.compute_time(units) - elapsed)
+        else:
+            # no-op job -> comp latency
+            self._clock.sleep_model(spec.compute_time(0.0))
+        return max(1e-9, self._clock.now() - start)
 
 
 class LocalExecutionBackend:
@@ -103,335 +323,45 @@ class LocalExecutionBackend:
         self.last_outputs: list[Path] = []
 
     # -- ExecutionBackend interface --------------------------------------------
+    def substrate(
+        self,
+        grid: Grid,
+        division: DivisionMethod,
+        task: TaskSpec | None = None,
+    ) -> DispatchSubstrate:
+        """Fresh single-use dispatch substrate for one run on ``grid``."""
+        clock = ScaledWallClock(self._scale)
+        return DispatchSubstrate(
+            clock=clock,
+            transport=_LocalTransport(grid, division, clock, self._payload_cap),
+            host=_LocalThreadHost(grid, self._app, self._workdir, clock, self._scale),
+            probe_costs=_LocalProbeCosts(
+                grid, division, self._app, clock, self._scale, self._payload_cap
+            ),
+            annotations={"backend": "local-execution", "time_scale": self._scale},
+        )
+
     def execute(
         self,
         grid: Grid,
-        scheduler: Scheduler,
+        scheduler,
         division: DivisionMethod,
         task: TaskSpec | None = None,
         *,
         probe_units: float | None = None,
+        options: DispatchOptions | None = None,
     ) -> ExecutionReport:
-        run = _LocalRun(
-            grid=grid,
-            scheduler=scheduler,
+        opts = options or DispatchOptions()
+        if probe_units is not None:
+            opts.probe_units = probe_units
+        core = DispatchCore(
+            grid,
+            scheduler,
+            division.total_units,
+            substrate=self.substrate(grid, division, task),
             division=division,
-            app=self._app,
-            workdir=self._workdir,
-            scale=self._scale,
-            payload_cap=self._payload_cap,
-            probe_units=probe_units,
+            options=opts,
         )
-        report = run.execute()
-        self.last_outputs = run.outputs_in_offset_order()
+        report = core.run()
+        self.last_outputs = core.outputs_in_offset_order()
         return report
-
-
-class _LocalRun:
-    """One end-to-end local execution (single use)."""
-
-    def __init__(
-        self,
-        *,
-        grid: Grid,
-        scheduler: Scheduler,
-        division: DivisionMethod,
-        app: AppProcessor,
-        workdir: Path,
-        scale: float,
-        payload_cap: int,
-        probe_units: float | None,
-    ) -> None:
-        self._grid = grid
-        self._scheduler = scheduler
-        self._division = division
-        self._tracker = LoadTracker(division)
-        self._app = app
-        self._workdir = workdir
-        self._scale = scale
-        self._payload_cap = payload_cap
-        self._probe_units = probe_units
-        self._t0 = 0.0
-        self._workers: list[_WorkerRuntime] = []
-        self._completions: "queue.Queue[_Completion]" = queue.Queue()
-        self._chunks: list[ChunkTrace] = []
-        self._results: dict[int, Path] = {}
-        self._estimates: list[WorkerSpec] = []
-        self._link_busy = 0.0
-        self._chunk_counter = 0
-        self._outstanding = 0
-        self._errors: "queue.Queue[BaseException]" = queue.Queue()
-
-    # -- time ---------------------------------------------------------------
-    def _now(self) -> float:
-        """Current modeled time in seconds."""
-        return (time.perf_counter() - self._t0) / self._scale
-
-    def _sleep_model(self, model_seconds: float) -> None:
-        if model_seconds > 0:
-            time.sleep(model_seconds * self._scale)
-
-    # -- main flow -------------------------------------------------------------
-    def execute(self) -> ExecutionReport:
-        self._t0 = time.perf_counter()
-        self._start_workers()
-        try:
-            probe_time = self._probe()
-            self._scheduler.configure(
-                SchedulerConfig(
-                    estimates=self._estimates,
-                    total_load=self._division.total_units,
-                    quantum=1.0,
-                )
-            )
-            main_start = self._now()
-            self._drive()
-            makespan = self._now() - main_start
-        finally:
-            self._stop_workers()
-        self._raise_worker_errors()
-        report = ExecutionReport(
-            algorithm=self._scheduler.name,
-            total_load=self._division.total_units,
-            makespan=makespan,
-            probe_time=probe_time,
-            chunks=self._chunks,
-            link_busy_time=self._link_busy,
-            gamma_configured=0.0,
-            annotations={
-                **self._scheduler.annotations(),
-                "backend": "local-execution",
-                "time_scale": self._scale,
-            },
-        )
-        # causality/conservation checks apply to the local backend too
-        report.validate()
-        return report
-
-    def outputs_in_offset_order(self) -> list[Path]:
-        ordered = sorted(self._chunks, key=lambda c: c.offset)
-        return [self._results[c.chunk_id] for c in ordered if c.chunk_id in self._results]
-
-    # -- workers --------------------------------------------------------------
-    def _start_workers(self) -> None:
-        for i, spec in enumerate(self._grid.workers):
-            runtime = _WorkerRuntime(state=WorkerState(index=i, name=spec.name))
-            runtime.thread = threading.Thread(
-                target=self._worker_loop, args=(i, runtime), daemon=True,
-                name=f"apstdv-worker-{spec.name}",
-            )
-            self._workers.append(runtime)
-            (self._workdir / spec.name).mkdir(parents=True, exist_ok=True)
-            runtime.thread.start()
-
-    def _stop_workers(self) -> None:
-        for runtime in self._workers:
-            runtime.inbox.put(None)
-        for runtime in self._workers:
-            if runtime.thread is not None:
-                runtime.thread.join(timeout=30.0)
-
-    def _worker_loop(self, index: int, runtime: _WorkerRuntime) -> None:
-        spec = self._grid.workers[index]
-        try:
-            while True:
-                item = runtime.inbox.get()
-                if item is None:
-                    return
-                chunk, payload = item
-                chunk.compute_start = self._now()
-                wall_start = time.perf_counter()
-                in_path = self._workdir / spec.name / f"chunk_{chunk.chunk_id}.in"
-                in_path.write_bytes(payload)
-                result = self._app.process(payload, units=chunk.units)
-                out_path = self._workdir / spec.name / f"chunk_{chunk.chunk_id}.out"
-                out_path.write_bytes(result)
-                wall_compute = time.perf_counter() - wall_start
-                target_model = spec.comp_latency + chunk.units / spec.speed
-                self._sleep_model(target_model - wall_compute / self._scale)
-                chunk.compute_end = self._now()
-                self._completions.put(
-                    _Completion(chunk=chunk, result_path=out_path, wall_compute=wall_compute)
-                )
-        except BaseException as exc:  # propagate to the master thread
-            self._errors.put(exc)
-            self._completions.put(
-                _Completion(chunk=ChunkTrace(-1, index, spec.name, 0, 0, 0, "error"),
-                            result_path=Path("."), wall_compute=0.0)
-            )
-
-    # -- probing --------------------------------------------------------------
-    def _probe(self) -> float:
-        """Real probe round: measure scaled transfer + compute per worker."""
-        start = self._now()
-        probe_units = self._probe_units
-        if probe_units is None:
-            probe_units = default_probe_units(self._division.total_units)
-        estimates = []
-        for i, spec in enumerate(self._grid.workers):
-            # empty transfer -> comm latency estimate
-            t = self._now()
-            self._sleep_model(spec.transfer_time(0.0))
-            comm_latency = max(1e-9, self._now() - t)
-            # probe transfer -> bandwidth estimate
-            t = self._now()
-            self._sleep_model(spec.transfer_time(probe_units))
-            probe_comm = self._now() - t
-            bandwidth = probe_units / max(1e-9, probe_comm - comm_latency)
-            # no-op job -> comp latency estimate
-            t = self._now()
-            self._sleep_model(spec.compute_time(0.0))
-            comp_latency = max(1e-9, self._now() - t)
-            # probe computation (real work on synthetic probe bytes)
-            payload = self._payload_for(ChunkExtent(0.0, probe_units))
-            t = self._now()
-            wall = time.perf_counter()
-            try:
-                self._app.process(payload, units=probe_units)
-            except Exception as exc:
-                raise ExecutionError(f"probe computation failed: {exc}") from exc
-            elapsed = (time.perf_counter() - wall) / self._scale
-            self._sleep_model(spec.compute_time(probe_units) - comp_latency - elapsed)
-            probe_comp = self._now() - t
-            speed = probe_units / max(1e-9, probe_comp - comp_latency)
-            estimates.append(
-                WorkerSpec(
-                    name=spec.name,
-                    speed=speed,
-                    bandwidth=bandwidth,
-                    comm_latency=comm_latency,
-                    comp_latency=comp_latency,
-                    cluster=spec.cluster,
-                )
-            )
-        self._estimates = estimates
-        return self._now() - start
-
-    # -- dispatch loop ------------------------------------------------------------
-    def _drive(self) -> None:
-        idle_rounds = 0
-        while True:
-            self._drain_completions(block=False)
-            self._raise_worker_errors()
-            if self._tracker.exhausted and self._outstanding == 0:
-                return
-            dispatched = False
-            if not self._tracker.exhausted:
-                request = self._scheduler.next_dispatch(
-                    self._now(), [w.state for w in self._workers]
-                )
-                if request is not None:
-                    self._transfer(request)
-                    dispatched = True
-            if not dispatched:
-                if self._outstanding == 0 and not self._tracker.exhausted:
-                    idle_rounds += 1
-                    if idle_rounds > 1000:
-                        raise SchedulingError(
-                            f"{self._scheduler.name} stalled with "
-                            f"{self._tracker.remaining:.1f} units undispatched"
-                        )
-                    time.sleep(0.001)
-                    continue
-                self._drain_completions(block=True)
-            idle_rounds = 0
-
-    def _transfer(self, request) -> None:
-        if not 0 <= request.worker_index < len(self._workers):
-            raise SchedulingError(f"dispatch to invalid worker {request.worker_index}")
-        extent = self._tracker.take(request.units)
-        spec = self._grid.workers[request.worker_index]
-        chunk = ChunkTrace(
-            chunk_id=self._chunk_counter,
-            worker_index=request.worker_index,
-            worker_name=spec.name,
-            units=extent.units,
-            offset=extent.offset,
-            round_index=request.round_index,
-            phase=request.phase,
-            send_start=self._now(),
-            predicted_compute=self._estimates[request.worker_index].compute_time(
-                extent.units
-            ),
-        )
-        self._chunk_counter += 1
-        runtime = self._workers[request.worker_index]
-        runtime.state.outstanding += 1
-        runtime.state.outstanding_units += extent.units
-        self._outstanding += 1
-        self._scheduler.notify_dispatched(
-            ChunkInfo(
-                chunk_id=chunk.chunk_id,
-                worker_index=chunk.worker_index,
-                units=chunk.units,
-                round_index=chunk.round_index,
-                phase=chunk.phase,
-            )
-        )
-        payload = self._payload_for(extent)
-        # the master thread sleeping through the transfer IS the serialized link
-        duration = spec.transfer_time(extent.units)
-        self._sleep_model(duration)
-        self._link_busy += duration
-        chunk.send_end = self._now()
-        self._chunks.append(chunk)
-        self._scheduler.notify_arrival(self._info(chunk), self._now())
-        runtime.inbox.put((chunk, payload))
-
-    def _payload_for(self, extent: ChunkExtent) -> bytes:
-        payload_obj = self._division.extract(extent) if extent.units > 0 else None
-        if payload_obj is not None:
-            return payload_obj.read_bytes()
-        # abstract load: synthesize a placeholder payload (capped)
-        return bytes(min(int(extent.units), self._payload_cap))
-
-    def _drain_completions(self, *, block: bool) -> None:
-        try:
-            completion = self._completions.get(block=block, timeout=60.0 if block else None)
-        except queue.Empty:
-            if block:
-                raise ExecutionError("timed out waiting for worker completions") from None
-            return
-        while True:
-            self._handle_completion(completion)
-            try:
-                completion = self._completions.get(block=False)
-            except queue.Empty:
-                return
-
-    def _handle_completion(self, completion: _Completion) -> None:
-        chunk = completion.chunk
-        if chunk.chunk_id < 0:
-            self._raise_worker_errors()
-            return
-        runtime = self._workers[chunk.worker_index]
-        runtime.state.outstanding -= 1
-        runtime.state.outstanding_units -= chunk.units
-        runtime.state.completed_chunks += 1
-        runtime.state.completed_units += chunk.units
-        runtime.state.busy_time += chunk.compute_time
-        self._outstanding -= 1
-        self._results[chunk.chunk_id] = completion.result_path
-        self._scheduler.notify_completion(
-            self._info(chunk),
-            self._now(),
-            predicted_time=chunk.predicted_compute,
-            actual_time=chunk.compute_time,
-        )
-
-    def _raise_worker_errors(self) -> None:
-        try:
-            exc = self._errors.get(block=False)
-        except queue.Empty:
-            return
-        raise ExecutionError(f"worker thread failed: {exc}") from exc
-
-    @staticmethod
-    def _info(chunk: ChunkTrace) -> ChunkInfo:
-        return ChunkInfo(
-            chunk_id=chunk.chunk_id,
-            worker_index=chunk.worker_index,
-            units=chunk.units,
-            round_index=chunk.round_index,
-            phase=chunk.phase,
-        )

@@ -7,13 +7,21 @@ JSON-lines pipe protocol -- the closest local analogue of APST's
 Ssh-launched remote workers: real process isolation, real serialization
 of chunk data to disk, real IPC.
 
-The scheduling structure is identical to the other backends: the master
-thread IS the serialized link (it extracts the chunk payload, writes the
-chunk file, and holds the link for the modeled transfer duration), worker
-completions stream back through reader threads, and every modeled
-duration is scaled by ``time_scale``.  Computation time on a worker is
-whatever the process actually takes, padded up to the modeled cost, so
-observed times carry genuine process-level noise.
+The scheduling loop is literally the same code as the other backends --
+the shared :class:`~repro.dispatch.core.DispatchCore` -- fed by this
+module's substrate: the master thread IS the serialized link (it extracts
+the chunk payload, writes the chunk file, and holds the link for the
+modeled transfer duration), worker completions stream back through reader
+threads, and every modeled duration is scaled by ``time_scale``.
+Computation time on a worker is whatever the process actually takes,
+padded up to the modeled cost, so observed times carry genuine
+process-level noise.
+
+Worker teardown is owned by the compute host's ``stop()``, which the
+dispatch core invokes on *every* exit path (success, scheduler error,
+worker failure, timeout): each spawned process is tracked from the moment
+``Popen`` returns, asked to shut down, then waited on and killed if
+unresponsive -- no error path leaks child processes.
 """
 
 from __future__ import annotations
@@ -27,22 +35,300 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..apst.division import ChunkExtent, DivisionMethod, LoadTracker
-from ..apst.probing import default_probe_units
+from ..apst.division import ChunkExtent, DivisionMethod
 from ..apst.xmlspec import TaskSpec
-from ..core.base import ChunkInfo, Scheduler, SchedulerConfig, WorkerState
-from ..errors import ExecutionError, SchedulingError
-from ..platform.resources import Grid, WorkerSpec
+from ..dispatch.core import DispatchCore, DispatchOptions
+from ..dispatch.protocols import DispatchSubstrate
+from ..errors import ExecutionError
+from ..platform.resources import Grid
 from ..simulation.trace import ChunkTrace, ExecutionReport
+from .local import ScaledWallClock, payload_for
 
 
 @dataclass
-class _WorkerProcess:
-    state: WorkerState
+class _WorkerProc:
+    name: str
     process: subprocess.Popen
     reader: threading.Thread | None = None
-    #: chunks shipped but not yet completed, by chunk id
-    inflight: dict | None = None
+
+
+class _ProcessHost:
+    """One OS process per worker, driven over JSON-lines pipes."""
+
+    time_advances_when_idle = True
+
+    #: seconds of wall clock to wait on worker replies before giving up
+    DRAIN_TIMEOUT_S = 120.0
+
+    def __init__(
+        self,
+        grid: Grid,
+        workdir: Path,
+        app_spec: str,
+        clock: ScaledWallClock,
+        scale: float,
+        startup_timeout: float,
+    ) -> None:
+        self._grid = grid
+        self._workdir = workdir
+        self._app_spec = app_spec
+        self._clock = clock
+        self._scale = scale
+        self._startup_timeout = startup_timeout
+        self._workers: list[_WorkerProc] = []
+        self._completions: "queue.Queue[dict]" = queue.Queue()
+        self._inflight: dict[int, ChunkTrace] = {}
+        self._core: DispatchCore | None = None
+
+    @property
+    def processes(self) -> list[subprocess.Popen]:
+        """Every child process spawned by this host (for leak checks)."""
+        return [w.process for w in self._workers]
+
+    def bind(self, core: DispatchCore) -> None:
+        self._core = core
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        for spec in self._grid.workers:
+            worker_dir = self._workdir / spec.name
+            worker_dir.mkdir(parents=True, exist_ok=True)
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro.execution.worker_proc",
+                 self._app_spec, str(worker_dir)],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                bufsize=1,
+            )
+            # track the handle before anything can fail, so stop() reaps
+            # partially spawned fleets too
+            self._workers.append(_WorkerProc(name=spec.name, process=process))
+        deadline = time.monotonic() + self._startup_timeout
+        for runtime in self._workers:
+            line = runtime.process.stdout.readline()
+            if time.monotonic() > deadline or not line:
+                raise ExecutionError(
+                    f"worker {runtime.name} failed to start: "
+                    f"{runtime.process.stderr.read() if runtime.process.stderr else ''}"
+                )
+            status = json.loads(line).get("status")
+            if status != "ready":
+                raise ExecutionError(
+                    f"worker {runtime.name} reported {status!r} at startup"
+                )
+            runtime.reader = threading.Thread(
+                target=self._reader_loop, args=(runtime,), daemon=True,
+                name=f"apstdv-reader-{runtime.name}",
+            )
+            runtime.reader.start()
+
+    def stop(self) -> None:
+        for runtime in self._workers:
+            try:
+                if runtime.process.stdin:
+                    runtime.process.stdin.write(json.dumps({"cmd": "shutdown"}) + "\n")
+                    runtime.process.stdin.flush()
+            except (BrokenPipeError, OSError):
+                pass
+        for runtime in self._workers:
+            try:
+                runtime.process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                runtime.process.kill()
+                runtime.process.wait()
+            if runtime.reader is not None:
+                runtime.reader.join(timeout=5.0)
+
+    def _reader_loop(self, runtime: _WorkerProc) -> None:
+        index = next(
+            i for i, s in enumerate(self._grid.workers) if s.name == runtime.name
+        )
+        for line in runtime.process.stdout:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                reply = json.loads(line)
+            except json.JSONDecodeError:
+                reply = {"status": "error", "message": f"garbled reply: {line!r}"}
+            reply["worker_index"] = index
+            self._completions.put(reply)
+
+    # -- ComputeHost interface -----------------------------------------------
+    def enqueue(self, chunk: ChunkTrace, payload: object) -> None:
+        self._inflight[chunk.chunk_id] = chunk
+        self._send(chunk.worker_index, {
+            "cmd": "process",
+            "chunk_id": chunk.chunk_id,
+            "path": str(payload),
+            "units": chunk.units,
+            "min_wall_time": self._grid.workers[chunk.worker_index].compute_time(
+                chunk.units
+            ) * self._scale,
+        })
+
+    def poll(self) -> None:
+        while True:
+            try:
+                reply = self._completions.get(block=False)
+            except queue.Empty:
+                return
+            self._handle_reply(reply)
+
+    def wait(self) -> bool:
+        try:
+            reply = self._completions.get(block=True, timeout=self.DRAIN_TIMEOUT_S)
+        except queue.Empty:
+            raise ExecutionError("timed out waiting for worker completions") from None
+        self._handle_reply(reply)
+        self.poll()
+        return True
+
+    def idle_tick(self) -> bool:
+        time.sleep(0.001)
+        return True
+
+    # -- plumbing -------------------------------------------------------------
+    def _send(self, worker_index: int, request: dict) -> None:
+        runtime = self._workers[worker_index]
+        if runtime.process.poll() is not None:
+            raise ExecutionError(
+                f"worker {runtime.name} died (exit {runtime.process.returncode})"
+            )
+        assert runtime.process.stdin is not None
+        runtime.process.stdin.write(json.dumps(request) + "\n")
+        runtime.process.stdin.flush()
+
+    def _handle_reply(self, reply: dict) -> None:
+        index = reply.get("worker_index")
+        if reply.get("status") == "error":
+            chunk = self._inflight.pop(reply.get("chunk_id", -1), None)
+            message = f"worker {index} failed: {reply.get('message')}"
+            if chunk is None:
+                # not attributable to one chunk (garbled pipe, bad request)
+                raise ExecutionError(message)
+            self._core.chunk_failed(chunk, message)
+            return
+        chunk = self._inflight.pop(reply.get("chunk_id", -1), None)
+        if chunk is None:
+            raise ExecutionError(f"reply for unknown chunk: {reply!r}")
+        # the worker padded its real processing up to the modeled cost, so
+        # the reply time is the modeled completion; its wall_time is the
+        # actual (padded) duration
+        now = self._clock.now()
+        compute_model = reply["wall_time"] / self._scale
+        chunk.compute_end = now
+        chunk.compute_start = max(chunk.send_end, now - compute_model)
+        self._core.chunk_completed(chunk, result_path=Path(reply["result_path"]))
+
+    def wait_for_chunk(self, chunk_id: int, worker_index: int) -> dict:
+        """Synchronous reply wait, used by the probe round (no chunks in flight)."""
+        deadline = time.monotonic() + self.DRAIN_TIMEOUT_S
+        while True:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise ExecutionError("timed out waiting for worker reply")
+            reply = self._completions.get(timeout=timeout)
+            if reply.get("status") == "error":
+                raise ExecutionError(
+                    f"worker {worker_index} failed: {reply.get('message')}"
+                )
+            if reply.get("chunk_id") == chunk_id and reply["worker_index"] == worker_index:
+                return reply
+            self._completions.put(reply)  # not ours; recycle
+
+
+class _ProcessTransport:
+    """Chunk file write + scaled sleep: the master thread IS the link."""
+
+    supports_outputs = False
+
+    def __init__(
+        self,
+        grid: Grid,
+        division: DivisionMethod,
+        workdir: Path,
+        clock: ScaledWallClock,
+        payload_cap: int,
+    ) -> None:
+        self._grid = grid
+        self._division = division
+        self._workdir = workdir
+        self._clock = clock
+        self._payload_cap = payload_cap
+        self._busy_time = 0.0
+        self._core: DispatchCore | None = None
+
+    def bind(self, core: DispatchCore) -> None:
+        self._core = core
+
+    @property
+    def busy(self) -> bool:
+        return False  # send() blocks, so the link is free between calls
+
+    @property
+    def busy_time(self) -> float:
+        return self._busy_time
+
+    def send(self, chunk: ChunkTrace, extent: ChunkExtent) -> None:
+        spec = self._grid.workers[chunk.worker_index]
+        payload = payload_for(self._division, extent, self._payload_cap)
+        chunk_path = self._workdir / spec.name / f"chunk_{chunk.chunk_id}.in"
+        chunk_path.write_bytes(payload)
+        duration = spec.transfer_time(extent.units)
+        self._clock.sleep_model(duration)
+        self._busy_time += duration
+        chunk.send_end = self._clock.now()
+        self._core.chunk_arrived(chunk, chunk_path)
+
+    def send_output(self, chunk: ChunkTrace, units: float) -> None:
+        raise ExecutionError("process transport does not ship outputs over the link")
+
+
+class _ProcessProbeCosts:
+    """Measured probe costs: scaled transfer sleeps, real probe jobs in-process."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        division: DivisionMethod,
+        workdir: Path,
+        host: _ProcessHost,
+        clock: ScaledWallClock,
+        scale: float,
+        payload_cap: int,
+    ) -> None:
+        self._grid = grid
+        self._division = division
+        self._workdir = workdir
+        self._host = host
+        self._clock = clock
+        self._scale = scale
+        self._payload_cap = payload_cap
+
+    def realized_transfer_time(self, index: int, units: float) -> float:
+        spec = self._grid.workers[index]
+        start = self._clock.now()
+        self._clock.sleep_model(spec.transfer_time(units))
+        return max(1e-9, self._clock.now() - start)
+
+    def realized_compute_time(self, index: int, units: float) -> float:
+        spec = self._grid.workers[index]
+        if units <= 0:
+            return spec.comp_latency  # no-op jobs: modeled directly
+        payload = payload_for(self._division, ChunkExtent(0.0, units), self._payload_cap)
+        probe_path = self._workdir / spec.name / "probe.in"
+        probe_path.write_bytes(payload)
+        start = self._clock.now()
+        self._host._send(index, {
+            "cmd": "process", "chunk_id": -1,
+            "path": str(probe_path), "units": units,
+            "min_wall_time": spec.compute_time(units) * self._scale,
+        })
+        self._host.wait_for_chunk(-1, index)
+        return max(1e-9, self._clock.now() - start)
 
 
 class ProcessExecutionBackend:
@@ -80,353 +366,62 @@ class ProcessExecutionBackend:
         self._payload_cap = payload_cap_bytes
         self._startup_timeout = startup_timeout_s
         self.last_outputs: list[Path] = []
+        #: substrate of the most recent execute(); its host exposes the
+        #: spawned process handles (used by teardown/leak tests)
+        self.last_substrate: DispatchSubstrate | None = None
+
+    # -- ExecutionBackend interface --------------------------------------------
+    def substrate(
+        self,
+        grid: Grid,
+        division: DivisionMethod,
+        task: TaskSpec | None = None,
+    ) -> DispatchSubstrate:
+        """Fresh single-use dispatch substrate for one run on ``grid``."""
+        clock = ScaledWallClock(self._scale)
+        host = _ProcessHost(
+            grid, self._workdir, self._app_spec, clock, self._scale,
+            self._startup_timeout,
+        )
+        return DispatchSubstrate(
+            clock=clock,
+            transport=_ProcessTransport(
+                grid, division, self._workdir, clock, self._payload_cap
+            ),
+            host=host,
+            probe_costs=_ProcessProbeCosts(
+                grid, division, self._workdir, host, clock, self._scale,
+                self._payload_cap,
+            ),
+            annotations={
+                "backend": "process-execution",
+                "workers": len(grid.workers),
+            },
+        )
 
     def execute(
         self,
         grid: Grid,
-        scheduler: Scheduler,
+        scheduler,
         division: DivisionMethod,
         task: TaskSpec | None = None,
         *,
         probe_units: float | None = None,
+        options: DispatchOptions | None = None,
     ) -> ExecutionReport:
-        run = _ProcessRun(self, grid, scheduler, division, probe_units)
-        report = run.execute()
-        self.last_outputs = run.outputs_in_offset_order()
+        opts = options or DispatchOptions()
+        if probe_units is not None:
+            opts.probe_units = probe_units
+        substrate = self.substrate(grid, division, task)
+        self.last_substrate = substrate
+        core = DispatchCore(
+            grid,
+            scheduler,
+            division.total_units,
+            substrate=substrate,
+            division=division,
+            options=opts,
+        )
+        report = core.run()
+        self.last_outputs = core.outputs_in_offset_order()
         return report
-
-
-class _ProcessRun:
-    """One end-to-end multi-process execution (single use)."""
-
-    def __init__(self, backend, grid, scheduler, division, probe_units):
-        self._b = backend
-        self._grid = grid
-        self._scheduler = scheduler
-        self._division = division
-        self._tracker = LoadTracker(division)
-        self._probe_units = probe_units
-        self._t0 = 0.0
-        self._workers: list[_WorkerProcess] = []
-        self._completions: "queue.Queue[dict]" = queue.Queue()
-        self._chunks: list[ChunkTrace] = []
-        self._by_id: dict[int, ChunkTrace] = {}
-        self._results: dict[int, Path] = {}
-        self._estimates: list[WorkerSpec] = []
-        self._link_busy = 0.0
-        self._chunk_counter = 0
-        self._outstanding = 0
-
-    # -- time -----------------------------------------------------------------
-    def _now(self) -> float:
-        return (time.perf_counter() - self._t0) / self._b._scale
-
-    def _sleep_model(self, model_seconds: float) -> None:
-        if model_seconds > 0:
-            time.sleep(model_seconds * self._b._scale)
-
-    # -- lifecycle -------------------------------------------------------------
-    def execute(self) -> ExecutionReport:
-        self._t0 = time.perf_counter()
-        self._spawn_workers()
-        try:
-            probe_time = self._probe()
-            self._scheduler.configure(
-                SchedulerConfig(
-                    estimates=self._estimates,
-                    total_load=self._division.total_units,
-                    quantum=1.0,
-                )
-            )
-            main_start = self._now()
-            self._drive()
-            makespan = self._now() - main_start
-        finally:
-            self._shutdown_workers()
-        report = ExecutionReport(
-            algorithm=self._scheduler.name,
-            total_load=self._division.total_units,
-            makespan=makespan,
-            probe_time=probe_time,
-            chunks=self._chunks,
-            link_busy_time=self._link_busy,
-            gamma_configured=0.0,
-            annotations={
-                **self._scheduler.annotations(),
-                "backend": "process-execution",
-                "workers": len(self._workers),
-            },
-        )
-        report.validate()
-        return report
-
-    def outputs_in_offset_order(self) -> list[Path]:
-        ordered = sorted(self._chunks, key=lambda c: c.offset)
-        return [self._results[c.chunk_id] for c in ordered if c.chunk_id in self._results]
-
-    # -- worker processes --------------------------------------------------------
-    def _spawn_workers(self) -> None:
-        for i, spec in enumerate(self._grid.workers):
-            worker_dir = self._b._workdir / spec.name
-            worker_dir.mkdir(parents=True, exist_ok=True)
-            process = subprocess.Popen(
-                [sys.executable, "-m", "repro.execution.worker_proc",
-                 self._b._app_spec, str(worker_dir)],
-                stdin=subprocess.PIPE,
-                stdout=subprocess.PIPE,
-                stderr=subprocess.PIPE,
-                text=True,
-                bufsize=1,
-            )
-            runtime = _WorkerProcess(
-                state=WorkerState(index=i, name=spec.name),
-                process=process,
-                inflight={},
-            )
-            self._workers.append(runtime)
-        # wait for every worker's ready line, then start reader threads
-        deadline = time.monotonic() + self._b._startup_timeout
-        for runtime in self._workers:
-            line = runtime.process.stdout.readline()
-            if time.monotonic() > deadline or not line:
-                raise ExecutionError(
-                    f"worker {runtime.state.name} failed to start: "
-                    f"{runtime.process.stderr.read() if runtime.process.stderr else ''}"
-                )
-            status = json.loads(line).get("status")
-            if status != "ready":
-                raise ExecutionError(
-                    f"worker {runtime.state.name} reported {status!r} at startup"
-                )
-            runtime.reader = threading.Thread(
-                target=self._reader_loop, args=(runtime,), daemon=True,
-                name=f"apstdv-reader-{runtime.state.name}",
-            )
-            runtime.reader.start()
-
-    def _reader_loop(self, runtime: _WorkerProcess) -> None:
-        for line in runtime.process.stdout:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                reply = json.loads(line)
-            except json.JSONDecodeError:
-                reply = {"status": "error", "message": f"garbled reply: {line!r}"}
-            reply["worker_index"] = runtime.state.index
-            self._completions.put(reply)
-
-    def _shutdown_workers(self) -> None:
-        for runtime in self._workers:
-            try:
-                if runtime.process.stdin:
-                    runtime.process.stdin.write(json.dumps({"cmd": "shutdown"}) + "\n")
-                    runtime.process.stdin.flush()
-            except (BrokenPipeError, OSError):
-                pass
-        for runtime in self._workers:
-            try:
-                runtime.process.wait(timeout=10.0)
-            except subprocess.TimeoutExpired:
-                runtime.process.kill()
-            if runtime.reader is not None:
-                runtime.reader.join(timeout=5.0)
-
-    def _send(self, runtime: _WorkerProcess, request: dict) -> None:
-        if runtime.process.poll() is not None:
-            raise ExecutionError(
-                f"worker {runtime.state.name} died "
-                f"(exit {runtime.process.returncode})"
-            )
-        assert runtime.process.stdin is not None
-        runtime.process.stdin.write(json.dumps(request) + "\n")
-        runtime.process.stdin.flush()
-
-    # -- probing -----------------------------------------------------------------
-    def _probe(self) -> float:
-        start = self._now()
-        probe_units = self._probe_units
-        if probe_units is None:
-            probe_units = default_probe_units(self._division.total_units)
-        estimates = []
-        for runtime in self._workers:
-            spec = self._grid.workers[runtime.state.index]
-            t = self._now()
-            self._sleep_model(spec.transfer_time(0.0))
-            comm_latency = max(1e-9, self._now() - t)
-            t = self._now()
-            self._sleep_model(spec.transfer_time(probe_units))
-            probe_comm = self._now() - t
-            bandwidth = probe_units / max(1e-9, probe_comm - comm_latency)
-
-            payload = self._payload_for(ChunkExtent(0.0, probe_units))
-            probe_path = self._b._workdir / spec.name / "probe.in"
-            probe_path.write_bytes(payload)
-            t = self._now()
-            self._send(runtime, {
-                "cmd": "process", "chunk_id": -1,
-                "path": str(probe_path), "units": probe_units,
-                "min_wall_time": spec.compute_time(probe_units) * self._b._scale,
-            })
-            self._wait_for_chunk(-1, runtime.state.index)
-            probe_comp = self._now() - t
-            comp_latency = spec.comp_latency  # no-op jobs: modeled directly
-            speed = probe_units / max(1e-9, probe_comp - comp_latency)
-            estimates.append(
-                WorkerSpec(
-                    name=spec.name, speed=speed, bandwidth=bandwidth,
-                    comm_latency=comm_latency, comp_latency=comp_latency,
-                    cluster=spec.cluster,
-                )
-            )
-        self._estimates = estimates
-        return self._now() - start
-
-    def _wait_for_chunk(self, chunk_id: int, worker_index: int) -> dict:
-        deadline = time.monotonic() + 120.0
-        while True:
-            timeout = deadline - time.monotonic()
-            if timeout <= 0:
-                raise ExecutionError("timed out waiting for worker reply")
-            reply = self._completions.get(timeout=timeout)
-            if reply.get("status") == "error":
-                raise ExecutionError(
-                    f"worker {worker_index} failed: {reply.get('message')}"
-                )
-            if reply.get("chunk_id") == chunk_id and reply["worker_index"] == worker_index:
-                return reply
-            self._completions.put(reply)  # not ours; recycle
-
-    # -- dispatch loop -------------------------------------------------------------
-    def _drive(self) -> None:
-        idle_spins = 0
-        while True:
-            self._drain_completions(block=False)
-            if self._tracker.exhausted and self._outstanding == 0:
-                return
-            dispatched = False
-            if not self._tracker.exhausted:
-                request = self._scheduler.next_dispatch(
-                    self._now(), [w.state for w in self._workers]
-                )
-                if request is not None:
-                    self._transfer(request)
-                    dispatched = True
-            if not dispatched:
-                if self._outstanding == 0 and not self._tracker.exhausted:
-                    idle_spins += 1
-                    if idle_spins > 1000:
-                        raise SchedulingError(
-                            f"{self._scheduler.name} stalled with "
-                            f"{self._tracker.remaining:.1f} units undispatched"
-                        )
-                    time.sleep(0.001)
-                    continue
-                self._drain_completions(block=True)
-            idle_spins = 0
-
-    def _transfer(self, request) -> None:
-        if not 0 <= request.worker_index < len(self._workers):
-            raise SchedulingError(f"dispatch to invalid worker {request.worker_index}")
-        extent = self._tracker.take(request.units)
-        spec = self._grid.workers[request.worker_index]
-        runtime = self._workers[request.worker_index]
-        chunk = ChunkTrace(
-            chunk_id=self._chunk_counter,
-            worker_index=request.worker_index,
-            worker_name=spec.name,
-            units=extent.units,
-            offset=extent.offset,
-            round_index=request.round_index,
-            phase=request.phase,
-            send_start=self._now(),
-            predicted_compute=self._estimates[request.worker_index].compute_time(
-                extent.units
-            ),
-        )
-        self._chunk_counter += 1
-        runtime.state.outstanding += 1
-        runtime.state.outstanding_units += extent.units
-        self._outstanding += 1
-        self._scheduler.notify_dispatched(
-            ChunkInfo(chunk.chunk_id, chunk.worker_index, chunk.units,
-                      chunk.round_index, chunk.phase)
-        )
-        payload = self._payload_for(extent)
-        chunk_path = self._b._workdir / spec.name / f"chunk_{chunk.chunk_id}.in"
-        chunk_path.write_bytes(payload)
-        # the master thread sleeping through the transfer IS the serialized link
-        duration = spec.transfer_time(extent.units)
-        self._sleep_model(duration)
-        self._link_busy += duration
-        chunk.send_end = self._now()
-        chunk.compute_start = chunk.send_end  # refined at completion
-        self._chunks.append(chunk)
-        self._by_id[chunk.chunk_id] = chunk
-        runtime.inflight[chunk.chunk_id] = chunk
-        self._scheduler.notify_arrival(
-            ChunkInfo(chunk.chunk_id, chunk.worker_index, chunk.units,
-                      chunk.round_index, chunk.phase),
-            self._now(),
-        )
-        self._send(runtime, {
-            "cmd": "process",
-            "chunk_id": chunk.chunk_id,
-            "path": str(chunk_path),
-            "units": extent.units,
-            "min_wall_time": self._grid.workers[chunk.worker_index].compute_time(
-                extent.units
-            ) * self._b._scale,
-        })
-
-    def _payload_for(self, extent: ChunkExtent) -> bytes:
-        payload_obj = self._division.extract(extent) if extent.units > 0 else None
-        if payload_obj is not None:
-            return payload_obj.read_bytes()
-        return bytes(min(int(extent.units), self._b._payload_cap))
-
-    def _drain_completions(self, *, block: bool) -> None:
-        try:
-            reply = self._completions.get(block=block, timeout=120.0 if block else None)
-        except queue.Empty:
-            if block:
-                raise ExecutionError("timed out waiting for worker completions") from None
-            return
-        while True:
-            self._handle_reply(reply)
-            try:
-                reply = self._completions.get(block=False)
-            except queue.Empty:
-                return
-
-    def _handle_reply(self, reply: dict) -> None:
-        if reply.get("status") == "error":
-            raise ExecutionError(
-                f"worker {reply.get('worker_index')} failed: {reply.get('message')}"
-            )
-        chunk = self._by_id.get(reply.get("chunk_id", -1))
-        if chunk is None:
-            raise ExecutionError(f"reply for unknown chunk: {reply!r}")
-        runtime = self._workers[chunk.worker_index]
-        # the worker padded its real processing up to the modeled cost, so
-        # the reply time is the modeled completion; its wall_time is the
-        # actual (padded) duration
-        now = self._now()
-        compute_model = reply["wall_time"] / self._b._scale
-        chunk.compute_end = now
-        chunk.compute_start = max(chunk.send_end, now - compute_model)
-        runtime.inflight.pop(chunk.chunk_id, None)
-        runtime.state.outstanding -= 1
-        runtime.state.outstanding_units -= chunk.units
-        runtime.state.completed_chunks += 1
-        runtime.state.completed_units += chunk.units
-        runtime.state.busy_time += chunk.compute_time
-        self._outstanding -= 1
-        self._results[chunk.chunk_id] = Path(reply["result_path"])
-        self._scheduler.notify_completion(
-            ChunkInfo(chunk.chunk_id, chunk.worker_index, chunk.units,
-                      chunk.round_index, chunk.phase),
-            self._now(),
-            predicted_time=chunk.predicted_compute,
-            actual_time=chunk.compute_time,
-        )

@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from .events import (
     CHUNK_COMPLETED,
     CHUNK_DISPATCHED,
+    CHUNK_RETRANSMITTED,
     EVENT_TYPES,
     JOB_ADMITTED,
     JOB_CANCELLED,
@@ -199,6 +200,7 @@ def configure_logging(verbosity: int = 0, *, stream=None) -> logging.Logger:
 __all__ = [
     "CHUNK_COMPLETED",
     "CHUNK_DISPATCHED",
+    "CHUNK_RETRANSMITTED",
     "Counter",
     "EVENT_TYPES",
     "EngineProfile",

@@ -39,6 +39,7 @@ from ..errors import ReproError
 #: Simulation-layer events (simulated-time stamped).
 CHUNK_DISPATCHED = "chunk.dispatched"
 CHUNK_COMPLETED = "chunk.completed"
+CHUNK_RETRANSMITTED = "chunk.retransmitted"
 ROUND_STARTED = "round.started"
 PROBE_WORKER_MEASURED = "probe.worker_measured"
 PROBE_FINISHED = "probe.finished"
@@ -58,6 +59,7 @@ EVENT_TYPES = frozenset(
     {
         CHUNK_DISPATCHED,
         CHUNK_COMPLETED,
+        CHUNK_RETRANSMITTED,
         ROUND_STARTED,
         PROBE_WORKER_MEASURED,
         PROBE_FINISHED,

@@ -1,17 +1,16 @@
-"""The simulated APST-DV master: drives a scheduler over a grid.
+"""The simulated APST-DV master: the simulation backend's dispatch adapter.
 
-This is the heart of the simulation backend.  It reproduces the structure
-of the APST-DV daemon's scheduler loop:
+The scheduler-driving loop itself -- probe phase, division snapping,
+serialized-link arbitration, retry policy, observability, report
+assembly -- lives once in :class:`~repro.dispatch.core.DispatchCore` and
+is shared with the real execution backends.  This module contributes the
+simulation substrate:
 
-1. optionally run a probe round (Section 3.5) to estimate resources;
-2. hand the estimates and total load to the DLS algorithm;
-3. whenever the serialized master link is free, ask the algorithm for the
-   next dispatch, snap the requested size to a valid cut-off point via the
-   load's division method, and ship the chunk;
-4. deliver arrival/completion notifications back to the algorithm (which
-   adaptive algorithms use to refine their resource view);
-5. optionally ship output data back over the same link (the case study's
-   MPEG-4 output files).
+* the clock is the discrete-event engine's simulated ``now``;
+* the transport is the modeled :class:`~repro.simulation.network.SerializedLink`;
+* the compute host schedules modeled compute durations (drawn from the
+  :class:`~repro.simulation.compute.ComputeModel`) as engine events, and
+  "waiting" means stepping the engine one event at a time.
 
 The run ends when the load is exhausted and every chunk has computed; the
 result is an :class:`~repro.simulation.trace.ExecutionReport`.
@@ -22,358 +21,149 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from time import perf_counter
 
-from ..apst.division import DivisionMethod, LoadTracker, UniformUnitsDivision
-from ..apst.probing import default_probe_units, perfect_information, run_probe_phase
-from ..core.base import ChunkInfo, Scheduler, SchedulerConfig, WorkerState
-from ..errors import SchedulingError, SimulationError
-from ..obs import (
-    CHUNK_COMPLETED,
-    CHUNK_DISPATCHED,
-    OBS_DISABLED,
-    PROBE_FINISHED,
-    ROUND_STARTED,
-    Observability,
-)
-from ..platform.resources import Grid, WorkerSpec
+from ..apst.division import ChunkExtent, DivisionMethod
+from ..dispatch.core import MAX_EVENTS, DispatchCore, DispatchOptions
+from ..dispatch.protocols import DispatchSubstrate
+from ..errors import SimulationError
+from ..platform.resources import Grid
 from .compute import DETERMINISTIC, ComputeModel, UncertaintyModel
 from .engine import SimulationEngine
 from .network import SerializedLink, TransferRecord
 from .trace import ChunkTrace, ExecutionReport
 
-#: Safety bound on simulation events; generous for every paper workload.
-MAX_EVENTS = 5_000_000
+__all__ = [
+    "MAX_EVENTS",
+    "SimulatedMaster",
+    "SimulationOptions",
+    "simulate_run",
+]
 
 
 @dataclass
-class SimulationOptions:
+class SimulationOptions(DispatchOptions):
     """Knobs of a simulated run.
 
-    Parameters
-    ----------
-    include_probe_time:
-        Count the probe round in the reported makespan.  Defaults to
-        False: the paper's figures compare application makespans with
-        probing as a separate preparatory step (its SIMPLE-n baselines do
-        not probe at all, yet UMR still wins by only ~5% over SIMPLE-5 --
-        impossible if minutes of probing were billed to UMR).  The probe
-        duration is always recorded in the report either way.
-    perfect_estimates:
-        Skip probing and hand the algorithm the true platform parameters
-        (ablation mode).  Shorthand for ``estimate_source="oracle"``.
-    estimate_source:
-        Where resource estimates come from: ``"probe"`` (application-level
-        probing, APST-DV's choice), ``"oracle"`` (the truth, zero cost), or
-        ``"monitor"`` (an NWS/Ganglia-like monitoring service: zero cost,
-        persistent application-translation error -- the paper's Section
-        3.5 alternative).
-    monitoring:
-        Error model for ``estimate_source="monitor"``.
-    probe_units:
-        Probe chunk size; None picks :func:`default_probe_units`.
-    output_factor:
-        Units of output shipped back per unit of input (0 = ignore
-        outputs, as in the paper's synthetic experiments; the MPEG-4 case
-        study produces compressed output, ~0.1).
-    quantum:
-        Division granularity when the workload does not carry its own
-        division method.
-    observability:
-        Optional :class:`~repro.obs.Observability` handle; when set, the
-        run emits chunk/round/probe events, records metrics, and feeds
-        the engine profiler.  ``None`` (the default) is a strict no-op.
+    The simulation backend exposes exactly the backend-agnostic options;
+    see :class:`~repro.dispatch.core.DispatchOptions` for the field
+    documentation.  The alias is kept as the simulation-facing name (and
+    for history files that pickle it).
     """
 
-    include_probe_time: bool = False
-    perfect_estimates: bool = False
-    estimate_source: str = "probe"
-    monitoring: object | None = None
-    probe_units: float | None = None
-    output_factor: float = 0.0
-    quantum: float = 1.0
-    max_events: int = MAX_EVENTS
-    observability: Observability | None = None
+
+class _SimClock:
+    """The driver's clock is the discrete-event engine's clock."""
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+
+    def now(self) -> float:
+        return self._engine.now
+
+
+class _SimTransport:
+    """Chunk shipment over the modeled serialized master link."""
+
+    supports_outputs = True
+
+    def __init__(self, link: SerializedLink) -> None:
+        self._link = link
+        self._core: DispatchCore | None = None
+
+    def bind(self, core: DispatchCore) -> None:
+        self._core = core
+
+    @property
+    def busy(self) -> bool:
+        return self._link.busy
+
+    @property
+    def busy_time(self) -> float:
+        return self._link.busy_time
+
+    def send(self, chunk: ChunkTrace, extent: ChunkExtent) -> None:
+        self._link.submit(chunk.worker_index, extent.units, self._arrived, tag=chunk)
+
+    def send_output(self, chunk: ChunkTrace, units: float) -> None:
+        self._link.submit(
+            chunk.worker_index, units, self._output_done, tag=("output", chunk.chunk_id)
+        )
+
+    def _arrived(self, record: TransferRecord) -> None:
+        chunk = record.tag
+        assert isinstance(chunk, ChunkTrace)
+        chunk.send_end = record.end_time
+        self._core.chunk_arrived(chunk, None)
+
+    def _output_done(self, record: TransferRecord) -> None:
+        self._core.output_done()
 
 
 @dataclass
 class _WorkerRuntime:
-    """Driver-internal dynamic state of one worker."""
+    """Host-internal dynamic state of one simulated worker."""
 
-    state: WorkerState
     queue: list[ChunkTrace] = field(default_factory=list)
     computing: ChunkTrace | None = None
 
 
-class SimulatedMaster:
-    """One simulated application run: grid + scheduler + load.
+class _SimHost:
+    """Simulated per-worker computation: engine events, stepped waiting."""
 
-    Use :func:`simulate_run` for the common case.
-    """
+    time_advances_when_idle = False
 
     def __init__(
         self,
-        grid: Grid,
-        scheduler: Scheduler,
-        total_load: float,
+        engine: SimulationEngine,
+        model: ComputeModel,
+        num_workers: int,
         *,
-        division: DivisionMethod | None = None,
-        uncertainty: UncertaintyModel = DETERMINISTIC,
-        seed: int | None = None,
-        options: SimulationOptions | None = None,
-        cost_profile=None,
+        max_events: int = MAX_EVENTS,
+        profiler=None,
     ) -> None:
-        self._grid = grid
-        self._scheduler = scheduler
-        self._options = options or SimulationOptions()
-        self._division = division or UniformUnitsDivision(
-            total=total_load, step=self._options.quantum
-        )
-        if abs(self._division.total_units - total_load) > 1e-9 * max(1.0, total_load):
-            raise SimulationError(
-                f"division covers {self._division.total_units} units, "
-                f"but total_load is {total_load}"
-            )
-        self._total_load = float(total_load)
-        self._uncertainty = uncertainty
-        self._seed = seed
-        self._obs = self._options.observability or OBS_DISABLED
-        # Cached for the per-chunk hot path: one indirection, no kwargs repack.
-        self._bus = self._obs.bus
-        self._engine = SimulationEngine(profiler=self._obs.profiler)
-        self._model = ComputeModel(
-            grid.workers, uncertainty, seed=seed, cost_profile=cost_profile
-        )
-        self._link = SerializedLink(self._engine, self._model)
-        self._link.on_idle = self._pump
-        self._tracker = LoadTracker(self._division)
-        self._workers = [
-            _WorkerRuntime(state=WorkerState(index=i, name=w.name))
-            for i, w in enumerate(grid.workers)
-        ]
-        self._estimates: list[WorkerSpec] = []
-        self._chunk_counter = 0
-        self._chunks: list[ChunkTrace] = []
-        self._pending_outputs = 0
-        self._probe_time = 0.0
-        self._finished = False
-        self._max_round = -1
-        self._plan_seconds = 0.0
-        self._plan_calls = 0
-        metrics = self._obs.metrics
-        if metrics is not None:
-            self._m_dispatched = metrics.counter(
-                "repro_chunks_dispatched_total",
-                "Chunks pushed onto the serialized master link",
-            )
-            self._m_completed = metrics.counter(
-                "repro_chunks_completed_total", "Chunk computations finished"
-            )
-            self._m_units = metrics.counter(
-                "repro_units_dispatched_total", "Load units dispatched"
-            )
-            self._m_rounds = metrics.counter(
-                "repro_rounds_started_total", "Scheduling rounds entered"
-            )
-            self._m_queue = metrics.histogram(
-                "repro_chunk_queue_seconds",
-                "Simulated seconds chunks waited on the worker before computing",
-            )
-            self._m_compute = metrics.histogram(
-                "repro_chunk_compute_seconds",
-                "Simulated seconds chunks spent computing",
-            )
-        else:
-            self._m_dispatched = None
-            self._m_completed = None
-            self._m_units = None
-            self._m_rounds = None
-            self._m_queue = None
-            self._m_compute = None
+        self._engine = engine
+        self._model = model
+        self._workers = [_WorkerRuntime() for _ in range(num_workers)]
+        self._max_events = max_events
+        self._profiler = profiler
+        self._executed = 0
+        self._run_start: float | None = None
+        self._core: DispatchCore | None = None
 
-    # -- public API ---------------------------------------------------------
-    def run(self) -> ExecutionReport:
-        """Execute the full run and return its execution report."""
-        if self._finished:
-            raise SimulationError("SimulatedMaster.run() called twice")
-        with self._obs.span("probe", algorithm=self._scheduler.name):
-            self._probe()
-        with self._obs.span("scheduler.plan", algorithm=self._scheduler.name):
-            self._configure_scheduler()
-        with self._obs.span("engine.run", algorithm=self._scheduler.name):
-            self._pump()
-            self._engine.run(max_events=self._options.max_events)
-        profiler = self._obs.profiler
-        if profiler is not None and self._plan_calls:
-            profiler.add_phase_time(
-                "scheduler.next_dispatch", self._plan_seconds, self._plan_calls
-            )
-        self._check_termination()
-        self._finished = True
-        makespan = self._engine.now + (
-            self._probe_time if self._options.include_probe_time else 0.0
-        )
-        report = ExecutionReport(
-            algorithm=self._scheduler.name,
-            total_load=self._total_load,
-            makespan=makespan,
-            probe_time=self._probe_time,
-            chunks=self._chunks,
-            link_busy_time=self._link.busy_time,
-            gamma_configured=self._uncertainty.gamma,
-            seed=self._seed,
-            annotations=self._scheduler.annotations(),
-        )
-        report.validate()
-        return report
+    def bind(self, core: DispatchCore) -> None:
+        self._core = core
 
-    # -- phases ---------------------------------------------------------------
-    def _probe(self) -> None:
-        source = self._options.estimate_source
-        if self._options.perfect_estimates:
-            source = "oracle"
-        if source not in ("probe", "oracle", "monitor"):
-            raise SimulationError(f"unknown estimate_source {source!r}")
-        if source == "oracle":
-            result = perfect_information(list(self._grid.workers))
-        elif source == "monitor":
-            from ..apst.monitoring import MonitoringConfig, MonitoringService
+    def start(self) -> None:
+        pass
 
-            config = self._options.monitoring
-            if config is not None and not isinstance(config, MonitoringConfig):
-                raise SimulationError(
-                    "options.monitoring must be a MonitoringConfig"
-                )
-            service = MonitoringService(
-                list(self._grid.workers), config, seed=self._seed
-            )
-            result = service.estimates()
-        elif self._scheduler.uses_probing:
-            probe_units = self._options.probe_units
-            if probe_units is None:
-                probe_units = default_probe_units(self._total_load)
-            result = run_probe_phase(
-                list(self._grid.workers), self._model, probe_units, obs=self._obs
-            )
-        else:
-            # SIMPLE-n: no probing; the algorithm only needs worker count,
-            # but the config interface wants specs -- hand it unit dummies.
-            result = perfect_information(list(self._grid.workers))
-            result = type(result)(estimates=result.estimates, duration=0.0, probe_units=0.0)
-        self._estimates = result.estimates
-        self._probe_time = result.duration
-        if self._obs.enabled:
-            self._obs.emit(
-                PROBE_FINISHED,
-                sim_time=0.0,
-                source=source,
-                duration=result.duration,
-                probe_units=result.probe_units,
-                workers=len(self._estimates),
-            )
+    def stop(self) -> None:
+        if self._profiler is not None and self._run_start is not None:
+            self._profiler.note_run(self._executed, perf_counter() - self._run_start)
 
-    def _configure_scheduler(self) -> None:
-        self._scheduler.configure(
-            SchedulerConfig(
-                estimates=self._estimates,
-                total_load=self._total_load,
-                quantum=self._options.quantum,
-            )
-        )
-
-    # -- dispatch pump ---------------------------------------------------------
-    def _pump(self) -> None:
-        """Feed the link while it is free and the algorithm has work."""
-        profiler = self._obs.profiler
-        while not self._link.busy and not self._tracker.exhausted:
-            if profiler is not None:
-                # Accumulate locally; flushed to the profiler once per run()
-                # so the hot loop pays two clock reads and a float add.
-                plan_start = perf_counter()
-                request = self._scheduler.next_dispatch(
-                    self._engine.now, [w.state for w in self._workers]
-                )
-                self._plan_seconds += perf_counter() - plan_start
-                self._plan_calls += 1
-            else:
-                request = self._scheduler.next_dispatch(
-                    self._engine.now, [w.state for w in self._workers]
-                )
-            if request is None:
-                return
-            if not 0 <= request.worker_index < len(self._workers):
-                raise SchedulingError(
-                    f"{self._scheduler.name} dispatched to invalid worker "
-                    f"{request.worker_index}"
-                )
-            extent = self._tracker.take(request.units)
-            chunk = ChunkTrace(
-                chunk_id=self._chunk_counter,
-                worker_index=request.worker_index,
-                worker_name=self._grid.workers[request.worker_index].name,
-                units=extent.units,
-                offset=extent.offset,
-                round_index=request.round_index,
-                phase=request.phase,
-                send_start=self._engine.now,
-                predicted_compute=self._estimates[request.worker_index].compute_time(
-                    extent.units
-                ),
-            )
-            self._chunk_counter += 1
-            if self._obs.enabled:
-                if request.round_index > self._max_round:
-                    self._max_round = request.round_index
-                    if self._bus is not None:
-                        self._bus.emit(
-                            ROUND_STARTED,
-                            sim_time=self._engine.now,
-                            round=request.round_index,
-                            phase=request.phase,
-                            algorithm=self._scheduler.name,
-                        )
-                    if self._m_rounds is not None:
-                        self._m_rounds.inc()
-                if self._bus is not None:
-                    self._bus.emit(
-                        CHUNK_DISPATCHED,
-                        sim_time=self._engine.now,
-                        chunk_id=chunk.chunk_id,
-                        worker=chunk.worker_name,
-                        worker_index=chunk.worker_index,
-                        units=chunk.units,
-                        round=chunk.round_index,
-                        phase=chunk.phase,
-                    )
-                if self._m_dispatched is not None:
-                    self._m_dispatched.inc()
-                    self._m_units.inc(chunk.units)
-            runtime = self._workers[request.worker_index]
-            runtime.state.outstanding += 1
-            runtime.state.outstanding_units += extent.units
-            self._scheduler.notify_dispatched(
-                ChunkInfo(
-                    chunk_id=chunk.chunk_id,
-                    worker_index=chunk.worker_index,
-                    units=chunk.units,
-                    round_index=chunk.round_index,
-                    phase=chunk.phase,
-                )
-            )
-            self._link.submit(
-                request.worker_index, extent.units, self._on_arrival, tag=chunk
-            )
-
-    # -- event handlers ----------------------------------------------------------
-    def _on_arrival(self, record: TransferRecord) -> None:
-        chunk = record.tag
-        assert isinstance(chunk, ChunkTrace)
-        chunk.send_end = self._engine.now
+    def enqueue(self, chunk: ChunkTrace, payload: object) -> None:
         runtime = self._workers[chunk.worker_index]
         runtime.queue.append(chunk)
-        self._chunks.append(chunk)
-        self._scheduler.notify_arrival(self._info(chunk), self._engine.now)
         if runtime.computing is None:
             self._start_compute(runtime)
-        # link.on_idle will pump if nothing else is queued
+
+    def poll(self) -> None:
+        pass
+
+    def wait(self) -> bool:
+        if self._run_start is None:
+            self._run_start = perf_counter()
+        if not self._engine.step():
+            return False
+        self._executed += 1
+        if self._executed > self._max_events:
+            raise SimulationError(
+                f"simulation exceeded max_events={self._max_events}; likely livelock"
+            )
+        return True
+
+    def idle_tick(self) -> bool:
+        return False  # simulated time only moves through events
 
     def _start_compute(self, runtime: _WorkerRuntime) -> None:
         chunk = runtime.queue.pop(0)
@@ -382,83 +172,77 @@ class SimulatedMaster:
         duration = self._model.realized_compute_time(
             chunk.worker_index, chunk.units, offset=chunk.offset
         )
-        self._engine.schedule(duration, self._on_completion, runtime, chunk)
+        self._engine.schedule(duration, self._completed, runtime, chunk)
 
-    def _on_completion(self, runtime: _WorkerRuntime, chunk: ChunkTrace) -> None:
+    def _completed(self, runtime: _WorkerRuntime, chunk: ChunkTrace) -> None:
         chunk.compute_end = self._engine.now
         runtime.computing = None
-        state = runtime.state
-        state.outstanding -= 1
-        state.outstanding_units -= chunk.units
-        state.completed_chunks += 1
-        state.completed_units += chunk.units
-        state.busy_time += chunk.compute_time
-        if self._obs.enabled:
-            if self._bus is not None:
-                self._bus.emit(
-                    CHUNK_COMPLETED,
-                    sim_time=self._engine.now,
-                    chunk_id=chunk.chunk_id,
-                    worker=chunk.worker_name,
-                    worker_index=chunk.worker_index,
-                    units=chunk.units,
-                    queue_time=chunk.queue_time,
-                    compute_time=chunk.compute_time,
-                )
-            if self._m_completed is not None:
-                self._m_completed.inc()
-                self._m_queue.observe(chunk.queue_time)
-                self._m_compute.observe(chunk.compute_time)
-        self._scheduler.notify_completion(
-            self._info(chunk),
-            self._engine.now,
-            predicted_time=chunk.predicted_compute,
-            actual_time=chunk.compute_time,
-        )
-        if self._options.output_factor > 0:
-            self._pending_outputs += 1
-            self._link.submit(
-                chunk.worker_index,
-                chunk.units * self._options.output_factor,
-                self._on_output_done,
-                tag=("output", chunk.chunk_id),
-            )
+        self._core.chunk_completed(chunk)
         if runtime.queue:
             self._start_compute(runtime)
-        self._pump()
 
-    def _on_output_done(self, record: TransferRecord) -> None:
-        self._pending_outputs -= 1
 
-    # -- bookkeeping --------------------------------------------------------------
-    def _info(self, chunk: ChunkTrace) -> ChunkInfo:
-        return ChunkInfo(
-            chunk_id=chunk.chunk_id,
-            worker_index=chunk.worker_index,
-            units=chunk.units,
-            round_index=chunk.round_index,
-            phase=chunk.phase,
+class SimulatedMaster:
+    """One simulated application run: grid + scheduler + load.
+
+    A thin adapter: builds the simulation substrate (engine, compute
+    model, serialized link) and delegates the whole loop to
+    :class:`~repro.dispatch.core.DispatchCore`.  Use :func:`simulate_run`
+    for the common case.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        scheduler,
+        total_load: float,
+        *,
+        division: DivisionMethod | None = None,
+        uncertainty: UncertaintyModel = DETERMINISTIC,
+        seed: int | None = None,
+        options: SimulationOptions | None = None,
+        cost_profile=None,
+    ) -> None:
+        opts = options or SimulationOptions()
+        obs = opts.observability
+        self._engine = SimulationEngine(
+            profiler=obs.profiler if obs is not None else None
+        )
+        self._model = ComputeModel(
+            grid.workers, uncertainty, seed=seed, cost_profile=cost_profile
+        )
+        link = SerializedLink(self._engine, self._model)
+        substrate = DispatchSubstrate(
+            clock=_SimClock(self._engine),
+            transport=_SimTransport(link),
+            host=_SimHost(
+                self._engine,
+                self._model,
+                len(grid.workers),
+                max_events=opts.max_events,
+                profiler=obs.profiler if obs is not None else None,
+            ),
+            probe_costs=self._model,
+            gamma_configured=uncertainty.gamma,
+            seed=seed,
+        )
+        self._core = DispatchCore(
+            grid,
+            scheduler,
+            total_load,
+            substrate=substrate,
+            division=division,
+            options=opts,
         )
 
-    def _check_termination(self) -> None:
-        if not self._tracker.exhausted:
-            raise SchedulingError(
-                f"{self._scheduler.name} stalled with "
-                f"{self._tracker.remaining:.3f} units undispatched "
-                f"(dispatched {self._tracker.consumed:.3f} of {self._total_load})"
-            )
-        for runtime in self._workers:
-            if runtime.queue or runtime.computing is not None:
-                raise SimulationError(
-                    f"worker {runtime.state.name} still has work after drain"
-                )
-        if self._pending_outputs:
-            raise SimulationError("output transfers still pending after drain")
+    def run(self) -> ExecutionReport:
+        """Execute the full run and return its execution report."""
+        return self._core.run()
 
 
 def simulate_run(
     grid: Grid,
-    scheduler: Scheduler,
+    scheduler,
     total_load: float,
     *,
     division: DivisionMethod | None = None,

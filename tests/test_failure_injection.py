@@ -77,14 +77,32 @@ class TestLocalBackendFailures:
 class TestProcessBackendFailures:
     def test_chunk_failure_propagates_from_worker_process(self, grid, division,
                                                           tmp_path):
+        # SIMPLE-n does not probe, so each worker process sees only its
+        # two real chunks; fail the second one.
         backend = ProcessExecutionBackend(
             tmp_path / "work",
-            app_spec=app_spec(FlakyApp, fail_on_calls=[3]),
+            app_spec=app_spec(FlakyApp, fail_on_calls=[2]),
             time_scale=0.01,
         )
         with pytest.raises(ExecutionError, match="injected|failed"):
             backend.execute(grid, make_scheduler("simple-2"), division, None,
                             probe_units=64.0)
+
+    def test_mid_run_failure_leaves_no_live_children(self, grid, division,
+                                                     tmp_path):
+        """Every spawned worker process is reaped on the error path."""
+        backend = ProcessExecutionBackend(
+            tmp_path / "work",
+            app_spec=app_spec(FlakyApp, fail_on_calls=[2]),
+            time_scale=0.01,
+        )
+        with pytest.raises(ExecutionError):
+            backend.execute(grid, make_scheduler("simple-2"), division, None,
+                            probe_units=64.0)
+        host = backend.last_substrate.host
+        assert len(host.processes) == len(grid.workers)
+        for process in host.processes:
+            assert process.poll() is not None  # exited and reaped
 
     def test_slow_app_is_padded_not_fatal(self, grid, division, tmp_path):
         """A slower-than-modeled app stretches times but completes."""
