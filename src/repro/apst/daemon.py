@@ -181,6 +181,20 @@ class APSTDaemon:
         """The daemon's telemetry handle (the shared no-op when unset)."""
         return self._obs
 
+    @property
+    def backend(self) -> ExecutionBackend | str:
+        return self._backend
+
+    def set_backend(self, backend: ExecutionBackend | str) -> None:
+        """Swap the execution backend for subsequent runs.
+
+        Queued and finished jobs are untouched; only jobs executed after
+        the swap use the new backend.  The network gateway uses this to
+        move from simulation to remote socket workers once enough workers
+        have registered to cover the platform.
+        """
+        self._backend = backend
+
     def _count_job_event(self, outcome: str) -> None:
         if self._obs.metrics is not None:
             self._obs.metrics.counter(
@@ -215,12 +229,22 @@ class APSTDaemon:
             self._count_job_event("submitted")
         return job.job_id
 
-    def run_pending(self) -> list[int]:
-        """Run every queued job; returns the ids that were executed."""
+    def run_pending(self, *, raise_on_error: bool = True) -> list[int]:
+        """Run every queued job; returns the ids that were executed.
+
+        With ``raise_on_error=False`` a failing job is recorded as FAILED
+        (state + ``error`` + lifecycle event) but does not abort the
+        sweep -- the mode long-running fronts (the network gateway) use,
+        where one bad submission must not starve the jobs queued behind it.
+        """
         executed = []
         for job in self._jobs.values():
             if job.state is JobState.QUEUED:
-                self._run_job(job)
+                try:
+                    self._run_job(job)
+                except Exception:
+                    if raise_on_error:
+                        raise
                 executed.append(job.job_id)
         return executed
 

@@ -14,6 +14,11 @@ Sub-commands
              file (open it at https://ui.perfetto.dev).
 ``metrics``  Run task(s) instrumented and print the metrics registry in
              Prometheus text (or JSON) exposition.
+``serve``    Run the daemon as a network service: the ``repro.net``
+             gateway on a TCP port, optionally with spawned socket
+             workers executing chunks remotely.
+``submit``   Submit task XML(s) to a running gateway and optionally
+             wait for the outcomes.
 
 Global ``-v``/``-q`` flags control the ``repro.obs`` logging bridge; all
 diagnostic output honours them uniformly.
@@ -315,6 +320,78 @@ def _cmd_console(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal as _signal
+
+    from .net import GatewayConfig, JobGateway, RemoteWorkerPool
+
+    platform = _load_platform(args.platform)
+    observability = Observability.armed() if args.obs else None
+    daemon = APSTDaemon(
+        platform,
+        config=DaemonConfig(
+            base_dir=Path(args.base_dir),
+            gamma=args.gamma,
+            seed=args.seed,
+            observability=observability,
+        ),
+    )
+    pool = None
+    if args.workers:
+        pool = RemoteWorkerPool()
+        pool.spawn(args.workers, args.app, Path(args.base_dir) / "net_workers")
+    gateway = JobGateway(
+        daemon,
+        config=GatewayConfig(
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            batch_max=args.batch_max,
+        ),
+        worker_pool=pool,
+    )
+    gateway.start_in_background()
+    print(f"gateway listening on {gateway.host}:{gateway.port}")
+    if pool is not None:
+        print(f"spawned {len(pool.endpoints)} socket worker(s); remote execution "
+              f"{'active' if gateway.worker_endpoints else 'inactive'}")
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        _signal.signal(signum, lambda *_: gateway.request_shutdown())
+    gateway.join()
+    print("gateway stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .net import GatewayClient, GatewayError
+
+    failed = 0
+    with GatewayClient(args.host, args.port, timeout_s=args.timeout) as client:
+        job_ids = []
+        for task in args.tasks:
+            spec = Path(task).read_text()
+            for _ in range(args.count):
+                job_ids.append(client.submit(spec, algorithm=args.algorithm))
+        print(f"submitted {len(job_ids)} job(s): {job_ids}")
+        if args.wait:
+            for job_id in job_ids:
+                try:
+                    job = client.wait(job_id, timeout_s=args.timeout)
+                except GatewayError as exc:
+                    print(f"job {job_id}: {exc}")
+                    failed += 1
+                    continue
+                line = f"job {job_id}: {job['state']}"
+                if "makespan" in job:
+                    line += f" (makespan {job['makespan']:.2f}s, {job['chunks']} chunks)"
+                if "error" in job:
+                    line += f" -- {job['error']}"
+                print(line)
+                if job["state"] != "done":
+                    failed += 1
+    return 1 if failed else 0
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     rows = table1_rows()
     print(
@@ -453,6 +530,45 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--profile", action="store_true",
                          help="also print the engine profiler report")
     metrics.set_defaults(func=_cmd_metrics)
+
+    serve = sub.add_parser(
+        "serve", help="run the daemon as a network service (repro.net gateway)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick an ephemeral port)")
+    serve.add_argument("--platform", default="das2")
+    serve.add_argument("--base-dir", default=".")
+    serve.add_argument("--gamma", type=float, default=0.0)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission queue bound (full queue => 429/retry)")
+    serve.add_argument("--batch-max", type=int, default=32,
+                       help="max submissions executed per batch")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="also spawn N local socket workers and execute "
+                            "remotely instead of simulating")
+    serve.add_argument("--app", default="repro.execution.local:DigestApp",
+                       help="application spec the spawned workers run")
+    serve.add_argument("--obs", action="store_true",
+                       help="arm observability (events, metrics, GET /metrics)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit task XML(s) to a running gateway"
+    )
+    submit.add_argument("tasks", nargs="+", help="task XML specification path(s)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True)
+    submit.add_argument("--algorithm", default=None,
+                        help="override every spec's algorithm")
+    submit.add_argument("--count", type=int, default=1,
+                        help="submit each task this many times")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until every job finishes and print outcomes")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        help="seconds to wait per request (and per job with --wait)")
+    submit.set_defaults(func=_cmd_submit)
 
     console = sub.add_parser("console", help="interactive APST-DV client console")
     console.add_argument("--platform", default="das2")

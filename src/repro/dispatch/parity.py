@@ -35,7 +35,7 @@ from ..simulation.trace import ExecutionReport
 from .core import DispatchOptions
 
 #: Backend kinds understood by :func:`run_backend`.
-BACKENDS = ("simulation", "local", "process")
+BACKENDS = ("simulation", "local", "process", "remote")
 
 #: Schedulers whose dispatch queue is fixed once estimates are known.
 TIMING_INDEPENDENT_ALGORITHMS = ("simple-1", "simple-2", "simple-5", "umr")
@@ -105,4 +105,17 @@ def run_backend(
             time_scale=time_scale,
         )
         return backend.execute(grid, scheduler, division, None, options=opts)
+    if kind == "remote":
+        from ..execution.appspec import app_spec
+        from ..execution.local import DigestApp
+        from ..net.remote import RemoteExecutionBackend, RemoteWorkerPool
+
+        with RemoteWorkerPool() as pool:
+            endpoints = pool.spawn(
+                len(grid.workers), app_spec(DigestApp), Path(workdir) / "remote"
+            )
+            backend = RemoteExecutionBackend(
+                endpoints, Path(workdir) / "remote", time_scale=time_scale
+            )
+            return backend.execute(grid, scheduler, division, None, options=opts)
     raise ValueError(f"unknown backend kind {kind!r}; expected one of {BACKENDS}")

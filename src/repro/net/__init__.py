@@ -1,0 +1,63 @@
+"""``repro.net``: the network surface of the APST-DV reproduction.
+
+The paper's whole premise is scheduling divisible loads on *grid*
+platforms -- many administrative domains, real wires, real failures.
+Until this package existed the reproduction was a library: the daemon,
+the multi-job service, and every execution backend lived in one
+process.  ``repro.net`` is the step from library to service:
+
+* :mod:`repro.net.protocol` -- one wire format (newline-delimited JSON
+  frames, with an HTTP/1.1 adapter) shared by every component;
+* :mod:`repro.net.gateway` -- an asyncio job-submission gateway
+  exposing the daemon/service verbs (submit, status, cancel, drain,
+  stats, outputs) over TCP and HTTP, with a bounded admission queue,
+  request batching, and backpressure;
+* :mod:`repro.net.client` -- a synchronous client SDK with connection
+  reuse, timeouts, and retry-with-backoff (the ``apst-dv submit`` CLI
+  verb is a thin wrapper over it);
+* :mod:`repro.net.worker` -- a socket worker process serving the
+  serialize -> ship -> delimited-result chunk protocol;
+* :mod:`repro.net.remote` -- :class:`RemoteExecutionBackend`, a
+  :class:`~repro.dispatch.protocols.ComputeHost` substrate that ships
+  chunks to those workers over sockets, with reconnect-and-retransmit
+  failure handling.
+"""
+
+from __future__ import annotations
+
+from .client import ClientStats, GatewayClient, GatewayError
+from .gateway import GatewayConfig, JobGateway
+from .protocol import (
+    ERROR_HTTP_STATUS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    VERBS,
+    FrameError,
+    error_response,
+    ok_response,
+    read_frame,
+    retry_response,
+    write_frame,
+)
+from .remote import RemoteExecutionBackend, RemoteWorkerPool, WorkerEndpoint
+
+__all__ = [
+    "ClientStats",
+    "ERROR_HTTP_STATUS",
+    "FrameError",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "JobGateway",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "RemoteExecutionBackend",
+    "RemoteWorkerPool",
+    "VERBS",
+    "WorkerEndpoint",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "retry_response",
+    "write_frame",
+]

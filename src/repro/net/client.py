@@ -1,0 +1,274 @@
+"""Client SDK for the job-submission gateway.
+
+:class:`GatewayClient` speaks the newline-delimited JSON dialect of
+:mod:`repro.net.protocol` over one persistent TCP connection
+(connection reuse: one socket serves any number of requests, reconnect
+is automatic).  It converts protocol-level outcomes into Python ones:
+
+* ``"ok"`` responses return their payload;
+* ``"retry"`` (the gateway's backpressure signal for a full admission
+  queue) is retried transparently with exponential backoff, honouring
+  the server-suggested ``retry_after_s``, up to ``max_retries``
+  attempts -- callers never see backpressure unless it persists;
+* ``"error"`` responses raise :class:`GatewayError` carrying the
+  machine-readable ``error_code``.
+
+Connection failures are retried with backoff for read-only verbs
+(ping/status/stats/outputs).  A connection lost *mid-submit* is NOT
+silently resent -- the gateway may or may not have admitted the job --
+so submit raises and the caller decides (at-least-once on explicit
+resubmit, at-most-once by default).
+
+Every socket operation is bounded by ``timeout_s``; a client is cheap
+and single-threaded -- use one per thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from .protocol import FrameError, read_frame, write_frame
+
+
+class GatewayError(ReproError):
+    """An ``"error"`` response from the gateway (or a dead connection).
+
+    ``code`` is the wire ``error_code`` (see
+    :data:`repro.net.protocol.ERROR_HTTP_STATUS`), or ``"unreachable"``
+    when the failure was at the transport layer.
+    """
+
+    def __init__(self, message: str, *, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+#: Verbs safe to resend after a mid-flight connection loss.
+_RETRY_SAFE_VERBS = frozenset({"ping", "status", "stats", "outputs"})
+
+#: Job states that end the wait() poll loop.
+_TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class ClientStats:
+    """What this client has seen (useful in benchmarks and tests)."""
+
+    requests: int = 0
+    backpressure_retries: int = 0
+    reconnects: int = 0
+    #: wall seconds per successful submit, in completion order
+    submit_latencies: list = field(default_factory=list)
+
+
+class GatewayClient:
+    """One persistent connection to a :class:`~repro.net.gateway.JobGateway`.
+
+    Parameters
+    ----------
+    host, port:
+        Where the gateway listens.
+    timeout_s:
+        Bound on every socket operation (connect, send, receive).
+    max_retries:
+        Attempts per request across backpressure and reconnects.
+    backoff_base_s, backoff_cap_s:
+        Exponential backoff between attempts (doubling from base, capped);
+        a server-suggested ``retry_after_s`` takes precedence when larger.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 30.0,
+        max_retries: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+    ) -> None:
+        self._address = (host, port)
+        self._timeout_s = timeout_s
+        self._max_retries = max_retries
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._sock: socket.socket | None = None
+        self._stream = None
+        self._ids = itertools.count(1)
+        self.stats = ClientStats()
+
+    # -- connection management ----------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                self._address, timeout=self._timeout_s
+            )
+        except OSError as exc:
+            raise GatewayError(
+                f"cannot reach gateway at {self._address[0]}:{self._address[1]}: {exc}",
+                code="unreachable",
+            ) from exc
+        self._stream = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._stream = None
+
+    def __enter__(self) -> "GatewayClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request core --------------------------------------------------------
+    def request(self, verb: str, **fields) -> dict:
+        """One request/response round trip with retry-with-backoff."""
+        attempt = 0
+        while True:
+            attempt += 1
+            self.stats.requests += 1
+            try:
+                response = self._round_trip(verb, fields)
+            except GatewayError as exc:
+                if exc.code != "unreachable":
+                    raise
+                retry_safe = verb in _RETRY_SAFE_VERBS or self._sock is None
+                if not retry_safe or attempt >= self._max_retries:
+                    self.close()
+                    raise
+                self.close()
+                self.stats.reconnects += 1
+                time.sleep(self._backoff(attempt))
+                continue
+            status = response.get("status")
+            if status == "ok":
+                return response
+            if status == "retry":
+                if attempt >= self._max_retries:
+                    raise GatewayError(
+                        f"gateway still applying backpressure after "
+                        f"{attempt} attempts: {response.get('message')}",
+                        code="queue_full",
+                    )
+                self.stats.backpressure_retries += 1
+                time.sleep(
+                    max(
+                        float(response.get("retry_after_s", 0.0)),
+                        self._backoff(attempt),
+                    )
+                )
+                continue
+            raise GatewayError(
+                str(response.get("message", response)),
+                code=str(response.get("error_code", "internal")),
+            )
+
+    def _round_trip(self, verb: str, fields: dict) -> dict:
+        connected_here = self._sock is None
+        self.connect()
+        request = {"verb": verb, "id": next(self._ids), **fields}
+        try:
+            write_frame(self._stream, request)
+            response = read_frame(self._stream)
+        except FrameError:
+            self.close()
+            raise
+        except (OSError, ValueError) as exc:
+            self.close()
+            raise GatewayError(
+                f"connection to gateway lost during {verb}: {exc}",
+                code="unreachable",
+            ) from exc
+        if response is None:
+            self.close()
+            hint = " (fresh connection refused mid-request)" if connected_here else ""
+            raise GatewayError(
+                f"gateway closed the connection during {verb}{hint}",
+                code="unreachable",
+            )
+        return response
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self._backoff_cap_s, self._backoff_base_s * (2 ** (attempt - 1)))
+
+    # -- verbs ---------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(
+        self,
+        spec: str,
+        *,
+        algorithm: str | None = None,
+        tenant: str = "default",
+        priority: int = 0,
+        weight: float = 1.0,
+        arrival: float = 0.0,
+    ) -> int:
+        """Submit one task spec (XML text); returns the assigned job id."""
+        start = time.perf_counter()
+        fields: dict = {
+            "spec": spec, "tenant": tenant, "priority": priority,
+            "weight": weight, "arrival": arrival,
+        }
+        if algorithm is not None:
+            fields["algorithm"] = algorithm
+        response = self.request("submit", **fields)
+        self.stats.submit_latencies.append(time.perf_counter() - start)
+        return int(response["job_id"])
+
+    def submit_batch(self, requests: list[dict]) -> dict:
+        """Submit many tasks in one frame; returns per-request results."""
+        return self.request("batch", requests=requests)
+
+    def status(self, job_id: int | None = None) -> list[dict]:
+        fields = {} if job_id is None else {"job_id": job_id}
+        return self.request("status", **fields)["jobs"]
+
+    def server_stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def cancel(self, job_id: int) -> dict:
+        return self.request("cancel", job_id=job_id)
+
+    def outputs(self, job_id: int) -> list[str]:
+        return self.request("outputs", job_id=job_id)["outputs"]
+
+    def drain(self) -> dict:
+        """Stop the gateway accepting, run everything admitted, get stats."""
+        return self.request("drain")
+
+    def shutdown_server(self) -> dict:
+        return self.request("shutdown")
+
+    def register_worker(self, host: str, port: int, *, name: str | None = None) -> dict:
+        fields: dict = {"host": host, "port": port}
+        if name is not None:
+            fields["name"] = name
+        return self.request("register_worker", **fields)
+
+    def wait(self, job_id: int, *, timeout_s: float = 60.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            (job,) = self.status(job_id)
+            if job["state"] in _TERMINAL_STATES:
+                return job
+            if time.monotonic() > deadline:
+                raise GatewayError(
+                    f"job {job_id} still {job['state']} after {timeout_s}s",
+                    code="conflict",
+                )
+            time.sleep(poll_s)

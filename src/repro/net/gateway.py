@@ -1,0 +1,756 @@
+"""Asyncio job-submission gateway: the daemon's network face.
+
+:class:`JobGateway` exposes the APST daemon / multi-job service verbs
+(``submit``, ``status``, ``cancel``, ``drain``, ``stats``, ``outputs``)
+over TCP.  Two dialects share one port: newline-delimited JSON frames
+(the native protocol, one request per line, responses in order), and
+plain HTTP/1.1 (``POST`` a request body, or ``GET /stats`` /
+``/healthz`` / ``/metrics``) so ``curl`` and load balancers work
+unmodified.  The first bytes of a connection select the dialect.
+
+Traffic shaping is explicit:
+
+* **bounded admission queue** -- submissions enter a queue of
+  ``config.max_queue`` slots; when it is full the gateway answers
+  ``{"status": "retry", "error_code": "queue_full"}`` (HTTP 429) and
+  the client SDK backs off and resends.  Accepted work is never lost;
+  rejected work was never accepted;
+* **request batching** -- a single runner thread drains the queue in
+  batches of up to ``config.batch_max`` (lingering
+  ``config.batch_window_s`` to let a batch fill) and executes each
+  batch in one multi-job service run (simulation backend) or one
+  ``run_pending`` sweep (remote socket workers registered via
+  ``register_worker``);
+* **graceful shutdown** -- idempotent and SIGTERM-safe: new
+  submissions are rejected with a clear ``draining`` error, admitted
+  jobs are drained, the runner is joined, and any gateway-owned worker
+  pool is reaped.  Calling :meth:`shutdown` twice (or racing it with a
+  signal) is safe.
+
+Only the runner thread mutates daemon state (submissions, batch
+execution); the event loop answers reads (``status``/``stats``) from
+GIL-atomic snapshots and routes everything else through the queue, so
+the protocol stays responsive while a batch runs.
+
+Observability: ``net.request`` / ``net.request.rejected`` /
+``net.batch.executed`` / ``net.worker.registered`` events and the
+``repro_net_*`` metric family (request counters per verb/outcome,
+admission-queue depth and peak, submit-latency and batch-size
+histograms) flow through the daemon's :class:`~repro.obs.Observability`
+handle -- the usual no-op when observability is off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import queue
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from ..apst.daemon import APSTDaemon
+from ..errors import ReproError, ServiceError, SpecificationError
+from ..obs import (
+    NET_BATCH_EXECUTED,
+    NET_REQUEST,
+    NET_REQUEST_REJECTED,
+    NET_WORKER_REGISTERED,
+    get_logger,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    VERBS,
+    FrameError,
+    error_response,
+    http_status_for,
+    ok_response,
+    parse_frame,
+    retry_response,
+)
+from .remote import RemoteExecutionBackend, RemoteWorkerPool, WorkerEndpoint
+
+_log = get_logger("net.gateway")
+
+#: Submit-latency buckets (wall seconds): network admission is fast.
+_LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"PUT ", b"HEAD ", b"DELETE ", b"OPTIONS ")
+
+_HTTP_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 409: "Conflict",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class GatewayConfig:
+    """Tunables of one gateway instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 picks an ephemeral port (reported via .port)
+    #: admission-queue bound; a full queue triggers the retry/429 reply
+    max_queue: int = 256
+    #: max submissions executed per batch
+    batch_max: int = 32
+    #: seconds the runner lingers to let a batch fill
+    batch_window_s: float = 0.01
+    #: suggested client back-off carried in retry replies
+    retry_after_s: float = 0.05
+    #: worker-lease policy for simulation batches
+    service_policy: str = "fair-share"
+    #: wall-clock bound on joining the runner at shutdown
+    shutdown_timeout_s: float = 60.0
+
+
+@dataclass
+class _Submission:
+    spec: str
+    algorithm: str | None
+    tenant: str
+    priority: int
+    weight: float
+    arrival: float
+    future: concurrent.futures.Future = field(
+        default_factory=concurrent.futures.Future
+    )
+    enqueued_at: float = field(default_factory=perf_counter)
+
+
+class JobGateway:
+    """Network gateway over one :class:`~repro.apst.daemon.APSTDaemon`.
+
+    Parameters
+    ----------
+    daemon:
+        The daemon whose verbs are exposed.  Its observability handle
+        instruments the gateway too.
+    config:
+        Traffic-shaping knobs; see :class:`GatewayConfig`.
+    worker_pool:
+        Optional gateway-owned :class:`RemoteWorkerPool`; its endpoints
+        are pre-registered and its processes are reaped at shutdown.
+    """
+
+    def __init__(
+        self,
+        daemon: APSTDaemon,
+        *,
+        config: GatewayConfig | None = None,
+        worker_pool: RemoteWorkerPool | None = None,
+    ) -> None:
+        self._daemon = daemon
+        self._config = config or GatewayConfig()
+        self._obs = daemon.observability
+        from ..service import MultiJobService
+
+        self._service = MultiJobService(
+            daemon, policy=self._config.service_policy
+        )
+        self._pending: "queue.Queue[_Submission]" = queue.Queue(
+            maxsize=self._config.max_queue
+        )
+        self._daemon_lock = threading.Lock()
+        self._endpoints: list[WorkerEndpoint] = []
+        self._remote_backend: RemoteExecutionBackend | None = None
+        self._worker_pool = worker_pool
+        self._draining = False
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_initiated = False
+        self._rejected = 0
+        self._batches = 0
+        self._stop_runner = threading.Event()
+        self._runner = threading.Thread(
+            target=self._runner_loop, daemon=True, name="apstdv-gateway-runner"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        metrics = self._obs.metrics
+        if metrics is not None:
+            self._m_requests = lambda verb, outcome: metrics.counter(
+                "repro_net_requests_total", "Gateway requests handled",
+                labels={"verb": verb, "outcome": outcome},
+            ).inc()
+            self._m_queue_depth = metrics.gauge(
+                "repro_net_queue_depth", "Admission queue occupancy"
+            )
+            self._m_queue_peak = metrics.gauge(
+                "repro_net_queue_depth_peak", "Admission queue high-water mark"
+            )
+            self._m_latency = metrics.histogram(
+                "repro_net_submit_latency_seconds",
+                "Wall seconds from admission-queue entry to job id assignment",
+                buckets=_LATENCY_BUCKETS,
+            )
+            self._m_batch = metrics.histogram(
+                "repro_net_batch_size", "Submissions executed per batch",
+                buckets=_BATCH_BUCKETS,
+            )
+        else:
+            self._m_requests = None
+            self._m_queue_depth = None
+            self._m_queue_peak = None
+            self._m_latency = None
+            self._m_batch = None
+        if worker_pool is not None:
+            for endpoint in worker_pool.endpoints:
+                self._register_endpoint(endpoint)
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def rejected_submissions(self) -> int:
+        """Submissions bounced with the backpressure reply so far."""
+        return self._rejected
+
+    @property
+    def batches_executed(self) -> int:
+        return self._batches
+
+    @property
+    def worker_endpoints(self) -> list[WorkerEndpoint]:
+        return list(self._endpoints)
+
+    def serve_forever(self, *, install_signal_handlers: bool = True) -> None:
+        """Run the gateway on the calling thread until shutdown.
+
+        With ``install_signal_handlers`` (the default), SIGTERM and
+        SIGINT trigger the same graceful shutdown as the ``shutdown``
+        verb -- reject new work, drain admitted jobs, reap workers.
+        """
+        asyncio.run(self._amain(install_signal_handlers))
+
+    def start_in_background(self) -> "JobGateway":
+        """Start the gateway on a daemon thread; returns once listening."""
+        if self._thread is not None:
+            raise ServiceError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._background_main, daemon=True, name="apstdv-gateway"
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise ServiceError("gateway failed to start within 30s")
+        if self._startup_error is not None:
+            raise ServiceError(f"gateway failed to start: {self._startup_error}")
+        return self
+
+    def _background_main(self) -> None:
+        try:
+            asyncio.run(self._amain(False))
+        except BaseException as exc:  # surfaced by start_in_background
+            self._startup_error = exc
+            self._started.set()
+
+    def request_shutdown(self) -> None:
+        """Initiate graceful shutdown; idempotent, safe from any thread."""
+        with self._shutdown_lock:
+            if self._shutdown_initiated:
+                return
+            self._shutdown_initiated = True
+        self._draining = True
+        self._daemon.stop_accepting()
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                loop.call_soon_threadsafe(self._signal_stop)
+            except RuntimeError:
+                pass  # loop closed between the check and the call
+
+    def _signal_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def shutdown(self) -> None:
+        """Graceful blocking shutdown; idempotent (see module docstring)."""
+        self.request_shutdown()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=self._config.shutdown_timeout_s + 30.0)
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until a background-started gateway exits."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "JobGateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    async def _amain(self, install_signal_handlers: bool) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if self._shutdown_initiated:
+            self._stop_event.set()  # shutdown requested before startup
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # platforms/threads without signal support
+        server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._config.host,
+            port=self._config.port,
+            limit=MAX_FRAME_BYTES,
+        )
+        self.host, self.port = server.sockets[0].getsockname()[:2]
+        self._runner.start()
+        self._started.set()
+        _log.info("gateway listening on %s:%s", self.host, self.port)
+        try:
+            await self._stop_event.wait()
+        finally:
+            # reject-new is already in force (request_shutdown set draining);
+            # drain admitted jobs, then stop serving
+            self._draining = True
+            self._daemon.stop_accepting()
+            self._stop_runner.set()
+            await self._loop.run_in_executor(None, self._join_runner)
+            server.close()
+            await server.wait_closed()
+            if self._worker_pool is not None:
+                await self._loop.run_in_executor(None, self._worker_pool.stop)
+            _log.info("gateway shut down cleanly")
+
+    def _join_runner(self) -> None:
+        if self._runner.is_alive():
+            self._runner.join(timeout=self._config.shutdown_timeout_s)
+
+    # -- the batch runner ----------------------------------------------------
+    def _runner_loop(self) -> None:
+        while True:
+            try:
+                first = self._pending.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop_runner.is_set():
+                    return
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self._config.batch_window_s
+            while len(batch) < self._config.batch_max:
+                remaining = deadline - time.monotonic()
+                try:
+                    batch.append(self._pending.get(timeout=max(0.0, remaining)))
+                except queue.Empty:
+                    break
+            try:
+                self._execute_batch(batch)
+            finally:
+                for _ in batch:
+                    self._pending.task_done()
+                if self._m_queue_depth is not None:
+                    self._m_queue_depth.set(self._pending.qsize())
+
+    def _execute_batch(self, batch: list[_Submission]) -> None:
+        start = perf_counter()
+        remote = self._remote_active()
+        admitted = 0
+        for sub in batch:
+            try:
+                with self._daemon_lock:
+                    if remote:
+                        job_id = self._daemon.submit(
+                            sub.spec, algorithm=sub.algorithm
+                        )
+                    else:
+                        job_id = self._service.submit(
+                            sub.spec,
+                            algorithm=sub.algorithm,
+                            tenant=sub.tenant,
+                            priority=sub.priority,
+                            weight=sub.weight,
+                            arrival=sub.arrival,
+                        )
+                admitted += 1
+                if self._m_latency is not None:
+                    self._m_latency.observe(perf_counter() - sub.enqueued_at)
+                sub.future.set_result(job_id)
+            except Exception as exc:
+                sub.future.set_exception(exc)
+        if admitted == 0:
+            return
+        try:
+            if remote:
+                self._daemon.run_pending(raise_on_error=False)
+            else:
+                self._service.run()
+        except Exception as exc:
+            # per-job failures are recorded on the jobs themselves; a
+            # batch-level failure must not kill the gateway
+            _log.error("batch execution failed: %s", exc)
+        self._batches += 1
+        if self._obs.enabled:
+            self._obs.emit(
+                NET_BATCH_EXECUTED,
+                size=len(batch),
+                admitted=admitted,
+                remote=remote,
+                duration_s=perf_counter() - start,
+            )
+            if self._m_batch is not None:
+                self._m_batch.observe(float(admitted))
+
+    def _remote_active(self) -> bool:
+        return (
+            self._remote_backend is not None
+            and len(self._endpoints) >= len(self._daemon.platform.workers)
+        )
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if any(first.startswith(m) for m in _HTTP_METHODS):
+                await self._handle_http(first, reader, writer)
+                return
+            line: bytes | None = first
+            while True:
+                if line is None:
+                    line = await reader.readline()
+                if not line:
+                    return
+                response = await self._dispatch_line(line)
+                writer.write(
+                    json.dumps(response, separators=(",", ":")).encode() + b"\n"
+                )
+                await writer.drain()
+                line = None
+        except (ConnectionResetError, BrokenPipeError, ValueError, asyncio.LimitOverrunError):
+            return  # peer went away or overran the frame bound
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> dict:
+        try:
+            request = parse_frame(line)
+        except FrameError as exc:
+            return error_response("bad_request", str(exc))
+        return await self.handle_request(request)
+
+    async def _handle_http(
+        self, first: bytes, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, path, _version = first.decode("latin-1").split(None, 2)
+        except ValueError:
+            writer.write(b"HTTP/1.1 400 Bad Request\r\n\r\n")
+            await writer.drain()
+            return
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if method == "GET":
+            response = await self._http_get(path.rstrip("/") or "/", writer)
+            if response is None:
+                return  # already written (e.g. /metrics plain text)
+        elif method == "POST":
+            if content_length > MAX_FRAME_BYTES:
+                response = error_response("bad_request", "body too large")
+            else:
+                body = await reader.readexactly(content_length)
+                response = await self._dispatch_line(body or b"{}")
+        else:
+            response = error_response("bad_request", f"unsupported method {method}")
+        payload = json.dumps(response).encode()
+        status = http_status_for(response)
+        reason = _HTTP_REASONS.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + payload
+        )
+        await writer.drain()
+
+    async def _http_get(self, path: str, writer: asyncio.StreamWriter) -> dict | None:
+        if path in ("/", "/healthz"):
+            return await self.handle_request({"verb": "ping"})
+        if path == "/stats":
+            return await self.handle_request({"verb": "stats"})
+        if path == "/status":
+            return await self.handle_request({"verb": "status"})
+        if path == "/metrics" and self._obs.metrics is not None:
+            payload = self._obs.metrics.render_prometheus().encode()
+            writer.write(
+                f"HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
+                f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n".encode(
+                    "latin-1"
+                )
+                + payload
+            )
+            await writer.drain()
+            return None
+        return error_response("not_found", f"no route for GET {path}")
+
+    # -- verb dispatch -------------------------------------------------------
+    async def handle_request(self, request: dict) -> dict:
+        """Answer one protocol request dict (shared by both dialects)."""
+        request_id = request.get("id")
+        verb = request.get("verb")
+        if verb not in VERBS:
+            self._count(str(verb), "bad_request")
+            return error_response(
+                "bad_request",
+                f"unknown verb {verb!r}; expected one of {sorted(VERBS)}",
+                request_id,
+            )
+        try:
+            handler = getattr(self, f"_verb_{verb}")
+            response = await handler(request, request_id)
+            self._count(verb, response.get("status", "ok"))
+            return response
+        except (SpecificationError, ServiceError) as exc:
+            self._count(verb, "error")
+            code = "not_found" if "no job with id" in str(exc) else "conflict"
+            return error_response(code, str(exc), request_id)
+        except ReproError as exc:
+            self._count(verb, "error")
+            return error_response("bad_request", str(exc), request_id)
+        except Exception as exc:  # pragma: no cover - defensive
+            _log.exception("gateway internal error on %s", verb)
+            self._count(verb, "internal")
+            return error_response("internal", f"{type(exc).__name__}: {exc}", request_id)
+
+    def _count(self, verb: str, outcome: str) -> None:
+        if self._obs.enabled:
+            self._obs.emit(NET_REQUEST, verb=verb, outcome=outcome)
+            if self._m_requests is not None:
+                self._m_requests(verb, outcome)
+
+    async def _verb_ping(self, request: dict, request_id) -> dict:
+        return ok_response(
+            request_id,
+            version=PROTOCOL_VERSION,
+            draining=self._draining,
+            workers=len(self._endpoints),
+        )
+
+    async def _verb_submit(self, request: dict, request_id) -> dict:
+        if self._draining:
+            return error_response(
+                "draining", "gateway is draining; new submissions are not accepted",
+                request_id,
+            )
+        spec = request.get("spec")
+        if not spec or not isinstance(spec, str):
+            return error_response(
+                "bad_request", "submit requires a non-empty 'spec' (task XML)",
+                request_id,
+            )
+        submission = _Submission(
+            spec=spec,
+            algorithm=request.get("algorithm"),
+            tenant=str(request.get("tenant", "default")),
+            priority=int(request.get("priority", 0)),
+            weight=float(request.get("weight", 1.0)),
+            arrival=float(request.get("arrival", 0.0)),
+        )
+        try:
+            self._pending.put_nowait(submission)
+        except queue.Full:
+            self._rejected += 1
+            if self._obs.enabled:
+                self._obs.emit(
+                    NET_REQUEST_REJECTED,
+                    verb="submit",
+                    queue_depth=self._pending.qsize(),
+                )
+            return retry_response(
+                f"admission queue full ({self._config.max_queue} slots)",
+                request_id,
+                after_s=self._config.retry_after_s,
+            )
+        if self._m_queue_depth is not None:
+            depth = self._pending.qsize()
+            self._m_queue_depth.set(depth)
+            self._m_queue_peak.max(depth)
+        try:
+            job_id = await asyncio.wrap_future(submission.future)
+        except (SpecificationError, ServiceError) as exc:
+            return error_response("bad_request", str(exc), request_id)
+        return ok_response(request_id, job_id=job_id)
+
+    async def _verb_batch(self, request: dict, request_id) -> dict:
+        requests = request.get("requests")
+        if not isinstance(requests, list) or not requests:
+            return error_response(
+                "bad_request", "batch requires a non-empty 'requests' list", request_id
+            )
+        results = []
+        for i, sub_request in enumerate(requests):
+            if not isinstance(sub_request, dict):
+                results.append(error_response("bad_request", "request must be an object"))
+                continue
+            sub_request.setdefault("verb", "submit")
+            results.append(await self.handle_request(sub_request))
+        ok = sum(1 for r in results if r.get("status") == "ok")
+        return ok_response(request_id, results=results, accepted=ok)
+
+    async def _verb_status(self, request: dict, request_id) -> dict:
+        job_id = request.get("job_id")
+        jobs = (
+            [self._daemon.job(int(job_id))]
+            if job_id is not None
+            else self._daemon.jobs()
+        )
+        return ok_response(request_id, jobs=[self._job_dict(j) for j in jobs])
+
+    @staticmethod
+    def _job_dict(job) -> dict:
+        info = {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "algorithm": job.algorithm,
+            "executable": job.task.executable,
+        }
+        if job.report is not None:
+            info["makespan"] = job.report.makespan
+            info["chunks"] = job.report.num_chunks
+        if job.error:
+            info["error"] = job.error
+        if job.warnings:
+            info["warnings"] = list(job.warnings)
+        return info
+
+    async def _verb_stats(self, request: dict, request_id) -> dict:
+        stats = self._daemon.stats()
+        stats.update(
+            queue_depth=self._pending.qsize(),
+            queue_capacity=self._config.max_queue,
+            rejected=self._rejected,
+            batches=self._batches,
+            workers=len(self._endpoints),
+            remote_active=self._remote_active(),
+        )
+        return ok_response(request_id, stats=stats)
+
+    async def _verb_cancel(self, request: dict, request_id) -> dict:
+        job_id = request.get("job_id")
+        if job_id is None:
+            return error_response("bad_request", "cancel requires 'job_id'", request_id)
+        with self._daemon_lock:
+            job = self._daemon.cancel(int(job_id))
+        return ok_response(request_id, job_id=job.job_id, state=job.state.value)
+
+    async def _verb_outputs(self, request: dict, request_id) -> dict:
+        job_id = request.get("job_id")
+        if job_id is None:
+            return error_response("bad_request", "outputs requires 'job_id'", request_id)
+        job = self._daemon.job(int(job_id))
+        if job.state.value != "done":
+            return error_response(
+                "conflict", f"job {job_id} is {job.state.value}, not done", request_id
+            )
+        return ok_response(request_id, outputs=[str(p) for p in job.outputs])
+
+    async def _verb_drain(self, request: dict, request_id) -> dict:
+        """Stop accepting, run everything admitted, report final stats."""
+        self._draining = True
+        self._daemon.stop_accepting()
+        while self._pending.unfinished_tasks > 0:
+            await asyncio.sleep(0.01)
+        response = await self._verb_stats(request, request_id)
+        response["drained"] = True
+        return response
+
+    async def _verb_shutdown(self, request: dict, request_id) -> dict:
+        # respond first; the loop tears down after the reply is written
+        assert self._loop is not None
+        self._loop.call_soon(self.request_shutdown)
+        return ok_response(request_id, shutting_down=True)
+
+    async def _verb_register_worker(self, request: dict, request_id) -> dict:
+        host = request.get("host")
+        port = request.get("port")
+        if not host or port is None:
+            return error_response(
+                "bad_request", "register_worker requires 'host' and 'port'", request_id
+            )
+        endpoint = WorkerEndpoint(
+            name=str(request.get("name") or f"worker-{host}-{port}"),
+            host=str(host),
+            port=int(port),
+        )
+        assert self._loop is not None
+        reachable = await self._loop.run_in_executor(
+            None, self._probe_endpoint, endpoint
+        )
+        if not reachable:
+            return error_response(
+                "bad_request",
+                f"cannot reach worker at {endpoint.host}:{endpoint.port}",
+                request_id,
+            )
+        self._register_endpoint(endpoint)
+        return ok_response(
+            request_id,
+            registered=len(self._endpoints),
+            remote_active=self._remote_active(),
+        )
+
+    @staticmethod
+    def _probe_endpoint(endpoint: WorkerEndpoint) -> bool:
+        try:
+            with socket.create_connection(endpoint.address, timeout=5.0) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(b'{"cmd": "ping"}\n')
+                stream.flush()
+                reply = stream.readline()
+                return bool(reply) and json.loads(reply).get("status") == "ok"
+        except (OSError, ValueError):
+            return False
+
+    def _register_endpoint(self, endpoint: WorkerEndpoint) -> None:
+        self._endpoints.append(endpoint)
+        if self._obs.enabled:
+            self._obs.emit(
+                NET_WORKER_REGISTERED,
+                worker=endpoint.name,
+                host=endpoint.host,
+                port=endpoint.port,
+                total=len(self._endpoints),
+            )
+        if len(self._endpoints) >= len(self._daemon.platform.workers):
+            workdir = self._daemon.config.base_dir / "gateway_remote"
+            self._remote_backend = RemoteExecutionBackend(
+                self._endpoints,
+                workdir,
+                observability=self._obs if self._obs.enabled else None,
+            )
+            self._daemon.set_backend(self._remote_backend)
+            _log.info(
+                "remote execution active: %d workers for %d grid slots",
+                len(self._endpoints), len(self._daemon.platform.workers),
+            )

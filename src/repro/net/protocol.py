@@ -1,0 +1,154 @@
+"""Wire protocol of the ``repro.net`` subsystem.
+
+One framing rule everywhere: a *frame* is a single JSON object encoded
+as UTF-8 on one line, terminated by ``\\n`` (newline-delimited JSON).
+The gateway, the client SDK, and the socket workers all speak it; the
+gateway additionally answers plain HTTP/1.1 ``POST`` requests carrying
+the same JSON body, so ``curl`` works against a running service.
+
+Requests carry a ``verb`` (see :data:`VERBS`) plus verb-specific
+fields; responses carry a ``status`` of ``"ok"``, ``"error"``, or
+``"retry"``.  ``"retry"`` is the backpressure signal: the gateway's
+bounded admission queue is full and the client should back off and
+resend (HTTP maps it to 429).  Errors carry a machine-readable
+``error_code`` from :data:`ERROR_CODES` and a human ``message``.
+
+Chunk payloads and results ride inside frames as base64 (the
+serialize -> submit -> delimited-result flow): a frame is therefore
+bounded by :data:`MAX_FRAME_BYTES`, and readers must enforce the bound
+so a corrupt peer cannot balloon memory.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import BinaryIO
+
+from ..errors import ReproError
+
+#: Version tag sent in every ``ping`` response; bump on breaking change.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame (newline-delimited JSON line), bytes.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: The gateway's request verbs.
+VERBS = frozenset(
+    {
+        "ping",
+        "submit",
+        "batch",
+        "status",
+        "stats",
+        "cancel",
+        "outputs",
+        "drain",
+        "shutdown",
+        "register_worker",
+    }
+)
+
+#: Machine-readable error codes and the HTTP status each maps to.
+ERROR_HTTP_STATUS = {
+    "queue_full": 429,     # admission queue full -> back off and retry
+    "bad_request": 400,    # malformed frame / missing field / unknown verb
+    "not_found": 404,      # unknown job id
+    "draining": 503,       # gateway is draining; no new submissions
+    "conflict": 409,       # verb not valid in the job's current state
+    "internal": 500,       # unexpected server-side failure
+}
+
+ERROR_CODES = frozenset(ERROR_HTTP_STATUS)
+
+
+class FrameError(ReproError):
+    """A wire frame could not be read, parsed, or validated."""
+
+
+# -- frame I/O over blocking file-like streams ------------------------------
+
+def write_frame(stream: BinaryIO, obj: dict) -> None:
+    """Encode ``obj`` as one newline-delimited JSON frame and flush it."""
+    data = json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES")
+    stream.write(data)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> dict | None:
+    """Read one frame; returns None on clean EOF.
+
+    Raises :class:`FrameError` on oversized or malformed input -- the
+    connection is then unusable (framing is lost) and must be closed.
+    """
+    line = stream.readline(MAX_FRAME_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_FRAME_BYTES:
+        raise FrameError("frame exceeds MAX_FRAME_BYTES; closing connection")
+    return parse_frame(line)
+
+
+def parse_frame(line: bytes | str) -> dict:
+    """Parse one frame line into a dict (the only accepted top level)."""
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FrameError(f"malformed frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError(f"frame must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+# -- payload encoding -------------------------------------------------------
+
+def encode_payload(data: bytes) -> str:
+    """Chunk bytes -> base64 text, safe to embed in a frame."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_payload(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise FrameError(f"bad base64 payload: {exc}") from exc
+
+
+# -- response constructors --------------------------------------------------
+
+def ok_response(request_id: object = None, **fields) -> dict:
+    response = {"status": "ok", **fields}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(code: str, message: str, request_id: object = None) -> dict:
+    if code not in ERROR_CODES:
+        raise FrameError(f"unknown error code {code!r}")
+    response = {"status": "error", "error_code": code, "message": message}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def retry_response(message: str, request_id: object = None, *, after_s: float = 0.05) -> dict:
+    """The backpressure reply: queue full, come back in ``after_s``."""
+    response = {
+        "status": "retry",
+        "error_code": "queue_full",
+        "message": message,
+        "retry_after_s": after_s,
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def http_status_for(response: dict) -> int:
+    """HTTP status code for a protocol response dict."""
+    if response.get("status") == "ok":
+        return 200
+    return ERROR_HTTP_STATUS.get(response.get("error_code", "internal"), 500)

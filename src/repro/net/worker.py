@@ -1,0 +1,214 @@
+"""Socket worker: the remote end of :class:`repro.net.remote`.
+
+Launched as::
+
+    python -m repro.net.worker APP_SPEC WORKDIR [--host H] [--port P]
+                               [--register GATEWAY_HOST:PORT] [--name N]
+                               [--drop-after N]
+
+The worker listens on a TCP port and serves newline-delimited JSON
+frames (see :mod:`repro.net.protocol`) -- the Groundhog-style
+serialize -> ship -> delimited-result flow, one request per frame:
+
+request  ``{"cmd": "process", "chunk_id": 7, "data_b64": "...",
+            "units": 12.0, "min_wall_time": 0.05}``
+reply    ``{"chunk_id": 7, "status": "ok", "result_b64": "...",
+            "wall_time": 0.0512}``
+
+``min_wall_time`` (wall seconds) pads real processing up to the modeled
+compute cost, exactly like the pipe-driven process backend, so reply
+arrival times are meaningful to the scheduler.  ``{"cmd": "ping"}``
+answers liveness probes; ``{"cmd": "shutdown"}`` exits cleanly.  A bad
+chunk is reported as ``{"status": "error", ...}`` and the worker keeps
+serving -- one poisoned chunk must not take the node down.
+
+On startup the worker prints one JSON line to stdout --
+``{"status": "ready", "host": ..., "port": ...}`` -- so launchers can
+discover the ephemeral port; with ``--register`` it also announces
+itself to a gateway's ``register_worker`` verb.  The master owns the
+single active connection; when it drops, the worker loops back to
+``accept`` so a reconnecting master (retransmitting a failed chunk)
+finds it again.
+
+``--drop-after N`` is the failure-injection hook: after serving N
+``process`` requests the worker severs the connection *without
+replying*, simulating a socket killed mid-chunk.  It keeps listening,
+so the master's reconnect + retransmit path is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import socket
+import sys
+import threading
+import time
+
+from ..execution.appspec import load_app
+from .protocol import decode_payload, encode_payload, parse_frame
+
+
+class SocketWorker:
+    """One worker node: an app processor behind a TCP accept loop."""
+
+    def __init__(
+        self,
+        app_spec: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drop_after: int | None = None,
+    ) -> None:
+        self._app = load_app(app_spec)
+        self._drop_after = drop_after
+        self._processed = 0
+        self._shutdown = False
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.5)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    def close(self) -> None:
+        self._shutdown = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def serve_forever(self) -> int:
+        """Accept one master connection at a time until shutdown."""
+        try:
+            while not self._shutdown:
+                try:
+                    conn, _addr = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                with conn:
+                    self._serve_connection(conn)
+        finally:
+            self.close()
+        return 0
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        stream = conn.makefile("rwb")
+        try:
+            for line in stream:
+                try:
+                    request = parse_frame(line)
+                except Exception as exc:
+                    self._reply(stream, {"status": "error",
+                                         "message": f"bad request: {exc}"})
+                    continue
+                cmd = request.get("cmd")
+                if cmd == "ping":
+                    self._reply(stream, {"status": "ok", "cmd": "ping",
+                                         "processed": self._processed})
+                    continue
+                if cmd == "shutdown":
+                    self._reply(stream, {"status": "bye"})
+                    self._shutdown = True
+                    return
+                if cmd != "process":
+                    self._reply(stream, {"status": "error",
+                                         "message": f"unknown cmd {cmd!r}"})
+                    continue
+                self._processed += 1
+                if self._drop_after is not None and self._processed > self._drop_after:
+                    # failure injection: sever the link mid-chunk, no reply;
+                    # disarm so the retransmitted chunk succeeds
+                    self._drop_after = None
+                    return
+                self._reply(stream, self._process(request))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # master went away; back to accept()
+
+    def _process(self, request: dict) -> dict:
+        chunk_id = request.get("chunk_id", -1)
+        try:
+            data = decode_payload(request.get("data_b64", ""))
+            start = time.perf_counter()
+            result = self._app.process(data, units=request.get("units"))
+            pad = float(request.get("min_wall_time", 0.0)) - (
+                time.perf_counter() - start
+            )
+            if pad > 0:
+                time.sleep(pad)
+            return {
+                "chunk_id": chunk_id,
+                "status": "ok",
+                "result_b64": encode_payload(result),
+                "wall_time": time.perf_counter() - start,
+            }
+        except Exception as exc:
+            return {
+                "chunk_id": chunk_id,
+                "status": "error",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+
+    @staticmethod
+    def _reply(stream, obj: dict) -> None:
+        stream.write(json.dumps(obj).encode("utf-8") + b"\n")
+        stream.flush()
+
+
+def _register_with_gateway(gateway: str, name: str, host: str, port: int) -> None:
+    from .client import GatewayClient
+
+    gw_host, _, gw_port = gateway.rpartition(":")
+    with GatewayClient(gw_host or "127.0.0.1", int(gw_port)) as client:
+        client.register_worker(name=name, host=host, port=port)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.net.worker", description="APST-DV socket worker"
+    )
+    parser.add_argument("app_spec", help="application spec (module:Class|{json kwargs})")
+    parser.add_argument("workdir", help="scratch directory (reserved for file payloads)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
+    parser.add_argument("--name", default=None, help="worker name for registration")
+    parser.add_argument("--register", default=None, metavar="HOST:PORT",
+                        help="announce this worker to a gateway")
+    parser.add_argument("--drop-after", type=int, default=None,
+                        help="failure injection: sever the connection without "
+                             "replying after N processed chunks")
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    try:
+        worker = SocketWorker(
+            args.app_spec, host=args.host, port=args.port, drop_after=args.drop_after
+        )
+    except Exception as exc:
+        print(json.dumps({"status": "fatal", "message": str(exc)}), flush=True)
+        return 1
+    signal.signal(signal.SIGTERM, lambda *_: worker.close())
+    print(
+        json.dumps({"status": "ready", "host": worker.host, "port": worker.port}),
+        flush=True,
+    )
+    if args.register:
+        # register from a side thread: the gateway's liveness probe pings
+        # this worker before acknowledging, so the accept loop must already
+        # be serving when the register_worker reply comes back
+        name = args.name or f"worker-{worker.port}"
+
+        def _register() -> None:
+            try:
+                _register_with_gateway(args.register, name, worker.host, worker.port)
+            except Exception as exc:
+                print(json.dumps({"status": "fatal",
+                                  "message": f"registration failed: {exc}"}),
+                      flush=True)
+                worker.close()
+
+        threading.Thread(target=_register, daemon=True,
+                         name="apstdv-worker-register").start()
+    return worker.serve_forever()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

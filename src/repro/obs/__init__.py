@@ -39,6 +39,11 @@ from .events import (
     JOB_SUBMITTED,
     LEASE_GRANTED,
     LEASE_REVOKED,
+    NET_BATCH_EXECUTED,
+    NET_REQUEST,
+    NET_REQUEST_REJECTED,
+    NET_WORKER_LOST,
+    NET_WORKER_REGISTERED,
     OBS_LOGGER_NAME,
     PROBE_FINISHED,
     PROBE_WORKER_MEASURED,
@@ -220,6 +225,11 @@ __all__ = [
     "LEASE_REVOKED",
     "LoggingSink",
     "MetricsRegistry",
+    "NET_BATCH_EXECUTED",
+    "NET_REQUEST",
+    "NET_REQUEST_REJECTED",
+    "NET_WORKER_LOST",
+    "NET_WORKER_REGISTERED",
     "OBS_DISABLED",
     "OBS_LOGGER_NAME",
     "Observability",

@@ -54,6 +54,13 @@ JOB_FAILED = "job.failed"
 LEASE_GRANTED = "lease.granted"
 LEASE_REVOKED = "lease.revoked"
 
+#: Network-gateway events (repro.net: requests, batching, workers).
+NET_REQUEST = "net.request"
+NET_REQUEST_REJECTED = "net.request.rejected"
+NET_BATCH_EXECUTED = "net.batch.executed"
+NET_WORKER_REGISTERED = "net.worker.registered"
+NET_WORKER_LOST = "net.worker.lost"
+
 #: The closed set of event names the bus accepts.
 EVENT_TYPES = frozenset(
     {
@@ -71,6 +78,11 @@ EVENT_TYPES = frozenset(
         JOB_FAILED,
         LEASE_GRANTED,
         LEASE_REVOKED,
+        NET_REQUEST,
+        NET_REQUEST_REJECTED,
+        NET_BATCH_EXECUTED,
+        NET_WORKER_REGISTERED,
+        NET_WORKER_LOST,
     }
 )
 

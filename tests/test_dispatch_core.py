@@ -1,9 +1,10 @@
 """The unified dispatch core: cross-backend parity, retry, observability.
 
-The three backends (simulation, threaded local, worker processes) are
-adapters over one :class:`repro.dispatch.core.DispatchCore`.  These tests
-pin the property that justifies the refactor: the scheduling algorithm
-makes identical decisions no matter which substrate executes them.
+The four backends (simulation, threaded local, worker processes, remote
+socket workers) are adapters over one
+:class:`repro.dispatch.core.DispatchCore`.  These tests pin the property
+that justifies the refactor: the scheduling algorithm makes identical
+decisions no matter which substrate executes them.
 """
 
 import json
@@ -60,9 +61,9 @@ class TestCrossBackendParity:
     ):
         """DETERMINISTIC costs + oracle estimates -> same (units, worker)
 
-        sequence on the simulator, the threaded backend, and the process
-        backend.  This is the refactor's core guarantee: one loop, three
-        substrates, zero behavioral drift.
+        sequence on the simulator, the threaded backend, the process
+        backend, and the remote socket backend.  This is the refactor's
+        core guarantee: one loop, four substrates, zero behavioral drift.
         """
         signatures = {
             kind: chunk_signature(
@@ -70,10 +71,11 @@ class TestCrossBackendParity:
                             stepsize=STEPSIZE, workdir=tmp_path,
                             time_scale=0.01)
             )
-            for kind in ("simulation", "local", "process")
+            for kind in ("simulation", "local", "process", "remote")
         }
         assert signatures["local"] == signatures["simulation"]
         assert signatures["process"] == signatures["simulation"]
+        assert signatures["remote"] == signatures["simulation"]
         assert len(signatures["simulation"]) > 0
 
     def test_signatures_conserve_load(self, grid, load_file, tmp_path):
@@ -220,6 +222,40 @@ class TestRealBackendObservability:
             if e.get("name") == "thread_name"
         }
         assert any("fast" in lane for lane in lanes)  # worker lanes rendered
+
+    def test_remote_run_exports_valid_chrome_trace(self, grid, load_file, tmp_path):
+        """The remote socket backend instruments exactly like the others."""
+        from repro.execution.appspec import app_spec
+        from repro.execution.local import DigestApp
+        from repro.net.remote import RemoteExecutionBackend, RemoteWorkerPool
+
+        obs = Observability.armed()
+        division = UniformBytesDivision(load_file, stepsize=STEPSIZE)
+        with RemoteWorkerPool() as pool:
+            endpoints = pool.spawn(
+                len(grid.workers), app_spec(DigestApp), tmp_path / "workers"
+            )
+            backend = RemoteExecutionBackend(
+                endpoints, tmp_path / "remote_trace", time_scale=0.01
+            )
+            report = backend.execute(
+                grid, make_scheduler("umr"), division, None, probe_units=64.0,
+                options=DispatchOptions(observability=obs),
+            )
+        assert len(obs.ring_events(CHUNK_COMPLETED)) == report.num_chunks
+        trace = build_chrome_trace(
+            reports={1: report},
+            tracer=obs.tracer,
+            worker_names={i: w.name for i, w in enumerate(grid.workers)},
+        )
+        out = write_chrome_trace(tmp_path / "remote_trace.json", trace)
+        loaded = json.loads(out.read_text())
+        assert loaded["traceEvents"]
+        lanes = {
+            e["args"]["name"] for e in loaded["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert any("fast" in lane for lane in lanes)
 
 
 class TestLayering:

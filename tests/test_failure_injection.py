@@ -4,11 +4,15 @@ import pytest
 
 from repro.apst.division import UniformBytesDivision
 from repro.core.registry import make_scheduler
+from repro.dispatch import RetryPolicy
+from repro.dispatch.parity import parity_options
 from repro.errors import ExecutionError
 from repro.execution.appspec import app_spec
-from repro.execution.local import LocalExecutionBackend
+from repro.execution.local import DigestApp, LocalExecutionBackend
 from repro.execution.process_backend import ProcessExecutionBackend
 from repro.execution.testing import FlakyApp, SlowApp
+from repro.net.remote import RemoteExecutionBackend, RemoteWorkerPool
+from repro.obs import CHUNK_RETRANSMITTED, NET_WORKER_LOST, Observability
 from repro.platform.resources import Cluster, Grid
 
 
@@ -114,3 +118,98 @@ class TestProcessBackendFailures:
         report = backend.execute(grid, make_scheduler("simple-1"), division,
                                  None, probe_units=64.0)
         report.validate()
+
+
+class TestRemoteSocketFailures:
+    """A socket killed mid-chunk must retransmit, complete, and not leak."""
+
+    def _spawn_with_one_dropper(self, pool, tmp_path, drop_after=1):
+        """Two workers: worker 0 severs its connection on chunk N+1.
+
+        Under simple-2 with oracle estimates each worker sees exactly two
+        ``process`` requests, so ``drop_after=1`` kills the socket midway
+        through worker 0's second chunk.
+        """
+        pool.spawn(1, app_spec(DigestApp), tmp_path / "workers",
+                   drop_after=drop_after, name_prefix="dropper")
+        pool.spawn(1, app_spec(DigestApp), tmp_path / "workers",
+                   name_prefix="steady")
+        return pool.endpoints
+
+    def test_socket_kill_mid_chunk_retransmits_and_completes(
+        self, grid, division, tmp_path
+    ):
+        """The satellite scenario end to end: worker 0's socket dies without
+        a reply after its second chunk; the reader thread reports the loss,
+        the in-flight chunk fails, RetryPolicy re-ships it, the next send
+        reconnects (the worker is back in accept), and the run completes
+        with the retransmit visible in events, metrics, and annotations.
+        """
+        obs = Observability.armed()
+        with RemoteWorkerPool() as pool:
+            endpoints = self._spawn_with_one_dropper(pool, tmp_path)
+            backend = RemoteExecutionBackend(
+                endpoints, tmp_path / "results", time_scale=0.01,
+                observability=obs,
+            )
+            report = backend.execute(
+                grid, make_scheduler("simple-2"), division, None,
+                options=parity_options(
+                    retry=RetryPolicy(max_attempts=3), observability=obs
+                ),
+            )
+            host = backend.last_substrate.host
+            assert host.disconnects >= 1
+        report.validate()  # load conserved, causality holds after the retry
+        assert report.annotations["retransmitted_chunks"] >= 1
+        retransmits = obs.ring_events(CHUNK_RETRANSMITTED)
+        assert len(retransmits) >= 1
+        assert retransmits[0].fields["attempt"] == 2
+        lost = obs.ring_events(NET_WORKER_LOST)
+        assert len(lost) >= 1
+        assert lost[0].fields["worker"] == "dropper0"
+        counter = obs.metrics.counter("repro_chunks_retransmitted_total")
+        assert counter.value >= 1
+
+    def test_socket_kill_without_retry_policy_fails_fast(
+        self, grid, division, tmp_path
+    ):
+        """Default policy: the lost chunk aborts the run with a clear error."""
+        with RemoteWorkerPool() as pool:
+            endpoints = self._spawn_with_one_dropper(pool, tmp_path)
+            backend = RemoteExecutionBackend(
+                endpoints, tmp_path / "results", time_scale=0.01
+            )
+            with pytest.raises(ExecutionError, match="lost mid-chunk"):
+                backend.execute(
+                    grid, make_scheduler("simple-2"), division, None,
+                    options=parity_options(),
+                )
+
+    def test_pool_stop_leaves_no_live_children(self, grid, division, tmp_path):
+        """Every spawned socket worker is reaped, on success and error paths."""
+        pool = RemoteWorkerPool()
+        endpoints = self._spawn_with_one_dropper(pool, tmp_path)
+        backend = RemoteExecutionBackend(
+            endpoints, tmp_path / "results", time_scale=0.01
+        )
+        with pytest.raises(ExecutionError):
+            backend.execute(
+                grid, make_scheduler("simple-2"), division, None,
+                options=parity_options(),
+            )
+        assert len(pool.processes) == len(grid.workers)
+        pool.stop()
+        pool.stop()  # idempotent
+        for process in pool.processes:
+            assert process.poll() is not None  # exited and reaped
+
+    def test_failed_spawn_reaps_partial_fleet(self, tmp_path):
+        """A bad app spec on worker 2 must not leak worker 1."""
+        pool = RemoteWorkerPool()
+        pool.spawn(1, app_spec(DigestApp), tmp_path / "workers")
+        with pytest.raises(ExecutionError, match="fatal|failed to start"):
+            pool.spawn(1, "no.such.module:Nope", tmp_path / "workers",
+                       name_prefix="bad")
+        for process in pool.processes:
+            assert process.poll() is not None

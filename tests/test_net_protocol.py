@@ -1,0 +1,98 @@
+"""The repro.net wire protocol: framing, payloads, response mapping."""
+
+import io
+import json
+
+import pytest
+
+from repro.net.protocol import (
+    ERROR_HTTP_STATUS,
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_payload,
+    encode_payload,
+    error_response,
+    http_status_for,
+    ok_response,
+    parse_frame,
+    read_frame,
+    retry_response,
+    write_frame,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"verb": "ping", "id": 7})
+        buffer.seek(0)
+        assert read_frame(buffer) == {"verb": "ping", "id": 7}
+        assert read_frame(buffer) is None  # clean EOF
+
+    def test_one_frame_per_line(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"a": 1})
+        write_frame(buffer, {"b": 2})
+        buffer.seek(0)
+        assert read_frame(buffer) == {"a": 1}
+        assert read_frame(buffer) == {"b": 2}
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(FrameError, match="malformed"):
+            parse_frame(b"{not json}\n")
+
+    def test_non_object_top_level_rejected(self):
+        with pytest.raises(FrameError, match="object"):
+            parse_frame(b"[1, 2, 3]\n")
+
+    def test_oversized_frame_rejected_on_read(self):
+        buffer = io.BytesIO(b"x" * (MAX_FRAME_BYTES + 10) + b"\n")
+        with pytest.raises(FrameError, match="MAX_FRAME_BYTES"):
+            read_frame(buffer)
+
+    def test_oversized_frame_rejected_on_write(self):
+        buffer = io.BytesIO()
+        with pytest.raises(FrameError, match="exceeds"):
+            write_frame(buffer, {"data": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestPayloadCodec:
+    def test_round_trip(self):
+        data = bytes(range(256)) * 3
+        assert decode_payload(encode_payload(data)) == data
+
+    def test_payload_embeds_in_frame(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"data_b64": encode_payload(b"\x00\xffbytes")})
+        buffer.seek(0)
+        assert decode_payload(read_frame(buffer)["data_b64"]) == b"\x00\xffbytes"
+
+    def test_bad_base64_raises(self):
+        with pytest.raises(FrameError, match="base64"):
+            decode_payload("not*base64*at*all")
+
+
+class TestResponses:
+    def test_ok_carries_fields_and_id(self):
+        response = ok_response(9, job_id=3)
+        assert response == {"status": "ok", "job_id": 3, "id": 9}
+        assert http_status_for(response) == 200
+
+    def test_error_codes_map_to_http_statuses(self):
+        for code, status in ERROR_HTTP_STATUS.items():
+            assert http_status_for(error_response(code, "boom")) == status
+
+    def test_unknown_error_code_rejected(self):
+        with pytest.raises(FrameError, match="unknown error code"):
+            error_response("made-up", "nope")
+
+    def test_retry_is_the_backpressure_signal(self):
+        response = retry_response("queue full", 4, after_s=0.25)
+        assert response["status"] == "retry"
+        assert response["error_code"] == "queue_full"
+        assert response["retry_after_s"] == 0.25
+        assert http_status_for(response) == 429
+
+    def test_responses_are_json_lines(self):
+        line = json.dumps(ok_response(None, jobs=[])).encode() + b"\n"
+        assert parse_frame(line)["status"] == "ok"

@@ -19,6 +19,7 @@ ALLOWED = {
     "cli.py",  # CLI renderer: stdout is the product
     "apst/console.py",  # interactive console renderer
     "execution/worker_proc.py",  # JSON-lines protocol over stdout
+    "net/worker.py",  # socket worker: stdout carries the ready/fatal announce line
     "workloads/video_callback.py",  # standalone callback script (stderr usage)
 }
 
