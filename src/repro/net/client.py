@@ -39,12 +39,18 @@ class GatewayError(ReproError):
 
     ``code`` is the wire ``error_code`` (see
     :data:`repro.net.protocol.ERROR_HTTP_STATUS`), or ``"unreachable"``
-    when the failure was at the transport layer.
+    when the failure was at the transport layer.  ``request_sent`` is
+    False only when the request provably never reached the wire (the
+    connect itself failed) -- the condition under which even a
+    non-idempotent verb is safe to resend.
     """
 
-    def __init__(self, message: str, *, code: str = "internal") -> None:
+    def __init__(
+        self, message: str, *, code: str = "internal", request_sent: bool = True
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.request_sent = request_sent
 
 
 #: Verbs safe to resend after a mid-flight connection loss.
@@ -113,6 +119,7 @@ class GatewayClient:
             raise GatewayError(
                 f"cannot reach gateway at {self._address[0]}:{self._address[1]}: {exc}",
                 code="unreachable",
+                request_sent=False,
             ) from exc
         self._stream = self._sock.makefile("rwb")
 
@@ -144,7 +151,10 @@ class GatewayClient:
             except GatewayError as exc:
                 if exc.code != "unreachable":
                     raise
-                retry_safe = verb in _RETRY_SAFE_VERBS or self._sock is None
+                # a verb with side effects (submit/cancel/...) may only be
+                # resent when the request bytes provably never went out;
+                # once sent, the gateway may have acted on it
+                retry_safe = verb in _RETRY_SAFE_VERBS or not exc.request_sent
                 if not retry_safe or attempt >= self._max_retries:
                     self.close()
                     raise

@@ -123,6 +123,19 @@ class _Submission:
     )
     enqueued_at: float = field(default_factory=perf_counter)
 
+    def service_metadata(self) -> dict:
+        """Non-default service scheduling fields (empty when plain)."""
+        supplied = {}
+        if self.tenant != "default":
+            supplied["tenant"] = self.tenant
+        if self.priority != 0:
+            supplied["priority"] = self.priority
+        if self.weight != 1.0:
+            supplied["weight"] = self.weight
+        if self.arrival != 0.0:
+            supplied["arrival"] = self.arrival
+        return supplied
+
 
 class JobGateway:
     """Network gateway over one :class:`~repro.apst.daemon.APSTDaemon`.
@@ -365,6 +378,19 @@ class JobGateway:
             try:
                 with self._daemon_lock:
                     if remote:
+                        # remote batches run straight on the daemon, which
+                        # has no tenant/priority/weight/arrival semantics;
+                        # refuse rather than silently schedule differently
+                        # (also catches remote turning active between
+                        # admission and batch execution)
+                        supplied = sub.service_metadata()
+                        if supplied:
+                            raise ServiceError(
+                                "remote execution does not support service "
+                                f"scheduling metadata {sorted(supplied)}; "
+                                "submit with defaults or use the simulation "
+                                "backend"
+                            )
                         job_id = self._daemon.submit(
                             sub.spec, algorithm=sub.algorithm
                         )
@@ -569,14 +595,28 @@ class JobGateway:
                 "bad_request", "submit requires a non-empty 'spec' (task XML)",
                 request_id,
             )
-        submission = _Submission(
-            spec=spec,
-            algorithm=request.get("algorithm"),
-            tenant=str(request.get("tenant", "default")),
-            priority=int(request.get("priority", 0)),
-            weight=float(request.get("weight", 1.0)),
-            arrival=float(request.get("arrival", 0.0)),
-        )
+        try:
+            submission = _Submission(
+                spec=spec,
+                algorithm=request.get("algorithm"),
+                tenant=str(request.get("tenant", "default")),
+                priority=int(request.get("priority", 0)),
+                weight=float(request.get("weight", 1.0)),
+                arrival=float(request.get("arrival", 0.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            return error_response(
+                "bad_request", f"invalid submit field: {exc}", request_id
+            )
+        supplied = submission.service_metadata()
+        if supplied and self._remote_active():
+            return error_response(
+                "conflict",
+                "remote execution is active and does not support service "
+                f"scheduling metadata {sorted(supplied)}; submit with "
+                "defaults or deregister the workers",
+                request_id,
+            )
         try:
             self._pending.put_nowait(submission)
         except queue.Full:
@@ -618,13 +658,25 @@ class JobGateway:
         ok = sum(1 for r in results if r.get("status") == "ok")
         return ok_response(request_id, results=results, accepted=ok)
 
+    @staticmethod
+    def _parse_job_id(value) -> int:
+        """Coerce a wire job_id; non-numeric input is the client's error.
+
+        Raises the base :class:`ReproError`, which ``handle_request``
+        maps to ``bad_request`` (400) -- not ``internal`` (500).
+        """
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise ReproError(f"invalid job_id {value!r}") from None
+
     async def _verb_status(self, request: dict, request_id) -> dict:
         job_id = request.get("job_id")
-        jobs = (
-            [self._daemon.job(int(job_id))]
-            if job_id is not None
-            else self._daemon.jobs()
-        )
+        if job_id is not None:
+            job_id = self._parse_job_id(job_id)
+            jobs = [self._daemon.job(job_id)]
+        else:
+            jobs = self._daemon.jobs()
         return ok_response(request_id, jobs=[self._job_dict(j) for j in jobs])
 
     @staticmethod
@@ -660,15 +712,16 @@ class JobGateway:
         job_id = request.get("job_id")
         if job_id is None:
             return error_response("bad_request", "cancel requires 'job_id'", request_id)
+        job_id = self._parse_job_id(job_id)
         with self._daemon_lock:
-            job = self._daemon.cancel(int(job_id))
+            job = self._daemon.cancel(job_id)
         return ok_response(request_id, job_id=job.job_id, state=job.state.value)
 
     async def _verb_outputs(self, request: dict, request_id) -> dict:
         job_id = request.get("job_id")
         if job_id is None:
             return error_response("bad_request", "outputs requires 'job_id'", request_id)
-        job = self._daemon.job(int(job_id))
+        job = self._daemon.job(self._parse_job_id(job_id))
         if job.state.value != "done":
             return error_response(
                 "conflict", f"job {job_id} is {job.state.value}, not done", request_id

@@ -132,12 +132,28 @@ class RemoteWorkerPool:
         return list(self.endpoints)
 
     def _await_ready(self, process: subprocess.Popen, name: str) -> WorkerEndpoint:
-        deadline = time.monotonic() + self.STARTUP_TIMEOUT_S
         assert process.stdout is not None
-        line = process.stdout.readline()
-        if time.monotonic() > deadline or not line:
+        # readline() has no timeout of its own: do it on a daemon thread
+        # and join with the startup budget, so a child that hangs before
+        # printing its ready line cannot hang spawn() forever
+        ready: list[str] = []
+        reader = threading.Thread(
+            target=lambda: ready.append(process.stdout.readline()),
+            daemon=True,
+            name=f"apstdv-net-await-{name}",
+        )
+        reader.start()
+        reader.join(timeout=self.STARTUP_TIMEOUT_S)
+        if reader.is_alive() or not ready or not ready[0]:
+            if process.poll() is None:  # hung: kill so stderr.read() returns
+                process.kill()
+                process.wait()
             stderr = process.stderr.read() if process.stderr else ""
-            raise ExecutionError(f"net worker {name} failed to start: {stderr}")
+            raise ExecutionError(
+                f"net worker {name} failed to start within "
+                f"{self.STARTUP_TIMEOUT_S:.0f}s: {stderr}"
+            )
+        line = ready[0]
         announce = json.loads(line)
         if announce.get("status") != "ready":
             raise ExecutionError(
@@ -344,9 +360,13 @@ class _RemoteHost:
             conn.stream.write(data)
             conn.stream.flush()
         except (BrokenPipeError, ConnectionResetError, OSError):
-            # stale connection (worker dropped us between chunks): one
-            # reconnect attempt, then give up
-            self._close_conn(conn)
+            # stale connection (worker dropped us between chunks).  Fail
+            # what was in flight on it NOW -- reconnecting bumps the
+            # generation, so the old reader's queued conn_lost will be
+            # discarded as stale and would otherwise strand those chunks
+            # until DRAIN_TIMEOUT_S.  The chunk being sent is excluded:
+            # it is about to go out again on the fresh connection.
+            self._drop_conn(worker_index, exclude_chunk_id=request.get("chunk_id"))
             self._connect(worker_index)
             try:
                 conn.stream.write(data)
@@ -384,9 +404,18 @@ class _RemoteHost:
 
     def _conn_lost(self, index: int, generation: int) -> None:
         """A worker connection dropped: fail its in-flight chunks."""
-        conn = self._conns[index]
-        if generation != conn.generation:
+        if generation != self._conns[index].generation:
             return  # a reader from a connection we already replaced
+        self._drop_conn(index)
+
+    def _drop_conn(self, index: int, *, exclude_chunk_id: int | None = None) -> None:
+        """Close a dead connection and fail the chunks in flight on it.
+
+        Shared by the reader's ``conn_lost`` path and ``_send``'s
+        reconnect path; ``exclude_chunk_id`` names a chunk the caller is
+        about to resend itself (it must not also be queued for retry).
+        """
+        conn = self._conns[index]
         self._disconnects += 1
         self._close_conn(conn)
         if self._obs.enabled:
@@ -401,7 +430,11 @@ class _RemoteHost:
             )
         # chunks mid-compute on that worker will never reply: fail each so
         # the core's RetryPolicy can retransmit (the next send reconnects)
-        lost = [c for c in self._inflight.values() if c.worker_index == index]
+        lost = [
+            c
+            for c in self._inflight.values()
+            if c.worker_index == index and c.chunk_id != exclude_chunk_id
+        ]
         for chunk in lost:
             self._inflight.pop(chunk.chunk_id, None)
             self._core.chunk_failed(

@@ -1,5 +1,6 @@
 """The job-submission gateway: verbs, batching, backpressure, shutdown."""
 
+import asyncio
 import contextlib
 import json
 import socket
@@ -127,6 +128,132 @@ class TestVerbs:
                 stream.write(b'{"verb": "ping"}\n')
                 stream.flush()
                 assert json.loads(stream.readline())["status"] == "ok"
+
+
+class TestClientRetrySemantics:
+    """At-most-once submit: a connection lost mid-flight must raise, not
+    silently resend (the gateway may already have admitted the job)."""
+
+    @staticmethod
+    def _fake_server():
+        server = socket.create_server(("127.0.0.1", 0))
+        server.settimeout(2.0)
+        return server
+
+    def test_connection_lost_mid_submit_raises_and_never_resends(self):
+        server = self._fake_server()
+        received = []
+
+        def serve():
+            # read the submit, then close without replying; a second
+            # connection would carry the forbidden silent resend
+            for _ in range(2):
+                try:
+                    conn, _ = server.accept()
+                except TimeoutError:
+                    return
+                with conn:
+                    line = conn.makefile("rb").readline()
+                    if line:
+                        received.append(json.loads(line))
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        host, port = server.getsockname()[:2]
+        client = GatewayClient(host, port, timeout_s=5.0, max_retries=4,
+                               backoff_base_s=0.01)
+        with pytest.raises(GatewayError) as exc_info:
+            client.submit("<task/>")
+        assert exc_info.value.code == "unreachable"
+        thread.join(timeout=10)
+        server.close()
+        assert len(received) == 1  # exactly one submit hit the wire
+
+    def test_read_only_verb_reconnects_and_retries(self):
+        server = self._fake_server()
+
+        def serve():
+            conn, _ = server.accept()  # first attempt: drop without replying
+            with conn:
+                conn.makefile("rb").readline()
+            conn2, _ = server.accept()  # retry: answer properly
+            with conn2:
+                stream = conn2.makefile("rwb")
+                request = json.loads(stream.readline())
+                stream.write(json.dumps(
+                    {"status": "ok", "id": request["id"]}
+                ).encode() + b"\n")
+                stream.flush()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        host, port = server.getsockname()[:2]
+        client = GatewayClient(host, port, timeout_s=5.0, max_retries=4,
+                               backoff_base_s=0.01)
+        assert client.ping()["status"] == "ok"
+        assert client.stats.reconnects == 1
+        thread.join(timeout=10)
+        server.close()
+        client.close()
+
+
+class TestRemoteModeMetadata:
+    """Service scheduling metadata must be rejected, not silently dropped,
+    while remote execution is active (remote batches bypass the service)."""
+
+    def test_submit_with_metadata_is_a_conflict_when_remote(self, workspace,
+                                                            monkeypatch):
+        gateway = JobGateway(_daemon(workspace))
+        monkeypatch.setattr(gateway, "_remote_active", lambda: True)
+        response = asyncio.run(gateway.handle_request(
+            {"verb": "submit", "spec": TASK_XML, "tenant": "acme",
+             "priority": 5}
+        ))
+        assert response["status"] == "error"
+        assert response["error_code"] == "conflict"
+        assert "tenant" in response["message"]
+
+    def test_batch_runner_guards_the_admission_race(self, workspace,
+                                                    monkeypatch):
+        """Remote can turn active between admission and batch execution
+        (register_worker mid-flight); the runner must still refuse."""
+        from repro.errors import ServiceError
+        from repro.net.gateway import _Submission
+
+        gateway = JobGateway(_daemon(workspace))
+        monkeypatch.setattr(gateway, "_remote_active", lambda: True)
+        submission = _Submission(spec=TASK_XML, algorithm=None, tenant="acme",
+                                 priority=0, weight=1.0, arrival=0.0)
+        gateway._execute_batch([submission])
+        with pytest.raises(ServiceError, match="service scheduling metadata"):
+            submission.future.result(timeout=1)
+
+    def test_default_metadata_is_not_flagged(self):
+        from repro.net.gateway import _Submission
+
+        submission = _Submission(spec=TASK_XML, algorithm=None,
+                                 tenant="default", priority=0, weight=1.0,
+                                 arrival=0.0)
+        assert submission.service_metadata() == {}
+
+
+class TestJobIdValidation:
+    def test_non_numeric_job_id_is_bad_request_not_internal(self, workspace):
+        gateway = JobGateway(_daemon(workspace))
+        for verb in ("status", "cancel", "outputs"):
+            response = asyncio.run(gateway.handle_request(
+                {"verb": verb, "job_id": "nope"}
+            ))
+            assert response["status"] == "error", verb
+            assert response["error_code"] == "bad_request", verb
+
+    def test_non_numeric_submit_fields_are_bad_request(self, workspace):
+        gateway = JobGateway(_daemon(workspace))
+        response = asyncio.run(gateway.handle_request(
+            {"verb": "submit", "spec": TASK_XML, "priority": "urgent"}
+        ))
+        assert response["status"] == "error"
+        assert response["error_code"] == "bad_request"
 
 
 class TestBackpressure:

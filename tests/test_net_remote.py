@@ -95,6 +95,70 @@ class TestSocketWorkerProtocol:
         assert worker_conn({"cmd": "shutdown"})["status"] == "bye"
 
 
+class TestWorkerPoolStartup:
+    def test_await_ready_times_out_on_hung_child(self, monkeypatch):
+        """A child that never prints its ready line must not hang spawn():
+        the startup budget applies to the readline itself, and the hung
+        child is killed, not leaked.
+        """
+        monkeypatch.setattr(RemoteWorkerPool, "STARTUP_TIMEOUT_S", 0.5)
+        pool = RemoteWorkerPool()
+        process = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, bufsize=1,
+        )
+        pool._processes.append(process)
+        start = time.monotonic()
+        with pytest.raises(ExecutionError, match="failed to start within"):
+            pool._await_ready(process, "hung0")
+        assert time.monotonic() - start < 10  # bounded, not readline-forever
+        assert process.poll() is not None  # killed and reaped
+        pool.stop()
+
+
+class _RecordingCore:
+    """Stands in for DispatchCore: records chunk_failed calls."""
+
+    def __init__(self):
+        self.failed = []
+
+    def chunk_failed(self, chunk, message):
+        self.failed.append(chunk.chunk_id)
+
+
+class TestSendReconnectRace:
+    def test_drop_conn_fails_inflight_except_the_resent_chunk(self, grid,
+                                                              tmp_path):
+        """Regression: when _send detects the dead connection (write fails)
+        and reconnects, the generation bump makes the old reader's queued
+        conn_lost stale -- so _send itself must fail the chunks in flight
+        on the old connection (minus the one it is about to resend), or
+        they stall until DRAIN_TIMEOUT_S.
+        """
+        from repro.execution.local import ScaledWallClock
+        from repro.net.remote import _RemoteHost
+        from repro.obs import OBS_DISABLED
+        from repro.simulation.trace import ChunkTrace
+
+        endpoints = [WorkerEndpoint(name=f"w{i}", host="127.0.0.1", port=1)
+                     for i in range(2)]
+        host = _RemoteHost(grid, endpoints, tmp_path / "results",
+                           ScaledWallClock(0.01), 0.01, OBS_DISABLED)
+        core = _RecordingCore()
+        host.bind(core)
+
+        def chunk(chunk_id, worker_index):
+            return ChunkTrace(chunk_id=chunk_id, worker_index=worker_index,
+                              worker_name=f"w{worker_index}", units=1.0,
+                              offset=0.0, round_index=0, phase="steady")
+
+        host._inflight = {3: chunk(3, 0), 7: chunk(7, 0), 9: chunk(9, 1)}
+        host._drop_conn(0, exclude_chunk_id=7)
+        assert core.failed == [3]  # 7 is being resent; 9 is another worker
+        assert set(host._inflight) == {7, 9}
+        assert host.disconnects == 1
+
+
 class TestRemoteBackendValidation:
     def test_requires_one_endpoint_per_grid_worker(self, grid, division, tmp_path):
         endpoint = WorkerEndpoint(name="only", host="127.0.0.1", port=1)
