@@ -12,9 +12,10 @@ workers): the object under test is the network path -- framing,
 admission, batching, drain -- not the scheduler.
 
 Results (throughput, p50/p99/mean submit latency, backpressure counts)
-are written to ``benchmarks/BENCH_net_gateway.json`` -- the committed
-copy tracks the numbers this grew up with; re-run the bench to refresh
-them for your machine.
+are appended to ``benchmarks/BENCH_net_gateway.json`` as one record of
+the benchmark trajectory (see ``_trajectory.py``); the committed copy
+tracks the numbers this grew up with, and CI gates the newest p99
+against the recorded history.
 """
 
 import json
@@ -23,6 +24,8 @@ import sys
 import threading
 import time
 from pathlib import Path
+
+import _trajectory
 
 from repro.apst.daemon import APSTDaemon, DaemonConfig
 from repro.net import GatewayClient, GatewayConfig, JobGateway
@@ -111,7 +114,15 @@ def test_gateway_sustains_1000_concurrent_submissions(tmp_path):
             "max": round(max(latencies), 4),
         },
     }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    _trajectory.append(
+        RESULTS_PATH,
+        {
+            "throughput_jobs_per_s": results["throughput_jobs_per_s"],
+            "submit_p50_s": results["submit_latency_s"]["p50"],
+            "submit_p99_s": results["submit_latency_s"]["p99"],
+        },
+        latest=results,
+    )
     print(f"gateway load: {json.dumps(results)}", file=sys.stderr)
 
     # zero lost jobs: everything submitted was admitted and finished

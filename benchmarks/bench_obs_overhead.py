@@ -10,7 +10,13 @@ configurations and compares against the no-op default (``OBS_DISABLED``):
   5 % (DESIGN.md section 4.4); measures ~2 % on a quiet machine;
 * **full collection** (ring-buffer event bus + metrics + tracer +
   profiler, i.e. ``Observability.armed()``) -- buys a structured record
-  of every chunk and measures ~10-20 % on this trace.
+  of every chunk and measures ~10-20 % on this trace;
+* **distributed** (full collection + an active trace context, the
+  daemon's state while running a gateway-submitted traced job) -- adds
+  span-identity assignment and a per-chunk dispatch span on top of full
+  collection; budget 5 % over *armed* (the distributed machinery must
+  be nearly free relative to what collection already costs, and exactly
+  free when ``OBS_DISABLED`` -- the no-op baseline is that path).
 
 Timing interleaves the configurations and takes min-of-N
 ``process_time`` per configuration (the minimum discards interference,
@@ -19,30 +25,47 @@ over the design budgets: shared CI boxes show +/-20 % CPU-speed swings
 at this timescale, and a flaky tight gate is worse than a loose one --
 the gates exist to catch a gross regression (an accidental allocation
 or syscall on the disabled/hot path), while the printed ratios and the
-persisted results file track the real numbers.
+persisted trajectory (``BENCH_obs_overhead.json``, gated by CI against
+its own history) track the real numbers.
 """
 
 import sys
 import time
+from pathlib import Path
 
+import _trajectory
 from _support import RESULTS_DIR
 from bench_multijob_service import service_trace
 
-from repro.obs import EngineProfiler, Observability
+from repro.obs import EngineProfiler, Observability, TraceContext
 from repro.platform.presets import das2_cluster
 from repro.service import ServiceClock
 
+TRAJECTORY_PATH = Path(__file__).parent / "BENCH_obs_overhead.json"
+
 #: DESIGN.md section 4.4 budget for the engine's own instrumentation.
 ENGINE_BUDGET = 1.05
+#: Distributed identity/span budget, relative to plain full collection.
+DISTRIBUTED_BUDGET = 1.05
 #: Gate ceilings = budget + timer-noise headroom (see module docstring).
 ENGINE_GATE = 1.25
 FULL_COLLECTION_GATE = 1.60
+DISTRIBUTED_GATE = 1.30
 REPEATS = 9
+
+
+def _distributed() -> Observability:
+    """Full collection with an active trace context (traced-job state)."""
+    obs = Observability.armed(distributed=True)
+    obs.tracer.set_context(TraceContext.new_root(obs.tracer))
+    return obs
+
 
 _CONFIGS = {
     "no-op": lambda: None,
     "engine": lambda: Observability(profiler=EngineProfiler()),
     "armed": Observability.armed,
+    "distributed": _distributed,
 }
 
 
@@ -72,19 +95,32 @@ def test_instrumentation_overhead_within_budget():
     base = best["no-op"]
     engine_ratio = best["engine"] / base
     armed_ratio = best["armed"] / base
+    distributed_over_armed = best["distributed"] / best["armed"]
 
     summary = (
         f"obs overhead: no-op={base * 1e3:.1f}ms "
         f"engine={best['engine'] * 1e3:.1f}ms (x{engine_ratio:.3f}, "
         f"budget {ENGINE_BUDGET}) "
-        f"armed={best['armed'] * 1e3:.1f}ms (x{armed_ratio:.3f})"
+        f"armed={best['armed'] * 1e3:.1f}ms (x{armed_ratio:.3f}) "
+        f"distributed={best['distributed'] * 1e3:.1f}ms "
+        f"(x{distributed_over_armed:.3f} over armed, "
+        f"budget {DISTRIBUTED_BUDGET})"
     )
     print(summary, file=sys.stderr)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "obs_overhead.txt").write_text(summary + "\n")
+    _trajectory.append(
+        TRAJECTORY_PATH,
+        {
+            "engine_ratio": round(engine_ratio, 4),
+            "armed_ratio": round(armed_ratio, 4),
+            "distributed_over_armed_ratio": round(distributed_over_armed, 4),
+        },
+    )
 
     assert engine_ratio <= ENGINE_GATE, summary
     assert armed_ratio <= FULL_COLLECTION_GATE, summary
+    assert distributed_over_armed <= DISTRIBUTED_GATE, summary
 
 
 def test_armed_run_actually_collected():

@@ -44,6 +44,7 @@ from ..obs import (
     JOB_SUBMITTED,
     OBS_DISABLED,
     Observability,
+    parse_traceparent,
 )
 from ..platform.resources import Grid
 from ..simulation.master import SimulatedMaster, SimulationOptions
@@ -92,6 +93,8 @@ class Job:
     outputs: list[Path] = field(default_factory=list)
     #: pre-flight warnings recorded at run time (errors fail the job)
     warnings: list[str] = field(default_factory=list)
+    #: distributed trace context the submitter propagated (W3C-style header)
+    traceparent: str | None = None
 
 
 @dataclass
@@ -203,12 +206,21 @@ class APSTDaemon:
                 labels={"outcome": outcome},
             ).inc()
 
-    def submit(self, task: TaskSpec | str | Path, *, algorithm: str | None = None) -> int:
+    def submit(
+        self,
+        task: TaskSpec | str | Path,
+        *,
+        algorithm: str | None = None,
+        traceparent: str | None = None,
+    ) -> int:
         """Queue a task (XML string, file path, or parsed spec); returns job id.
 
         ``algorithm`` overrides the spec's ``algorithm=`` attribute, which
         is how the evaluation runs the same application "back-to-back"
-        under every DLS algorithm.
+        under every DLS algorithm.  ``traceparent`` carries the
+        submitter's distributed trace context; when set (and the daemon
+        is armed with a tracer), every span the job's run records links
+        into that trace.
         """
         if self._draining:
             raise SpecificationError(
@@ -217,7 +229,10 @@ class APSTDaemon:
         if not isinstance(task, TaskSpec):
             task = parse_task(task)
         name = algorithm or task.divisibility.algorithm
-        job = Job(job_id=next(self._ids), task=task, algorithm=name)
+        job = Job(
+            job_id=next(self._ids), task=task, algorithm=name,
+            traceparent=traceparent,
+        )
         self._jobs[job.job_id] = job
         if self._obs.enabled:
             self._obs.emit(
@@ -395,6 +410,24 @@ class APSTDaemon:
             self._count_job_event("done")
 
     def _run_job(self, job: Job) -> None:
+        tracer = self._obs.tracer
+        context = (
+            parse_traceparent(job.traceparent) if tracer is not None else None
+        )
+        if context is None:
+            self._run_job_inner(job)
+            return
+        # Activate the submitter's trace context for the duration of the
+        # run: the job.run span parents to the gateway's submit span, and
+        # every nested span (probe, engine.run, per-chunk dispatch) links
+        # under it -- across the wire, the workers' spans link back here.
+        with tracer.activate(context), tracer.span(
+            "job.run", category="daemon",
+            job_id=job.job_id, algorithm=job.algorithm,
+        ):
+            self._run_job_inner(job)
+
+    def _run_job_inner(self, job: Job) -> None:
         job.state = JobState.RUNNING
         try:
             prepared = self.prepare(job.job_id)

@@ -253,6 +253,28 @@ def _cmd_service(args: argparse.Namespace) -> int:
 def _cmd_trace_export(args: argparse.Namespace) -> int:
     from .obs import build_chrome_trace, write_chrome_trace
 
+    if args.distributed:
+        from .net import GatewayClient
+
+        with GatewayClient(args.gateway_host, args.gateway_port) as client:
+            store = client.trace()
+        trace = build_chrome_trace(
+            distributed_spans=store.get("spans", []),
+            metadata={
+                "clock_offsets": store.get("clock_offsets", {}),
+                "processes": store.get("processes", []),
+                "trace_ids": store.get("trace_ids", []),
+            },
+        )
+        out = write_chrome_trace(args.out, trace)
+        print(
+            f"distributed chrome trace written to {out} "
+            f"({len(trace['traceEvents'])} events; open at https://ui.perfetto.dev)"
+        )
+        return 0
+    if args.task is None:
+        print("trace export: 'task' is required unless --distributed is given")
+        return 2
     obs = Observability.armed()
     platform = _load_platform(args.platform)
     daemon = APSTDaemon(
@@ -326,7 +348,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .net import GatewayConfig, JobGateway, RemoteWorkerPool
 
     platform = _load_platform(args.platform)
-    observability = Observability.armed() if args.obs else None
+    want_obs = args.obs or bool(args.trace_out)
+    observability = Observability.armed(distributed=True) if want_obs else None
     daemon = APSTDaemon(
         platform,
         config=DaemonConfig(
@@ -358,6 +381,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for signum in (_signal.SIGTERM, _signal.SIGINT):
         _signal.signal(signum, lambda *_: gateway.request_shutdown())
     gateway.join()
+    if args.trace_out:
+        gateway.export_trace(args.trace_out)
+        print(f"distributed trace written to {args.trace_out}")
     print("gateway stopped")
     return 0
 
@@ -504,7 +530,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_export = trace_sub.add_parser(
         "export", help="run one task instrumented and export a Chrome trace"
     )
-    trace_export.add_argument("task", help="path to the task XML specification")
+    trace_export.add_argument("task", nargs="?", default=None,
+                              help="path to the task XML specification "
+                                   "(not needed with --distributed)")
     trace_export.add_argument("--out", default="trace.json", metavar="PATH",
                               help="output path (default: trace.json)")
     trace_export.add_argument("--platform", default="das2")
@@ -512,6 +540,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace_export.add_argument("--base-dir", default=".")
     trace_export.add_argument("--gamma", type=float, default=0.0)
     trace_export.add_argument("--seed", type=int, default=None)
+    trace_export.add_argument("--distributed", action="store_true",
+                              help="fetch the merged cross-process trace from "
+                                   "a running gateway instead of running a task")
+    trace_export.add_argument("--gateway-host", default="127.0.0.1",
+                              help="gateway host for --distributed")
+    trace_export.add_argument("--gateway-port", type=int, default=0,
+                              help="gateway port for --distributed")
     trace_export.set_defaults(func=_cmd_trace_export)
 
     metrics = sub.add_parser(
@@ -550,6 +585,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "remotely instead of simulating")
     serve.add_argument("--app", default="repro.execution.local:DigestApp",
                        help="application spec the spawned workers run")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the merged distributed trace (Chrome "
+                            "trace-event JSON) at shutdown; implies --obs")
     serve.add_argument("--obs", action="store_true",
                        help="arm observability (events, metrics, GET /metrics)")
     serve.set_defaults(func=_cmd_serve)

@@ -176,6 +176,10 @@ class DispatchCore:
         self._max_round = -1
         self._plan_seconds = 0.0
         self._plan_calls = 0
+        # Distributed tracing: one open span per in-flight chunk, created
+        # only when a trace context is active on the tracer (remote runs
+        # under the gateway); plain armed runs pay nothing extra.
+        self._chunk_spans: dict[int, object] = {}
         metrics = self._obs.metrics
         if metrics is not None:
             self._m_dispatched = metrics.counter(
@@ -259,6 +263,35 @@ class DispatchCore:
         """Result files of the run, ordered by chunk offset in the load."""
         ordered = sorted(self._chunks, key=lambda c: c.offset)
         return [self._results[c.chunk_id] for c in ordered if c.chunk_id in self._results]
+
+    # -- distributed tracing --------------------------------------------------
+    def _open_chunk_span(self, chunk: ChunkTrace) -> None:
+        tracer = self._obs.tracer
+        if tracer is None or tracer.context is None:
+            return
+        self._chunk_spans[chunk.chunk_id] = tracer.start_span(
+            "chunk.dispatch",
+            category="dispatch",
+            chunk_id=chunk.chunk_id,
+            worker=chunk.worker_name,
+            units=chunk.units,
+            lane=chunk.worker_index + 1,
+        )
+
+    def _finish_chunk_span(self, chunk: ChunkTrace, **extra_args) -> None:
+        open_span = self._chunk_spans.pop(chunk.chunk_id, None)
+        if open_span is not None:
+            self._obs.tracer.finish(open_span, **extra_args)
+
+    def trace_parent_for(self, chunk_id: int) -> str | None:
+        """Traceparent header naming the chunk's dispatch span as parent.
+
+        Network transports attach it to the chunk request so the remote
+        worker's ``chunk.process`` span links to this process's
+        ``chunk.dispatch`` span.  None when no trace context is active.
+        """
+        open_span = self._chunk_spans.get(chunk_id)
+        return open_span.traceparent if open_span is not None else None
 
     # -- phases -------------------------------------------------------------
     def _probe(self) -> None:
@@ -438,6 +471,7 @@ class DispatchCore:
         state.outstanding += 1
         state.outstanding_units += extent.units
         self._outstanding += 1
+        self._open_chunk_span(chunk)
         self._scheduler.notify_dispatched(self._info(chunk))
         self._transport.send(chunk, extent)
 
@@ -448,6 +482,7 @@ class DispatchCore:
         state.outstanding_units += chunk.units
         self._outstanding += 1
         chunk.send_start = self._clock.now()
+        self._open_chunk_span(chunk)
         self._transport.send(chunk, self._extents[chunk.chunk_id])
 
     # -- substrate callbacks ------------------------------------------------
@@ -468,6 +503,7 @@ class DispatchCore:
         self._outstanding -= 1
         if result_path is not None:
             self._results[chunk.chunk_id] = result_path
+        self._finish_chunk_span(chunk, compute_time=chunk.compute_time)
         now = self._clock.now()
         if self._obs.enabled:
             if self._bus is not None:
@@ -505,6 +541,7 @@ class DispatchCore:
         the same extent over the serialized link and the report counts
         the extra shipment under ``retransmitted_chunks``.
         """
+        self._finish_chunk_span(chunk, error=message)
         attempts = self._attempts.get(chunk.chunk_id, 1)
         if attempts >= self._options.retry.max_attempts:
             raise ExecutionError(message)

@@ -54,7 +54,7 @@ class GatewayError(ReproError):
 
 
 #: Verbs safe to resend after a mid-flight connection loss.
-_RETRY_SAFE_VERBS = frozenset({"ping", "status", "stats", "outputs"})
+_RETRY_SAFE_VERBS = frozenset({"ping", "status", "stats", "outputs", "trace"})
 
 #: Job states that end the wait() poll loop.
 _TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
@@ -226,8 +226,14 @@ class GatewayClient:
         priority: int = 0,
         weight: float = 1.0,
         arrival: float = 0.0,
+        traceparent: str | None = None,
     ) -> int:
-        """Submit one task spec (XML text); returns the assigned job id."""
+        """Submit one task spec (XML text); returns the assigned job id.
+
+        ``traceparent`` (W3C ``00-<trace>-<span>-01``) joins the job to
+        an existing distributed trace; without it the gateway starts a
+        fresh trace per submission.
+        """
         start = time.perf_counter()
         fields: dict = {
             "spec": spec, "tenant": tenant, "priority": priority,
@@ -235,6 +241,8 @@ class GatewayClient:
         }
         if algorithm is not None:
             fields["algorithm"] = algorithm
+        if traceparent is not None:
+            fields["traceparent"] = traceparent
         response = self.request("submit", **fields)
         self.stats.submit_latencies.append(time.perf_counter() - start)
         return int(response["job_id"])
@@ -262,6 +270,17 @@ class GatewayClient:
 
     def shutdown_server(self) -> dict:
         return self.request("shutdown")
+
+    def push_telemetry(self, batch: dict, *, process: str | None = None) -> dict:
+        """Push one telemetry batch (spans/events/metrics) to the gateway."""
+        fields: dict = {"batch": batch}
+        if process is not None:
+            fields["process"] = process
+        return self.request("telemetry", **fields)
+
+    def trace(self) -> dict:
+        """The gateway's merged cross-process trace store (clock-corrected)."""
+        return self.request("trace")["trace"]
 
     def register_worker(self, host: str, port: int, *, name: str | None = None) -> dict:
         fields: dict = {"host": host, "port": port}

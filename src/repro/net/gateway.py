@@ -50,6 +50,7 @@ import signal
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -60,7 +61,11 @@ from ..obs import (
     NET_REQUEST,
     NET_REQUEST_REJECTED,
     NET_WORKER_REGISTERED,
+    TelemetryAggregator,
+    TraceContext,
     get_logger,
+    new_trace_id,
+    parse_traceparent,
 )
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -108,6 +113,9 @@ class GatewayConfig:
     service_policy: str = "fair-share"
     #: wall-clock bound on joining the runner at shutdown
     shutdown_timeout_s: float = 60.0
+    #: seconds of uninterrupted admission-queue saturation (429ing with
+    #: no successful admission) before /healthz reports degraded (503)
+    degraded_window_s: float = 5.0
 
 
 @dataclass
@@ -118,6 +126,9 @@ class _Submission:
     priority: int
     weight: float
     arrival: float
+    #: trace context the daemon-side job runs under (the gateway's
+    #: submit span is its parent); None when tracing is off
+    traceparent: str | None = None
     future: concurrent.futures.Future = field(
         default_factory=concurrent.futures.Future
     )
@@ -179,6 +190,17 @@ class JobGateway:
         self._shutdown_initiated = False
         self._rejected = 0
         self._batches = 0
+        # Telemetry aggregation: arm automatically whenever observability
+        # is on (OBS_DISABLED keeps the whole path a no-op).  The handle
+        # is shared with the daemon, so the remote backend's host finds
+        # the same aggregator through it.
+        if self._obs.enabled and self._obs.aggregator is None:
+            self._obs.aggregator = TelemetryAggregator()
+        # Sustained-saturation tracking for the /healthz degraded signal:
+        # set at the first 429, cleared by the next successful admission.
+        self._saturated_since: float | None = None
+        #: (unix time, depth) samples -- the queue-depth time series
+        self._queue_depth_series: deque = deque(maxlen=4096)
         self._stop_runner = threading.Event()
         self._runner = threading.Thread(
             target=self._runner_loop, daemon=True, name="apstdv-gateway-runner"
@@ -211,12 +233,18 @@ class JobGateway:
                 "repro_net_batch_size", "Submissions executed per batch",
                 buckets=_BATCH_BUCKETS,
             )
+            self._m_e2e = metrics.histogram(
+                "repro_net_job_e2e_seconds",
+                "Wall seconds from submit arrival to job outcome",
+                buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0),
+            )
         else:
             self._m_requests = None
             self._m_queue_depth = None
             self._m_queue_peak = None
             self._m_latency = None
             self._m_batch = None
+            self._m_e2e = None
         if worker_pool is not None:
             for endpoint in worker_pool.endpoints:
                 self._register_endpoint(endpoint)
@@ -369,6 +397,7 @@ class JobGateway:
                     self._pending.task_done()
                 if self._m_queue_depth is not None:
                     self._m_queue_depth.set(self._pending.qsize())
+                self._sample_queue_depth()
 
     def _execute_batch(self, batch: list[_Submission]) -> None:
         start = perf_counter()
@@ -392,7 +421,8 @@ class JobGateway:
                                 "backend"
                             )
                         job_id = self._daemon.submit(
-                            sub.spec, algorithm=sub.algorithm
+                            sub.spec, algorithm=sub.algorithm,
+                            traceparent=sub.traceparent,
                         )
                     else:
                         job_id = self._service.submit(
@@ -420,6 +450,7 @@ class JobGateway:
             # per-job failures are recorded on the jobs themselves; a
             # batch-level failure must not kill the gateway
             _log.error("batch execution failed: %s", exc)
+        self._sync_daemon_telemetry()
         self._batches += 1
         if self._obs.enabled:
             self._obs.emit(
@@ -437,6 +468,85 @@ class JobGateway:
             self._remote_backend is not None
             and len(self._endpoints) >= len(self._daemon.platform.workers)
         )
+
+    # -- telemetry aggregation -----------------------------------------------
+    def _sample_queue_depth(self) -> None:
+        self._queue_depth_series.append((time.time(), self._pending.qsize()))
+
+    def _sync_daemon_telemetry(self) -> None:
+        """Pull the daemon tracer's fresh spans into the trace store."""
+        aggregator = self._obs.aggregator
+        if aggregator is not None and self._obs.tracer is not None:
+            aggregator.sync_tracer(self._obs.tracer, process="daemon")
+
+    def _begin_trace(self, request: dict) -> dict | None:
+        """Open the gateway.submit span of a distributed trace.
+
+        Continues the client's trace when the request carries a valid
+        ``traceparent``; starts a fresh trace otherwise.  Returns the
+        identity the matching :meth:`_end_trace` call records, or None
+        when tracing is not armed.
+        """
+        tracer = self._obs.tracer
+        if tracer is None or self._obs.aggregator is None:
+            return None
+        incoming = parse_traceparent(request.get("traceparent"))
+        return {
+            "trace_id": incoming.trace_id if incoming else new_trace_id(),
+            "span_id": tracer.new_span_id(),
+            "parent_span_id": incoming.span_id if incoming else None,
+            "start": time.time(),
+        }
+
+    def _end_trace(self, trace: dict | None, **args) -> None:
+        """Close a submit span: record it and observe end-to-end latency."""
+        if trace is None:
+            return
+        duration = time.time() - trace["start"]
+        self._obs.aggregator.record_span(
+            {
+                "name": "gateway.submit",
+                "process": "gateway",
+                "category": "gateway",
+                "start": trace["start"],
+                "duration": duration,
+                "trace_id": trace["trace_id"],
+                "span_id": trace["span_id"],
+                "parent_span_id": trace["parent_span_id"],
+                "args": args,
+            }
+        )
+        if self._m_e2e is not None and "error" not in args:
+            self._m_e2e.observe(duration)
+
+    def distributed_trace(self) -> dict:
+        """The merged cross-process trace store (``GET /trace`` payload)."""
+        self._sync_daemon_telemetry()
+        aggregator = self._obs.aggregator
+        if aggregator is None:
+            return {"spans": [], "events": [], "clock_offsets": {},
+                    "processes": [], "trace_ids": [],
+                    "gateway": {"queue_depth": []}}
+        trace = aggregator.to_dict()
+        trace["gateway"] = {
+            "queue_depth": [[t, depth] for t, depth in self._queue_depth_series]
+        }
+        return trace
+
+    def export_trace(self, path) -> None:
+        """Write the merged distributed trace as a Chrome/Perfetto file."""
+        from ..obs import build_chrome_trace, write_chrome_trace
+
+        trace = self.distributed_trace()
+        chrome = build_chrome_trace(
+            distributed_spans=trace["spans"],
+            metadata={
+                "clock_offsets": trace["clock_offsets"],
+                "processes": trace["processes"],
+                "trace_ids": trace["trace_ids"],
+            },
+        )
+        write_chrome_trace(path, chrome)
 
     # -- connection handling -------------------------------------------------
     async def _handle_connection(
@@ -521,14 +631,24 @@ class JobGateway:
         await writer.drain()
 
     async def _http_get(self, path: str, writer: asyncio.StreamWriter) -> dict | None:
-        if path in ("/", "/healthz"):
+        if path == "/":
             return await self.handle_request({"verb": "ping"})
+        if path == "/healthz":
+            return self._healthz_response()
         if path == "/stats":
             return await self.handle_request({"verb": "stats"})
         if path == "/status":
             return await self.handle_request({"verb": "status"})
+        if path == "/trace":
+            return await self.handle_request({"verb": "trace"})
         if path == "/metrics" and self._obs.metrics is not None:
-            payload = self._obs.metrics.render_prometheus().encode()
+            text = self._obs.metrics.render_prometheus()
+            aggregator = self._obs.aggregator
+            if aggregator is not None:
+                # one scrape covers every process: append the workers'
+                # snapshots, each sample labelled with its process name
+                text += aggregator.render_remote_prometheus()
+            payload = text.encode()
             writer.write(
                 f"HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
                 f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n".encode(
@@ -583,6 +703,44 @@ class JobGateway:
             workers=len(self._endpoints),
         )
 
+    # -- health (sustained-saturation detection) ------------------------------
+    def _note_queue_full(self) -> None:
+        self._rejected += 1
+        if self._saturated_since is None:
+            self._saturated_since = time.monotonic()
+
+    def _note_admitted(self) -> None:
+        self._saturated_since = None
+
+    def _saturation_seconds(self) -> float:
+        """How long the queue has been continuously bouncing submissions."""
+        if self._saturated_since is None:
+            return 0.0
+        return time.monotonic() - self._saturated_since
+
+    def _healthz_response(self) -> dict:
+        """Ping payload, or the degraded (503) reply under sustained 429s.
+
+        A momentarily full queue is healthy backpressure; a queue that
+        has rejected every submission for longer than
+        ``config.degraded_window_s`` means this gateway is choking and
+        load balancers should route elsewhere.
+        """
+        saturated_for = self._saturation_seconds()
+        if saturated_for > self._config.degraded_window_s:
+            return error_response(
+                "degraded",
+                f"admission queue saturated for {saturated_for:.1f}s "
+                f"(window: {self._config.degraded_window_s:.1f}s, "
+                f"{self._rejected} rejections)",
+            )
+        return ok_response(
+            None,
+            version=PROTOCOL_VERSION,
+            draining=self._draining,
+            workers=len(self._endpoints),
+        )
+
     async def _verb_submit(self, request: dict, request_id) -> dict:
         if self._draining:
             return error_response(
@@ -617,10 +775,15 @@ class JobGateway:
                 "defaults or deregister the workers",
                 request_id,
             )
+        trace = self._begin_trace(request)
+        if trace is not None:
+            submission.traceparent = TraceContext(
+                trace["trace_id"], trace["span_id"]
+            ).to_traceparent()
         try:
             self._pending.put_nowait(submission)
         except queue.Full:
-            self._rejected += 1
+            self._note_queue_full()
             if self._obs.enabled:
                 self._obs.emit(
                     NET_REQUEST_REJECTED,
@@ -632,14 +795,18 @@ class JobGateway:
                 request_id,
                 after_s=self._config.retry_after_s,
             )
+        self._note_admitted()
         if self._m_queue_depth is not None:
             depth = self._pending.qsize()
             self._m_queue_depth.set(depth)
             self._m_queue_peak.max(depth)
+        self._sample_queue_depth()
         try:
             job_id = await asyncio.wrap_future(submission.future)
         except (SpecificationError, ServiceError) as exc:
+            self._end_trace(trace, error=str(exc))
             return error_response("bad_request", str(exc), request_id)
+        self._end_trace(trace, job_id=job_id)
         return ok_response(request_id, job_id=job_id)
 
     async def _verb_batch(self, request: dict, request_id) -> dict:
@@ -743,6 +910,23 @@ class JobGateway:
         assert self._loop is not None
         self._loop.call_soon(self.request_shutdown)
         return ok_response(request_id, shutting_down=True)
+
+    async def _verb_telemetry(self, request: dict, request_id) -> dict:
+        """Accept a pushed telemetry batch from a worker or sidecar process."""
+        batch = request.get("batch")
+        if not isinstance(batch, dict):
+            return error_response(
+                "bad_request", "telemetry requires a 'batch' object", request_id
+            )
+        aggregator = self._obs.aggregator
+        if aggregator is None:
+            # telemetry is best-effort: accept and drop when obs is dark
+            return ok_response(request_id, ingested=False)
+        aggregator.ingest(batch, process=request.get("process"))
+        return ok_response(request_id, ingested=True)
+
+    async def _verb_trace(self, request: dict, request_id) -> dict:
+        return ok_response(request_id, trace=self.distributed_trace())
 
     async def _verb_register_worker(self, request: dict, request_id) -> dict:
         host = request.get("host")

@@ -46,6 +46,8 @@ VERBS = frozenset(
         "drain",
         "shutdown",
         "register_worker",
+        "telemetry",
+        "trace",
     }
 )
 
@@ -55,6 +57,7 @@ ERROR_HTTP_STATUS = {
     "bad_request": 400,    # malformed frame / missing field / unknown verb
     "not_found": 404,      # unknown job id
     "draining": 503,       # gateway is draining; no new submissions
+    "degraded": 503,       # sustained admission-queue saturation (healthz)
     "conflict": 409,       # verb not valid in the job's current state
     "internal": 500,       # unexpected server-side failure
 }

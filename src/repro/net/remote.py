@@ -111,6 +111,7 @@ class RemoteWorkerPool:
                     sys.executable, "-m", "repro.net.worker",
                     app_spec, str(workdir / f"{name_prefix}{i}"),
                     "--host", "127.0.0.1", "--port", "0",
+                    "--name", f"{name_prefix}{i}",
                 ]
                 if drop_after is not None:
                     args += ["--drop-after", str(drop_after)]
@@ -227,6 +228,10 @@ class _RemoteHost:
         self._inflight: dict[int, ChunkTrace] = {}
         self._core: DispatchCore | None = None
         self._disconnects = 0
+        # telemetry return path: t0 per (worker, chunk) for offset samples
+        self._aggregator = obs.aggregator
+        self._tracer = obs.tracer
+        self._send_times: dict[tuple[int, object], float] = {}
 
     @property
     def disconnects(self) -> int:
@@ -317,7 +322,7 @@ class _RemoteHost:
     def enqueue(self, chunk: ChunkTrace, payload: object) -> None:
         assert isinstance(payload, bytes)
         self._inflight[chunk.chunk_id] = chunk
-        self._send(chunk.worker_index, {
+        request = {
             "cmd": "process",
             "chunk_id": chunk.chunk_id,
             "data_b64": encode_payload(payload),
@@ -325,7 +330,12 @@ class _RemoteHost:
             "min_wall_time": self._grid.workers[chunk.worker_index].compute_time(
                 chunk.units
             ) * self._scale,
-        })
+        }
+        if self._core is not None:
+            traceparent = self._core.trace_parent_for(chunk.chunk_id)
+            if traceparent is not None:
+                request["traceparent"] = traceparent
+        self._send(chunk.worker_index, request)
 
     def poll(self) -> None:
         while True:
@@ -354,6 +364,8 @@ class _RemoteHost:
     def _send(self, worker_index: int, request: dict) -> None:
         conn = self._conns[worker_index]
         data = json.dumps(request).encode("utf-8") + b"\n"
+        if self._aggregator is not None and request.get("cmd") == "process":
+            self._send_times[(worker_index, request.get("chunk_id"))] = time.time()
         if conn.sock is None:
             self._connect(worker_index)
         try:
@@ -376,11 +388,40 @@ class _RemoteHost:
                     f"worker {conn.endpoint.name} unreachable: {exc}"
                 ) from exc
 
+    def _ingest_reply_telemetry(self, index: int, reply: dict) -> None:
+        """Clock-offset sample + telemetry batch off one worker reply.
+
+        Every reply carrying ``recv_unix``/``send_unix`` is a valid NTP
+        sample (the worker's compute time between them does not bias the
+        offset); chunk replies additionally piggyback the worker's
+        telemetry batch.  The batch is re-keyed to the *endpoint* name
+        the master registered, so offset estimates and span records
+        agree on what the process is called.
+        """
+        if self._aggregator is None or index is None:
+            return
+        t3 = time.time()
+        name = self._conns[index].endpoint.name
+        t0 = self._send_times.pop((index, reply.get("chunk_id")), None)
+        t1 = reply.get("recv_unix")
+        t2 = reply.get("send_unix")
+        if t0 is not None and t1 is not None and t2 is not None:
+            try:
+                self._aggregator.add_offset_sample(
+                    name, t0=t0, t1=float(t1), t2=float(t2), t3=t3
+                )
+            except (TypeError, ValueError):
+                pass
+        batch = reply.get("telemetry")
+        if batch:
+            self._aggregator.ingest(batch, process=name)
+
     def _handle_reply(self, reply: dict) -> None:
         index = reply.get("worker_index")
         if reply.get("status") == "conn_lost":
             self._conn_lost(index, reply.get("generation", -1))
             return
+        self._ingest_reply_telemetry(index, reply)
         if reply.get("status") == "error":
             chunk = self._inflight.pop(reply.get("chunk_id", -1), None)
             message = f"worker {index} failed: {reply.get('message')}"
@@ -464,6 +505,7 @@ class _RemoteHost:
                     f"worker {worker_index} failed: {reply.get('message')}"
                 )
             if reply.get("chunk_id") == chunk_id and reply["worker_index"] == worker_index:
+                self._ingest_reply_telemetry(worker_index, reply)
                 return reply
             self._completions.put(reply)  # not ours; recycle
 
@@ -541,11 +583,19 @@ class _RemoteProbeCosts:
             return spec.comp_latency  # no-op jobs: modeled directly
         payload = payload_for(self._division, ChunkExtent(0.0, units), self._payload_cap)
         start = self._clock.now()
-        self._host._send(index, {
+        request = {
             "cmd": "process", "chunk_id": -1,
             "data_b64": encode_payload(payload), "units": units,
             "min_wall_time": spec.compute_time(units) * self._scale,
-        })
+        }
+        tracer = self._host._tracer
+        if tracer is not None:
+            # parent the worker's probe-chunk span to the daemon's open
+            # probe span (no per-request span of our own)
+            traceparent = tracer.current_traceparent()
+            if traceparent is not None:
+                request["traceparent"] = traceparent
+        self._host._send(index, request)
         self._host.wait_for_chunk(-1, index)
         return max(1e-9, self._clock.now() - start)
 

@@ -34,6 +34,14 @@ finds it again.
 ``process`` requests the worker severs the connection *without
 replying*, simulating a socket killed mid-chunk.  It keeps listening,
 so the master's reconnect + retransmit path is exercised end to end.
+
+Telemetry: every reply carries ``recv_unix`` / ``send_unix`` (the
+NTP-style timestamps the master's clock-offset estimator needs), and
+``process`` replies piggyback a bounded telemetry batch -- the worker's
+``chunk.process`` spans (causally linked via the request's
+``traceparent``), buffered events, and a metrics snapshot -- flushed on
+every chunk completion so a crash loses at most one chunk's telemetry.
+``--no-telemetry`` turns all of it off.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ import threading
 import time
 
 from ..execution.appspec import load_app
+from ..obs import MetricsRegistry, TelemetryBuffer, Tracer, parse_traceparent
 from .protocol import decode_payload, encode_payload, parse_frame
 
 
@@ -60,6 +69,8 @@ class SocketWorker:
         host: str = "127.0.0.1",
         port: int = 0,
         drop_after: int | None = None,
+        name: str | None = None,
+        telemetry: bool = True,
     ) -> None:
         self._app = load_app(app_spec)
         self._drop_after = drop_after
@@ -68,6 +79,27 @@ class SocketWorker:
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.5)
         self.host, self.port = self._listener.getsockname()[:2]
+        self.name = name or f"worker-{self.port}"
+        if telemetry:
+            self._tracer = Tracer()
+            self._metrics = MetricsRegistry()
+            self._m_chunks = self._metrics.counter(
+                "repro_worker_chunks_total", "Chunks processed by this worker"
+            )
+            self._m_compute = self._metrics.histogram(
+                "repro_worker_compute_seconds",
+                "Wall seconds per chunk on this worker (incl. model padding)",
+                buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
+            )
+            self._buffer = TelemetryBuffer(
+                self.name, tracer=self._tracer, metrics=self._metrics
+            )
+        else:
+            self._tracer = None
+            self._metrics = None
+            self._m_chunks = None
+            self._m_compute = None
+            self._buffer = None
 
     def close(self) -> None:
         self._shutdown = True
@@ -96,24 +128,34 @@ class SocketWorker:
         stream = conn.makefile("rwb")
         try:
             for line in stream:
+                recv_unix = time.time()
                 try:
                     request = parse_frame(line)
                 except Exception as exc:
                     self._reply(stream, {"status": "error",
-                                         "message": f"bad request: {exc}"})
+                                         "message": f"bad request: {exc}"},
+                                recv_unix)
                     continue
                 cmd = request.get("cmd")
                 if cmd == "ping":
                     self._reply(stream, {"status": "ok", "cmd": "ping",
-                                         "processed": self._processed})
+                                         "processed": self._processed},
+                                recv_unix)
+                    continue
+                if cmd == "telemetry":
+                    # explicit drain: whatever is buffered, shipped now
+                    self._reply(stream, {"status": "ok", "cmd": "telemetry"},
+                                recv_unix, flush_telemetry=True)
                     continue
                 if cmd == "shutdown":
-                    self._reply(stream, {"status": "bye"})
+                    self._reply(stream, {"status": "bye"}, recv_unix,
+                                flush_telemetry=True)
                     self._shutdown = True
                     return
                 if cmd != "process":
                     self._reply(stream, {"status": "error",
-                                         "message": f"unknown cmd {cmd!r}"})
+                                         "message": f"unknown cmd {cmd!r}"},
+                                recv_unix)
                     continue
                 self._processed += 1
                 if self._drop_after is not None and self._processed > self._drop_after:
@@ -121,26 +163,46 @@ class SocketWorker:
                     # disarm so the retransmitted chunk succeeds
                     self._drop_after = None
                     return
-                self._reply(stream, self._process(request))
+                self._reply(stream, self._process(request), recv_unix,
+                            flush_telemetry=True)
         except (BrokenPipeError, ConnectionResetError, OSError):
             return  # master went away; back to accept()
 
     def _process(self, request: dict) -> dict:
         chunk_id = request.get("chunk_id", -1)
+        tracer = self._tracer
+        context = (
+            parse_traceparent(request.get("traceparent"))
+            if tracer is not None
+            else None
+        )
+        if tracer is not None:
+            tracer.set_context(context)
         try:
             data = decode_payload(request.get("data_b64", ""))
             start = time.perf_counter()
+            if tracer is not None:
+                span = tracer.start_span(
+                    "chunk.process", category="compute",
+                    chunk_id=chunk_id, units=request.get("units"),
+                )
             result = self._app.process(data, units=request.get("units"))
             pad = float(request.get("min_wall_time", 0.0)) - (
                 time.perf_counter() - start
             )
             if pad > 0:
                 time.sleep(pad)
+            wall = time.perf_counter() - start
+            if tracer is not None:
+                tracer.finish(span, wall_time=wall)
+            if self._m_chunks is not None:
+                self._m_chunks.inc()
+                self._m_compute.observe(wall)
             return {
                 "chunk_id": chunk_id,
                 "status": "ok",
                 "result_b64": encode_payload(result),
-                "wall_time": time.perf_counter() - start,
+                "wall_time": wall,
             }
         except Exception as exc:
             return {
@@ -148,9 +210,21 @@ class SocketWorker:
                 "status": "error",
                 "message": f"{type(exc).__name__}: {exc}",
             }
+        finally:
+            if tracer is not None:
+                tracer.set_context(None)
 
-    @staticmethod
-    def _reply(stream, obj: dict) -> None:
+    def _reply(
+        self, stream, obj: dict, recv_unix: float, *, flush_telemetry: bool = False
+    ) -> None:
+        if flush_telemetry and self._buffer is not None:
+            batch = self._buffer.drain()
+            if batch is not None:
+                obj["telemetry"] = batch
+        # NTP-style timestamps for the master's clock-offset estimator:
+        # when we received the request and when this reply leaves
+        obj["recv_unix"] = recv_unix
+        obj["send_unix"] = time.time()
         stream.write(json.dumps(obj).encode("utf-8") + b"\n")
         stream.flush()
 
@@ -177,10 +251,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--drop-after", type=int, default=None,
                         help="failure injection: sever the connection without "
                              "replying after N processed chunks")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="disable span/metric collection and reply piggybacking")
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     try:
         worker = SocketWorker(
-            args.app_spec, host=args.host, port=args.port, drop_after=args.drop_after
+            args.app_spec, host=args.host, port=args.port,
+            drop_after=args.drop_after, name=args.name,
+            telemetry=not args.no_telemetry,
         )
     except Exception as exc:
         print(json.dumps({"status": "fatal", "message": str(exc)}), flush=True)
@@ -194,7 +272,7 @@ def main(argv: list[str] | None = None) -> int:
         # register from a side thread: the gateway's liveness probe pings
         # this worker before acknowledging, so the accept loop must already
         # be serving when the register_worker reply comes back
-        name = args.name or f"worker-{worker.port}"
+        name = worker.name
 
         def _register() -> None:
             try:

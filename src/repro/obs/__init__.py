@@ -56,10 +56,19 @@ from .events import (
 )
 from .chrome_trace import (
     build_chrome_trace,
+    distributed_trace_events,
     lease_trace_events,
     report_trace_events,
     tracer_trace_events,
     write_chrome_trace,
+)
+from .distributed import (
+    ClockOffsetEstimator,
+    TelemetryAggregator,
+    TelemetryBuffer,
+    TraceContext,
+    parse_traceparent,
+    span_record,
 )
 from .metrics import (
     Counter,
@@ -69,7 +78,7 @@ from .metrics import (
     parse_prometheus,
 )
 from .profile import EngineProfile, EngineProfiler
-from .tracing import Span, Tracer
+from .tracing import OpenSpan, Span, Tracer, new_trace_id
 
 
 class _NullContext:
@@ -94,7 +103,7 @@ class Observability:
     the no-op default, and ``enabled`` is the one flag hot paths check.
     """
 
-    __slots__ = ("bus", "metrics", "tracer", "profiler", "_enabled")
+    __slots__ = ("bus", "metrics", "tracer", "profiler", "aggregator", "_enabled")
 
     def __init__(
         self,
@@ -103,13 +112,16 @@ class Observability:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         profiler: EngineProfiler | None = None,
+        aggregator: TelemetryAggregator | None = None,
     ) -> None:
         self.bus = bus
         self.metrics = metrics
         self.tracer = tracer
         self.profiler = profiler
+        self.aggregator = aggregator
         self._enabled = any(
-            component is not None for component in (bus, metrics, tracer, profiler)
+            component is not None
+            for component in (bus, metrics, tracer, profiler, aggregator)
         )
 
     @property
@@ -122,8 +134,14 @@ class Observability:
         *,
         ring_capacity: int = 16384,
         with_logging: bool = False,
+        distributed: bool = False,
     ) -> "Observability":
-        """A fully instrumented handle: ring buffer, metrics, tracer, profiler."""
+        """A fully instrumented handle: ring buffer, metrics, tracer, profiler.
+
+        ``distributed=True`` additionally attaches a
+        :class:`TelemetryAggregator` so remote telemetry batches have
+        somewhere to merge (the master/gateway side of a remote run).
+        """
         bus = EventBus([RingBufferSink(ring_capacity)])
         if with_logging:
             bus.attach(LoggingSink())
@@ -132,6 +150,7 @@ class Observability:
             metrics=MetricsRegistry(),
             tracer=Tracer(),
             profiler=EngineProfiler(),
+            aggregator=TelemetryAggregator() if distributed else None,
         )
 
     # -- convenience ---------------------------------------------------------
@@ -206,6 +225,7 @@ __all__ = [
     "CHUNK_COMPLETED",
     "CHUNK_DISPATCHED",
     "CHUNK_RETRANSMITTED",
+    "ClockOffsetEstimator",
     "Counter",
     "EVENT_TYPES",
     "EngineProfile",
@@ -233,18 +253,26 @@ __all__ = [
     "OBS_DISABLED",
     "OBS_LOGGER_NAME",
     "Observability",
+    "OpenSpan",
     "PROBE_FINISHED",
     "PROBE_WORKER_MEASURED",
     "ROUND_STARTED",
     "RingBufferSink",
     "Span",
+    "TelemetryAggregator",
+    "TelemetryBuffer",
+    "TraceContext",
     "Tracer",
     "build_chrome_trace",
     "configure_logging",
+    "distributed_trace_events",
     "get_logger",
     "lease_trace_events",
+    "new_trace_id",
     "parse_prometheus",
+    "parse_traceparent",
     "report_trace_events",
+    "span_record",
     "tracer_trace_events",
     "write_chrome_trace",
 ]

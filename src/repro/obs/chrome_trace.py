@@ -30,6 +30,8 @@ from typing import Iterable, Mapping
 WALL_PID = 1
 LEASE_PID = 2
 SIM_PID_BASE = 10
+#: Distributed (cross-process, clock-corrected) groups start here.
+DIST_PID_BASE = 100
 
 #: Thread-id layout within a simulated-time process.
 LINK_TID = 0
@@ -190,6 +192,71 @@ def tracer_trace_events(tracer, *, pid: int = WALL_PID) -> list[dict]:
     return events
 
 
+def _process_sort_key(process: str) -> tuple[int, str]:
+    """Gateway first, then the daemon, then workers alphabetically."""
+    order = {"gateway": 0, "daemon": 1}
+    return (order.get(process, 2), process)
+
+
+def distributed_trace_events(
+    span_records: Iterable[Mapping],
+    *,
+    pid_base: int = DIST_PID_BASE,
+) -> list[dict]:
+    """Track groups for clock-corrected cross-process span records.
+
+    ``span_records`` is the normalized shape the
+    :class:`~repro.obs.distributed.TelemetryAggregator` serves: one
+    flat dict per span with ``process``, ``start`` (unix seconds,
+    already offset-corrected onto the master clock), ``duration``, the
+    trace identity fields, and ``args``.  Each process becomes its own
+    track group; within a process, a span's ``args['lane']`` (when
+    present) selects the thread row -- the dispatch core uses it to put
+    each worker's chunk lifecycle on its own lane.
+
+    The shared timeline is re-zeroed at the earliest span so Perfetto
+    doesn't render epoch-sized offsets.
+    """
+    records = [r for r in span_records if r.get("duration") is not None]
+    if not records:
+        return []
+    t0 = min(float(r["start"]) for r in records)
+    events: list[dict] = []
+    processes = sorted({str(r.get("process", "?")) for r in records},
+                       key=_process_sort_key)
+    pids = {name: pid_base + i for i, name in enumerate(processes)}
+    lanes_seen: dict[str, set[int]] = {name: set() for name in processes}
+    for record in records:
+        process = str(record.get("process", "?"))
+        args = dict(record.get("args") or {})
+        lane = int(args.pop("lane", 0))
+        lanes_seen[process].add(lane)
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            if record.get(key):
+                args[key] = record[key]
+        if record.get("clock_offset"):
+            args["clock_offset_s"] = record["clock_offset"]
+        events.append(
+            _complete(
+                str(record.get("name", "span")),
+                str(record.get("category", "wall")),
+                pids[process],
+                lane,
+                float(record["start"]) - t0,
+                float(record["duration"]),
+                args or None,
+            )
+        )
+    for name in processes:
+        pid = pids[name]
+        events.insert(0, _meta("process_sort_index", pid, {"sort_index": pid}))
+        events.insert(0, _meta("process_name", pid, {"name": f"distributed: {name}"}))
+        for lane in sorted(lanes_seen[name]):
+            label = "main" if lane == 0 else f"lane {lane}"
+            events.append(_meta("thread_name", pid, {"name": label}, tid=lane))
+    return events
+
+
 def build_chrome_trace(
     *,
     reports: Mapping[int, object] | None = None,
@@ -198,18 +265,22 @@ def build_chrome_trace(
     worker_names: Mapping[int, str] | None = None,
     labels: Mapping[int, str] | None = None,
     metadata: dict | None = None,
+    distributed_spans: Iterable[Mapping] | None = None,
 ) -> dict:
     """Assemble a complete Chrome trace object.
 
     ``reports`` maps a job id to its :class:`ExecutionReport`; each job
     becomes its own simulated-time process.  ``tracer`` contributes the
-    wall-clock group, ``leases`` the arbitration lanes.
+    wall-clock group, ``leases`` the arbitration lanes, and
+    ``distributed_spans`` the clock-corrected cross-process groups.
     """
     events: list[dict] = []
     if tracer is not None:
         events.extend(tracer_trace_events(tracer))
     if leases is not None:
         events.extend(lease_trace_events(leases, worker_names=worker_names))
+    if distributed_spans is not None:
+        events.extend(distributed_trace_events(distributed_spans))
     for offset, (job_id, report) in enumerate(sorted((reports or {}).items())):
         label = (labels or {}).get(job_id) or (
             f"job {job_id}: {report.algorithm} (simulated time)"

@@ -1,0 +1,457 @@
+"""Distributed tracing and telemetry aggregation across process boundaries.
+
+A job that flows client -> gateway -> daemon -> remote socket workers
+runs in (at least) four processes, each with its own
+:class:`~repro.obs.Observability` handle and its own clock.  This module
+supplies the three pieces that stitch those views into one trace:
+
+* :class:`TraceContext` -- a W3C-traceparent-style identity
+  (``00-<trace_id>-<span_id>-01``) carried in protocol frames.  Each
+  process parses the header, activates the context on its local
+  :class:`~repro.obs.tracing.Tracer`, and every span it records is then
+  causally linked (``trace_id`` shared, ``parent_span_id`` pointing at
+  the upstream process's span).
+
+* :class:`TelemetryBuffer` -- a bounded process-local staging area for
+  spans, bus events, and metric snapshots.  Remote processes drain it
+  into a *telemetry batch* (one JSON-serializable dict) that rides back
+  over the existing NDJSON protocol -- piggybacked on worker chunk
+  replies and flushed on drain -- instead of needing a side channel.
+
+* :class:`TelemetryAggregator` -- the gateway-side store that merges
+  batches from every process.  Remote wall-clock timestamps are
+  corrected with a per-process clock offset estimated NTP-style from
+  the request/reply round trips the protocol already makes
+  (:class:`ClockOffsetEstimator`): the offset
+  ``theta = ((t1 - t0) + (t2 - t3)) / 2`` is immune to how long the
+  worker computed between receiving (``t1``) and replying (``t2``), so
+  every probe and chunk round trip is a valid sample; the minimum-RTT
+  sample wins (least queueing noise).
+
+The normalized unit everywhere is the *span record*: a flat dict with
+``name`` / ``process`` / ``category`` / ``start`` (unix seconds on the
+recording process's clock) / ``duration`` / ``trace_id`` / ``span_id``
+/ ``parent_span_id`` / ``args``.  ``GET /trace``, the Chrome-trace
+exporter, and the JSON-schema check in CI all consume this shape.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from .tracing import Span, Tracer, new_trace_id
+
+#: Hard bounds on what one telemetry batch may carry; a process that
+#: outproduces its flush cadence drops oldest-first rather than growing.
+MAX_BATCH_SPANS = 2048
+MAX_BATCH_EVENTS = 4096
+
+_TRACEPARENT_VERSION = "00"
+_TRACE_FLAGS = "01"  # sampled
+
+
+# -- trace context -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of a distributed trace: the ids new spans inherit.
+
+    ``trace_id`` identifies the whole end-to-end trace; ``span_id`` is
+    the *parent* for spans recorded under this context (i.e. the id of
+    the upstream span that caused this process to do work).
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_traceparent(self) -> str:
+        return f"{_TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-{_TRACE_FLAGS}"
+
+    @staticmethod
+    def from_traceparent(header: str) -> "TraceContext":
+        parts = str(header).split("-")
+        if len(parts) != 4:
+            raise ReproError(f"malformed traceparent {header!r}: expected 4 fields")
+        version, trace_id, span_id, _flags = parts
+        if version != _TRACEPARENT_VERSION:
+            raise ReproError(f"unsupported traceparent version {version!r}")
+        if len(trace_id) != 32 or not _is_hex(trace_id) or trace_id == "0" * 32:
+            raise ReproError(f"malformed traceparent trace_id {trace_id!r}")
+        if len(span_id) != 16 or not _is_hex(span_id) or span_id == "0" * 16:
+            raise ReproError(f"malformed traceparent span_id {span_id!r}")
+        return TraceContext(trace_id=trace_id, span_id=span_id)
+
+    @staticmethod
+    def new_root(tracer: Tracer | None = None) -> "TraceContext":
+        """A fresh trace rooted at a fresh span id."""
+        span_id = tracer.new_span_id() if tracer is not None else new_trace_id()[:16]
+        return TraceContext(trace_id=new_trace_id(), span_id=span_id)
+
+
+def _is_hex(text: str) -> bool:
+    return all(c in "0123456789abcdef" for c in text)
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Lenient parse for protocol edges: None/invalid headers yield None.
+
+    Telemetry must never make a request fail; a malformed header means
+    the span simply starts a correlation gap, not an error response.
+    """
+    if not header:
+        return None
+    try:
+        return TraceContext.from_traceparent(header)
+    except ReproError:
+        return None
+
+
+# -- span records ------------------------------------------------------------
+
+
+def span_record(span: Span, *, process: str, epoch_unix: float) -> dict:
+    """Normalize a tracer span to the wire/store shape.
+
+    ``epoch_unix`` is the tracer's :attr:`~Tracer.epoch_unix_time`; span
+    starts are relative to the tracer epoch, records are absolute unix
+    seconds *on the recording process's clock* (the aggregator corrects
+    them with the clock-offset estimate at query time).
+    """
+    return {
+        "name": span.name,
+        "process": process,
+        "category": span.category,
+        "start": epoch_unix + span.start,
+        "duration": span.duration,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_span_id": span.parent_span_id,
+        "args": dict(span.args),
+    }
+
+
+# -- process-local buffering -------------------------------------------------
+
+
+class TelemetryBuffer:
+    """Bounded staging area a process drains into telemetry batches.
+
+    Attach it to the local observability handle and it collects all
+    three record kinds:
+
+    * spans -- pulled from ``tracer`` with a cursor on each drain;
+    * events -- the buffer is itself an :class:`EventBus` sink
+      (``bus.attach(buffer)``);
+    * metrics -- a full snapshot of ``metrics`` per drain (snapshots
+      replace each other downstream; counters are monotonic so the
+      latest snapshot *is* the cumulative delta).
+
+    ``drain()`` returns one batch dict, or None when there is nothing
+    to ship -- callers piggyback batches on protocol replies and skip
+    the field entirely on None.
+    """
+
+    def __init__(
+        self,
+        process: str,
+        *,
+        tracer: Tracer | None = None,
+        metrics=None,
+        max_spans: int = MAX_BATCH_SPANS,
+        max_events: int = MAX_BATCH_EVENTS,
+    ) -> None:
+        self.process = process
+        self._tracer = tracer
+        self._metrics = metrics
+        self._span_cursor = 0
+        self._events: deque[dict] = deque(maxlen=max_events)
+        self._max_spans = max_spans
+        self._lock = threading.Lock()
+
+    def write(self, event) -> None:
+        """EventBus sink protocol: buffer the event for the next drain."""
+        self._events.append(event.to_dict())
+
+    def drain(self) -> dict | None:
+        """Collect everything new since the last drain into one batch."""
+        with self._lock:
+            spans: list[dict] = []
+            if self._tracer is not None:
+                all_spans = self._tracer.spans()
+                fresh = all_spans[self._span_cursor:]
+                self._span_cursor = len(all_spans)
+                epoch = self._tracer.epoch_unix_time
+                spans = [
+                    span_record(s, process=self.process, epoch_unix=epoch)
+                    for s in fresh[-self._max_spans:]
+                ]
+            events: list[dict] = []
+            while self._events:
+                events.append(self._events.popleft())
+            metrics = None
+            if self._metrics is not None and len(self._metrics):
+                metrics = self._metrics.to_json()
+        if not spans and not events and metrics is None:
+            return None
+        batch: dict = {"process": self.process}
+        if spans:
+            batch["spans"] = spans
+        if events:
+            batch["events"] = events
+        if metrics is not None:
+            batch["metrics"] = metrics
+        return batch
+
+
+# -- clock-offset estimation -------------------------------------------------
+
+
+class ClockOffsetEstimator:
+    """Per-process clock offset from request/reply round trips.
+
+    One sample is the NTP four-timestamp tuple: ``t0`` request sent
+    (local clock), ``t1`` request received (remote clock), ``t2`` reply
+    sent (remote clock), ``t3`` reply received (local clock).  The
+    estimated offset of the remote clock *ahead of* the local one is
+    ``((t1 - t0) + (t2 - t3)) / 2``; its error is bounded by half the
+    network round trip ``(t3 - t0) - (t2 - t1)``, so the sample with
+    the smallest round trip is kept as the estimate.
+    """
+
+    def __init__(self) -> None:
+        self._best: dict[str, tuple[float, float, int]] = {}  # process -> (offset, rtt, n)
+        self._lock = threading.Lock()
+
+    def add_sample(
+        self, process: str, *, t0: float, t1: float, t2: float, t3: float
+    ) -> None:
+        rtt = (t3 - t0) - (t2 - t1)
+        if rtt < 0 or math.isnan(rtt):
+            return  # non-causal sample: clocks jumped mid-exchange
+        offset = ((t1 - t0) + (t2 - t3)) / 2.0
+        with self._lock:
+            current = self._best.get(process)
+            count = (current[2] if current else 0) + 1
+            if current is None or rtt < current[1]:
+                self._best[process] = (offset, rtt, count)
+            else:
+                self._best[process] = (current[0], current[1], count)
+
+    def offset(self, process: str) -> float:
+        """Seconds the process's clock reads ahead of ours (0.0 if unknown)."""
+        entry = self._best.get(process)
+        return entry[0] if entry is not None else 0.0
+
+    def quality(self, process: str) -> float | None:
+        """Round-trip bound of the winning sample (None if no samples)."""
+        entry = self._best.get(process)
+        return entry[1] if entry is not None else None
+
+    def to_dict(self) -> dict:
+        return {
+            process: {"offset_s": offset, "rtt_s": rtt, "samples": n}
+            for process, (offset, rtt, n) in sorted(self._best.items())
+        }
+
+
+# -- gateway-side aggregation ------------------------------------------------
+
+
+class TelemetryAggregator:
+    """Merges telemetry batches from every process into one trace store.
+
+    Local processes (gateway, daemon -- which share the master host and
+    clock) contribute via :meth:`sync_tracer` / :meth:`record_span`;
+    remote ones arrive as batches through :meth:`ingest`.  Queries
+    return span records with ``start`` corrected onto the master clock
+    using the per-process offset estimate (the raw reading is preserved
+    in ``raw_start``).
+    """
+
+    def __init__(self, estimator: ClockOffsetEstimator | None = None) -> None:
+        self.offsets = estimator or ClockOffsetEstimator()
+        self._spans: list[dict] = []
+        self._events: list[dict] = []
+        self._metrics: dict[str, str] = {}  # process -> latest to_json() snapshot
+        self._tracer_cursors: dict[int, int] = {}
+        #: processes whose timestamps are already on the master clock
+        self._local_processes: set[str] = set()
+        self._lock = threading.Lock()
+
+    # -- ingestion -----------------------------------------------------------
+    def ingest(self, batch: dict, *, process: str | None = None) -> None:
+        """Merge one telemetry batch (tolerant of partial/odd batches).
+
+        ``process`` overrides the batch's self-reported name -- the
+        master knows workers by their registered endpoint names, and the
+        override keeps span records and clock-offset samples keyed
+        consistently.
+        """
+        if not isinstance(batch, dict):
+            return
+        name = process or str(batch.get("process", "unknown"))
+        spans = batch.get("spans") or []
+        events = batch.get("events") or []
+        metrics = batch.get("metrics")
+        with self._lock:
+            for record in spans:
+                if isinstance(record, dict) and "name" in record:
+                    self._spans.append({**record, "process": name})
+            for record in events:
+                if isinstance(record, dict):
+                    self._events.append({**record, "process": name})
+            if isinstance(metrics, str):
+                self._metrics[name] = metrics
+
+    def record_span(self, record: dict) -> None:
+        """Store one locally built span record (master-clock timestamps)."""
+        with self._lock:
+            self._spans.append(record)
+            self._local_processes.add(str(record.get("process", "")))
+
+    def sync_tracer(self, tracer: Tracer, *, process: str) -> int:
+        """Pull spans a local tracer recorded since the last sync.
+
+        Cursor-based and idempotent per tracer; returns how many new
+        spans were stored.  Local tracers share the master clock, so no
+        offset correction applies to them.
+        """
+        key = id(tracer)
+        all_spans = tracer.spans()
+        with self._lock:
+            cursor = self._tracer_cursors.get(key, 0)
+            fresh = all_spans[cursor:]
+            # never move the cursor backwards: a concurrent sync may have
+            # snapshotted a longer span list and advanced it already
+            self._tracer_cursors[key] = max(cursor, len(all_spans))
+            epoch = tracer.epoch_unix_time
+            for span in fresh:
+                self._spans.append(
+                    span_record(span, process=process, epoch_unix=epoch)
+                )
+            self._local_processes.add(process)
+        return len(fresh)
+
+    def add_offset_sample(
+        self, process: str, *, t0: float, t1: float, t2: float, t3: float
+    ) -> None:
+        self.offsets.add_sample(process, t0=t0, t1=t1, t2=t2, t3=t3)
+
+    # -- queries -------------------------------------------------------------
+    def _corrected(self, record: dict) -> dict:
+        process = str(record.get("process", ""))
+        raw = float(record.get("start", 0.0))
+        if process in self._local_processes:
+            offset = 0.0
+        else:
+            offset = self.offsets.offset(process)
+        return {**record, "start": raw - offset, "raw_start": raw, "clock_offset": offset}
+
+    def spans(
+        self, *, trace_id: str | None = None, process: str | None = None
+    ) -> list[dict]:
+        """Clock-corrected span records, sorted by corrected start."""
+        with self._lock:
+            records = [self._corrected(r) for r in self._spans]
+        if trace_id is not None:
+            records = [r for r in records if r.get("trace_id") == trace_id]
+        if process is not None:
+            records = [r for r in records if r.get("process") == process]
+        records.sort(key=lambda r: r["start"])
+        return records
+
+    def events(self, *, name: str | None = None) -> list[dict]:
+        with self._lock:
+            records = list(self._events)
+        if name is not None:
+            records = [r for r in records if r.get("name") == name]
+        return records
+
+    def processes(self) -> list[str]:
+        with self._lock:
+            seen = {str(r.get("process", "")) for r in self._spans}
+            seen.update(str(r.get("process", "")) for r in self._events)
+            seen.update(self._metrics)
+        return sorted(p for p in seen if p)
+
+    def trace_ids(self) -> list[str]:
+        with self._lock:
+            seen = {r.get("trace_id") for r in self._spans}
+        return sorted(t for t in seen if t)
+
+    def metrics_snapshots(self) -> dict[str, str]:
+        """Latest raw ``MetricsRegistry.to_json()`` text per process."""
+        with self._lock:
+            return dict(self._metrics)
+
+    def render_remote_prometheus(self) -> str:
+        """Remote metric snapshots as exposition text, process-labelled.
+
+        Appended to the gateway's own ``GET /metrics`` output so one
+        scrape covers every process.  Rebuilt from the JSON snapshots
+        (histograms re-expand to ``_bucket``/``_sum``/``_count``).
+        """
+        import json as _json
+
+        lines: list[str] = []
+        for process, snapshot in sorted(self.metrics_snapshots().items()):
+            try:
+                families = _json.loads(snapshot)
+            except ValueError:
+                continue
+            for name in sorted(families):
+                for entry in families[name]:
+                    labels = {**entry.get("labels", {}), "process": process}
+                    kind = entry.get("type")
+                    if kind in ("counter", "gauge"):
+                        lines.append(
+                            f"{name}{_labels_text(labels)} "
+                            f"{_value_text(entry.get('value', 0.0))}"
+                        )
+                    elif kind == "histogram":
+                        for bound, count in entry.get("buckets", {}).items():
+                            lines.append(
+                                f"{name}_bucket"
+                                f"{_labels_text({**labels, 'le': bound})} {count}"
+                            )
+                        lines.append(
+                            f"{name}_sum{_labels_text(labels)} "
+                            f"{_value_text(entry.get('sum', 0.0))}"
+                        )
+                        lines.append(
+                            f"{name}_count{_labels_text(labels)} "
+                            f"{entry.get('count', 0)}"
+                        )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        """The full merged store, as served by ``GET /trace``."""
+        return {
+            "spans": self.spans(),
+            "events": self.events(),
+            "clock_offsets": self.offsets.to_dict(),
+            "processes": self.processes(),
+            "trace_ids": self.trace_ids(),
+        }
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _value_text(value) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

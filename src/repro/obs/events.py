@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -179,7 +180,19 @@ class JsonlSink:
         self._stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
 
     def close(self) -> None:
+        """Flush *and fsync* so a SIGTERM drain cannot truncate mid-line.
+
+        Flushing alone only moves buffered lines into the page cache; a
+        process killed right after drain could still lose the tail of
+        the event log.  fsync pushes the file to stable storage before
+        the handle is released (skipped for targets that are not real
+        files, e.g. StringIO in tests).
+        """
         self._stream.flush()
+        try:
+            os.fsync(self._stream.fileno())
+        except (AttributeError, OSError, ValueError):
+            pass  # not a real file descriptor (StringIO) or already gone
         if self._owns:
             self._stream.close()
 

@@ -11,13 +11,34 @@ Spans nest naturally (the context manager tracks depth), and the Chrome
 trace exporter (:mod:`repro.obs.chrome_trace`) renders them as a
 separate *wall-clock* track group next to the simulated-time worker
 lanes.
+
+Distributed identity
+--------------------
+When a :class:`~repro.obs.distributed.TraceContext` is activated on the
+tracer (:meth:`Tracer.activate`), every span additionally carries a
+W3C-traceparent-style identity -- ``trace_id`` / ``span_id`` /
+``parent_span_id`` -- so spans recorded in *different processes* (the
+gateway, the daemon, each socket worker) can be stitched into one
+causally-linked trace by the telemetry aggregator.  Parenting follows
+the context-manager nesting within a process; the activated context's
+``span_id`` is the parent of top-level spans, which is how a span in
+one process becomes the parent of spans in another.  Without an active
+context nothing changes: ids stay ``None`` and the hot path pays
+nothing beyond the pre-existing bookkeeping.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
 
 
 @dataclass(frozen=True)
@@ -30,10 +51,39 @@ class Span:
     category: str = "wall"
     depth: int = 0
     args: dict = field(default_factory=dict)
+    #: distributed identity; None unless a trace context was active
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_span_id: str | None = None
 
     @property
     def end(self) -> float:
         return self.start + self.duration
+
+
+@dataclass
+class OpenSpan:
+    """A span begun with :meth:`Tracer.start_span`, awaiting ``finish``.
+
+    Used where a span's start and end happen in different call frames
+    (the dispatch core opens one per chunk at dispatch time and closes
+    it at completion), so the context-manager form cannot apply.
+    """
+
+    name: str
+    start: float
+    category: str
+    args: dict
+    trace_id: str | None
+    span_id: str | None
+    parent_span_id: str | None
+
+    @property
+    def traceparent(self) -> str | None:
+        """W3C-style propagation header naming this span as the parent."""
+        if self.trace_id is None or self.span_id is None:
+            return None
+        return f"00-{self.trace_id}-{self.span_id}-01"
 
 
 class Tracer:
@@ -41,13 +91,76 @@ class Tracer:
 
     def __init__(self) -> None:
         self._epoch = time.perf_counter()
+        # The same instant on the shareable wall clock: lets exporters
+        # place this tracer's relative timeline on an absolute axis that
+        # other processes' telemetry can be aligned with.
+        self._epoch_unix = time.time()
         self._spans: list[Span] = []
         self._depth = 0
+        self._context = None  # active distributed TraceContext (or None)
+        self._span_stack: list[str] = []  # open span ids, innermost last
+        # Span ids are cheap: one random 64-bit prefix per tracer plus a
+        # counter, instead of an os.urandom call per span.
+        self._id_prefix = os.urandom(4).hex()
+        self._id_counter = itertools.count(1)
 
     @property
     def epoch_wall_time(self) -> float:
         """Host ``perf_counter`` value the timeline is relative to."""
         return self._epoch
+
+    @property
+    def epoch_unix_time(self) -> float:
+        """``time.time()`` at the tracer's epoch (absolute alignment)."""
+        return self._epoch_unix
+
+    @property
+    def context(self):
+        """The active :class:`TraceContext`, or None."""
+        return self._context
+
+    def set_context(self, context) -> None:
+        """Install (or clear, with None) the active trace context."""
+        self._context = context
+
+    @contextmanager
+    def activate(self, context):
+        """Scope a distributed trace context over the enclosed block."""
+        previous = self._context
+        self._context = context
+        try:
+            yield context
+        finally:
+            self._context = previous
+
+    def new_span_id(self) -> str:
+        """A fresh 64-bit span id (16 lowercase hex chars)."""
+        # 32 random bits + 32 counter bits = exactly 16 hex chars, the
+        # W3C width -- a longer id would fail traceparent validation on
+        # the receiving process.
+        return f"{self._id_prefix}{next(self._id_counter) & 0xFFFFFFFF:08x}"
+
+    def current_traceparent(self) -> str | None:
+        """Propagation header naming the innermost open span as parent.
+
+        Falls back to the activated context's span when no span is open;
+        None when no context is active.  Lets code that ships work to
+        another process mid-span (the probe round) hand that process a
+        parent without opening a dedicated span per request.
+        """
+        context = self._context
+        if context is None:
+            return None
+        parent = self._span_stack[-1] if self._span_stack else context.span_id
+        return f"00-{context.trace_id}-{parent}-01"
+
+    def _identity(self) -> tuple[str | None, str | None, str | None]:
+        """(trace_id, span_id, parent_span_id) under the active context."""
+        context = self._context
+        if context is None:
+            return None, None, None
+        parent = self._span_stack[-1] if self._span_stack else context.span_id
+        return context.trace_id, self.new_span_id(), parent
 
     def spans(self, name: str | None = None) -> list[Span]:
         """Completed spans in completion order (optionally filtered)."""
@@ -69,10 +182,15 @@ class Tracer:
         start = time.perf_counter() - self._epoch
         depth = self._depth
         self._depth += 1
+        trace_id, span_id, parent_id = self._identity()
+        if span_id is not None:
+            self._span_stack.append(span_id)
         try:
             yield
         finally:
             self._depth -= 1
+            if span_id is not None:
+                self._span_stack.pop()
             self._spans.append(
                 Span(
                     name=name,
@@ -81,8 +199,44 @@ class Tracer:
                     category=category,
                     depth=depth,
                     args=args,
+                    trace_id=trace_id,
+                    span_id=span_id,
+                    parent_span_id=parent_id,
                 )
             )
+
+    def start_span(self, name: str, *, category: str = "wall", **args) -> OpenSpan:
+        """Open a span whose end will be reported via :meth:`finish`.
+
+        Unlike :meth:`span`, an open span does not join the nesting
+        stack (its lifetime is not lexically scoped); it parents to the
+        innermost span open at *start* time, or the active context.
+        """
+        trace_id, span_id, parent_id = self._identity()
+        return OpenSpan(
+            name=name,
+            start=time.perf_counter() - self._epoch,
+            category=category,
+            args=args,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_span_id=parent_id,
+        )
+
+    def finish(self, open_span: OpenSpan, **extra_args) -> Span:
+        """Close an :class:`OpenSpan` and record the completed span."""
+        span = Span(
+            name=open_span.name,
+            start=open_span.start,
+            duration=time.perf_counter() - self._epoch - open_span.start,
+            category=open_span.category,
+            args={**open_span.args, **extra_args},
+            trace_id=open_span.trace_id,
+            span_id=open_span.span_id,
+            parent_span_id=open_span.parent_span_id,
+        )
+        self._spans.append(span)
+        return span
 
     def add_span(
         self,
@@ -94,8 +248,10 @@ class Tracer:
         **args,
     ) -> Span:
         """Record an externally measured span (start relative to epoch)."""
+        trace_id, span_id, parent_id = self._identity()
         span = Span(
-            name=name, start=start, duration=duration, category=category, args=args
+            name=name, start=start, duration=duration, category=category, args=args,
+            trace_id=trace_id, span_id=span_id, parent_span_id=parent_id,
         )
         self._spans.append(span)
         return span

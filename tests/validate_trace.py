@@ -1,0 +1,106 @@
+"""Minimal JSON-Schema validator for the exported Chrome trace.
+
+The container bakes in no ``jsonschema`` package, so this implements
+the draft-07 subset ``tests/trace_schema.json`` actually uses --
+``type``, ``enum``, ``const``, ``required``, ``properties``, ``items``,
+``minimum``, ``oneOf`` -- and nothing more.  Unknown keywords are
+ignored (like a real validator would for annotations).
+
+Usable as a library (``validate`` returns a list of error strings) and
+as a CI script::
+
+    python tests/validate_trace.py trace.json tests/trace_schema.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, expected: str) -> bool:
+    if isinstance(value, bool):  # bool is an int subclass; JSON says otherwise
+        return expected == "boolean"
+    return isinstance(value, _TYPES[expected])
+
+
+def validate(instance, schema: dict, path: str = "$") -> list[str]:
+    """Errors for ``instance`` against the supported schema subset."""
+    errors: list[str] = []
+    expected_type = schema.get("type")
+    if expected_type is not None and not _type_ok(instance, expected_type):
+        return [f"{path}: expected {expected_type}, got {type(instance).__name__}"]
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) and instance < schema["minimum"]:
+        errors.append(f"{path}: {instance!r} below minimum {schema['minimum']!r}")
+    if "oneOf" in schema:
+        failures = []
+        matched = 0
+        for index, option in enumerate(schema["oneOf"]):
+            sub_errors = validate(instance, option, path)
+            if sub_errors:
+                title = option.get("title", f"option {index}")
+                failures.append(f"[{title}] {sub_errors[0]}")
+            else:
+                matched += 1
+        if matched != 1:
+            errors.append(
+                f"{path}: matched {matched} of {len(schema['oneOf'])} oneOf "
+                f"alternatives ({'; '.join(failures)})"
+            )
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub_schema in schema.get("properties", {}).items():
+            if key in instance:
+                errors.extend(validate(instance[key], sub_schema, f"{path}.{key}"))
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{index}]"))
+    return errors
+
+
+def validate_trace_file(trace_path: str | Path,
+                        schema_path: str | Path | None = None) -> list[str]:
+    """Validate a written trace file; returns error strings (empty = valid)."""
+    if schema_path is None:
+        schema_path = Path(__file__).parent / "trace_schema.json"
+    trace = json.loads(Path(trace_path).read_text())
+    schema = json.loads(Path(schema_path).read_text())
+    return validate(trace, schema)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print("usage: validate_trace.py TRACE_JSON [SCHEMA_JSON]")
+        return 2
+    errors = validate_trace_file(argv[1], argv[2] if len(argv) == 3 else None)
+    if errors:
+        for error in errors[:20]:
+            print(f"INVALID {error}")
+        if len(errors) > 20:
+            print(f"... and {len(errors) - 20} more")
+        return 1
+    trace = json.loads(Path(argv[1]).read_text())
+    print(f"VALID {argv[1]}: {len(trace.get('traceEvents', []))} events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
