@@ -1,0 +1,113 @@
+"""Resilience bench: how much straggler makespan speculation recovers.
+
+The acceptance scenario: four workers the scheduler believes are equal
+(``estimate_source="manual"`` feeds it identical specs), but one is
+actually 10x slower.  Without the resilience tier the run's makespan is
+dominated by the straggler's serial queue; with speculative re-dispatch
+the stuck chunks are twinned onto idle fast workers and the first
+completion wins.  The bar: speculation must recover at least 30 % of
+the makespan lost to the straggler,
+
+    recovered = (no_spec - with_spec) / (no_spec - all_fast) >= 0.30
+
+Headline numbers go to ``benchmarks/BENCH_resilience.json`` as one
+record of the benchmark trajectory (see ``_trajectory.py``); CI gates
+``spec_makespan_ratio`` (with-speculation makespan over the all-fast
+ideal, lower is better) against the recorded history.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import _trajectory
+
+from repro.core.registry import make_scheduler
+from repro.dispatch.core import DispatchOptions
+from repro.platform.resources import Cluster, Grid, WorkerSpec
+from repro.resilience import ResiliencePolicy, StragglerPolicy
+from repro.simulation.master import simulate_run
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_resilience.json"
+
+TOTAL_LOAD = 2000.0
+ALGORITHM = "simple-5"
+FAST_SPEED = 500.0
+SLOWDOWN = 10.0
+RECOVERY_FLOOR = 0.30
+
+
+def _grid(straggler: bool) -> Grid:
+    workers = [
+        WorkerSpec(
+            name=f"w{i}",
+            speed=FAST_SPEED / (SLOWDOWN if straggler and i == 0 else 1.0),
+            bandwidth=5000.0,
+            cluster="bench",
+        )
+        for i in range(4)
+    ]
+    return Grid.from_clusters(Cluster(name="bench", workers=workers))
+
+
+def _claimed_fast() -> list[WorkerSpec]:
+    """What the scheduler is told: every worker looks fast."""
+    return list(_grid(straggler=False).workers)
+
+
+def _makespan(grid: Grid, *, resilience: ResiliencePolicy | None) -> float:
+    options = DispatchOptions(
+        estimate_source="manual",
+        manual_estimates=_claimed_fast(),
+    )
+    if resilience is not None:
+        options.resilience = resilience
+    report = simulate_run(
+        grid, make_scheduler(ALGORITHM), TOTAL_LOAD, seed=0, options=options
+    )
+    report.validate()
+    return report.makespan
+
+
+def test_speculation_recovers_straggler_makespan():
+    all_fast = _makespan(_grid(straggler=False), resilience=None)
+    no_spec = _makespan(_grid(straggler=True), resilience=None)
+    with_spec = _makespan(
+        _grid(straggler=True),
+        resilience=ResiliencePolicy(straggler=StragglerPolicy()),
+    )
+
+    lost = no_spec - all_fast
+    assert lost > 0, "the straggler must actually hurt the baseline"
+    recovered = (no_spec - with_spec) / lost
+    results = {
+        "scenario": (
+            f"4 workers, worker 0 is {SLOWDOWN:.0f}x slower than the "
+            f"scheduler believes, {ALGORITHM} over {TOTAL_LOAD:.0f} units"
+        ),
+        "makespan_all_fast_s": round(all_fast, 4),
+        "makespan_straggler_no_speculation_s": round(no_spec, 4),
+        "makespan_straggler_with_speculation_s": round(with_spec, 4),
+        "recovered_fraction": round(recovered, 4),
+        "recovery_floor": RECOVERY_FLOOR,
+        "spec_makespan_ratio": round(with_spec / all_fast, 4),
+    }
+    print(json.dumps(results, indent=2))
+    _trajectory.append(
+        RESULTS_PATH,
+        {
+            "spec_makespan_ratio": results["spec_makespan_ratio"],
+            "recovered_fraction": results["recovered_fraction"],
+        },
+        latest=results,
+    )
+    assert recovered >= RECOVERY_FLOOR, (
+        f"speculation recovered only {recovered:.1%} of the straggler's "
+        f"makespan cost (floor {RECOVERY_FLOOR:.0%})"
+    )
+    assert with_spec < no_spec
+
+
+if __name__ == "__main__":
+    test_speculation_recovers_straggler_makespan()
+    sys.exit(0)

@@ -19,6 +19,7 @@ Commands::
     gantt JOB                     text Gantt chart + overlap metrics
     platform                      the daemon's platform summary
     algorithms                    registered DLS algorithms
+    dlq [list|replay ID|purge]    inspect / replay the dead-letter queue
     help / quit
 """
 
@@ -210,6 +211,52 @@ class APSTConsole(cmd.Cmd):
             "(plus simple-N, multiinstallment-N, and the daemon-resolved "
             "names 'auto' and 'rumr-learned')"
         )
+
+    def do_dlq(self, arg: str) -> None:
+        """dlq [list | replay ID | purge] -- the job dead-letter queue."""
+        parts = arg.split()
+        action = parts[0] if parts else "list"
+        if action == "list":
+            entries = self._daemon.dlq_entries()
+            if not entries:
+                self._say("dead-letter queue is empty")
+                return
+            for entry in entries:
+                status = (
+                    f"replayed as job {entry.replayed_as}"
+                    if entry.replayed_as is not None
+                    else f"{len(entry.failure_chain)} failure(s)"
+                )
+                self._say(
+                    f"entry {entry.entry_id}: job {entry.job_id} "
+                    f"[{entry.algorithm or 'auto'}] -- {status}"
+                )
+                for line in entry.failure_chain:
+                    self._say(f"  - {line}")
+            return
+        if action == "replay":
+            if len(parts) != 2:
+                self._fail("usage: dlq replay ID")
+                return
+            try:
+                entry_id = int(parts[1])
+            except ValueError:
+                self._fail(f"entry id must be an integer, got {parts[1]!r}")
+                return
+            try:
+                new_id = self._daemon.dlq_replay(entry_id)
+                self._daemon.run_pending(raise_on_error=False)
+                job = self._daemon.job(new_id)
+            except ReproError as exc:
+                self._fail(str(exc))
+                return
+            self._say(f"entry {entry_id} replayed as job {new_id}: {job.state.value}")
+            return
+        if action == "purge":
+            purged = self._daemon.dlq_purge()
+            self._say(f"purged {purged} entr{'y' if purged == 1 else 'ies'}")
+            return
+        self._fail("usage: dlq [list | replay ID | purge]")
 
     def do_quit(self, _arg: str) -> bool:
         """quit -- leave the console."""

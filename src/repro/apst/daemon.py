@@ -34,19 +34,22 @@ from typing import Callable, Protocol
 
 from ..core.base import Scheduler
 from ..core.registry import make_scheduler
-from ..errors import SpecificationError
+from ..errors import JobUnrecoverableError, SpecificationError
 from ..dispatch.core import DispatchCore, DispatchOptions
-from ..dispatch.protocols import DispatchSubstrate
+from ..dispatch.protocols import DispatchSubstrate, RetryPolicy
 from ..obs import (
     JOB_CANCELLED,
     JOB_COMPLETED,
     JOB_FAILED,
+    JOB_PARKED,
+    JOB_REPLAYED,
     JOB_SUBMITTED,
     OBS_DISABLED,
     Observability,
     parse_traceparent,
 )
 from ..platform.resources import Grid
+from ..resilience import DeadLetterEntry, DeadLetterQueue, ResiliencePolicy
 from ..simulation.master import SimulatedMaster, SimulationOptions
 from ..simulation.compute import UncertaintyModel
 from ..simulation.trace import ExecutionReport
@@ -134,6 +137,10 @@ class DaemonConfig:
     simulation_options: SimulationOptions | None = None
     history_path: Path | None = None
     observability: Observability | None = None
+    #: per-chunk transport retry policy applied to every job's run
+    retry: RetryPolicy | None = None
+    #: resilience tier (speculation / escalation / quarantine) per run
+    resilience: ResiliencePolicy | None = None
 
     def __post_init__(self) -> None:
         self.base_dir = Path(self.base_dir)
@@ -170,6 +177,7 @@ class APSTDaemon:
         self._jobs: dict[int, Job] = {}
         self._ids = itertools.count(1)
         self._draining = False
+        self._dlq = DeadLetterQueue()
 
     @property
     def platform(self) -> Grid:
@@ -306,6 +314,45 @@ class APSTDaemon:
         counts["total"] = len(self._jobs)
         counts["draining"] = int(self._draining)
         return counts
+
+    # -- dead-letter queue ---------------------------------------------------
+    @property
+    def dlq(self) -> DeadLetterQueue:
+        """Jobs whose chunks could not complete on any live worker."""
+        return self._dlq
+
+    def dlq_entries(self) -> list[DeadLetterEntry]:
+        return self._dlq.entries()
+
+    def dlq_replay(self, entry_id: int) -> int:
+        """Resubmit a parked job verbatim; returns the new job id.
+
+        The entry stays in the queue with ``replayed_as`` recording the
+        new job, so an operator can see what happened to it; ``purge``
+        clears the queue once nothing in it is needed.
+        """
+        entry = self._dlq.get(entry_id)
+        task = entry.task
+        if not isinstance(task, TaskSpec):
+            raise SpecificationError(
+                f"DLQ entry {entry_id} carries no replayable task"
+            )
+        new_id = self.submit(task, algorithm=entry.algorithm)
+        self._dlq.mark_replayed(entry_id, new_id)
+        if self._obs.enabled:
+            self._obs.emit(
+                JOB_REPLAYED,
+                job_id=new_id,
+                entry_id=entry_id,
+                original_job_id=entry.job_id,
+                algorithm=entry.algorithm,
+            )
+            self._count_job_event("replayed")
+        return new_id
+
+    def dlq_purge(self) -> int:
+        """Drop every parked entry; returns how many were removed."""
+        return self._dlq.purge()
 
     def report(self, job_id: int) -> ExecutionReport:
         job = self.job(job_id)
@@ -454,6 +501,22 @@ class APSTDaemon:
         except Exception as exc:
             job.state = JobState.FAILED
             job.error = f"{type(exc).__name__}: {exc}"
+            if isinstance(exc, JobUnrecoverableError):
+                entry = self._dlq.park(
+                    job_id=job.job_id,
+                    algorithm=job.algorithm,
+                    task=job.task,
+                    failure_chain=exc.failure_chain + [job.error],
+                )
+                if self._obs.enabled:
+                    self._obs.emit(
+                        JOB_PARKED,
+                        job_id=job.job_id,
+                        entry_id=entry.entry_id,
+                        algorithm=job.algorithm,
+                        failures=len(entry.failure_chain),
+                    )
+                    self._count_job_event("parked")
             if self._obs.enabled:
                 self._obs.emit(
                     JOB_FAILED,
@@ -512,6 +575,10 @@ class APSTDaemon:
     ) -> tuple[ExecutionReport, list[Path]]:
         """Drive the shared dispatch core over the backend's substrate."""
         options = DispatchOptions(probe_units=probe_units)
+        if self._config.retry is not None:
+            options.retry = self._config.retry
+        if self._config.resilience is not None:
+            options.resilience = self._config.resilience
         if self._obs.enabled:
             options.observability = self._obs
         core = DispatchCore(
@@ -560,6 +627,10 @@ class APSTDaemon:
         options = self._config.simulation_options or SimulationOptions()
         if probe_units is not None and options.probe_units is None:
             options = dataclasses.replace(options, probe_units=probe_units)
+        if self._config.retry is not None:
+            options = dataclasses.replace(options, retry=self._config.retry)
+        if self._config.resilience is not None:
+            options = dataclasses.replace(options, resilience=self._config.resilience)
         if quantum is not None and quantum != options.quantum:
             options = dataclasses.replace(options, quantum=quantum)
         if self._obs.enabled and options.observability is None:

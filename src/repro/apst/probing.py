@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from .._util import check_positive
-from ..errors import ProbeError
+from ..errors import ExecutionError, ProbeError
 from ..platform.resources import WorkerSpec
 
 
@@ -64,6 +64,9 @@ class ProbeResult:
     duration: float
     #: units of probe load sent to each worker
     probe_units: float
+    #: indices of workers whose probe failed (``tolerate`` mode only);
+    #: their estimate falls back to the nominal platform spec
+    failed: tuple[int, ...] = ()
 
 
 def run_probe_phase(
@@ -72,6 +75,7 @@ def run_probe_phase(
     probe_units: float,
     *,
     obs=None,
+    tolerate: bool = False,
 ) -> ProbeResult:
     """Run one probing round over all workers.
 
@@ -92,30 +96,49 @@ def run_probe_phase(
     its bus is armed, each worker's raw probe measurements are published
     as ``probe.worker_measured`` events (the live counterpart of the
     probe table APST-DV logs before an execution).
+
+    With ``tolerate=True`` a worker whose probe raises (connection lost,
+    worker crashed mid-probe) does not abort the phase: its estimate
+    falls back to the nominal platform spec, its index is recorded in
+    ``ProbeResult.failed``, and probing continues with the next worker.
+    The caller (the resilience tier) decides what to do with the
+    casualties -- typically quarantine them for the rest of the job.
     """
     check_positive("probe_units", probe_units, ProbeError)
     if not workers:
         raise ProbeError("cannot probe an empty platform")
 
     estimates: list[WorkerSpec] = []
+    failed: list[int] = []
     link_time = 0.0
     finish_times: list[float] = []
     for index, spec in enumerate(workers):
-        # serialized on the master uplink
-        noop_comm = costs.realized_transfer_time(index, 0.0)
-        link_time += noop_comm
-        probe_comm = costs.realized_transfer_time(index, probe_units)
-        link_time += probe_comm
-        arrival = link_time
+        link_before = link_time
+        try:
+            # serialized on the master uplink
+            noop_comm = costs.realized_transfer_time(index, 0.0)
+            link_time += noop_comm
+            probe_comm = costs.realized_transfer_time(index, probe_units)
+            link_time += probe_comm
+            arrival = link_time
 
-        bandwidth_est = probe_units / max(_MIN_MEASURED, probe_comm - noop_comm)
+            bandwidth_est = probe_units / max(_MIN_MEASURED, probe_comm - noop_comm)
 
-        # on-worker, overlapped across workers
-        noop_comp = costs.realized_compute_time(index, 0.0)
-        probe_comp = costs.realized_compute_time(index, probe_units)
-        finish_times.append(arrival + noop_comp + probe_comp)
+            # on-worker, overlapped across workers
+            noop_comp = costs.realized_compute_time(index, 0.0)
+            probe_comp = costs.realized_compute_time(index, probe_units)
+            finish_times.append(arrival + noop_comp + probe_comp)
 
-        speed_est = probe_units / max(_MIN_MEASURED, probe_comp - noop_comp)
+            speed_est = probe_units / max(_MIN_MEASURED, probe_comp - noop_comp)
+        except (ExecutionError, ProbeError, OSError):
+            if not tolerate:
+                raise
+            # the partial transfer cost is unknowable; roll the link back
+            # so the remaining workers see a deterministic serialization
+            link_time = link_before
+            failed.append(index)
+            estimates.append(spec)
+            continue
 
         estimates.append(
             WorkerSpec(
@@ -142,8 +165,9 @@ def run_probe_phase(
             )
     return ProbeResult(
         estimates=estimates,
-        duration=max(finish_times),
+        duration=max(finish_times, default=link_time),
         probe_units=probe_units,
+        failed=tuple(failed),
     )
 
 

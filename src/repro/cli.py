@@ -418,6 +418,47 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_dlq(args: argparse.Namespace) -> int:
+    from .net import GatewayClient, GatewayError
+
+    with GatewayClient(args.host, args.port, timeout_s=args.timeout) as client:
+        if args.dlq_command == "list":
+            entries = client.dlq_list()
+            if not entries:
+                print("dead-letter queue is empty")
+                return 0
+            for entry in entries:
+                status = (
+                    f"replayed as job {entry['replayed_as']}"
+                    if entry.get("replayed_as") is not None
+                    else f"{len(entry['failure_chain'])} failure(s)"
+                )
+                print(
+                    f"entry {entry['entry_id']}: job {entry['job_id']} "
+                    f"[{entry.get('algorithm') or 'auto'}] -- {status}"
+                )
+                for line in entry["failure_chain"]:
+                    print(f"  - {line}")
+            return 0
+        if args.dlq_command == "replay":
+            try:
+                outcome = client.dlq_replay(args.entry)
+            except GatewayError as exc:
+                print(f"replay failed: {exc}")
+                return 1
+            line = (
+                f"entry {args.entry} replayed as job {outcome['job_id']}: "
+                f"{outcome['state']}"
+            )
+            if "error" in outcome:
+                line += f" -- {outcome['error']}"
+            print(line)
+            return 0 if outcome["state"] == "done" else 1
+        purged = client.dlq_purge()
+        print(f"purged {purged} entr{'y' if purged == 1 else 'ies'}")
+        return 0
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     rows = table1_rows()
     print(
@@ -607,6 +648,28 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=120.0,
                         help="seconds to wait per request (and per job with --wait)")
     submit.set_defaults(func=_cmd_submit)
+
+    dlq = sub.add_parser(
+        "dlq", help="inspect/replay a running gateway's job dead-letter queue"
+    )
+    # connection flags live on the action subparsers so the natural
+    # `apst-dv dlq list --port N` order parses
+    dlq_conn = argparse.ArgumentParser(add_help=False)
+    dlq_conn.add_argument("--host", default="127.0.0.1")
+    dlq_conn.add_argument("--port", type=int, required=True)
+    dlq_conn.add_argument("--timeout", type=float, default=120.0,
+                          help="seconds to wait per request")
+    dlq_sub = dlq.add_subparsers(dest="dlq_command", required=True)
+    dlq_sub.add_parser("list", parents=[dlq_conn],
+                       help="parked entries with their failure chains")
+    dlq_replay = dlq_sub.add_parser(
+        "replay", parents=[dlq_conn],
+        help="resubmit one parked entry and report its outcome"
+    )
+    dlq_replay.add_argument("entry", type=int, help="DLQ entry id")
+    dlq_sub.add_parser("purge", parents=[dlq_conn],
+                       help="drop every parked entry")
+    dlq.set_defaults(func=_cmd_dlq)
 
     console = sub.add_parser("console", help="interactive APST-DV client console")
     console.add_argument("--platform", default="das2")

@@ -32,24 +32,40 @@ handle is in effect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from time import perf_counter
 
 from ..apst.division import ChunkExtent, DivisionMethod, LoadTracker, UniformUnitsDivision
-from ..apst.probing import default_probe_units, perfect_information, run_probe_phase
+from ..apst.probing import (
+    ProbeResult,
+    default_probe_units,
+    perfect_information,
+    run_probe_phase,
+)
 from ..core.base import ChunkInfo, DispatchRequest, Scheduler, SchedulerConfig, WorkerState
-from ..errors import ExecutionError, SchedulingError, SimulationError
+from ..errors import (
+    ExecutionError,
+    JobUnrecoverableError,
+    SchedulingError,
+    SimulationError,
+)
 from ..obs import (
     CHUNK_COMPLETED,
     CHUNK_DISPATCHED,
+    CHUNK_ESCALATED,
     CHUNK_RETRANSMITTED,
+    CHUNK_SPECULATED,
+    CHUNK_SPECULATION_LOST,
+    CHUNK_SPECULATION_WON,
     OBS_DISABLED,
     PROBE_FINISHED,
     ROUND_STARTED,
+    WORKER_QUARANTINED,
     Observability,
 )
 from ..platform.resources import Grid, WorkerSpec
+from ..resilience import ResiliencePolicy, StragglerDetector
 from ..simulation.trace import ChunkTrace, ExecutionReport
 from .protocols import DispatchSubstrate, RetryPolicy
 
@@ -79,10 +95,15 @@ class DispatchOptions:
         (ablation mode).  Shorthand for ``estimate_source="oracle"``.
     estimate_source:
         Where resource estimates come from: ``"probe"`` (application-level
-        probing, APST-DV's choice), ``"oracle"`` (the truth, zero cost), or
+        probing, APST-DV's choice), ``"oracle"`` (the truth, zero cost),
         ``"monitor"`` (an NWS/Ganglia-like monitoring service: zero cost,
         persistent application-translation error -- the paper's Section
-        3.5 alternative).
+        3.5 alternative), or ``"manual"`` (zero cost, caller-supplied
+        ``manual_estimates`` -- deliberately-wrong estimates for the
+        resilience benches).
+    manual_estimates:
+        Per-worker specs handed to the scheduler verbatim when
+        ``estimate_source="manual"``; must match the grid's worker count.
     monitoring:
         Error model for ``estimate_source="monitor"``.
     probe_units:
@@ -105,18 +126,28 @@ class DispatchOptions:
         Per-chunk failure policy.  The default (one attempt) fails the
         run on the first chunk failure; a larger ``max_attempts``
         retransmits failed chunks over the serialized link.
+    resilience:
+        The resilience tier (:class:`~repro.resilience.ResiliencePolicy`).
+        ``straggler`` enables speculative re-dispatch of chunks stuck on
+        slow workers; ``escalation`` re-dispatches a chunk on a different
+        worker once transport retries are exhausted, quarantines workers
+        that keep failing, and tolerates probe-phase crashes.  ``None``
+        (the default) keeps the pre-resilience behavior: the first
+        unretryable failure aborts the run.
     """
 
     include_probe_time: bool = False
     perfect_estimates: bool = False
     estimate_source: str = "probe"
     monitoring: object | None = None
+    manual_estimates: list[WorkerSpec] | None = None
     probe_units: float | None = None
     output_factor: float = 0.0
     quantum: float = 1.0
     max_events: int = MAX_EVENTS
     observability: Observability | None = None
     retry: RetryPolicy = RetryPolicy()
+    resilience: ResiliencePolicy | None = None
 
 
 class DispatchCore:
@@ -176,6 +207,27 @@ class DispatchCore:
         self._max_round = -1
         self._plan_seconds = 0.0
         self._plan_calls = 0
+        # Resilience tier: straggler speculation, escalation, quarantine.
+        self._resilience = self._options.resilience or ResiliencePolicy()
+        self._detector: StragglerDetector | None = None
+        #: original chunk_id -> its in-flight speculative twin
+        self._twins: dict[int, ChunkTrace] = {}
+        #: twin chunk_id -> the original chunk_id it races
+        self._twin_origin: dict[int, int] = {}
+        #: losing copies: late completion/failure callbacks are discarded
+        self._abandoned: set[int] = set()
+        #: chunk_id -> the ChunkInfo the scheduler was told at dispatch
+        #: time (escalated/adopted chunks complete on a different worker)
+        self._notify_as: dict[int, ChunkInfo] = {}
+        self._speculations = 0
+        self._spec_wins = 0
+        self._spec_losses = 0
+        self._escalations: dict[int, int] = {}
+        self._escalated_chunks = 0
+        self._quarantined: set[int] = set()
+        self._failure_chain: list[str] = []
+        #: timestamp-free resilience decisions, for cross-backend parity
+        self._decisions: list[tuple] = []
         # Distributed tracing: one open span per in-flight chunk, created
         # only when a trace context is active on the tracer (remote runs
         # under the gateway); plain armed runs pay nothing extra.
@@ -207,6 +259,26 @@ class DispatchCore:
                 "repro_chunk_compute_seconds",
                 "Modeled seconds chunks spent computing",
             )
+            self._m_speculated = metrics.counter(
+                "repro_resilience_speculations_total",
+                "Speculative twin chunks dispatched for suspected stragglers",
+            )
+            self._m_spec_won = metrics.counter(
+                "repro_resilience_speculation_wins_total",
+                "Speculative twins that finished before their original",
+            )
+            self._m_spec_lost = metrics.counter(
+                "repro_resilience_speculation_losses_total",
+                "Speculative twins cancelled (original finished first or twin failed)",
+            )
+            self._m_escalated = metrics.counter(
+                "repro_resilience_escalations_total",
+                "Chunks re-dispatched on a different worker after retry exhaustion",
+            )
+            self._m_quarantined = metrics.counter(
+                "repro_resilience_quarantined_total",
+                "Workers excluded from dispatch for the rest of the run",
+            )
         else:
             self._m_dispatched = None
             self._m_completed = None
@@ -215,6 +287,11 @@ class DispatchCore:
             self._m_retransmitted = None
             self._m_queue = None
             self._m_compute = None
+            self._m_speculated = None
+            self._m_spec_won = None
+            self._m_spec_lost = None
+            self._m_escalated = None
+            self._m_quarantined = None
         substrate.bind(self)
 
     # -- public API ---------------------------------------------------------
@@ -244,6 +321,16 @@ class DispatchCore:
         annotations = {**self._scheduler.annotations(), **self._substrate.annotations}
         if self._retransmits:
             annotations["retransmitted_chunks"] = self._retransmits
+        if self._decisions:
+            annotations["resilience_log"] = [list(d) for d in self._decisions]
+        if self._speculations:
+            annotations["speculated_chunks"] = self._speculations
+            annotations["speculation_wins"] = self._spec_wins
+            annotations["speculation_losses"] = self._spec_losses
+        if self._escalated_chunks:
+            annotations["escalated_chunks"] = self._escalated_chunks
+        if self._quarantined:
+            annotations["quarantined_workers"] = sorted(self._quarantined)
         report = ExecutionReport(
             algorithm=self._scheduler.name,
             total_load=self._total_load,
@@ -263,6 +350,27 @@ class DispatchCore:
         """Result files of the run, ordered by chunk offset in the load."""
         ordered = sorted(self._chunks, key=lambda c: c.offset)
         return [self._results[c.chunk_id] for c in ordered if c.chunk_id in self._results]
+
+    @property
+    def resilience_log(self) -> list[tuple]:
+        """Timestamp-free resilience decisions, in the order they were made.
+
+        Tuples: ``("speculate"|"speculation_won"|"speculation_lost"|
+        "adopt"|"escalate"|"redirect", chunk_id, from_worker, to_worker)``,
+        ``("quarantine", worker)``, ``("probe_failure", worker)``.  The
+        failure-injection parity harness pins this sequence identical
+        across all four backends.
+        """
+        return list(self._decisions)
+
+    @property
+    def failure_chain(self) -> list[str]:
+        """Per-step failure diagnostics accumulated so far (newest last)."""
+        return list(self._failure_chain)
+
+    @property
+    def quarantined_workers(self) -> set[int]:
+        return set(self._quarantined)
 
     # -- distributed tracing --------------------------------------------------
     def _open_chunk_span(self, chunk: ChunkTrace) -> None:
@@ -298,10 +406,20 @@ class DispatchCore:
         source = self._options.estimate_source
         if self._options.perfect_estimates:
             source = "oracle"
-        if source not in ("probe", "oracle", "monitor"):
+        if source not in ("probe", "oracle", "monitor", "manual"):
             raise SimulationError(f"unknown estimate_source {source!r}")
         if source == "oracle":
             result = perfect_information(list(self._grid.workers))
+        elif source == "manual":
+            manual = self._options.manual_estimates
+            if manual is None or len(manual) != len(self._grid.workers):
+                raise SimulationError(
+                    "estimate_source='manual' needs options.manual_estimates "
+                    "with one WorkerSpec per grid worker"
+                )
+            result = ProbeResult(
+                estimates=list(manual), duration=0.0, probe_units=0.0
+            )
         elif source == "monitor":
             from ..apst.monitoring import MonitoringConfig, MonitoringService
 
@@ -323,6 +441,7 @@ class DispatchCore:
                 self._substrate.probe_costs,
                 probe_units,
                 obs=self._obs,
+                tolerate=self._resilience.escalation_enabled,
             )
         else:
             # SIMPLE-n: no probing; the algorithm only needs worker count,
@@ -331,6 +450,21 @@ class DispatchCore:
             result = type(result)(estimates=result.estimates, duration=0.0, probe_units=0.0)
         self._estimates = result.estimates
         self._probe_time = result.duration
+        for index in result.failed:
+            self._failure_chain.append(
+                f"probe failed on worker {self._grid.workers[index].name}"
+            )
+            self._decisions.append(("probe_failure", index))
+            self._quarantine(index, reason="probe failure")
+        if result.failed and len(self._quarantined) >= len(self._states):
+            raise JobUnrecoverableError(
+                "every worker failed its probe",
+                failure_chain=self._failure_chain,
+            )
+        if self._resilience.straggler_enabled:
+            self._detector = StragglerDetector(
+                self._resilience.straggler, self._estimates
+            )
         if self._obs.enabled:
             self._obs.emit(
                 PROBE_FINISHED,
@@ -381,11 +515,35 @@ class DispatchCore:
                     self._dispatch(request)
                     idle_ticks = 0
                     continue
+            if not self._transport.busy and self._maybe_speculate():
+                idle_ticks = 0
+                continue
             if (
                 self._outstanding > 0
                 or self._transport.busy
                 or self._pending_outputs > 0
             ):
+                if self._detector is not None and self._speculation_pending():
+                    # A chunk may cross its straggler threshold while we
+                    # wait; on hosts where wall time advances on its own,
+                    # nap briefly and re-check instead of blocking until
+                    # a completion that may never come.
+                    if self._host.idle_tick():
+                        idle_ticks = 0
+                        continue
+                    # Event-driven host with a drained queue: the stuck
+                    # chunk will never complete on its own -- speculate
+                    # regardless of the modeled elapsed time.
+                    if not self._host.wait():
+                        if self._maybe_speculate(force=True):
+                            idle_ticks = 0
+                            continue
+                        raise SimulationError(
+                            "dispatch core has in-flight work but no further "
+                            "progress is possible (event queue drained)"
+                        )
+                    idle_ticks = 0
+                    continue
                 if not self._host.wait():
                     raise SimulationError(
                         "dispatch core has in-flight work but no further "
@@ -421,6 +579,18 @@ class DispatchCore:
                 f"{self._scheduler.name} dispatched to invalid worker "
                 f"{request.worker_index}"
             )
+        if request.worker_index in self._quarantined:
+            target = self._escalation_target(exclude=request.worker_index)
+            if target is None:
+                raise JobUnrecoverableError(
+                    f"no live workers remain to take a chunk addressed to "
+                    f"quarantined worker {request.worker_index}",
+                    failure_chain=self._failure_chain,
+                )
+            self._decisions.append(
+                ("redirect", self._chunk_counter, request.worker_index, target)
+            )
+            request = replace(request, worker_index=target)
         extent = self._tracker.take(request.units)
         now = self._clock.now()
         chunk = ChunkTrace(
@@ -488,12 +658,31 @@ class DispatchCore:
     # -- substrate callbacks ------------------------------------------------
     def chunk_arrived(self, chunk: ChunkTrace, payload: object) -> None:
         """The transport finished shipping ``chunk``; hand it to its worker."""
-        if self._attempts[chunk.chunk_id] == 1:
+        if (
+            self._attempts[chunk.chunk_id] == 1
+            and chunk.chunk_id not in self._twin_origin
+            and chunk.chunk_id not in self._notify_as
+        ):
+            # Twins and escalated re-dispatches are driver-internal: the
+            # scheduler already saw this chunk arrive once.
             self._scheduler.notify_arrival(self._info(chunk), self._clock.now())
         self._host.enqueue(chunk, payload)
 
     def chunk_completed(self, chunk: ChunkTrace, result_path: Path | None = None) -> None:
         """The host finished computing ``chunk`` (timestamps already set)."""
+        cid = chunk.chunk_id
+        if cid in self._abandoned:
+            # The losing copy of a speculation race; its bookkeeping was
+            # already released when the race was decided.
+            self._abandoned.discard(cid)
+            return
+        origin_id = self._twin_origin.pop(cid, None)
+        if origin_id is not None:
+            self._speculation_won(chunk, origin_id)
+        else:
+            twin = self._twins.pop(cid, None)
+            if twin is not None:
+                self._speculation_lost(chunk, twin)
         state = self._states[chunk.worker_index]
         state.outstanding -= 1
         state.outstanding_units -= chunk.units
@@ -521,8 +710,12 @@ class DispatchCore:
                 self._m_completed.inc()
                 self._m_queue.observe(chunk.queue_time)
                 self._m_compute.observe(chunk.compute_time)
+        if self._detector is not None:
+            self._detector.observe(
+                chunk.worker_index, chunk.units, chunk.compute_time
+            )
         self._scheduler.notify_completion(
-            self._info(chunk),
+            self._notify_as.pop(cid, None) or self._info(chunk),
             now,
             predicted_time=chunk.predicted_compute,
             actual_time=chunk.compute_time,
@@ -540,10 +733,29 @@ class DispatchCore:
         one dispatch and will see one completion); the driver re-ships
         the same extent over the serialized link and the report counts
         the extra shipment under ``retransmitted_chunks``.
+
+        With an escalation policy, a chunk whose retries are exhausted is
+        re-dispatched on a different live worker instead of failing the
+        run, and workers that keep causing escalations are quarantined.
         """
+        cid = chunk.chunk_id
+        if cid in self._abandoned:
+            self._abandoned.discard(cid)
+            return
+        origin_id = self._twin_origin.pop(cid, None)
+        if origin_id is not None:
+            self._twin_failed(chunk, origin_id, message)
+            return
+        twin = self._twins.pop(cid, None)
+        if twin is not None:
+            self._adopt_twin(chunk, twin, message)
+            return
         self._finish_chunk_span(chunk, error=message)
-        attempts = self._attempts.get(chunk.chunk_id, 1)
+        attempts = self._attempts.get(cid, 1)
         if attempts >= self._options.retry.max_attempts:
+            if self._resilience.escalation_enabled:
+                self._escalate(chunk, message)
+                return
             raise ExecutionError(message)
         self._attempts[chunk.chunk_id] = attempts + 1
         self._retransmits += 1
@@ -572,6 +784,343 @@ class DispatchCore:
     def output_done(self) -> None:
         """The transport finished shipping one output back to the master."""
         self._pending_outputs -= 1
+
+    # -- straggler speculation ----------------------------------------------
+    def _speculation_allowed(self) -> bool:
+        return (
+            self._detector is not None
+            and self._speculations < self._detector.policy.max_speculations
+        )
+
+    def _speculation_candidates(self) -> list[ChunkTrace]:
+        """In-flight, arrived originals that have not been twinned yet."""
+        out = []
+        for chunk in self._chunks:
+            cid = chunk.chunk_id
+            if (
+                chunk.send_end >= 0
+                and not chunk.completed
+                and cid not in self._abandoned
+                and cid not in self._twins
+                and cid not in self._twin_origin
+            ):
+                out.append(chunk)
+        return out
+
+    def _speculation_pending(self) -> bool:
+        """Could a speculation still fire for some in-flight chunk?"""
+        return self._speculation_allowed() and bool(self._speculation_candidates())
+
+    def _maybe_speculate(self, *, force: bool = False) -> bool:
+        """Clone the worst straggling chunk onto the fastest idle worker.
+
+        ``force`` skips the elapsed-time threshold; the drive loop uses
+        it on event-driven hosts whose queue drained with work still in
+        flight (the stuck chunk provably never completes on its own).
+        Returns True when a twin was dispatched.
+        """
+        if not self._speculation_allowed() or self._transport.busy:
+            return False
+        candidates = self._speculation_candidates()
+        if not force:
+            now = self._clock.now()
+            candidates = [c for c in candidates if self._backlog_straggling(c, now)]
+        if not candidates:
+            return False
+        # the chunk that has waited longest is in the most trouble
+        original = min(candidates, key=lambda c: (c.send_end, c.chunk_id))
+        target = self._speculation_target(exclude=original.worker_index)
+        if target is None:
+            return False
+        self._speculate(original, target)
+        return True
+
+    def _backlog_straggling(self, chunk: ChunkTrace, now: float) -> bool:
+        """Queue-aware straggler check for one arrived, incomplete chunk.
+
+        The expectation covers the worker's whole FIFO backlog up to and
+        including the chunk -- a chunk queued behind others legitimately
+        waits for all of them, so a deep queue must not read as a stall.
+        Service of the backlog cannot have started before its earliest
+        arrival, nor before the worker finished its previous chunk.
+        """
+        worker = chunk.worker_index
+        key = (chunk.send_end, chunk.chunk_id)
+        expected = 0.0
+        backlog_start = chunk.send_end
+        busy_until = 0.0
+        for other in self._chunks:
+            if other.worker_index != worker or other.chunk_id in self._abandoned:
+                continue
+            if other.send_end < 0:
+                continue  # still on the link (or reset for re-dispatch)
+            if other.completed:
+                busy_until = max(busy_until, other.compute_end)
+            elif (other.send_end, other.chunk_id) <= key:
+                expected += self._detector.expected_compute(worker, other.units)
+                backlog_start = min(backlog_start, other.send_end)
+        waited = now - max(backlog_start, busy_until)
+        return self._detector.exceeds(expected, waited)
+
+    def _speculation_target(self, *, exclude: int) -> int | None:
+        """Fastest idle live worker (by probe estimate; ties -> lowest index)."""
+        best = None
+        best_unit = float("inf")
+        for state in self._states:
+            index = state.index
+            if (
+                index == exclude
+                or index in self._quarantined
+                or state.outstanding > 0
+            ):
+                continue
+            unit = self._estimates[index].unit_compute_time()
+            if unit < best_unit:
+                best = index
+                best_unit = unit
+        return best
+
+    def _speculate(self, original: ChunkTrace, target: int) -> None:
+        """Dispatch a twin of ``original`` on ``target``; first finish wins."""
+        now = self._clock.now()
+        twin = ChunkTrace(
+            chunk_id=self._chunk_counter,
+            worker_index=target,
+            worker_name=self._grid.workers[target].name,
+            units=original.units,
+            offset=original.offset,
+            round_index=original.round_index,
+            phase=original.phase,
+            send_start=now,
+            predicted_compute=self._estimates[target].compute_time(original.units),
+        )
+        self._chunk_counter += 1
+        self._twins[original.chunk_id] = twin
+        self._twin_origin[twin.chunk_id] = original.chunk_id
+        self._extents[twin.chunk_id] = self._extents[original.chunk_id]
+        self._attempts[twin.chunk_id] = 1
+        self._speculations += 1
+        self._decisions.append(
+            ("speculate", original.chunk_id, original.worker_index, target)
+        )
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_SPECULATED,
+                    sim_time=now,
+                    chunk_id=original.chunk_id,
+                    twin_chunk_id=twin.chunk_id,
+                    from_worker=original.worker_name,
+                    to_worker=twin.worker_name,
+                    units=twin.units,
+                )
+            if self._m_speculated is not None:
+                self._m_speculated.inc()
+        state = self._states[target]
+        state.outstanding += 1
+        state.outstanding_units += twin.units
+        self._outstanding += 1
+        self._open_chunk_span(twin)
+        self._transport.send(twin, self._extents[twin.chunk_id])
+
+    def _speculation_won(self, twin: ChunkTrace, origin_id: int) -> None:
+        """The twin finished first: abandon the original, keep the twin."""
+        original = self._find_chunk(origin_id)
+        del self._twins[origin_id]
+        self._release(original)
+        self._abandoned.add(origin_id)
+        self._finish_chunk_span(original, error="superseded by speculative twin")
+        # the report keeps the copy that actually produced the result
+        self._chunks[self._chunks.index(original)] = twin
+        # the scheduler saw the original dispatched; close that story
+        self._notify_as[twin.chunk_id] = self._info(original)
+        self._spec_wins += 1
+        self._decisions.append(
+            ("speculation_won", origin_id, original.worker_index, twin.worker_index)
+        )
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_SPECULATION_WON,
+                    sim_time=self._clock.now(),
+                    chunk_id=origin_id,
+                    twin_chunk_id=twin.chunk_id,
+                    from_worker=original.worker_name,
+                    to_worker=twin.worker_name,
+                )
+            if self._m_spec_won is not None:
+                self._m_spec_won.inc()
+
+    def _speculation_lost(self, original: ChunkTrace, twin: ChunkTrace) -> None:
+        """The original finished first: cancel its in-flight twin."""
+        del self._twin_origin[twin.chunk_id]
+        self._release(twin)
+        self._abandoned.add(twin.chunk_id)
+        self._finish_chunk_span(twin, error="original completed first")
+        self._spec_losses += 1
+        self._decisions.append(
+            (
+                "speculation_lost",
+                original.chunk_id,
+                original.worker_index,
+                twin.worker_index,
+            )
+        )
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_SPECULATION_LOST,
+                    sim_time=self._clock.now(),
+                    chunk_id=original.chunk_id,
+                    twin_chunk_id=twin.chunk_id,
+                    from_worker=original.worker_name,
+                    to_worker=twin.worker_name,
+                    reason="original completed first",
+                )
+            if self._m_spec_lost is not None:
+                self._m_spec_lost.inc()
+
+    def _twin_failed(self, twin: ChunkTrace, origin_id: int, message: str) -> None:
+        """The speculative copy died; the original keeps running."""
+        original = self._find_chunk(origin_id)
+        del self._twins[origin_id]
+        self._release(twin)
+        self._finish_chunk_span(twin, error=message)
+        self._failure_chain.append(
+            f"speculative copy of chunk {origin_id} failed on "
+            f"{twin.worker_name}: {message}"
+        )
+        self._spec_losses += 1
+        self._decisions.append(
+            ("speculation_lost", origin_id, original.worker_index, twin.worker_index)
+        )
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_SPECULATION_LOST,
+                    sim_time=self._clock.now(),
+                    chunk_id=origin_id,
+                    twin_chunk_id=twin.chunk_id,
+                    from_worker=original.worker_name,
+                    to_worker=twin.worker_name,
+                    reason=message,
+                )
+            if self._m_spec_lost is not None:
+                self._m_spec_lost.inc()
+
+    def _adopt_twin(self, original: ChunkTrace, twin: ChunkTrace, message: str) -> None:
+        """The original failed while its twin still runs: the twin is now
+        the only copy, inheriting the original's scheduler-facing story."""
+        del self._twin_origin[twin.chunk_id]
+        self._release(original)
+        self._finish_chunk_span(original, error=message)
+        self._chunks[self._chunks.index(original)] = twin
+        self._notify_as[twin.chunk_id] = self._info(original)
+        self._failure_chain.append(
+            f"chunk {original.chunk_id} failed on {original.worker_name} "
+            f"with a speculative copy in flight: {message}"
+        )
+        self._decisions.append(
+            ("adopt", original.chunk_id, original.worker_index, twin.worker_index)
+        )
+
+    # -- escalation and quarantine ------------------------------------------
+    def _escalate(self, chunk: ChunkTrace, message: str) -> None:
+        """Transport retries are spent: re-dispatch on a different worker."""
+        failing = chunk.worker_index
+        self._failure_chain.append(
+            f"chunk {chunk.chunk_id} exhausted "
+            f"{self._options.retry.max_attempts} attempt(s) on "
+            f"{chunk.worker_name}: {message}"
+        )
+        self._release(chunk)
+        count = self._escalations.get(failing, 0) + 1
+        self._escalations[failing] = count
+        escalation = self._resilience.escalation
+        if count >= escalation.quarantine_after:
+            self._quarantine(failing, reason=f"{count} escalations")
+        target = self._escalation_target(exclude=failing)
+        if target is None:
+            raise JobUnrecoverableError(
+                f"chunk {chunk.chunk_id} cannot complete on any live worker: "
+                f"{message}",
+                failure_chain=self._failure_chain,
+            )
+        self._escalated_chunks += 1
+        self._decisions.append(("escalate", chunk.chunk_id, failing, target))
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    CHUNK_ESCALATED,
+                    sim_time=self._clock.now(),
+                    chunk_id=chunk.chunk_id,
+                    from_worker=chunk.worker_name,
+                    to_worker=self._grid.workers[target].name,
+                    units=chunk.units,
+                    reason=message,
+                )
+            if self._m_escalated is not None:
+                self._m_escalated.inc()
+        # keep the scheduler's story on the original worker
+        self._notify_as.setdefault(chunk.chunk_id, self._info(chunk))
+        chunk.worker_index = target
+        chunk.worker_name = self._grid.workers[target].name
+        chunk.predicted_compute = self._estimates[target].compute_time(chunk.units)
+        chunk.send_start = chunk.send_end = -1.0
+        chunk.compute_start = chunk.compute_end = -1.0
+        self._attempts[chunk.chunk_id] = 1
+        self._retry_queue.append(chunk)
+
+    def _escalation_target(self, *, exclude: int) -> int | None:
+        """Fastest live worker other than ``exclude`` (ties -> lowest index).
+
+        Ranked by the static probe estimates, not the EWMA, so the choice
+        is identical on every backend under oracle estimates.
+        """
+        best = None
+        best_unit = float("inf")
+        for state in self._states:
+            index = state.index
+            if index == exclude or index in self._quarantined:
+                continue
+            unit = self._estimates[index].unit_compute_time()
+            if unit < best_unit:
+                best = index
+                best_unit = unit
+        return best
+
+    def _quarantine(self, worker: int, *, reason: str) -> None:
+        if worker in self._quarantined:
+            return
+        self._quarantined.add(worker)
+        self._failure_chain.append(
+            f"worker {self._grid.workers[worker].name} quarantined: {reason}"
+        )
+        self._decisions.append(("quarantine", worker))
+        if self._obs.enabled:
+            if self._bus is not None:
+                self._bus.emit(
+                    WORKER_QUARANTINED,
+                    sim_time=self._clock.now(),
+                    worker=self._grid.workers[worker].name,
+                    worker_index=worker,
+                    reason=reason,
+                )
+            if self._m_quarantined is not None:
+                self._m_quarantined.inc()
+
+    def _release(self, chunk: ChunkTrace) -> None:
+        """Return a chunk's claim on its worker and the in-flight count."""
+        state = self._states[chunk.worker_index]
+        state.outstanding -= 1
+        state.outstanding_units -= chunk.units
+        self._outstanding -= 1
+
+    def _find_chunk(self, chunk_id: int) -> ChunkTrace:
+        for chunk in self._chunks:
+            if chunk.chunk_id == chunk_id:
+                return chunk
+        raise SimulationError(f"no chunk with id {chunk_id} in the trace")
 
     # -- bookkeeping --------------------------------------------------------
     @staticmethod

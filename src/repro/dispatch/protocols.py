@@ -153,6 +153,13 @@ class RetryPolicy:
     up.  Retransmissions are driver-internal: the scheduling algorithm
     sees one dispatch and one (late) completion, the report counts the
     extra shipments under ``retransmitted_chunks``.
+
+    Retries are the *same-worker* recovery layer.  What happens when
+    they run out is governed by the resilience tier
+    (:class:`~repro.resilience.ResiliencePolicy` via
+    ``DispatchOptions.resilience``): cross-worker escalation,
+    quarantine, straggler speculation, and — at the service layer — the
+    job dead-letter queue.  See ``docs/resilience.md``.
     """
 
     max_attempts: int = 1

@@ -45,5 +45,20 @@ class ProbeError(ReproError):
     """Resource probing failed or produced unusable estimates."""
 
 
+class JobUnrecoverableError(ExecutionError):
+    """A job's chunks cannot complete on any live worker.
+
+    Raised once the resilience tier has exhausted its options: every
+    transport retry was spent, escalation found no live worker to
+    re-dispatch to, and quarantine removed the rest.  ``failure_chain``
+    carries the per-step diagnostics (newest last) so the dead-letter
+    queue can attach the full story to the parked job.
+    """
+
+    def __init__(self, message: str, *, failure_chain: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.failure_chain: list[str] = list(failure_chain or [])
+
+
 class ServiceError(ReproError):
     """The multi-job scheduling service was asked to do something invalid."""

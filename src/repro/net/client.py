@@ -282,6 +282,22 @@ class GatewayClient:
         """The gateway's merged cross-process trace store (clock-corrected)."""
         return self.request("trace")["trace"]
 
+    def dlq_list(self) -> list[dict]:
+        """Entries parked in the gateway's job-level dead-letter queue."""
+        return self.request("dlq", action="list")["entries"]
+
+    def dlq_replay(self, entry_id: int) -> dict:
+        """Resubmit one parked entry; returns the replayed job's outcome.
+
+        Not retry-safe: a connection lost mid-replay may or may not have
+        resubmitted the job, so the error surfaces to the caller.
+        """
+        return self.request("dlq", action="replay", entry_id=entry_id)
+
+    def dlq_purge(self) -> int:
+        """Drop every parked entry; returns how many were purged."""
+        return int(self.request("dlq", action="purge")["purged"])
+
     def register_worker(self, host: str, port: int, *, name: str | None = None) -> dict:
         fields: dict = {"host": host, "port": port}
         if name is not None:

@@ -1,8 +1,8 @@
 """Asyncio job-submission gateway: the daemon's network face.
 
 :class:`JobGateway` exposes the APST daemon / multi-job service verbs
-(``submit``, ``status``, ``cancel``, ``drain``, ``stats``, ``outputs``)
-over TCP.  Two dialects share one port: newline-delimited JSON frames
+(``submit``, ``status``, ``cancel``, ``drain``, ``stats``, ``outputs``,
+``dlq``) over TCP.  Two dialects share one port: newline-delimited JSON frames
 (the native protocol, one request per line, responses in order), and
 plain HTTP/1.1 (``POST`` a request body, or ``GET /stats`` /
 ``/healthz`` / ``/metrics``) so ``curl`` and load balancers work
@@ -639,6 +639,8 @@ class JobGateway:
             return await self.handle_request({"verb": "stats"})
         if path == "/status":
             return await self.handle_request({"verb": "status"})
+        if path == "/dlq":
+            return await self.handle_request({"verb": "dlq", "action": "list"})
         if path == "/trace":
             return await self.handle_request({"verb": "trace"})
         if path == "/metrics" and self._obs.metrics is not None:
@@ -679,7 +681,8 @@ class JobGateway:
             return response
         except (SpecificationError, ServiceError) as exc:
             self._count(verb, "error")
-            code = "not_found" if "no job with id" in str(exc) else "conflict"
+            missing = "no job with id" in str(exc) or "no DLQ entry with id" in str(exc)
+            code = "not_found" if missing else "conflict"
             return error_response(code, str(exc), request_id)
         except ReproError as exc:
             self._count(verb, "error")
@@ -928,6 +931,58 @@ class JobGateway:
     async def _verb_trace(self, request: dict, request_id) -> dict:
         return ok_response(request_id, trace=self.distributed_trace())
 
+    async def _verb_dlq(self, request: dict, request_id) -> dict:
+        """Dead-letter queue verbs: ``list`` / ``replay`` / ``purge``.
+
+        The gateway fronts the daemon's DLQ (shared with the service
+        layer): ``list`` snapshots the parked entries, ``purge`` drops
+        them, and ``replay`` resubmits one entry's task and runs it to
+        an outcome before answering, so the reply carries the replayed
+        job's final state.
+        """
+        action = request.get("action", "list")
+        if action == "list":
+            return ok_response(request_id, entries=self._daemon.dlq.to_dicts())
+        if action == "purge":
+            with self._daemon_lock:
+                purged = self._daemon.dlq_purge()
+            return ok_response(request_id, purged=purged)
+        if action == "replay":
+            entry_id = request.get("entry_id")
+            if entry_id is None:
+                return error_response(
+                    "bad_request", "dlq replay requires 'entry_id'", request_id
+                )
+            try:
+                entry_id = int(entry_id)
+            except (TypeError, ValueError):
+                return error_response(
+                    "bad_request", f"invalid entry_id {entry_id!r}", request_id
+                )
+            assert self._loop is not None
+            job_id = await self._loop.run_in_executor(
+                None, self._replay_entry, entry_id
+            )
+            job = self._daemon.job(job_id)
+            response = ok_response(
+                request_id, job_id=job_id, state=job.state.value
+            )
+            if job.error:
+                response["error"] = job.error
+            return response
+        return error_response(
+            "bad_request",
+            f"unknown dlq action {action!r}; expected list, replay, or purge",
+            request_id,
+        )
+
+    def _replay_entry(self, entry_id: int) -> int:
+        """Resubmit a parked entry and run it (runner-thread semantics)."""
+        with self._daemon_lock:
+            job_id = self._daemon.dlq_replay(entry_id)
+            self._daemon.run_pending(raise_on_error=False)
+        return job_id
+
     async def _verb_register_worker(self, request: dict, request_id) -> dict:
         host = request.get("host")
         port = request.get("port")
@@ -979,15 +1034,22 @@ class JobGateway:
                 port=endpoint.port,
                 total=len(self._endpoints),
             )
-        if len(self._endpoints) >= len(self._daemon.platform.workers):
+        slots = len(self._daemon.platform.workers)
+        if len(self._endpoints) >= slots:
+            # newest registrations win: when a worker crashes and its
+            # replacement registers, the backend must map grid slots
+            # onto the most recent endpoints, not resurrect dead ones
+            # (this is what makes a DLQ replay after re-registration
+            # land on healthy workers)
+            active = self._endpoints[-slots:]
             workdir = self._daemon.config.base_dir / "gateway_remote"
             self._remote_backend = RemoteExecutionBackend(
-                self._endpoints,
+                active,
                 workdir,
                 observability=self._obs if self._obs.enabled else None,
             )
             self._daemon.set_backend(self._remote_backend)
             _log.info(
                 "remote execution active: %d workers for %d grid slots",
-                len(self._endpoints), len(self._daemon.platform.workers),
+                len(active), slots,
             )

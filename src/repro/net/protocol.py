@@ -48,6 +48,7 @@ VERBS = frozenset(
         "register_worker",
         "telemetry",
         "trace",
+        "dlq",
     }
 )
 

@@ -94,6 +94,7 @@ class RemoteWorkerPool:
         workdir: str | Path,
         *,
         drop_after: int | None = None,
+        drop_forever: bool = False,
         name_prefix: str = "netw",
     ) -> list[WorkerEndpoint]:
         """Start ``count`` workers; returns their endpoints in order."""
@@ -115,6 +116,8 @@ class RemoteWorkerPool:
                 ]
                 if drop_after is not None:
                     args += ["--drop-after", str(drop_after)]
+                if drop_forever:
+                    args += ["--drop-forever"]
                 process = subprocess.Popen(
                     args,
                     stdout=subprocess.PIPE,
@@ -232,6 +235,15 @@ class _RemoteHost:
         self._aggregator = obs.aggregator
         self._tracer = obs.tracer
         self._send_times: dict[tuple[int, object], float] = {}
+        metrics = obs.metrics
+        self._m_lost = (
+            metrics.counter(
+                "repro_net_workers_lost_total",
+                "Worker connections lost (mid-run or during probing)",
+            )
+            if metrics is not None
+            else None
+        )
 
     @property
     def disconnects(self) -> int:
@@ -459,6 +471,8 @@ class _RemoteHost:
         conn = self._conns[index]
         self._disconnects += 1
         self._close_conn(conn)
+        if self._m_lost is not None:
+            self._m_lost.inc()
         if self._obs.enabled:
             self._obs.emit(
                 NET_WORKER_LOST,
@@ -497,6 +511,13 @@ class _RemoteHost:
                     "timed out waiting for remote worker reply"
                 ) from None
             if reply.get("status") == "conn_lost":
+                # a probe-time loss takes the same terminal accounting
+                # path as a mid-run loss (net.worker.lost event, lost
+                # counter, disconnect tally, socket teardown) -- only
+                # then does the failure surface to the probe loop
+                self._conn_lost(
+                    reply["worker_index"], reply.get("generation", -1)
+                )
                 raise ExecutionError(
                     f"worker {worker_index} connection lost during probe"
                 )

@@ -4,7 +4,7 @@ Launched as::
 
     python -m repro.net.worker APP_SPEC WORKDIR [--host H] [--port P]
                                [--register GATEWAY_HOST:PORT] [--name N]
-                               [--drop-after N]
+                               [--drop-after N] [--drop-forever]
 
 The worker listens on a TCP port and serves newline-delimited JSON
 frames (see :mod:`repro.net.protocol`) -- the Groundhog-style
@@ -34,6 +34,12 @@ finds it again.
 ``process`` requests the worker severs the connection *without
 replying*, simulating a socket killed mid-chunk.  It keeps listening,
 so the master's reconnect + retransmit path is exercised end to end.
+``--drop-forever`` is the permanent-crash variant: *every* ``process``
+request severs the connection and the hook never disarms, so retries
+can never succeed against this worker -- the master's escalation /
+quarantine / dead-letter path is what gets exercised.  Pings still
+answer, so the worker looks alive to liveness probes (the nastiest
+kind of failure).
 
 Telemetry: every reply carries ``recv_unix`` / ``send_unix`` (the
 NTP-style timestamps the master's clock-offset estimator needs), and
@@ -69,11 +75,13 @@ class SocketWorker:
         host: str = "127.0.0.1",
         port: int = 0,
         drop_after: int | None = None,
+        drop_forever: bool = False,
         name: str | None = None,
         telemetry: bool = True,
     ) -> None:
         self._app = load_app(app_spec)
         self._drop_after = drop_after
+        self._drop_forever = drop_forever
         self._processed = 0
         self._shutdown = False
         self._listener = socket.create_server((host, port))
@@ -158,6 +166,10 @@ class SocketWorker:
                                 recv_unix)
                     continue
                 self._processed += 1
+                if self._drop_forever:
+                    # permanent crash injection: sever on every process
+                    # request, never disarm -- retries cannot succeed here
+                    return
                 if self._drop_after is not None and self._processed > self._drop_after:
                     # failure injection: sever the link mid-chunk, no reply;
                     # disarm so the retransmitted chunk succeeds
@@ -251,13 +263,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--drop-after", type=int, default=None,
                         help="failure injection: sever the connection without "
                              "replying after N processed chunks")
+    parser.add_argument("--drop-forever", action="store_true",
+                        help="failure injection: sever on every process "
+                             "request and never disarm (permanent crash)")
     parser.add_argument("--no-telemetry", action="store_true",
                         help="disable span/metric collection and reply piggybacking")
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     try:
         worker = SocketWorker(
             args.app_spec, host=args.host, port=args.port,
-            drop_after=args.drop_after, name=args.name,
+            drop_after=args.drop_after, drop_forever=args.drop_forever,
+            name=args.name,
             telemetry=not args.no_telemetry,
         )
     except Exception as exc:

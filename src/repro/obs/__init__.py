@@ -29,13 +29,19 @@ from contextlib import contextmanager
 from .events import (
     CHUNK_COMPLETED,
     CHUNK_DISPATCHED,
+    CHUNK_ESCALATED,
     CHUNK_RETRANSMITTED,
+    CHUNK_SPECULATED,
+    CHUNK_SPECULATION_LOST,
+    CHUNK_SPECULATION_WON,
     EVENT_TYPES,
     JOB_ADMITTED,
     JOB_CANCELLED,
     JOB_COMPLETED,
     JOB_FAILED,
+    JOB_PARKED,
     JOB_PREEMPTED,
+    JOB_REPLAYED,
     JOB_SUBMITTED,
     LEASE_GRANTED,
     LEASE_REVOKED,
@@ -48,6 +54,7 @@ from .events import (
     PROBE_FINISHED,
     PROBE_WORKER_MEASURED,
     ROUND_STARTED,
+    WORKER_QUARANTINED,
     Event,
     EventBus,
     JsonlSink,
@@ -224,7 +231,11 @@ def configure_logging(verbosity: int = 0, *, stream=None) -> logging.Logger:
 __all__ = [
     "CHUNK_COMPLETED",
     "CHUNK_DISPATCHED",
+    "CHUNK_ESCALATED",
     "CHUNK_RETRANSMITTED",
+    "CHUNK_SPECULATED",
+    "CHUNK_SPECULATION_LOST",
+    "CHUNK_SPECULATION_WON",
     "ClockOffsetEstimator",
     "Counter",
     "EVENT_TYPES",
@@ -238,7 +249,9 @@ __all__ = [
     "JOB_CANCELLED",
     "JOB_COMPLETED",
     "JOB_FAILED",
+    "JOB_PARKED",
     "JOB_PREEMPTED",
+    "JOB_REPLAYED",
     "JOB_SUBMITTED",
     "JsonlSink",
     "LEASE_GRANTED",
@@ -263,6 +276,7 @@ __all__ = [
     "TelemetryBuffer",
     "TraceContext",
     "Tracer",
+    "WORKER_QUARANTINED",
     "build_chrome_trace",
     "configure_logging",
     "distributed_trace_events",

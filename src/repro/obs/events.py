@@ -62,6 +62,15 @@ NET_BATCH_EXECUTED = "net.batch.executed"
 NET_WORKER_REGISTERED = "net.worker.registered"
 NET_WORKER_LOST = "net.worker.lost"
 
+#: Resilience-tier events (stragglers, speculation, escalation, DLQ).
+CHUNK_SPECULATED = "chunk.speculated"
+CHUNK_SPECULATION_WON = "chunk.speculation_won"
+CHUNK_SPECULATION_LOST = "chunk.speculation_lost"
+CHUNK_ESCALATED = "chunk.escalated"
+WORKER_QUARANTINED = "worker.quarantined"
+JOB_PARKED = "job.parked"
+JOB_REPLAYED = "job.replayed"
+
 #: The closed set of event names the bus accepts.
 EVENT_TYPES = frozenset(
     {
@@ -84,6 +93,13 @@ EVENT_TYPES = frozenset(
         NET_BATCH_EXECUTED,
         NET_WORKER_REGISTERED,
         NET_WORKER_LOST,
+        CHUNK_SPECULATED,
+        CHUNK_SPECULATION_WON,
+        CHUNK_SPECULATION_LOST,
+        CHUNK_ESCALATED,
+        WORKER_QUARANTINED,
+        JOB_PARKED,
+        JOB_REPLAYED,
     }
 )
 

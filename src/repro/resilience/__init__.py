@@ -1,0 +1,40 @@
+"""``repro.resilience``: stragglers, speculation, escalation, dead letters.
+
+APST-DV targets non-dedicated grid platforms where workers are shared,
+slow down under external load, and disappear mid-run.  The dispatch
+layer's :class:`~repro.dispatch.protocols.RetryPolicy` only covers
+transport-level retransmits to the *same* worker; this package supplies
+the tier above it:
+
+* :class:`StragglerDetector` -- per-worker EWMA of chunk service time,
+  seeded from probe estimates, flagging in-flight chunks that exceed a
+  configurable multiplier of their expected duration;
+* :class:`StragglerPolicy` / :class:`EscalationPolicy` /
+  :class:`ResiliencePolicy` -- the knobs, threaded into
+  :class:`~repro.dispatch.core.DispatchOptions`;
+* :class:`DeadLetterQueue` / :class:`DeadLetterEntry` -- the job-level
+  parking lot for work that cannot complete on any live worker, with
+  the failure chain attached for operator replay.
+
+The mechanics (speculative twin dispatch, escalation to a different
+worker, quarantine) live in :class:`~repro.dispatch.core.DispatchCore`;
+this package deliberately imports nothing from :mod:`repro.dispatch` so
+the dependency points one way.
+"""
+
+from .detector import (
+    EscalationPolicy,
+    ResiliencePolicy,
+    StragglerDetector,
+    StragglerPolicy,
+)
+from .dlq import DeadLetterEntry, DeadLetterQueue
+
+__all__ = [
+    "DeadLetterEntry",
+    "DeadLetterQueue",
+    "EscalationPolicy",
+    "ResiliencePolicy",
+    "StragglerDetector",
+    "StragglerPolicy",
+]

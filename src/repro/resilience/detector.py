@@ -1,0 +1,178 @@
+"""Straggler detection policy and the per-worker service-time EWMA.
+
+A *straggler* is a worker whose in-flight chunk has been running for
+much longer than the detector's expectation for that worker and chunk
+size.  Expectations start from the probe estimates (the same per-worker
+``WorkerSpec`` the scheduler plans with) and are refined online with an
+exponentially weighted moving average over completed chunks, so a
+worker that is *consistently* slow raises its own bar rather than being
+flagged forever.
+
+The detector is pure bookkeeping -- it never touches the transport or
+the scheduler.  :class:`~repro.dispatch.core.DispatchCore` consults it
+and performs the speculative re-dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecificationError
+from ..platform.resources import WorkerSpec
+
+#: Floor on unit compute times so a zero-cost observation cannot poison
+#: the EWMA into expecting instant chunks.
+_MIN_UNIT_TIME = 1e-9
+
+
+@dataclass(frozen=True)
+class StragglerPolicy:
+    """When to flag an in-flight chunk as straggling.
+
+    A chunk on worker *w* with *u* units is flagged once it has been
+    computing (arrival to now) for more than
+    ``multiplier * expected_compute(w, u) + min_wait`` modeled seconds.
+    ``min_wait`` is the absolute grace period -- raise it to keep
+    speculation from firing on short chunks where the relative
+    multiplier alone is noisy.
+    """
+
+    enabled: bool = True
+    #: flag when elapsed exceeds this multiple of the expected time
+    multiplier: float = 3.0
+    #: EWMA smoothing factor for observed unit compute times
+    ewma_alpha: float = 0.2
+    #: absolute grace period (modeled seconds) added to the threshold
+    min_wait: float = 0.0
+    #: cap on speculative dispatches per run (guards pathological loops)
+    max_speculations: int = 16
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 1.0:
+            raise SpecificationError(
+                f"straggler multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise SpecificationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.min_wait < 0.0:
+            raise SpecificationError(f"min_wait must be >= 0, got {self.min_wait}")
+        if self.max_speculations < 0:
+            raise SpecificationError(
+                f"max_speculations must be >= 0, got {self.max_speculations}"
+            )
+
+
+@dataclass(frozen=True)
+class EscalationPolicy:
+    """What happens after transport retries are exhausted.
+
+    Instead of failing the run, the chunk is *escalated*: re-dispatched
+    on a different live worker with a fresh retry budget.  A worker that
+    causes ``quarantine_after`` escalations (or fails its probe) is
+    quarantined -- excluded from dispatch for the rest of the job.
+    """
+
+    enabled: bool = True
+    #: escalations charged to one worker before it is quarantined
+    quarantine_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.quarantine_after < 1:
+            raise SpecificationError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The resilience tier's knobs, threaded through ``DispatchOptions``.
+
+    Either half may be None/disabled independently: ``straggler``
+    controls speculative re-dispatch of slow chunks, ``escalation``
+    controls crash recovery (cross-worker re-dispatch, quarantine,
+    probe-failure tolerance).
+    """
+
+    straggler: StragglerPolicy | None = None
+    escalation: EscalationPolicy | None = None
+
+    @classmethod
+    def default(cls) -> "ResiliencePolicy":
+        """Both halves on, default thresholds."""
+        return cls(straggler=StragglerPolicy(), escalation=EscalationPolicy())
+
+    @property
+    def straggler_enabled(self) -> bool:
+        return self.straggler is not None and self.straggler.enabled
+
+    @property
+    def escalation_enabled(self) -> bool:
+        return self.escalation is not None and self.escalation.enabled
+
+
+class StragglerDetector:
+    """Per-worker expected chunk service time, EWMA-refined online.
+
+    Seeded from the probe estimates: worker *w*'s unit compute time
+    starts at ``1 / speed_w`` and its start-up latency at
+    ``comp_latency_w`` (exactly what ``WorkerSpec.compute_time``
+    encodes).  Each completed chunk updates the unit time via EWMA;
+    latency stays at the probe value (a single chunk cannot separate
+    the two).
+    """
+
+    def __init__(
+        self,
+        policy: StragglerPolicy,
+        estimates: list[WorkerSpec] | tuple[WorkerSpec, ...],
+    ) -> None:
+        if not estimates:
+            raise SpecificationError("straggler detector needs >= 1 worker estimate")
+        self._policy = policy
+        self._unit_time = [
+            max(_MIN_UNIT_TIME, spec.unit_compute_time()) for spec in estimates
+        ]
+        self._latency = [spec.comp_latency for spec in estimates]
+
+    @property
+    def policy(self) -> StragglerPolicy:
+        return self._policy
+
+    def unit_time(self, worker: int) -> float:
+        """Current EWMA unit compute time for ``worker``."""
+        return self._unit_time[worker]
+
+    def observe(self, worker: int, units: float, compute_time: float) -> None:
+        """Fold one completed chunk's realized compute time into the EWMA."""
+        if units <= 0.0:
+            return
+        observed = max(_MIN_UNIT_TIME, (compute_time - self._latency[worker]) / units)
+        alpha = self._policy.ewma_alpha
+        self._unit_time[worker] += alpha * (observed - self._unit_time[worker])
+
+    def expected_compute(self, worker: int, units: float) -> float:
+        """Expected compute duration of a ``units``-sized chunk on ``worker``."""
+        return self._latency[worker] + units * self._unit_time[worker]
+
+    def threshold(self, worker: int, units: float) -> float:
+        """Elapsed compute time beyond which the chunk counts as straggling."""
+        return (
+            self._policy.multiplier * self.expected_compute(worker, units)
+            + self._policy.min_wait
+        )
+
+    def is_straggling(self, worker: int, units: float, waited: float) -> bool:
+        """Has a chunk been computing longer than the flag threshold?"""
+        return waited > self.threshold(worker, units)
+
+    def exceeds(self, expected: float, waited: float) -> bool:
+        """Threshold check against an externally-aggregated expectation.
+
+        The dispatch core sums :meth:`expected_compute` over a worker's
+        whole FIFO backlog (a chunk queued behind others legitimately
+        waits for all of them) and asks whether the realized wait blew
+        past ``multiplier * expected + min_wait``.
+        """
+        return waited > self._policy.multiplier * expected + self._policy.min_wait

@@ -1,0 +1,112 @@
+"""Job-level dead-letter queue.
+
+A job lands here when the resilience tier runs out of options --
+:class:`~repro.errors.JobUnrecoverableError` bubbled out of the dispatch
+core because no live worker could take its chunks.  Parking preserves
+the task (so the job can be replayed verbatim once the platform heals)
+and the failure chain (so an operator can see *why* it died before
+deciding to replay or purge).
+
+The queue is in-memory and thread-safe: the daemon parks from its run
+thread while the gateway lists over its asyncio loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+
+
+@dataclass
+class DeadLetterEntry:
+    """One parked job: what it was, why it died, what became of it."""
+
+    entry_id: int
+    job_id: int
+    algorithm: str | None
+    #: the original task object, kept verbatim for replay
+    task: object
+    #: per-step failure diagnostics, newest last
+    failure_chain: list[str] = field(default_factory=list)
+    #: host wall clock (``time.time()``) at park time
+    parked_at: float = 0.0
+    #: job id of the replay submission, once ``dlq replay`` ran
+    replayed_as: int | None = None
+
+    def to_dict(self) -> dict:
+        """Wire/JSON form (the task object itself is not serializable)."""
+        return {
+            "entry_id": self.entry_id,
+            "job_id": self.job_id,
+            "algorithm": self.algorithm,
+            "failure_chain": list(self.failure_chain),
+            "parked_at": self.parked_at,
+            "replayed_as": self.replayed_as,
+        }
+
+
+class DeadLetterQueue:
+    """Thread-safe in-memory parking lot for unrecoverable jobs."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, DeadLetterEntry] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def park(
+        self,
+        *,
+        job_id: int,
+        algorithm: str | None,
+        task: object,
+        failure_chain: list[str] | None = None,
+    ) -> DeadLetterEntry:
+        """Add one dead job; returns the new entry."""
+        with self._lock:
+            entry = DeadLetterEntry(
+                entry_id=next(self._ids),
+                job_id=job_id,
+                algorithm=algorithm,
+                task=task,
+                failure_chain=list(failure_chain or []),
+                parked_at=time.time(),
+            )
+            self._entries[entry.entry_id] = entry
+            return entry
+
+    def entries(self) -> list[DeadLetterEntry]:
+        """All parked entries, oldest first."""
+        with self._lock:
+            return [self._entries[key] for key in sorted(self._entries)]
+
+    def get(self, entry_id: int) -> DeadLetterEntry:
+        with self._lock:
+            try:
+                return self._entries[entry_id]
+            except KeyError:
+                raise ServiceError(f"no DLQ entry with id {entry_id}") from None
+
+    def mark_replayed(self, entry_id: int, new_job_id: int) -> DeadLetterEntry:
+        """Record that ``entry_id`` was resubmitted as ``new_job_id``."""
+        entry = self.get(entry_id)
+        with self._lock:
+            entry.replayed_as = new_job_id
+        return entry
+
+    def purge(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
+
+    def to_dicts(self) -> list[dict]:
+        return [entry.to_dict() for entry in self.entries()]

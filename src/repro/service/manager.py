@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 from ..apst.division import DivisionMethod
 from ..core.base import Scheduler
 from ..errors import ServiceError
+from ..resilience import DeadLetterEntry, DeadLetterQueue
 
 
 @dataclass
@@ -77,9 +78,37 @@ class TenantAccount:
 
 @dataclass
 class JobManager:
-    """Admission queue ordering plus per-tenant fair-share accounting."""
+    """Admission queue ordering plus per-tenant fair-share accounting.
+
+    The manager also fronts the service's job-level dead-letter queue:
+    jobs whose chunks cannot complete on any live worker are parked here
+    (with their failure chain) instead of silently staying FAILED, so an
+    operator can inspect and replay them.  By default the manager owns a
+    private queue; the service layer points ``dlq`` at the daemon's so
+    both views show the same entries.
+    """
 
     _accounts: dict[str, TenantAccount] = field(default_factory=dict)
+    dlq: DeadLetterQueue = field(default_factory=DeadLetterQueue)
+
+    def park(
+        self,
+        *,
+        job_id: int,
+        algorithm: str | None,
+        task: object,
+        failure_chain: list[str] | None = None,
+    ) -> DeadLetterEntry:
+        """Park one unrecoverable job in the dead-letter queue."""
+        return self.dlq.park(
+            job_id=job_id,
+            algorithm=algorithm,
+            task=task,
+            failure_chain=failure_chain,
+        )
+
+    def parked(self) -> list[DeadLetterEntry]:
+        return self.dlq.entries()
 
     def account(self, tenant: str) -> TenantAccount:
         if tenant not in self._accounts:

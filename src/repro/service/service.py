@@ -15,7 +15,7 @@ from pathlib import Path
 
 from ..apst.daemon import APSTDaemon, Job, JobState
 from ..apst.xmlspec import TaskSpec
-from ..errors import ServiceError
+from ..errors import JobUnrecoverableError, ServiceError
 from .arbiter import WorkerLeaseArbiter
 from .clock import ServiceClock, ServiceOutcome
 from .manager import JobManager, ServiceJobSpec
@@ -39,6 +39,10 @@ class MultiJobService:
             observability=daemon.observability,
         )
         self._manager = JobManager()  # tenant accounts persist across runs
+        # one DLQ for the deployment: the daemon parks unrecoverable jobs
+        # from its sequential path, the service from the lease clock, and
+        # the gateway's dlq verbs see both
+        self._manager.dlq = daemon.dlq
         self._meta: dict[int, dict] = {}
         self._last_outcome: ServiceOutcome | None = None
 
@@ -146,11 +150,21 @@ class MultiJobService:
         try:
             outcome = clock.run(specs)
         except Exception as exc:
+            chain = (
+                exc.failure_chain if isinstance(exc, JobUnrecoverableError) else None
+            )
             for spec in specs:
                 job = self._daemon.job(spec.job_id)
                 if job.state is JobState.RUNNING:
                     job.state = JobState.FAILED
                     job.error = f"{type(exc).__name__}: {exc}"
+                    if chain is not None:
+                        self._manager.park(
+                            job_id=job.job_id,
+                            algorithm=job.algorithm,
+                            task=job.task,
+                            failure_chain=chain + [job.error],
+                        )
             raise
         for job_id, report in outcome.reports.items():
             self._daemon.record_result(self._daemon.job(job_id), report)

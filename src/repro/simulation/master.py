@@ -35,6 +35,7 @@ __all__ = [
     "MAX_EVENTS",
     "SimulatedMaster",
     "SimulationOptions",
+    "build_substrate",
     "simulate_run",
 ]
 
@@ -182,6 +183,45 @@ class _SimHost:
             self._start_compute(runtime)
 
 
+def build_substrate(
+    grid: Grid,
+    *,
+    uncertainty: UncertaintyModel = DETERMINISTIC,
+    seed: int | None = None,
+    options: SimulationOptions | None = None,
+    cost_profile=None,
+) -> DispatchSubstrate:
+    """Fresh single-use simulation substrate for one run on ``grid``.
+
+    The same adapter :class:`SimulatedMaster` uses internally, exposed so
+    harnesses (e.g. the failure-injection parity scenarios) can wrap the
+    substrate's host or probe costs before handing it to a
+    :class:`~repro.dispatch.core.DispatchCore` -- mirroring the
+    ``substrate()`` methods of the real execution backends.
+    """
+    opts = options or SimulationOptions()
+    obs = opts.observability
+    engine = SimulationEngine(profiler=obs.profiler if obs is not None else None)
+    model = ComputeModel(
+        grid.workers, uncertainty, seed=seed, cost_profile=cost_profile
+    )
+    link = SerializedLink(engine, model)
+    return DispatchSubstrate(
+        clock=_SimClock(engine),
+        transport=_SimTransport(link),
+        host=_SimHost(
+            engine,
+            model,
+            len(grid.workers),
+            max_events=opts.max_events,
+            profiler=obs.profiler if obs is not None else None,
+        ),
+        probe_costs=model,
+        gamma_configured=uncertainty.gamma,
+        seed=seed,
+    )
+
+
 class SimulatedMaster:
     """One simulated application run: grid + scheduler + load.
 
@@ -204,27 +244,12 @@ class SimulatedMaster:
         cost_profile=None,
     ) -> None:
         opts = options or SimulationOptions()
-        obs = opts.observability
-        self._engine = SimulationEngine(
-            profiler=obs.profiler if obs is not None else None
-        )
-        self._model = ComputeModel(
-            grid.workers, uncertainty, seed=seed, cost_profile=cost_profile
-        )
-        link = SerializedLink(self._engine, self._model)
-        substrate = DispatchSubstrate(
-            clock=_SimClock(self._engine),
-            transport=_SimTransport(link),
-            host=_SimHost(
-                self._engine,
-                self._model,
-                len(grid.workers),
-                max_events=opts.max_events,
-                profiler=obs.profiler if obs is not None else None,
-            ),
-            probe_costs=self._model,
-            gamma_configured=uncertainty.gamma,
+        substrate = build_substrate(
+            grid,
+            uncertainty=uncertainty,
             seed=seed,
+            options=opts,
+            cost_profile=cost_profile,
         )
         self._core = DispatchCore(
             grid,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apst.division import UniformBytesDivision
 from repro.core.registry import make_scheduler
-from repro.dispatch import RetryPolicy
+from repro.dispatch import DispatchOptions, RetryPolicy
 from repro.dispatch.parity import parity_options
 from repro.errors import ExecutionError
 from repro.execution.appspec import app_spec
@@ -185,6 +185,41 @@ class TestRemoteSocketFailures:
                     grid, make_scheduler("simple-2"), division, None,
                     options=parity_options(),
                 )
+
+    def test_probe_time_loss_emits_terminal_accounting(
+        self, grid, division, tmp_path
+    ):
+        """Regression: a connection lost *during probing* must take the
+
+        same terminal accounting path as a mid-run loss -- net.worker.lost
+        event, repro_net_workers_lost_total counter, disconnect tally --
+        before the failure surfaces to the probe loop.  Previously the
+        probe path raised without recording the loss anywhere.
+        """
+        obs = Observability.armed()
+        with RemoteWorkerPool() as pool:
+            endpoints = self._spawn_with_one_dropper(pool, tmp_path,
+                                                     drop_after=0)
+            backend = RemoteExecutionBackend(
+                endpoints, tmp_path / "results", time_scale=0.01,
+                observability=obs,
+            )
+            # "umr" probes; drop_after=0 severs on the first process
+            # request, which is the dropper's probe chunk
+            with pytest.raises(ExecutionError, match="lost during probe"):
+                backend.execute(
+                    grid, make_scheduler("umr"), division, None,
+                    options=DispatchOptions(observability=obs),
+                )
+            assert backend.last_substrate.host.disconnects >= 1
+        lost = obs.ring_events(NET_WORKER_LOST)
+        assert len(lost) >= 1
+        assert lost[0].fields["worker"] == "dropper0"
+        counter = obs.metrics.counter(
+            "repro_net_workers_lost_total",
+            "Worker connections lost (mid-run or during probing)",
+        )
+        assert counter.value >= 1
 
     def test_pool_stop_leaves_no_live_children(self, grid, division, tmp_path):
         """Every spawned socket worker is reaped, on success and error paths."""

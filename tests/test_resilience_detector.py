@@ -1,0 +1,181 @@
+"""Property-based tests of the straggler detector (stdlib random, fixed seeds).
+
+Two system-level properties anchor the tier:
+
+* **no false positives** -- on a homogeneous platform where chunks take
+  their expected time, nothing is ever flagged and no speculation fires;
+* **always eventually completes** -- with escalation enabled and at least
+  one live worker, injected crashes never prevent the run finishing.
+"""
+
+import random
+
+import pytest
+
+from repro.dispatch.parity import (
+    FAILURE_TARGET,
+    _CrashHost,
+    failure_grid,
+    parity_options,
+)
+from repro.errors import SpecificationError
+from repro.resilience import (
+    EscalationPolicy,
+    ResiliencePolicy,
+    StragglerDetector,
+    StragglerPolicy,
+)
+
+WORKERS = failure_grid().workers
+
+
+class TestPolicyValidation:
+    def test_rejects_sub_unity_multiplier(self):
+        with pytest.raises(SpecificationError, match="multiplier"):
+            StragglerPolicy(multiplier=0.5)
+
+    def test_rejects_bad_alpha_and_negative_grace(self):
+        with pytest.raises(SpecificationError, match="ewma_alpha"):
+            StragglerPolicy(ewma_alpha=0.0)
+        with pytest.raises(SpecificationError, match="min_wait"):
+            StragglerPolicy(min_wait=-1.0)
+
+    def test_detector_needs_estimates(self):
+        with pytest.raises(SpecificationError, match=">= 1 worker"):
+            StragglerDetector(StragglerPolicy(), [])
+
+
+class TestNoFalsePositives:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_on_time_chunks_are_never_flagged(self, seed):
+        """Waits at or below multiplier x expectation never flag,
+
+        regardless of chunk size, worker, or the interleaving of
+        on-expectation EWMA observations.
+        """
+        rng = random.Random(seed)
+        detector = StragglerDetector(StragglerPolicy(), WORKERS)
+        for _ in range(500):
+            worker = rng.randrange(len(WORKERS))
+            units = rng.uniform(0.1, 500.0)
+            expected = detector.expected_compute(worker, units)
+            waited = expected * rng.uniform(0.0, detector.policy.multiplier)
+            assert not detector.is_straggling(worker, units, waited)
+            # feed back an on-expectation completion; must stay quiet
+            detector.observe(worker, units, expected)
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_homogeneous_observations_keep_ewma_within_observed_range(self, seed):
+        """The EWMA is a convex combination: it can never leave the hull
+
+        of the seed estimate and the observed unit times.
+        """
+        rng = random.Random(seed)
+        detector = StragglerDetector(StragglerPolicy(ewma_alpha=0.3), WORKERS)
+        worker = rng.randrange(len(WORKERS))
+        seen = [detector.unit_time(worker)]
+        for _ in range(200):
+            units = rng.uniform(1.0, 100.0)
+            unit_time = rng.uniform(0.5, 2.0) * seen[0]
+            detector.observe(worker, units, units * unit_time)
+            seen.append(unit_time)
+            assert min(seen) <= detector.unit_time(worker) <= max(seen)
+
+    def test_min_wait_is_an_absolute_grace_period(self):
+        detector = StragglerDetector(StragglerPolicy(min_wait=9.0), WORKERS)
+        barely_late = detector.policy.multiplier * detector.expected_compute(0, 4.0)
+        assert not detector.is_straggling(0, 4.0, barely_late + 8.9)
+        assert detector.is_straggling(0, 4.0, barely_late + 9.1)
+
+
+class TestAdaptation:
+    def test_consistently_slow_worker_raises_its_own_bar(self):
+        """A worker that is always 10x slow is a straggler at first but
+
+        stops being flagged once the EWMA has learned its real speed --
+        slowness is only anomalous relative to the worker's own history.
+        """
+        detector = StragglerDetector(StragglerPolicy(), WORKERS)
+        units = 50.0
+        slow = 10.0 * detector.expected_compute(0, units)
+        assert detector.is_straggling(0, units, slow)
+        for _ in range(40):
+            detector.observe(0, units, slow)
+        assert not detector.is_straggling(0, units, slow)
+
+    def test_observe_ignores_degenerate_chunks(self):
+        detector = StragglerDetector(StragglerPolicy(), WORKERS)
+        before = detector.unit_time(0)
+        detector.observe(0, 0.0, 123.0)
+        assert detector.unit_time(0) == before
+
+    def test_zero_time_observation_cannot_poison_the_ewma(self):
+        detector = StragglerDetector(StragglerPolicy(ewma_alpha=1.0), WORKERS)
+        detector.observe(0, 10.0, 0.0)
+        assert detector.unit_time(0) > 0.0
+        assert detector.threshold(0, 10.0) > 0.0
+
+
+class TestSystemProperties:
+    def _run(self, tmp_path, *, host_wrap=None, options):
+        from repro.apst.division import UniformBytesDivision
+        from repro.core.registry import make_scheduler
+        from repro.dispatch.core import DispatchCore
+        from repro.simulation.master import SimulationOptions, build_substrate
+
+        load = tmp_path / "load.bin"
+        if not load.exists():
+            load.write_bytes(bytes(range(256)) * 4)
+        division = UniformBytesDivision(load, stepsize=64)
+        grid = failure_grid()
+        substrate = build_substrate(
+            grid, seed=0, options=SimulationOptions(**vars(options))
+        )
+        if host_wrap is not None:
+            substrate.host = host_wrap(substrate.host)
+        core = DispatchCore(
+            grid,
+            make_scheduler("simple-5"),
+            division.total_units,
+            substrate=substrate,
+            division=division,
+            options=options,
+        )
+        return core, core.run()
+
+    def test_homogeneous_run_never_speculates(self, tmp_path):
+        """Deterministic costs + oracle estimates: every chunk lands on
+
+        its expectation, so the detector must stay silent end to end.
+        """
+        core, report = self._run(
+            tmp_path,
+            options=parity_options(resilience=ResiliencePolicy.default()),
+        )
+        assert core.resilience_log == []
+        assert "speculated_chunks" not in report.annotations
+        report.validate()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_always_eventually_completes_with_one_live_worker(
+        self, tmp_path, seed
+    ):
+        """Crash a random worker forever: as long as another worker
+
+        lives, escalation + quarantine must carry the run to a valid,
+        load-conserving completion.
+        """
+        target = random.Random(seed).randrange(len(WORKERS))
+        core, report = self._run(
+            tmp_path,
+            host_wrap=lambda host: _CrashHost(host, target),
+            options=parity_options(
+                resilience=ResiliencePolicy(
+                    escalation=EscalationPolicy(quarantine_after=1)
+                ),
+            ),
+        )
+        report.validate()
+        assert core.quarantined_workers == {target}
+        assert sum(c.units for c in report.chunks) == report.total_load
+        assert all(c.worker_index != target for c in report.chunks)

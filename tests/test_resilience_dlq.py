@@ -1,0 +1,176 @@
+"""DLQ lifecycle end-to-end over the TCP gateway.
+
+A socket worker started with ``--drop-forever`` answers pings (so it
+registers as alive) but severs the connection on *every* process
+request: retries can never succeed, the probe phase quarantines it, the
+job becomes unrecoverable and parks in the daemon's dead-letter queue.
+Once a healthy worker registers (newest registration wins the grid
+slot), ``dlq replay`` resubmits the parked job verbatim and it runs to
+completion -- the full park -> inspect -> recover story over the wire.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.apst.daemon import APSTDaemon, DaemonConfig
+from repro.dispatch.protocols import RetryPolicy
+from repro.errors import ServiceError
+from repro.execution.appspec import app_spec
+from repro.execution.local import DigestApp
+from repro.net import (
+    GatewayClient,
+    GatewayConfig,
+    GatewayError,
+    JobGateway,
+    RemoteWorkerPool,
+)
+from repro.platform.resources import Cluster, Grid, WorkerSpec
+from repro.resilience import EscalationPolicy, ResiliencePolicy
+
+TASK_XML = """
+<task executable="app" input="load.bin">
+  <divisibility input="load.bin" method="uniform" start="0"
+                steptype="bytes" stepsize="64" algorithm="umr"
+                probe="probe.bin"/>
+</task>
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "load.bin").write_bytes(bytes(range(256)) * 4)
+    (tmp_path / "probe.bin").write_bytes(bytes(100))
+    return tmp_path
+
+
+def _daemon(workspace):
+    # one grid slot: a single registered worker activates remote mode,
+    # and quarantining it makes the job unrecoverable
+    grid = Grid.from_clusters(
+        Cluster(
+            name="edge",
+            workers=[WorkerSpec(name="w0", speed=500.0, bandwidth=5000.0,
+                                cluster="edge")],
+        )
+    )
+    return APSTDaemon(
+        grid,
+        config=DaemonConfig(
+            base_dir=workspace,
+            seed=0,
+            retry=RetryPolicy(max_attempts=2),
+            resilience=ResiliencePolicy(escalation=EscalationPolicy()),
+        ),
+    )
+
+
+@contextlib.contextmanager
+def _gateway(daemon, pool):
+    gateway = JobGateway(daemon, config=GatewayConfig(), worker_pool=pool)
+    gateway.start_in_background()
+    try:
+        yield gateway
+    finally:
+        gateway.shutdown()
+
+
+def test_park_inspect_replay_over_the_wire(workspace):
+    pool = RemoteWorkerPool()
+    with pool:
+        (broken,) = pool.spawn(
+            1, app_spec(DigestApp), workspace / "workers", drop_forever=True
+        )
+        daemon = _daemon(workspace)
+        with _gateway(daemon, pool) as gateway:
+            with GatewayClient(gateway.host, gateway.port) as client:
+                # the broken worker looks alive (pings answer) and registers
+                reply = client.register_worker(broken.host, broken.port)
+                assert reply["remote_active"] is True
+
+                job_id = client.submit(TASK_XML)
+                job = client.wait(job_id, timeout_s=120)
+                assert job["state"] == "failed"
+
+                # ... and parks with its whole failure chain
+                (entry,) = client.dlq_list()
+                assert entry["job_id"] == job_id
+                assert entry["replayed_as"] is None
+                assert any(
+                    "quarantined" in line for line in entry["failure_chain"]
+                )
+
+                # replaying against the same dead fleet parks it again
+                replay = client.dlq_replay(entry["entry_id"])
+                assert replay["state"] == "failed"
+                assert len(client.dlq_list()) == 2
+
+                # a healthy replacement registers; newest endpoint wins
+                # the single grid slot, so recovery needs no restart
+                healthy = pool.spawn(
+                    1, app_spec(DigestApp), workspace / "workers2"
+                )[-1]
+                client.register_worker(healthy.host, healthy.port)
+
+                fresh = [
+                    e for e in client.dlq_list() if e["replayed_as"] is None
+                ]
+                replay = client.dlq_replay(fresh[-1]["entry_id"])
+                assert replay["state"] == "done"
+
+                # replayed entries are marked, not dropped, and purge
+                # clears the ledger
+                assert client.dlq_purge() >= 1
+                assert client.dlq_list() == []
+
+
+def test_dlq_errors_over_the_wire(workspace):
+    daemon = _daemon(workspace)
+    with _gateway(daemon, None) as gateway:
+        with GatewayClient(gateway.host, gateway.port) as client:
+            assert client.dlq_list() == []
+            assert client.dlq_purge() == 0
+            with pytest.raises(GatewayError, match="no DLQ entry with id 7"):
+                client.dlq_replay(7)
+            with pytest.raises(GatewayError, match="entry_id"):
+                client.request("dlq", action="replay", entry_id="not-a-number")
+            with pytest.raises(GatewayError, match="unknown dlq action"):
+                client.request("dlq", action="explode")
+
+
+def test_http_dlq_route(workspace):
+    import json
+    import urllib.request
+
+    daemon = _daemon(workspace)
+    with _gateway(daemon, None) as gateway:
+        with urllib.request.urlopen(
+            f"http://{gateway.host}:{gateway.port}/dlq", timeout=10
+        ) as response:
+            body = json.loads(response.read())
+        assert body["status"] == "ok"
+        assert body["entries"] == []
+
+
+def test_console_dlq_verbs(workspace, monkeypatch, capsys):
+    """The interactive console's dlq commands against an empty queue."""
+    import io
+
+    from repro.apst.console import APSTConsole
+
+    console = APSTConsole(_daemon(workspace), stdout=io.StringIO())
+    console.onecmd("dlq")
+    console.onecmd("dlq purge")
+    console.onecmd("dlq replay nope")
+    console.onecmd("dlq bogus")
+    out = console.stdout.getvalue()
+    assert "dead-letter queue is empty" in out
+    assert "purged 0 entries" in out
+    assert "entry id must be an integer" in out
+    assert "usage: dlq" in out
+
+
+def test_daemon_replay_validates_task(workspace):
+    daemon = _daemon(workspace)
+    with pytest.raises(ServiceError, match="no DLQ entry"):
+        daemon.dlq_replay(1)
