@@ -1,46 +1,58 @@
-"""Experiment harness, statistics, and table rendering."""
+"""Experiment harness, statistics, table rendering, and static analysis.
 
-from .experiments import (
-    PAPER_RUNS,
-    AlgorithmResult,
-    ExperimentConfig,
-    ExperimentResult,
-    compare_to_paper,
-    run_experiment,
-)
-from .metrics import (
-    MakespanStats,
-    mean_slowdown_across,
-    slowdowns_vs_best,
-    summarize,
-)
-from .campaign import Campaign, CampaignResult, paper_section4_campaign
-from .export import experiment_to_csv, sweep_to_csv
-from .gantt import OverlapMetrics, overlap_metrics, render_gantt
-from .sweeps import SweepResult, run_sweep
-from .tables import render_slowdown_table, render_table
+The experiment-analysis exports below are resolved lazily (PEP 562):
+low-level modules import :mod:`repro.analysis.lockwatch` and
+:mod:`repro.analysis.lint` without dragging in the numpy-backed
+experiment stack, and without creating an import cycle through
+``repro.obs`` (obs -> lockwatch -> analysis -> experiments -> dispatch
+-> obs).
+"""
 
-__all__ = [
-    "Campaign",
-    "CampaignResult",
-    "paper_section4_campaign",
-    "experiment_to_csv",
-    "sweep_to_csv",
-    "OverlapMetrics",
-    "overlap_metrics",
-    "render_gantt",
-    "SweepResult",
-    "run_sweep",
-    "ExperimentConfig",
-    "ExperimentResult",
-    "AlgorithmResult",
-    "run_experiment",
-    "compare_to_paper",
-    "PAPER_RUNS",
-    "MakespanStats",
-    "summarize",
-    "slowdowns_vs_best",
-    "mean_slowdown_across",
-    "render_table",
-    "render_slowdown_table",
-]
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any
+
+#: public name -> submodule that defines it (resolved on first access).
+_EXPORTS = {
+    "Campaign": ".campaign",
+    "CampaignResult": ".campaign",
+    "paper_section4_campaign": ".campaign",
+    "experiment_to_csv": ".export",
+    "sweep_to_csv": ".export",
+    "OverlapMetrics": ".gantt",
+    "overlap_metrics": ".gantt",
+    "render_gantt": ".gantt",
+    "SweepResult": ".sweeps",
+    "run_sweep": ".sweeps",
+    "ExperimentConfig": ".experiments",
+    "ExperimentResult": ".experiments",
+    "AlgorithmResult": ".experiments",
+    "run_experiment": ".experiments",
+    "compare_to_paper": ".experiments",
+    "PAPER_RUNS": ".experiments",
+    "MakespanStats": ".metrics",
+    "summarize": ".metrics",
+    "slowdowns_vs_best": ".metrics",
+    "mean_slowdown_across": ".metrics",
+    "render_table": ".tables",
+    "render_slowdown_table": ".tables",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache so the import runs once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` -> the static-analysis lint CLI."""
+
+from .lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""AST-based project-invariant lint engine (stdlib only).
+
+Five rule families guard the conventions this codebase's correctness
+actually rests on -- sim-time purity, the closed obs taxonomy, substrate
+protocol conformance, async blocking-call hygiene, and layering (see
+``docs/static-analysis.md`` for the catalog and pragma syntax).  Run it
+with ``apst-dv lint`` or ``python -m repro.analysis``.
+"""
+
+from .engine import (
+    FileContext,
+    LintEngine,
+    Pragma,
+    Project,
+    Violation,
+    extract_pragmas,
+)
+from .reporters import render_json, render_text
+from .rules import Rule, default_rules
+
+__all__ = [
+    "FileContext",
+    "LintEngine",
+    "Pragma",
+    "Project",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "extract_pragmas",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,135 @@
+"""Command-line front end: ``apst-dv lint`` and ``python -m repro.analysis``.
+
+Exit codes follow the convention CI expects: 0 clean, 1 violations
+found, 2 usage error (unknown rule name, bad path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from .engine import LintEngine
+from .reporters import render_json, render_text
+from .rules import default_rules
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (what CI lints)."""
+    import repro
+
+    package_file = repro.__file__
+    assert package_file is not None
+    return Path(package_file).resolve().parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: the whole repro package)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package root that rule paths are relative to "
+        "(default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also enforce pragma hygiene (reasons required, no stale pragmas)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+
+
+def _split_rule_list(value: str) -> list[str]:
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    rules = default_rules()
+    known = {rule.name for rule in rules}
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name:16s} {rule.description}")
+        return 0
+
+    for flag in ("select", "ignore"):
+        raw = getattr(args, flag)
+        if raw is None:
+            continue
+        unknown = [name for name in _split_rule_list(raw) if name not in known]
+        if unknown:
+            print(
+                f"error: --{flag} names unknown rules {unknown}; "
+                f"known rules: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.select is not None:
+        wanted = set(_split_rule_list(args.select))
+        rules = [rule for rule in rules if rule.name in wanted]
+    if args.ignore is not None:
+        dropped = set(_split_rule_list(args.ignore))
+        rules = [rule for rule in rules if rule.name not in dropped]
+
+    root = (args.root or default_root()).resolve()
+    if not root.is_dir():
+        print(f"error: root {root} is not a directory", file=sys.stderr)
+        return 2
+    for path in args.paths:
+        if not Path(path).exists():
+            print(f"error: no such path {path}", file=sys.stderr)
+            return 2
+
+    engine = LintEngine(root, rules, strict=args.strict)
+    violations = engine.run(args.paths or None)
+    report = (
+        render_json(violations, engine)
+        if args.format == "json"
+        else render_text(violations)
+    )
+    try:
+        print(report)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; the exit code still stands.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 1 if violations else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static analysis for the repro codebase.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

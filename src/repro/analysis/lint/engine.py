@@ -1,0 +1,295 @@
+"""Core of the project-invariant lint engine.
+
+The engine is deliberately small: it loads every ``*.py`` file under a
+*root* (normally the installed ``repro`` package directory), parses each
+one once with the stdlib :mod:`ast`, hands the parsed files to a list of
+:class:`~repro.analysis.lint.rules.base.Rule` objects, and filters the
+resulting violations through per-line ``# repro: allow[rule]`` pragmas.
+
+Everything path-shaped is expressed *relative to the root* in POSIX
+form (``simulation/engine.py``), because that is how the rules reason
+about layering -- a rule says "wall-clock calls are forbidden under
+``simulation/``", not "under ``/home/x/src/repro/simulation``".  Tests
+exploit the same property by building miniature package trees in a
+temporary directory and pointing the engine at them.
+
+Pragma grammar (one line, suppresses violations reported *on that
+line*)::
+
+    some_call()  # repro: allow[sim-time] -- profiler needs wall time
+    other()      # repro: allow[sim-time, bare-print] -- two rules at once
+
+In ``--strict`` mode the engine additionally enforces pragma hygiene:
+every pragma must name known rules, carry a ``-- reason``, and actually
+suppress something (stale pragmas rot into false documentation).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .rules.base import Rule
+
+#: Rule name used for pragma-hygiene findings (unknown rule, missing
+#: reason, stale pragma).  Not suppressible by pragma, by construction.
+PRAGMA_RULE = "pragma"
+
+#: Rule name used when a file cannot be parsed at all.
+PARSE_RULE = "parse"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a human-readable message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, as seen by the rules."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    pragmas: dict[int, Pragma] = field(default_factory=dict)
+
+    @property
+    def package_parts(self) -> tuple[str, ...]:
+        """Package path of this module relative to the root package."""
+        parts = self.rel.split("/")
+        return tuple(parts[:-1])
+
+
+@dataclass
+class Project:
+    """Every file the engine loaded for one run, keyed by relative path."""
+
+    root: Path
+    files: dict[str, FileContext] = field(default_factory=dict)
+
+    def get(self, rel: str) -> FileContext | None:
+        return self.files.get(rel)
+
+    def exists_on_disk(self, rel: str) -> bool:
+        """True when ``rel`` exists under the root even if not loaded."""
+        return (self.root / rel).is_file()
+
+
+def extract_pragmas(source: str) -> dict[int, Pragma]:
+    """Parse per-line ``# repro: allow[...]`` pragmas out of a source text.
+
+    Only real COMMENT tokens count -- a pragma example quoted inside a
+    docstring or an error message is documentation, not suppression.
+    """
+    pragmas: dict[int, Pragma] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return pragmas  # unparsable files are reported separately
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        rules = tuple(
+            name.strip() for name in match.group("rules").split(",") if name.strip()
+        )
+        pragmas[lineno] = Pragma(line=lineno, rules=rules, reason=match.group("reason"))
+    return pragmas
+
+
+def iter_python_files(path: Path) -> Iterable[Path]:
+    """Yield ``*.py`` files under ``path`` (a file or directory)."""
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if "__pycache__" in candidate.parts:
+            continue
+        yield candidate
+
+
+class LintEngine:
+    """Run a set of rules over a package tree and apply pragma suppression."""
+
+    def __init__(
+        self, root: Path, rules: Sequence["Rule"], *, strict: bool = False
+    ) -> None:
+        self.root = root.resolve()
+        self.rules = list(rules)
+        self.strict = strict
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+
+    @property
+    def rule_names(self) -> list[str]:
+        return [rule.name for rule in self.rules]
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self, paths: Sequence[Path] | None = None) -> tuple[Project, list[Violation]]:
+        """Parse every target file; unparsable files become violations."""
+        project = Project(root=self.root)
+        errors: list[Violation] = []
+        targets = [self.root] if not paths else [Path(p).resolve() for p in paths]
+        seen: set[str] = set()
+        for target in targets:
+            for path in iter_python_files(target):
+                try:
+                    rel = path.relative_to(self.root).as_posix()
+                except ValueError:
+                    rel = path.name
+                if rel in seen:
+                    continue
+                seen.add(rel)
+                source = path.read_text(encoding="utf-8")
+                try:
+                    tree = ast.parse(source, filename=str(path))
+                except SyntaxError as exc:
+                    errors.append(
+                        Violation(
+                            rule=PARSE_RULE,
+                            path=rel,
+                            line=exc.lineno or 1,
+                            col=(exc.offset or 1) - 1,
+                            message=f"cannot parse: {exc.msg}",
+                        )
+                    )
+                    continue
+                project.files[rel] = FileContext(
+                    path=path,
+                    rel=rel,
+                    source=source,
+                    tree=tree,
+                    pragmas=extract_pragmas(source),
+                )
+        return project, errors
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, paths: Sequence[Path] | None = None) -> list[Violation]:
+        project, violations = self.load(paths)
+        raw: list[Violation] = []
+        for rule in self.rules:
+            for ctx in project.files.values():
+                raw.extend(rule.check_file(ctx))
+            raw.extend(rule.check_project(project))
+
+        used: set[tuple[str, int, str]] = set()
+        for violation in raw:
+            if self._suppressed(project, violation, used):
+                continue
+            violations.append(violation)
+
+        if self.strict:
+            violations.extend(self._pragma_hygiene(project, used))
+        violations.sort(key=Violation.sort_key)
+        return violations
+
+    def _suppressed(
+        self,
+        project: Project,
+        violation: Violation,
+        used: set[tuple[str, int, str]],
+    ) -> bool:
+        ctx = project.get(violation.path)
+        if ctx is None:
+            return False
+        pragma = ctx.pragmas.get(violation.line)
+        if pragma is None or violation.rule not in pragma.rules:
+            return False
+        used.add((violation.path, violation.line, violation.rule))
+        return True
+
+    def _pragma_hygiene(
+        self, project: Project, used: set[tuple[str, int, str]]
+    ) -> list[Violation]:
+        """Strict-mode findings about the pragmas themselves."""
+        known = set(self.rule_names)
+        findings: list[Violation] = []
+        for ctx in project.files.values():
+            for pragma in ctx.pragmas.values():
+                if pragma.reason is None:
+                    findings.append(
+                        Violation(
+                            rule=PRAGMA_RULE,
+                            path=ctx.rel,
+                            line=pragma.line,
+                            col=0,
+                            message=(
+                                "pragma has no justification; write "
+                                "'# repro: allow[rule] -- why this is safe'"
+                            ),
+                        )
+                    )
+                for name in pragma.rules:
+                    if name not in known:
+                        findings.append(
+                            Violation(
+                                rule=PRAGMA_RULE,
+                                path=ctx.rel,
+                                line=pragma.line,
+                                col=0,
+                                message=f"pragma names unknown rule {name!r}",
+                            )
+                        )
+                    elif (ctx.rel, pragma.line, name) not in used:
+                        findings.append(
+                            Violation(
+                                rule=PRAGMA_RULE,
+                                path=ctx.rel,
+                                line=pragma.line,
+                                col=0,
+                                message=(
+                                    f"stale pragma: rule {name!r} reported nothing "
+                                    "on this line; delete the pragma"
+                                ),
+                            )
+                        )
+        return findings

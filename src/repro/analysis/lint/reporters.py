@@ -1,0 +1,46 @@
+"""Violation reporters: human text and machine JSON.
+
+The JSON document is a stable contract (tests pin its schema): CI
+artifacts, editor integrations, and the ``--format json`` flag all read
+the same shape::
+
+    {
+      "root": "<absolute root path>",
+      "strict": true,
+      "rules": ["sim-time", ...],
+      "count": 2,
+      "violations": [
+        {"rule": "...", "path": "...", "line": 1, "col": 0, "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .engine import LintEngine, Violation
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """One line per violation plus a summary line."""
+    lines = [violation.format() for violation in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(
+        f"{len(violations)} {noun}" if violations else "clean: 0 violations"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation], engine: LintEngine, *, indent: int | None = 2
+) -> str:
+    document = {
+        "root": str(engine.root),
+        "strict": engine.strict,
+        "rules": engine.rule_names,
+        "count": len(violations),
+        "violations": [violation.to_dict() for violation in violations],
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)

@@ -1,0 +1,40 @@
+"""The rule families enforced on this repository.
+
+``default_rules()`` is the single assembly point: the CLI, CI, and the
+self-lint test all get the same set from here, so adding a rule module
+and registering it below is the whole integration story (see
+``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+from .asyncblock import AsyncBlockingRule
+from .base import ImportMap, Rule
+from .conformance import ProtocolConformanceRule
+from .layering import BarePrintRule, LayeringRule
+from .simtime import SimTimePurityRule
+from .taxonomy import ClosedTaxonomyRule
+
+__all__ = [
+    "AsyncBlockingRule",
+    "BarePrintRule",
+    "ClosedTaxonomyRule",
+    "ImportMap",
+    "LayeringRule",
+    "ProtocolConformanceRule",
+    "Rule",
+    "SimTimePurityRule",
+    "default_rules",
+]
+
+
+def default_rules() -> list[Rule]:
+    """The full rule set, in reporting order."""
+    return [
+        SimTimePurityRule(),
+        ClosedTaxonomyRule(),
+        ProtocolConformanceRule(),
+        AsyncBlockingRule(),
+        LayeringRule(),
+        BarePrintRule(),
+    ]

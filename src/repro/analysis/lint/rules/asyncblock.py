@@ -1,0 +1,118 @@
+"""Async blocking-call detection for the network layer.
+
+The gateway's event loop multiplexes every client connection on one
+thread; a single blocking ``socket.create_connection`` or
+``time.sleep`` inside an ``async def`` stalls *all* connections for its
+duration -- the exact failure mode backpressure tests cannot catch,
+because it only shows under concurrency.  This rule walks ``async
+def`` bodies under ``net/`` and flags calls whose origins are known to
+block, pointing authors at ``loop.run_in_executor`` /
+``asyncio.to_thread`` (passing a blocking function *by reference* to
+those is fine and is not flagged, since no call node appears).
+
+Nested synchronous ``def`` bodies are excluded: they run wherever they
+are called from, which is usually the executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import ImportMap, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import FileContext, Violation
+
+#: Rel-path prefixes where async purity is enforced.
+GUARDED_PREFIXES: tuple[str, ...] = ("net/",)
+
+#: Call origins that block the calling thread.
+BLOCKING_CALLS: frozenset[str] = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.waitpid",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Blocking builtins (flagged as bare names unless shadowed by imports).
+BLOCKING_BUILTINS: frozenset[str] = frozenset({"open", "input"})
+
+
+class AsyncBlockingRule(Rule):
+    name = "async-blocking"
+    description = (
+        "flag blocking calls (time.sleep, socket/subprocess/open) inside "
+        "async def bodies under net/; wrap them in loop.run_in_executor "
+        "or asyncio.to_thread"
+    )
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Violation"]:
+        if not ctx.rel.startswith(GUARDED_PREFIXES):
+            return
+        imports = ImportMap(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(ctx, node, imports)
+
+    def _check_async_body(
+        self,
+        ctx: "FileContext",
+        func: ast.AsyncFunctionDef,
+        imports: ImportMap,
+    ) -> Iterator["Violation"]:
+        stack: list[ast.AST] = [
+            node
+            for node in func.body
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        while stack:
+            current = stack.pop()
+            for node in ast.iter_child_nodes(current):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs run elsewhere / walked separately
+                stack.append(node)
+            if isinstance(current, ast.Call):
+                yield from self._check_call(ctx, func, current, imports)
+
+    def _check_call(
+        self,
+        ctx: "FileContext",
+        func: ast.AsyncFunctionDef,
+        call: ast.Call,
+        imports: ImportMap,
+    ) -> Iterator["Violation"]:
+        from ..engine import Violation
+
+        origin = imports.resolve_call(call)
+        blocking: str | None = None
+        if origin in BLOCKING_CALLS:
+            blocking = origin
+        elif (
+            isinstance(call.func, ast.Name)
+            and call.func.id in BLOCKING_BUILTINS
+            and imports.origin_of(call.func.id) is None
+        ):
+            blocking = call.func.id
+        if blocking is not None:
+            yield Violation(
+                rule=self.name,
+                path=ctx.rel,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"blocking call {blocking}() inside async def "
+                    f"{func.name}() stalls the event loop; move it behind "
+                    "loop.run_in_executor / asyncio.to_thread"
+                ),
+            )

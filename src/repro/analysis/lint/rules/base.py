@@ -1,0 +1,149 @@
+"""Rule base class and the import-resolution helper shared by rules.
+
+Rules reason about *origins*: the dotted name a local identifier stands
+for after imports are taken into account.  ``ImportMap`` normalizes the
+three import spellings the codebase uses --
+
+* ``import time`` / ``import time as t``
+* ``from time import perf_counter as pc``
+* ``from ..obs import NET_REQUEST`` (relative, resolved against the
+  module's own package path so ``..obs`` inside ``net/gateway.py``
+  becomes ``obs``)
+
+-- into dotted origins like ``time.perf_counter`` or
+``obs.NET_REQUEST``.  Origins of in-package modules are expressed
+relative to the package root with no leading ``repro.`` prefix, which
+keeps the rules working identically on the real tree and on the
+miniature fixture trees the tests build.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import FileContext, Project, Violation
+
+
+class Rule:
+    """One lint rule.  Subclasses override one or both check hooks."""
+
+    #: Pragma / ``--select`` identifier, e.g. ``"sim-time"``.
+    name: str = ""
+    #: One-line human description for ``--list-rules``.
+    description: str = ""
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Violation"]:
+        """Per-file findings; default none."""
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator["Violation"]:
+        """Cross-file findings (e.g. protocol conformance); default none."""
+        return iter(())
+
+
+def _strip_package_prefix(module: str) -> str:
+    """Normalize absolute in-package imports: ``repro.obs.events`` -> ``obs.events``."""
+    if module == "repro":
+        return ""
+    if module.startswith("repro."):
+        return module[len("repro."):]
+    return module
+
+
+class ImportMap:
+    """Module-level import table: local alias -> dotted origin."""
+
+    def __init__(self, ctx: "FileContext") -> None:
+        self._origins: dict[str, str] = {}
+        package = list(ctx.package_parts)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    origin = _strip_package_prefix(alias.name)
+                    local = alias.asname or alias.name.split(".")[0]
+                    # "import a.b" binds "a"; only map the alias form or
+                    # single-component modules to keep resolution exact.
+                    if alias.asname is not None or "." not in alias.name:
+                        self._origins[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                base = self.resolve_from(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    origin = f"{base}.{alias.name}" if base else alias.name
+                    self._origins[local] = origin
+
+    @staticmethod
+    def resolve_from(node: ast.ImportFrom, package: list[str]) -> str | None:
+        if node.level == 0:
+            return _strip_package_prefix(node.module or "")
+        # Relative import: level 1 is the current package, each further
+        # level climbs one package.  Climbing past the root package means
+        # the module is outside the linted tree; treat as unresolvable.
+        climb = node.level - 1
+        if climb > len(package):
+            return None
+        base_parts = package[: len(package) - climb] if climb else list(package)
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts)
+
+    def origin_of(self, name: str) -> str | None:
+        """Dotted origin of a plain local name, or None if not imported."""
+        return self._origins.get(name)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute expression, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._origins.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, call: ast.Call) -> str | None:
+        """Dotted origin of a call's callee, or None."""
+        return self.resolve(call.func)
+
+
+def first_positional(call: ast.Call) -> ast.expr | None:
+    """The first positional argument of a call, if any (starred -> None)."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Starred):
+        return None
+    return arg
+
+
+def module_string_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments, by name."""
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                constants[target.id] = value.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if (
+                isinstance(node.target, ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                constants[node.target.id] = node.value.value
+    return constants

@@ -1,0 +1,89 @@
+"""Sim-time purity: no wall-clock reads inside simulated-time code.
+
+APST-DV's headline property is simulation-vs-deployment parity: the
+same DispatchCore decision sequence replays identically on the
+simulated and real substrates because *where "now" comes from* is the
+substrate's job (the ``Clock`` protocol), never the algorithm's.  A
+stray ``time.time()`` in ``simulation/``, ``dispatch/``, ``theory/``,
+or the service clock silently couples modeled time to the host clock
+and invalidates every reproduced figure, so this rule forbids it
+statically.  Legitimate wall-clock uses (the engine profiler measuring
+its own events/s) carry explicit pragmas with reasons.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import ImportMap, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import FileContext, Violation
+
+#: Directories (rel-path prefixes) and exact files where modeled time rules.
+GUARDED_PREFIXES: tuple[str, ...] = ("simulation/", "dispatch/", "theory/")
+GUARDED_FILES: frozenset[str] = frozenset({"service/clock.py"})
+
+#: Wall-clock callables that are always a violation in guarded code.
+FORBIDDEN_CALLS: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.sleep",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Flagged only when called with no arguments (an aware ``now(tz)`` is a
+#: deliberate wall-clock timestamp, e.g. for report headers, not a clock
+#: read on a simulated path -- still suspicious, but not this rule's call).
+FORBIDDEN_ARGLESS: frozenset[str] = frozenset({"datetime.datetime.now"})
+
+
+def is_guarded(rel: str) -> bool:
+    return rel.startswith(GUARDED_PREFIXES) or rel in GUARDED_FILES
+
+
+class SimTimePurityRule(Rule):
+    name = "sim-time"
+    description = (
+        "forbid wall-clock calls (time.time/monotonic/perf_counter/sleep, "
+        "argless datetime.now) in simulation/, dispatch/, theory/, and the "
+        "service clock; modeled time comes from the Clock protocol"
+    )
+
+    def check_file(self, ctx: "FileContext") -> Iterator["Violation"]:
+        from ..engine import Violation
+
+        if not is_guarded(ctx.rel):
+            return
+        imports = ImportMap(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve_call(node)
+            if origin is None:
+                continue
+            argless = not node.args and not node.keywords
+            if origin in FORBIDDEN_CALLS or (
+                origin in FORBIDDEN_ARGLESS and argless
+            ):
+                yield Violation(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"wall-clock call {origin}() in simulated-time code; "
+                        "take 'now' from the dispatch Clock protocol "
+                        "(dispatch/protocols.py) or pragma with a reason"
+                    ),
+                )

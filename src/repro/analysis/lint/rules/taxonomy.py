@@ -1,0 +1,203 @@
+"""Closed event/metric taxonomy: every emit and metric name is declared.
+
+The obs layer rejects unknown event names at runtime (``EventBus.emit``
+raises), but a typo'd ``emit("chunk.dispached", ...)`` on a cold path
+only explodes the first time that path runs -- possibly mid-campaign.
+This rule makes the taxonomy closed *statically*: every ``.emit(...)``
+first argument must resolve to a constant declared in ``obs/events.py``
+(imported constant, ``module.CONSTANT`` attribute, or a string literal
+that is a member of ``EVENT_TYPES``), and every metric registered via
+``.counter/.gauge/.histogram`` must be a literal (or same-module
+constant) carrying the ``repro_`` namespace prefix.
+
+The taxonomy itself is parsed out of the linted tree's
+``obs/events.py`` -- the rule follows the code, not a hardcoded copy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import ImportMap, Rule, first_positional, module_string_constants
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import FileContext, Project, Violation
+
+#: Where the taxonomy is declared, relative to the package root.
+EVENTS_REL = "obs/events.py"
+
+#: Required namespace prefix for every registered metric.
+METRIC_PREFIX = "repro_"
+
+#: Registry factory method names whose first argument is a metric name.
+METRIC_FACTORIES: frozenset[str] = frozenset({"counter", "gauge", "histogram"})
+
+#: Import origins that count as "the taxonomy module": the module itself
+#: and the ``obs`` package that re-exports every constant.
+_TAXONOMY_MODULES: frozenset[str] = frozenset({"obs", "obs.events"})
+
+
+def _load_taxonomy(project: "Project") -> tuple[dict[str, str], set[str]] | None:
+    """(constant name -> value, set of valid event values) from events.py."""
+    ctx = project.get(EVENTS_REL)
+    if ctx is None:
+        return None
+    constants = module_string_constants(ctx.tree)
+    values: set[str] = set()
+    for node in ctx.tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "EVENT_TYPES"):
+            continue
+        for leaf in ast.walk(node.value):
+            if isinstance(leaf, ast.Constant) and isinstance(leaf.value, str):
+                values.add(leaf.value)
+            elif isinstance(leaf, ast.Name) and leaf.id in constants:
+                values.add(constants[leaf.id])
+    if not values:
+        # No EVENT_TYPES set found: fall back to every string constant.
+        values = set(constants.values())
+    event_constants = {
+        name: value for name, value in constants.items() if value in values
+    }
+    return event_constants, values
+
+
+class ClosedTaxonomyRule(Rule):
+    name = "taxonomy"
+    description = (
+        "every .emit() name must resolve statically to an obs/events.py "
+        "constant and every .counter/.gauge/.histogram metric must be a "
+        "literal with the repro_ prefix"
+    )
+
+    def check_project(self, project: "Project") -> Iterator["Violation"]:
+        taxonomy = _load_taxonomy(project)
+        if taxonomy is None:
+            return
+        event_constants, event_values = taxonomy
+        for ctx in project.files.values():
+            if ctx.rel == EVENTS_REL:
+                continue  # the bus implementation defines the taxonomy
+            yield from self._check_file(ctx, event_constants, event_values)
+
+    def _check_file(
+        self,
+        ctx: "FileContext",
+        event_constants: dict[str, str],
+        event_values: set[str],
+    ) -> Iterator["Violation"]:
+        imports = ImportMap(ctx)
+        local_constants = module_string_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "emit":
+                yield from self._check_emit(
+                    ctx, node, imports, event_constants, event_values
+                )
+            elif func.attr in METRIC_FACTORIES:
+                yield from self._check_metric(ctx, node, local_constants)
+
+    def _check_emit(
+        self,
+        ctx: "FileContext",
+        node: ast.Call,
+        imports: ImportMap,
+        event_constants: dict[str, str],
+        event_values: set[str],
+    ) -> Iterator["Violation"]:
+        from ..engine import Violation
+
+        arg = first_positional(node)
+        if arg is None:
+            return
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value not in event_values:
+                yield Violation(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"emit name {arg.value!r} is not in the closed taxonomy "
+                        "(obs/events.py EVENT_TYPES); declare it there first"
+                    ),
+                )
+            return
+        origin = imports.resolve(arg)
+        if origin is not None:
+            module, _, name = origin.rpartition(".")
+            if module in _TAXONOMY_MODULES:
+                if name not in event_constants:
+                    yield Violation(
+                        rule=self.name,
+                        path=ctx.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"emit name constant {name!r} is not declared in "
+                            "obs/events.py"
+                        ),
+                    )
+                return
+        yield Violation(
+            rule=self.name,
+            path=ctx.rel,
+            line=node.lineno,
+            col=node.col_offset,
+            message=(
+                "emit name does not resolve statically to an obs/events.py "
+                "constant; use the declared constant (or pragma a deliberate "
+                "forwarder)"
+            ),
+        )
+
+    def _check_metric(
+        self,
+        ctx: "FileContext",
+        node: ast.Call,
+        local_constants: dict[str, str],
+    ) -> Iterator["Violation"]:
+        from ..engine import Violation
+
+        arg = first_positional(node)
+        if arg is None:
+            return
+        value: str | None = None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            value = arg.value
+        elif isinstance(arg, ast.Name) and arg.id in local_constants:
+            value = local_constants[arg.id]
+        else:
+            # Bare identifiers that are not module constants are most
+            # likely not metric names at all (``.counter(x)`` on some
+            # other object); only string-ish arguments are in scope.
+            if isinstance(arg, (ast.Constant, ast.JoinedStr)):
+                yield Violation(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "metric name must be a static string literal (no "
+                        "f-strings); high-cardinality names belong in labels"
+                    ),
+                )
+            return
+        if not value.startswith(METRIC_PREFIX):
+            yield Violation(
+                rule=self.name,
+                path=ctx.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"metric name {value!r} lacks the {METRIC_PREFIX!r} "
+                    "namespace prefix"
+                ),
+            )

@@ -1,0 +1,239 @@
+"""Runtime lock-order race detector (opt-in, env-gated).
+
+The service layer holds locks across three thread populations -- the
+gateway's asyncio loop + batch runner thread, the obs telemetry
+aggregation path, and the resilience DLQ -- and a deadlock between them
+would only reproduce under load, never in a unit test.  This module
+makes lock *ordering* observable instead: code creates its locks
+through :func:`create_lock` / :func:`create_rlock`, and when
+``REPRO_LOCKWATCH=1`` each acquisition is recorded into a global
+acquisition-order graph (edge ``A -> B`` whenever a thread acquires
+``B`` while holding ``A``).  A cycle in that graph is a potential
+deadlock even if the interleaving that trips it never happened in this
+run -- exactly the class of bug testing cannot catch by luck.
+
+With the flag unset (the default), :func:`create_lock` returns a plain
+:class:`threading.Lock` -- zero overhead in production.  The threaded
+and parity test suites run under the flag in CI, and the autouse
+fixture in ``tests/conftest.py`` fails any test that grew a cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Protocol, Union
+
+ENV_FLAG = "REPRO_LOCKWATCH"
+
+
+class _InnerLock(Protocol):
+    """What WatchedLock needs from the wrapped primitive (Lock or RLock)."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool:
+        ...
+
+    def release(self) -> None:
+        ...
+
+
+def enabled() -> bool:
+    """True when lock-order watching is armed via ``REPRO_LOCKWATCH``."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """First observation of 'held ``before`` while acquiring ``after``'."""
+
+    before: str
+    after: str
+    thread: str
+    where: str
+
+
+class LockOrderWatcher:
+    """Acquisition-order graph over named locks, with cycle detection."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()  # guards the edge dict only
+        self._edges: dict[tuple[str, str], Edge] = {}
+        self._held = threading.local()
+
+    # -- recording -----------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        held = getattr(self._held, "stack", None)
+        if held is None:
+            held = []
+            self._held.stack = held
+        return held
+
+    def note_acquire(self, name: str) -> None:
+        held = self._stack()
+        new_edges = [h for h in held if h != name]
+        if new_edges:
+            # Capture the acquisition site once per new edge; the walk is
+            # only paid when the flag is armed and the edge is unseen.
+            where = ""
+            for before in new_edges:
+                key = (before, name)
+                if key in self._edges:
+                    continue
+                if not where:
+                    frame = traceback.extract_stack(limit=4)[0]
+                    where = f"{frame.filename}:{frame.lineno}"
+                edge = Edge(
+                    before=before,
+                    after=name,
+                    thread=threading.current_thread().name,
+                    where=where,
+                )
+                with self._guard:
+                    self._edges.setdefault(key, edge)
+        held.append(name)
+
+    def note_release(self, name: str) -> None:
+        held = self._stack()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == name:
+                del held[index]
+                return
+
+    # -- inspection ----------------------------------------------------------
+
+    def edges(self) -> list[Edge]:
+        with self._guard:
+            return list(self._edges.values())
+
+    def cycles(self) -> list[list[str]]:
+        """Elementary cycles in the acquisition graph (empty when safe)."""
+        with self._guard:
+            graph: dict[str, list[str]] = {}
+            for before, after in self._edges:
+                graph.setdefault(before, []).append(after)
+
+        cycles: list[list[str]] = []
+        seen_cycles: set[tuple[str, ...]] = set()
+        visiting: list[str] = []
+        on_path: set[str] = set()
+        done: set[str] = set()
+
+        def visit(node: str) -> None:
+            visiting.append(node)
+            on_path.add(node)
+            for successor in graph.get(node, ()):
+                if successor in on_path:
+                    start = visiting.index(successor)
+                    cycle = visiting[start:] + [successor]
+                    # Canonicalize by rotation so A->B->A == B->A->B.
+                    body = tuple(sorted(cycle[:-1]))
+                    if body not in seen_cycles:
+                        seen_cycles.add(body)
+                        cycles.append(cycle)
+                elif successor not in done:
+                    visit(successor)
+            on_path.discard(node)
+            visiting.pop()
+            done.add(node)
+
+        for node in sorted(graph):
+            if node not in done:
+                visit(node)
+        return cycles
+
+    def format_cycles(self) -> str:
+        """Human-readable report of every cycle with edge provenance."""
+        lines: list[str] = []
+        edges = {(edge.before, edge.after): edge for edge in self.edges()}
+        for cycle in self.cycles():
+            lines.append(" -> ".join(cycle))
+            for before, after in zip(cycle, cycle[1:]):
+                edge = edges.get((before, after))
+                if edge is not None:
+                    lines.append(
+                        f"  {before} held while acquiring {after} "
+                        f"[thread {edge.thread}, {edge.where}]"
+                    )
+        return "\n".join(lines)
+
+    def assert_no_cycles(self) -> None:
+        report = self.format_cycles()
+        if report:
+            raise LockOrderError(
+                "lock-order cycle detected (potential deadlock):\n" + report
+            )
+
+    def reset(self) -> None:
+        with self._guard:
+            self._edges.clear()
+
+
+class LockOrderError(AssertionError):
+    """Raised by :meth:`LockOrderWatcher.assert_no_cycles`."""
+
+
+class WatchedLock:
+    """A named Lock/RLock wrapper that reports to a watcher."""
+
+    def __init__(
+        self,
+        name: str,
+        inner: _InnerLock,
+        watcher: LockOrderWatcher,
+    ) -> None:
+        self.name = name
+        self._inner = inner
+        self._watcher = watcher
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watcher.note_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._watcher.note_release(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        return bool(locked()) if locked is not None else False
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"WatchedLock({self.name!r}, {self._inner!r})"
+
+
+_WATCHER: LockOrderWatcher | None = None
+_WATCHER_GUARD = threading.Lock()
+
+
+def watcher() -> LockOrderWatcher:
+    """The process-global watcher (created on first use)."""
+    global _WATCHER
+    with _WATCHER_GUARD:
+        if _WATCHER is None:
+            _WATCHER = LockOrderWatcher()
+        return _WATCHER
+
+
+def create_lock(name: str) -> Union[threading.Lock, WatchedLock]:
+    """A mutex for ``name``: plain Lock, or watched when the flag is armed."""
+    if not enabled():
+        return threading.Lock()
+    return WatchedLock(name, threading.Lock(), watcher())
+
+
+def create_rlock(name: str) -> Union[_InnerLock, WatchedLock]:
+    """A reentrant mutex; reentrant re-acquisition records no self-edge."""
+    if not enabled():
+        return threading.RLock()
+    return WatchedLock(name, threading.RLock(), watcher())

@@ -459,6 +459,12 @@ def _cmd_dlq(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_table1(_args: argparse.Namespace) -> int:
     rows = table1_rows()
     print(
@@ -670,6 +676,15 @@ def build_parser() -> argparse.ArgumentParser:
     dlq_sub.add_parser("purge", parents=[dlq_conn],
                        help="drop every parked entry")
     dlq.set_defaults(func=_cmd_dlq)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer (repro.analysis.lint)",
+    )
+    from .analysis.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     console = sub.add_parser("console", help="interactive APST-DV client console")
     console.add_argument("--platform", default="das2")

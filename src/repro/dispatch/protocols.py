@@ -184,7 +184,7 @@ class DispatchSubstrate:
     transport: Transport
     host: ComputeHost
     probe_costs: ProbeCostSource
-    annotations: dict = field(default_factory=dict)
+    annotations: dict[str, object] = field(default_factory=dict)
     gamma_configured: float = 0.0
     seed: int | None = None
 

@@ -54,6 +54,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from ..analysis import lockwatch
 from ..apst.daemon import APSTDaemon
 from ..errors import ReproError, ServiceError, SpecificationError
 from ..obs import (
@@ -181,12 +182,12 @@ class JobGateway:
         self._pending: "queue.Queue[_Submission]" = queue.Queue(
             maxsize=self._config.max_queue
         )
-        self._daemon_lock = threading.Lock()
+        self._daemon_lock = lockwatch.create_lock("gateway.daemon")
         self._endpoints: list[WorkerEndpoint] = []
         self._remote_backend: RemoteExecutionBackend | None = None
         self._worker_pool = worker_pool
         self._draining = False
-        self._shutdown_lock = threading.Lock()
+        self._shutdown_lock = lockwatch.create_lock("gateway.shutdown")
         self._shutdown_initiated = False
         self._rejected = 0
         self._batches = 0

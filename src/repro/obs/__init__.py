@@ -164,7 +164,7 @@ class Observability:
     def emit(self, name: str, *, sim_time: float | None = None, **fields) -> None:
         """Publish an event if a bus is attached (no-op otherwise)."""
         if self.bus is not None:
-            self.bus.emit(name, sim_time=sim_time, **fields)
+            self.bus.emit(name, sim_time=sim_time, **fields)  # repro: allow[taxonomy] -- generic forwarder; EventBus.emit enforces the taxonomy at runtime
 
     def span(self, name: str, **args):
         """Wall-clock span via the tracer and profiler (no-op when off)."""

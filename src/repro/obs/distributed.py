@@ -38,10 +38,10 @@ exporter, and the JSON-schema check in CI all consume this shape.
 from __future__ import annotations
 
 import math
-import threading
 from collections import deque
 from dataclasses import dataclass
 
+from ..analysis import lockwatch
 from ..errors import ReproError
 from .tracing import Span, Tracer, new_trace_id
 
@@ -171,7 +171,7 @@ class TelemetryBuffer:
         self._span_cursor = 0
         self._events: deque[dict] = deque(maxlen=max_events)
         self._max_spans = max_spans
-        self._lock = threading.Lock()
+        self._lock = lockwatch.create_lock("obs.telemetry_buffer")
 
     def write(self, event) -> None:
         """EventBus sink protocol: buffer the event for the next drain."""
@@ -225,7 +225,7 @@ class ClockOffsetEstimator:
 
     def __init__(self) -> None:
         self._best: dict[str, tuple[float, float, int]] = {}  # process -> (offset, rtt, n)
-        self._lock = threading.Lock()
+        self._lock = lockwatch.create_lock("obs.clock_offset")
 
     def add_sample(
         self, process: str, *, t0: float, t1: float, t2: float, t3: float
@@ -281,7 +281,7 @@ class TelemetryAggregator:
         self._tracer_cursors: dict[int, int] = {}
         #: processes whose timestamps are already on the master clock
         self._local_processes: set[str] = set()
-        self._lock = threading.Lock()
+        self._lock = lockwatch.create_lock("obs.aggregator")
 
     # -- ingestion -----------------------------------------------------------
     def ingest(self, batch: dict, *, process: str | None = None) -> None:

@@ -14,10 +14,10 @@ thread while the gateway lists over its asyncio loop.
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from dataclasses import dataclass, field
 
+from ..analysis import lockwatch
 from ..errors import ServiceError
 
 
@@ -55,7 +55,7 @@ class DeadLetterQueue:
     def __init__(self) -> None:
         self._entries: dict[int, DeadLetterEntry] = {}
         self._ids = itertools.count(1)
-        self._lock = threading.Lock()
+        self._lock = lockwatch.create_lock("resilience.dlq")
 
     def __len__(self) -> int:
         with self._lock:

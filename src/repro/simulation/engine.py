@@ -152,7 +152,7 @@ class SimulationEngine:
             raise SimulationError("run() is not reentrant")
         self._running = True
         executed = 0
-        run_start = perf_counter() if self._profiler is not None else 0.0
+        run_start = perf_counter() if self._profiler is not None else 0.0  # repro: allow[sim-time] -- profiler measures wall events/s, not modeled time
         try:
             while self._heap:
                 next_time = self._next_pending_time()
@@ -173,7 +173,7 @@ class SimulationEngine:
         finally:
             self._running = False
             if self._profiler is not None:
-                self._profiler.note_run(executed, perf_counter() - run_start)
+                self._profiler.note_run(executed, perf_counter() - run_start)  # repro: allow[sim-time] -- profiler measures wall events/s, not modeled time
 
     def _next_pending_time(self) -> float | None:
         """Time of the next non-cancelled event, or None if drained."""

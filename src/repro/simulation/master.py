@@ -140,7 +140,7 @@ class _SimHost:
 
     def stop(self) -> None:
         if self._profiler is not None and self._run_start is not None:
-            self._profiler.note_run(self._executed, perf_counter() - self._run_start)
+            self._profiler.note_run(self._executed, perf_counter() - self._run_start)  # repro: allow[sim-time] -- profiler measures wall events/s, not modeled time
 
     def enqueue(self, chunk: ChunkTrace, payload: object) -> None:
         runtime = self._workers[chunk.worker_index]
@@ -153,7 +153,7 @@ class _SimHost:
 
     def wait(self) -> bool:
         if self._run_start is None:
-            self._run_start = perf_counter()
+            self._run_start = perf_counter()  # repro: allow[sim-time] -- profiler measures wall events/s, not modeled time
         if not self._engine.step():
             return False
         self._executed += 1

@@ -4,7 +4,22 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import lockwatch
 from repro.platform.resources import Cluster, Grid, WorkerSpec
+
+
+@pytest.fixture(autouse=True)
+def _no_lock_order_cycles():
+    """When REPRO_LOCKWATCH=1, fail any test that grew a lock-order cycle.
+
+    The watcher is process-global and edges accumulate across tests by
+    design (orderings from different tests can combine into a hazard no
+    single test exhibits); asserting after every test pins down the
+    first test whose acquisitions closed a cycle.
+    """
+    yield
+    if lockwatch.enabled():
+        lockwatch.watcher().assert_no_cycles()
 
 
 @pytest.fixture

@@ -1,0 +1,29 @@
+"""Fixture: async code that pushes blocking work off the loop."""
+
+import asyncio
+import socket
+import time
+
+
+def _probe(address):
+    # Synchronous helper: blocking here is fine, it runs in the executor.
+    with socket.create_connection(address, timeout=1.0):
+        return True
+
+
+async def handler(loop):
+    await asyncio.sleep(0.1)
+    reachable = await loop.run_in_executor(None, _probe, ("example", 80))
+    await asyncio.to_thread(time.sleep, 0.01)  # passed by reference: no call
+
+    def render():
+        # nested sync def runs wherever it is called from, not on the loop
+        with open("state.json") as fh:
+            return fh.read()
+
+    del render
+    return reachable
+
+
+def sync_path():
+    time.sleep(0.1)  # plain sync code may block

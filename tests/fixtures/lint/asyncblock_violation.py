@@ -1,0 +1,13 @@
+"""Fixture: blocking calls on the event loop (4 violations)."""
+
+import socket
+import time
+from time import sleep
+
+
+async def handler(loop):
+    time.sleep(0.1)  # violation
+    sleep(0.1)  # violation: aliased from-import
+    socket.create_connection(("example", 80))  # violation
+    with open("state.json") as fh:  # violation: blocking builtin
+        return fh.read()

@@ -1,0 +1,10 @@
+"""Fixture: library code reporting through the logging bridge."""
+
+import logging
+
+_log = logging.getLogger("repro.obs.fixture")
+
+
+def report(result):
+    _log.info("makespan: %s", result)
+    return result

@@ -1,0 +1,6 @@
+"""Fixture: library code printing straight to stdout (1 violation)."""
+
+
+def report(result):
+    print("makespan:", result)  # violation: diagnostics go through repro.obs
+    return result

@@ -1,0 +1,35 @@
+"""Fixture: adapters that structurally conform to the protocols."""
+
+
+class GoodClock:
+    def now(self):
+        return 0.0
+
+
+class GoodTransport:
+    supports_outputs = False
+
+    def __init__(self):
+        self._core = None
+
+    def bind(self, core):
+        self._core = core
+
+    @property
+    def busy(self):
+        return False
+
+    def send(self, chunk, extent, retries=0):  # defaulted extras are fine
+        del chunk, extent, retries
+
+
+class GoodHost:
+    def __init__(self):
+        # instance attribute satisfies the protocol's class-level flag
+        self.time_advances_when_idle = True
+
+    def enqueue(self, chunk, payload):
+        del chunk, payload
+
+    def poll(self):
+        pass

@@ -1,0 +1,32 @@
+"""Fixture: miniature protocol module (stands in for dispatch/protocols.py)."""
+
+from typing import Protocol
+
+
+class Clock(Protocol):
+    def now(self) -> float:
+        ...
+
+
+class Transport(Protocol):
+    supports_outputs: bool
+
+    def bind(self, core) -> None:
+        ...
+
+    @property
+    def busy(self) -> bool:
+        ...
+
+    def send(self, chunk, extent) -> None:
+        ...
+
+
+class ComputeHost(Protocol):
+    time_advances_when_idle: bool
+
+    def enqueue(self, chunk, payload) -> None:
+        ...
+
+    def poll(self) -> None:
+        ...

@@ -1,0 +1,25 @@
+"""Fixture: adapters that drifted from the protocols (5 violations)."""
+
+
+class BadClock:
+    def now_time(self):  # violation: protocol method now() missing
+        return 0.0
+
+
+class BadTransport:
+    # violations: supports_outputs and busy never defined
+    def bind(self, core):
+        self._core = core
+
+    def send(self, chunk, units):  # violation: parameter name drift
+        del chunk, units
+
+
+class BadHost:
+    time_advances_when_idle = True
+
+    def enqueue(self, chunk, payload, retries):  # violation: undefaulted extra
+        del chunk, payload, retries
+
+    def poll(self):
+        pass

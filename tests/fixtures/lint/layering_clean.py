@@ -1,0 +1,8 @@
+"""Fixture: a backend that stays a substrate."""
+
+
+class SubstrateShim:
+    def __init__(self, clock, transport, host):
+        self.clock = clock
+        self.transport = transport
+        self.host = host

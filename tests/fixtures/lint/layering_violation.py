@@ -1,0 +1,7 @@
+"""Fixture: a backend reaching into the scheduler layer (2 violations)."""
+
+from ..core.base import Scheduler  # violation: substrates must not see core.base
+
+
+def drive(scheduler: Scheduler, now, states):
+    return scheduler.next_dispatch(now, states)  # violation: driving is dispatch's job

@@ -1,0 +1,9 @@
+"""Fixture: miniature closed taxonomy (stands in for obs/events.py)."""
+
+CHUNK_DISPATCHED = "chunk.dispatched"
+JOB_DONE = "job.done"
+
+#: Not an event name; must not leak into the taxonomy.
+OBS_LOGGER_NAME = "repro.obs"
+
+EVENT_TYPES = frozenset({CHUNK_DISPATCHED, JOB_DONE})

@@ -1,0 +1,13 @@
+"""Fixture: simulated-time module that takes 'now' from the clock protocol."""
+
+
+class EngineClock:
+    def __init__(self, engine):
+        self._engine = engine
+
+    def now(self):
+        return self._engine.now
+
+
+def step(clock, horizon):
+    return min(clock.now(), horizon)

@@ -1,0 +1,14 @@
+"""Fixture: wall-clock reads inside a simulated-time module (4 violations)."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def step():
+    start = time.time()  # violation: time.time
+    pc()  # violation: aliased perf_counter
+    time.sleep(0.1)  # violation: blocking sleep
+    datetime.now()  # violation: argless now()
+    datetime.now(tz=None)  # ok: explicit tz argument is a deliberate timestamp
+    return start

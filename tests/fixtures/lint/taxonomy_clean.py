@@ -1,0 +1,15 @@
+"""Fixture: every emit/metric name resolves statically into the taxonomy."""
+
+from ..obs import events
+from ..obs.events import CHUNK_DISPATCHED, JOB_DONE
+
+QUEUE_DEPTH_METRIC = "repro_fixture_queue_depth"
+
+
+def run(bus, metrics):
+    bus.emit(CHUNK_DISPATCHED, t=0)
+    bus.emit(JOB_DONE)
+    bus.emit(events.JOB_DONE, t=2)
+    bus.emit("job.done", t=3)
+    metrics.counter("repro_fixture_total")
+    metrics.gauge(QUEUE_DEPTH_METRIC)

@@ -1,0 +1,11 @@
+"""Fixture: emit/metric names outside the closed taxonomy (4 violations)."""
+
+from ..obs.events import CHUNK_DISPATCHED
+
+
+def run(bus, metrics, name):
+    bus.emit(CHUNK_DISPATCHED, t=0)  # ok: declared constant
+    bus.emit("chunk.dispached", t=1)  # violation: typo'd literal
+    bus.emit(name)  # violation: dynamic name
+    metrics.counter("chunks_total")  # violation: missing repro_ prefix
+    metrics.histogram(f"repro_{name}_seconds")  # violation: f-string name

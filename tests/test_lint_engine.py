@@ -1,0 +1,217 @@
+"""Engine-level tests: pragmas, strict hygiene, reporters, CLI, and the
+acceptance gate that the real tree lints clean."""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import (
+    LintEngine,
+    Violation,
+    default_rules,
+    extract_pragmas,
+    render_json,
+    render_text,
+)
+from repro.analysis.lint.cli import main
+from repro.analysis.lint.rules.layering import BarePrintRule
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def write(root, rel, text):
+    dest = root / rel
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text(text)
+    return dest
+
+
+# -- pragma extraction -------------------------------------------------------
+
+
+def test_extract_pragmas_comments_only():
+    source = (
+        '"""Docstring showing  # repro: allow[sim-time] -- example."""\n'
+        "MSG = 'use # repro: allow[bare-print]'\n"
+        "x = 1  # repro: allow[sim-time] -- real pragma\n"
+    )
+    pragmas = extract_pragmas(source)
+    assert list(pragmas) == [3]
+    assert pragmas[3].rules == ("sim-time",)
+    assert pragmas[3].reason == "real pragma"
+
+
+def test_extract_pragmas_multiple_rules_and_missing_reason():
+    pragmas = extract_pragmas(
+        "a = 1  # repro: allow[sim-time, bare-print] -- two at once\n"
+        "b = 2  # repro: allow[layering]\n"
+    )
+    assert pragmas[1].rules == ("sim-time", "bare-print")
+    assert pragmas[1].reason == "two at once"
+    assert pragmas[2].rules == ("layering",)
+    assert pragmas[2].reason is None
+
+
+def test_extract_pragmas_tolerates_unparsable_source():
+    assert extract_pragmas("def broken(:\n") == {}
+
+
+# -- suppression and strict hygiene ------------------------------------------
+
+
+def test_pragma_suppresses_only_named_rule(tmp_path):
+    write(
+        tmp_path,
+        "mod.py",
+        "print('a')  # repro: allow[sim-time] -- wrong rule named\n",
+    )
+    violations = LintEngine(tmp_path, [BarePrintRule()]).run()
+    assert [v.rule for v in violations] == ["bare-print"]
+
+
+def test_strict_flags_missing_reason(tmp_path):
+    write(tmp_path, "mod.py", "print('a')  # repro: allow[bare-print]\n")
+    violations = LintEngine(tmp_path, [BarePrintRule()], strict=True).run()
+    assert [v.rule for v in violations] == ["pragma"]
+    assert "no justification" in violations[0].message
+
+
+def test_strict_flags_unknown_rule(tmp_path):
+    write(tmp_path, "mod.py", "x = 1  # repro: allow[no-such-rule] -- why\n")
+    violations = LintEngine(tmp_path, [BarePrintRule()], strict=True).run()
+    assert [v.rule for v in violations] == ["pragma"]
+    assert "unknown rule" in violations[0].message
+
+
+def test_strict_flags_stale_pragma(tmp_path):
+    write(tmp_path, "mod.py", "x = 1  # repro: allow[bare-print] -- nothing here\n")
+    violations = LintEngine(tmp_path, [BarePrintRule()], strict=True).run()
+    assert [v.rule for v in violations] == ["pragma"]
+    assert "stale pragma" in violations[0].message
+
+
+def test_non_strict_ignores_pragma_hygiene(tmp_path):
+    write(tmp_path, "mod.py", "x = 1  # repro: allow[bare-print] -- stale\n")
+    assert LintEngine(tmp_path, [BarePrintRule()]).run() == []
+
+
+def test_syntax_error_reported_as_parse_violation(tmp_path):
+    write(tmp_path, "mod.py", "def broken(:\n")
+    violations = LintEngine(tmp_path, [BarePrintRule()]).run()
+    assert [v.rule for v in violations] == ["parse"]
+
+
+def test_duplicate_rule_names_rejected(tmp_path):
+    try:
+        LintEngine(tmp_path, [BarePrintRule(), BarePrintRule()])
+    except ValueError as exc:
+        assert "duplicate" in str(exc)
+    else:  # pragma: no cover - failure path
+        raise AssertionError("expected ValueError for duplicate rule names")
+
+
+# -- reporters ---------------------------------------------------------------
+
+
+def test_json_reporter_schema(tmp_path):
+    write(tmp_path, "mod.py", "print('a')\n")
+    engine = LintEngine(tmp_path, [BarePrintRule()], strict=True)
+    violations = engine.run()
+    payload = json.loads(render_json(violations, engine))
+    assert set(payload) == {"root", "strict", "rules", "count", "violations"}
+    assert payload["root"] == str(tmp_path.resolve())
+    assert payload["strict"] is True
+    assert payload["rules"] == ["bare-print"]
+    assert payload["count"] == 1
+    (entry,) = payload["violations"]
+    assert set(entry) == {"rule", "path", "line", "col", "message"}
+    assert entry["path"] == "mod.py"
+    assert entry["line"] == 1
+
+
+def test_text_reporter(tmp_path):
+    violation = Violation(
+        rule="bare-print", path="mod.py", line=3, col=4, message="boom"
+    )
+    text = render_text([violation])
+    assert "mod.py:3:4: [bare-print] boom" in text
+    assert "1 violation" in text
+    assert "clean" in render_text([])
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_clean_exit_zero(tmp_path, capsys):
+    write(tmp_path, "mod.py", "x = 1\n")
+    assert main(["--root", str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_violations_exit_one(tmp_path, capsys):
+    write(tmp_path, "simulation/bad.py", "import time\nnow = time.time()\n")
+    assert main(["--root", str(tmp_path)]) == 1
+    assert "[sim-time]" in capsys.readouterr().out
+
+
+def test_cli_select_limits_rules(tmp_path, capsys):
+    write(tmp_path, "simulation/bad.py", "import time\nnow = time.time()\nprint(now)\n")
+    assert main(["--root", str(tmp_path), "--select", "bare-print"]) == 1
+    out = capsys.readouterr().out
+    assert "[bare-print]" in out
+    assert "[sim-time]" not in out
+
+
+def test_cli_ignore_drops_rules(tmp_path, capsys):
+    write(tmp_path, "simulation/bad.py", "import time\nnow = time.time()\n")
+    assert main(["--root", str(tmp_path), "--ignore", "sim-time"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_unknown_rule_exit_two(tmp_path, capsys):
+    assert main(["--root", str(tmp_path), "--select", "no-such-rule"]) == 2
+    assert "unknown rules" in capsys.readouterr().err
+
+
+def test_cli_bad_path_exit_two(tmp_path, capsys):
+    missing = tmp_path / "nope.py"
+    assert main(["--root", str(tmp_path), str(missing)]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "sim-time",
+        "taxonomy",
+        "protocol",
+        "async-blocking",
+        "layering",
+        "bare-print",
+    ):
+        assert name in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    write(tmp_path, "mod.py", "print('a')\n")
+    assert main(["--root", str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+
+
+def test_cli_partial_paths(tmp_path, capsys):
+    write(tmp_path, "simulation/bad.py", "import time\nnow = time.time()\n")
+    clean = write(tmp_path, "simulation/good.py", "x = 1\n")
+    assert main(["--root", str(tmp_path), str(clean)]) == 0
+    capsys.readouterr()
+
+
+# -- acceptance gate ---------------------------------------------------------
+
+
+def test_repo_lints_clean():
+    """The in-tree mirror of the CI gate: strict lint over src/repro is clean."""
+    engine = LintEngine(PACKAGE_ROOT, default_rules(), strict=True)
+    violations = engine.run()
+    assert violations == [], "\n" + "\n".join(v.format() for v in violations)

@@ -1,0 +1,260 @@
+"""Fixture tests: each rule family fails on its violating snippet and
+passes its clean one.
+
+Every test builds a miniature package tree in ``tmp_path`` (the engine
+anchors rule scopes on *relative* paths, so ``<tmp>/simulation/bad.py``
+is guarded exactly like the real ``simulation/`` package) and runs one
+rule family over it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import LintEngine
+from repro.analysis.lint.rules import (
+    AsyncBlockingRule,
+    BarePrintRule,
+    ClosedTaxonomyRule,
+    LayeringRule,
+    ProtocolConformanceRule,
+    SimTimePurityRule,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def build_tree(tmp_path, mapping):
+    """Copy fixtures into a fake package tree: {rel path: fixture name}."""
+    for rel, fixture in mapping.items():
+        dest = tmp_path / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text((FIXTURES / fixture).read_text())
+    return tmp_path
+
+
+def lint(root, rule, strict=False):
+    return LintEngine(root, [rule], strict=strict).run()
+
+
+# -- sim-time purity ---------------------------------------------------------
+
+
+def test_simtime_fails_on_violating_fixture(tmp_path):
+    root = build_tree(tmp_path, {"simulation/bad.py": "simtime_violation.py"})
+    violations = lint(root, SimTimePurityRule())
+    assert [v.rule for v in violations] == ["sim-time"] * 4
+    messages = " ".join(v.message for v in violations)
+    assert "time.time()" in messages
+    assert "time.perf_counter()" in messages
+    assert "time.sleep()" in messages
+    assert "datetime.datetime.now()" in messages
+
+
+def test_simtime_passes_clean_fixture(tmp_path):
+    root = build_tree(tmp_path, {"simulation/good.py": "simtime_clean.py"})
+    assert lint(root, SimTimePurityRule()) == []
+
+
+def test_simtime_ignores_unguarded_directories(tmp_path):
+    # The same wall-clock calls are fine outside simulation/dispatch/theory.
+    root = build_tree(tmp_path, {"workloads/bad.py": "simtime_violation.py"})
+    assert lint(root, SimTimePurityRule()) == []
+
+
+def test_simtime_guards_service_clock_file(tmp_path):
+    root = build_tree(tmp_path, {"service/clock.py": "simtime_violation.py"})
+    assert len(lint(root, SimTimePurityRule())) == 4
+
+
+# -- closed taxonomy ---------------------------------------------------------
+
+
+def _taxonomy_tree(tmp_path, fixture):
+    return build_tree(
+        tmp_path,
+        {"obs/events.py": "obs_events_mini.py", "dispatch/emitters.py": fixture},
+    )
+
+
+def test_taxonomy_fails_on_violating_fixture(tmp_path):
+    root = _taxonomy_tree(tmp_path, "taxonomy_violation.py")
+    violations = lint(root, ClosedTaxonomyRule())
+    assert [v.rule for v in violations] == ["taxonomy"] * 4
+    messages = " ".join(v.message for v in violations)
+    assert "chunk.dispached" in messages  # the typo is named
+    assert "repro_" in messages  # the prefix rule is named
+
+
+def test_taxonomy_passes_clean_fixture(tmp_path):
+    root = _taxonomy_tree(tmp_path, "taxonomy_clean.py")
+    assert lint(root, ClosedTaxonomyRule()) == []
+
+
+def test_taxonomy_skips_trees_without_events_module(tmp_path):
+    # No obs/events.py in the tree: nothing to check against.
+    root = build_tree(tmp_path, {"dispatch/emitters.py": "taxonomy_violation.py"})
+    assert lint(root, ClosedTaxonomyRule()) == []
+
+
+def test_taxonomy_logger_name_constant_is_not_an_event(tmp_path):
+    root = build_tree(
+        tmp_path,
+        {"obs/events.py": "obs_events_mini.py"},
+    )
+    (root / "daemon.py").write_text(
+        "def run(bus):\n    bus.emit('repro.obs')\n"
+    )
+    violations = lint(root, ClosedTaxonomyRule())
+    assert [v.rule for v in violations] == ["taxonomy"]
+
+
+# -- protocol conformance ----------------------------------------------------
+
+
+def _conformance_rule(classes):
+    return ProtocolConformanceRule(adapters={"backends/adapter.py": classes})
+
+
+def test_conformance_fails_on_drifted_adapters(tmp_path):
+    root = build_tree(
+        tmp_path,
+        {
+            "dispatch/protocols.py": "conformance_protocols.py",
+            "backends/adapter.py": "conformance_violation.py",
+        },
+    )
+    rule = _conformance_rule(
+        {"BadClock": "Clock", "BadTransport": "Transport", "BadHost": "ComputeHost"}
+    )
+    violations = lint(root, rule)
+    assert {v.rule for v in violations} == {"protocol"}
+    messages = " ".join(v.message for v in violations)
+    assert "now() missing" in messages
+    assert "supports_outputs" in messages
+    assert "busy" in messages
+    assert "drifts" in messages  # send(chunk, units) parameter drift
+    assert "enqueue" in messages  # undefaulted extra parameter
+    assert len(violations) == 5
+
+
+def test_conformance_passes_clean_adapters(tmp_path):
+    root = build_tree(
+        tmp_path,
+        {
+            "dispatch/protocols.py": "conformance_protocols.py",
+            "backends/adapter.py": "conformance_clean.py",
+        },
+    )
+    rule = _conformance_rule(
+        {"GoodClock": "Clock", "GoodTransport": "Transport", "GoodHost": "ComputeHost"}
+    )
+    assert lint(root, rule) == []
+
+
+def test_conformance_flags_stale_registry_entries(tmp_path):
+    root = build_tree(
+        tmp_path, {"dispatch/protocols.py": "conformance_protocols.py"}
+    )
+    rule = ProtocolConformanceRule(
+        adapters={"backends/gone.py": {"Ghost": "Clock"}}
+    )
+    violations = lint(root, rule)
+    assert len(violations) == 1
+    assert "stale adapter registry entry" in violations[0].message
+
+
+def test_conformance_flags_renamed_adapter_class(tmp_path):
+    root = build_tree(
+        tmp_path,
+        {
+            "dispatch/protocols.py": "conformance_protocols.py",
+            "backends/adapter.py": "conformance_clean.py",
+        },
+    )
+    rule = _conformance_rule({"RenamedAway": "Clock"})
+    violations = lint(root, rule)
+    assert len(violations) == 1
+    assert "RenamedAway" in violations[0].message
+
+
+# -- async blocking-call detection -------------------------------------------
+
+
+def test_asyncblock_fails_on_violating_fixture(tmp_path):
+    root = build_tree(tmp_path, {"net/bad.py": "asyncblock_violation.py"})
+    violations = lint(root, AsyncBlockingRule())
+    assert [v.rule for v in violations] == ["async-blocking"] * 4
+    messages = " ".join(v.message for v in violations)
+    assert "time.sleep()" in messages
+    assert "socket.create_connection()" in messages
+    assert "open()" in messages
+
+
+def test_asyncblock_passes_clean_fixture(tmp_path):
+    root = build_tree(tmp_path, {"net/good.py": "asyncblock_clean.py"})
+    assert lint(root, AsyncBlockingRule()) == []
+
+
+def test_asyncblock_only_guards_net(tmp_path):
+    root = build_tree(tmp_path, {"apst/bad.py": "asyncblock_violation.py"})
+    assert lint(root, AsyncBlockingRule()) == []
+
+
+# -- layering + bare-print ---------------------------------------------------
+
+
+def test_layering_fails_on_violating_fixture(tmp_path):
+    root = build_tree(tmp_path, {"execution/bad.py": "layering_violation.py"})
+    violations = lint(root, LayeringRule())
+    assert [v.rule for v in violations] == ["layering"] * 2
+    messages = " ".join(v.message for v in violations)
+    assert "core.base" in messages
+    assert "next_dispatch" in messages
+
+
+def test_layering_passes_clean_fixture(tmp_path):
+    root = build_tree(tmp_path, {"execution/good.py": "layering_clean.py"})
+    assert lint(root, LayeringRule()) == []
+
+
+def test_layering_allows_dispatch_to_drive(tmp_path):
+    # The dispatch package itself may (must) touch next_dispatch.
+    root = build_tree(tmp_path, {"dispatch/core.py": "layering_violation.py"})
+    assert lint(root, LayeringRule()) == []
+
+
+def test_bare_print_fails_on_violating_fixture(tmp_path):
+    root = build_tree(tmp_path, {"apst/helper.py": "bareprint_violation.py"})
+    violations = lint(root, BarePrintRule())
+    assert [v.rule for v in violations] == ["bare-print"]
+
+
+def test_bare_print_passes_clean_fixture(tmp_path):
+    root = build_tree(tmp_path, {"apst/helper.py": "bareprint_clean.py"})
+    assert lint(root, BarePrintRule()) == []
+
+
+def test_bare_print_exempts_renderers(tmp_path):
+    root = build_tree(tmp_path, {"cli.py": "bareprint_violation.py"})
+    assert lint(root, BarePrintRule()) == []
+
+
+def test_bare_print_pragma_suppresses(tmp_path):
+    root = tmp_path
+    (root / "apst").mkdir()
+    (root / "apst" / "helper.py").write_text(
+        "def announce(line):\n"
+        "    print(line)  # repro: allow[bare-print] -- wire protocol line\n"
+    )
+    assert lint(root, BarePrintRule(), strict=True) == []
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    sorted(p.name for p in FIXTURES.glob("*_violation.py")),
+)
+def test_violating_fixtures_parse(fixture):
+    # The fixtures must stay valid Python: the rules must fire on AST
+    # content, never on syntax errors.
+    compile((FIXTURES / fixture).read_text(), fixture, "exec")

@@ -1,0 +1,182 @@
+"""Lock-order watcher tests.
+
+Every cycle test uses a *local* LockOrderWatcher, never the process
+global: the autouse fixture in conftest.py asserts the global watcher
+stays cycle-free, and a seeded A->B/B->A cycle there would fail the
+very test that planted it.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import lockwatch
+from repro.analysis.lockwatch import (
+    ENV_FLAG,
+    LockOrderError,
+    LockOrderWatcher,
+    WatchedLock,
+)
+
+
+def make_lock(name, watcher):
+    return WatchedLock(name, threading.Lock(), watcher)
+
+
+def make_rlock(name, watcher):
+    return WatchedLock(name, threading.RLock(), watcher)
+
+
+def test_single_lock_records_no_edges():
+    watcher = LockOrderWatcher()
+    lock = make_lock("a", watcher)
+    with lock:
+        pass
+    assert watcher.edges() == []
+    assert watcher.cycles() == []
+
+
+def test_nested_acquisition_records_edge():
+    watcher = LockOrderWatcher()
+    a, b = make_lock("a", watcher), make_lock("b", watcher)
+    with a:
+        with b:
+            pass
+    (edge,) = watcher.edges()
+    assert (edge.before, edge.after) == ("a", "b")
+    assert edge.thread == threading.current_thread().name
+    assert edge.where  # acquisition site captured
+    assert watcher.cycles() == []
+
+
+def test_opposite_orders_form_cycle():
+    watcher = LockOrderWatcher()
+    a, b = make_lock("a", watcher), make_lock("b", watcher)
+    with a:
+        with b:
+            pass
+    with b:  # the reverse interleaving, even without contention
+        with a:
+            pass
+    (cycle,) = watcher.cycles()
+    assert set(cycle) == {"a", "b"}
+    with pytest.raises(LockOrderError) as excinfo:
+        watcher.assert_no_cycles()
+    report = str(excinfo.value)
+    assert "a" in report and "b" in report
+    assert "held while acquiring" in report
+
+
+def test_cycle_detected_across_threads():
+    # Sequential acquisition in two threads: no deadlock happens, but
+    # the A->B / B->A ordering hazard is still recorded and flagged.
+    watcher = LockOrderWatcher()
+    a, b = make_lock("a", watcher), make_lock("b", watcher)
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    for target in (forward, backward):
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+    assert len(watcher.cycles()) == 1
+
+
+def test_consistent_order_is_clean():
+    watcher = LockOrderWatcher()
+    a, b, c = (make_lock(n, watcher) for n in "abc")
+    for _ in range(3):
+        with a:
+            with b:
+                with c:
+                    pass
+    assert watcher.cycles() == []
+    watcher.assert_no_cycles()
+
+
+def test_three_lock_cycle():
+    watcher = LockOrderWatcher()
+    a, b, c = (make_lock(n, watcher) for n in "abc")
+    for first, second in ((a, b), (b, c), (c, a)):
+        with first:
+            with second:
+                pass
+    (cycle,) = watcher.cycles()
+    assert set(cycle) == {"a", "b", "c"}
+
+
+def test_rlock_reentrancy_records_no_self_edge():
+    watcher = LockOrderWatcher()
+    lock = make_rlock("r", watcher)
+    with lock:
+        with lock:
+            pass
+    assert watcher.edges() == []
+
+
+def test_failed_nonblocking_acquire_records_nothing():
+    watcher = LockOrderWatcher()
+    inner = threading.Lock()
+    inner.acquire()  # someone else holds it
+    lock = WatchedLock("busy", inner, watcher)
+    holder = make_lock("holder", watcher)
+    with holder:
+        assert lock.acquire(blocking=False) is False
+    inner.release()
+    assert watcher.edges() == []
+
+
+def test_reset_clears_edges():
+    watcher = LockOrderWatcher()
+    a, b = make_lock("a", watcher), make_lock("b", watcher)
+    with a, b:
+        pass
+    assert watcher.edges()
+    watcher.reset()
+    assert watcher.edges() == []
+    assert watcher.cycles() == []
+
+
+def test_locked_and_repr():
+    watcher = LockOrderWatcher()
+    lock = make_lock("a", watcher)
+    assert lock.locked() is False
+    with lock:
+        assert lock.locked() is True
+    assert "WatchedLock('a'" in repr(lock)
+
+
+def test_create_lock_plain_when_disabled(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    assert not lockwatch.enabled()
+    lock = lockwatch.create_lock("plain")
+    assert not isinstance(lock, WatchedLock)
+    rlock = lockwatch.create_rlock("plain")
+    assert not isinstance(rlock, WatchedLock)
+
+
+def test_create_lock_watched_when_enabled(monkeypatch):
+    monkeypatch.setenv(ENV_FLAG, "1")
+    assert lockwatch.enabled()
+    lock = lockwatch.create_lock("armed")
+    assert isinstance(lock, WatchedLock)
+    assert lockwatch.create_lock("armed2")._watcher is lock._watcher
+
+
+def test_env_flag_zero_means_disabled(monkeypatch):
+    monkeypatch.setenv(ENV_FLAG, "0")
+    assert not lockwatch.enabled()
+
+
+def test_format_cycles_empty_when_clean():
+    watcher = LockOrderWatcher()
+    assert watcher.format_cycles() == ""
+    watcher.assert_no_cycles()  # must not raise

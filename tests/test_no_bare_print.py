@@ -18,6 +18,7 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 ALLOWED = {
     "cli.py",  # CLI renderer: stdout is the product
     "apst/console.py",  # interactive console renderer
+    "analysis/lint/cli.py",  # lint reporter: stdout is the product
     "execution/worker_proc.py",  # JSON-lines protocol over stdout
     "net/worker.py",  # socket worker: stdout carries the ready/fatal announce line
     "workloads/video_callback.py",  # standalone callback script (stderr usage)
