@@ -1,0 +1,129 @@
+"""Store bench: claim throughput under contention, SQLite vs memory.
+
+The durable store's hot path is the claim loop: every job a daemon runs
+costs one ``claim`` (a ``BEGIN IMMEDIATE`` transaction on SQLite) plus
+two owner-checked transitions.  This bench drains a 1000-job backlog
+through four competing claimers per backend and records the per-job cost
+of the full claim -> running -> done cycle.  The claim audit doubles as
+a correctness check: exactly one claim record per job, or the backend's
+atomicity is broken and the throughput number is meaningless.
+
+Headline numbers go to ``benchmarks/BENCH_store.json`` (see
+``_trajectory.py``); CI gates ``sqlite_claim_ms_per_job`` against the
+recorded history.
+"""
+
+import json
+import sys
+import tempfile
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+import _trajectory
+
+from repro.store import MemoryStore, SqliteStore
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_store.json"
+
+JOBS = 1000
+CLAIMERS = 4
+BATCH = 16
+LEASE_S = 60.0
+
+SPEC_XML = """
+<task executable="app" input="load.bin">
+  <divisibility input="load.bin" method="uniform" start="0"
+                steptype="bytes" stepsize="10" algorithm="umr"/>
+</task>
+"""
+
+
+def _fill(store) -> float:
+    start = time.perf_counter()
+    for i in range(JOBS):
+        store.insert_job(
+            spec_xml=SPEC_XML,
+            algorithm="umr",
+            tenant=f"tenant-{i % 8}",
+        )
+    return time.perf_counter() - start
+
+
+def _drain(store) -> float:
+    """Four competing claimers run the claim->running->done cycle."""
+
+    def claimer(owner: str) -> None:
+        while True:
+            batch = store.claim(owner, lease_s=LEASE_S, limit=BATCH)
+            if not batch:
+                return
+            for job in batch:
+                store.transition(
+                    job.job_id, "running", expect=("queued",), owner=owner
+                )
+                store.transition(
+                    job.job_id, "done", expect=("running",), owner=owner,
+                    makespan=0.0, chunks=1,
+                )
+
+    threads = [
+        threading.Thread(target=claimer, args=(f"claimer-{i}",))
+        for i in range(CLAIMERS)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - start
+
+
+def _bench(store) -> dict:
+    insert_s = _fill(store)
+    drain_s = _drain(store)
+    counts = store.counts()
+    assert counts["done"] == JOBS, counts
+    claims = Counter(r.job_id for r in store.claim_audit())
+    doubled = {j: n for j, n in claims.items() if n != 1}
+    assert not doubled, f"double-claimed under contention: {doubled}"
+    return {
+        "insert_ms_per_job": round(insert_s / JOBS * 1000, 4),
+        "claim_ms_per_job": round(drain_s / JOBS * 1000, 4),
+        "claims_per_s": round(JOBS / drain_s, 1),
+    }
+
+
+def test_claim_throughput_trajectory():
+    memory = _bench(MemoryStore())
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SqliteStore(Path(tmp) / "bench.db")
+        try:
+            sqlite = _bench(store)
+        finally:
+            store.close()
+
+    results = {
+        "scenario": (
+            f"{JOBS} jobs, {CLAIMERS} competing claimers, batches of "
+            f"{BATCH}, full claim->running->done cycle per job"
+        ),
+        "memory": memory,
+        "sqlite": sqlite,
+    }
+    print(json.dumps(results, indent=2))
+    _trajectory.append(
+        RESULTS_PATH,
+        {
+            "sqlite_claim_ms_per_job": sqlite["claim_ms_per_job"],
+            "sqlite_insert_ms_per_job": sqlite["insert_ms_per_job"],
+            "memory_claim_ms_per_job": memory["claim_ms_per_job"],
+        },
+        latest=results,
+    )
+
+
+if __name__ == "__main__":
+    test_claim_throughput_trajectory()
+    sys.exit(0)

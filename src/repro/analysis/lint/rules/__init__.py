@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from .asyncblock import AsyncBlockingRule
 from .base import ImportMap, Rule
-from .conformance import ProtocolConformanceRule
+from .conformance import (
+    STORE_ADAPTERS,
+    STORE_PROTOCOL_NAMES,
+    STORE_PROTOCOLS_REL,
+    ProtocolConformanceRule,
+)
 from .layering import BarePrintRule, LayeringRule
 from .simtime import SimTimePurityRule
 from .taxonomy import ClosedTaxonomyRule
@@ -34,6 +39,16 @@ def default_rules() -> list[Rule]:
         SimTimePurityRule(),
         ClosedTaxonomyRule(),
         ProtocolConformanceRule(),
+        ProtocolConformanceRule(
+            adapters=STORE_ADAPTERS,
+            protocols_rel=STORE_PROTOCOLS_REL,
+            protocol_names=STORE_PROTOCOL_NAMES,
+            name="store-protocol",
+            description=(
+                "persistence backends (MemoryStore, SqliteStore) must "
+                "structurally match the JobStore protocol in store/base.py"
+            ),
+        ),
         AsyncBlockingRule(),
         LayeringRule(),
         BarePrintRule(),

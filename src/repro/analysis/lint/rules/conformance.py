@@ -56,6 +56,15 @@ DEFAULT_ADAPTERS: Mapping[str, Mapping[str, str]] = {
     },
 }
 
+#: Second conformance instance: both persistence backends must match
+#: the ``JobStore`` protocol in ``store/base.py`` (see default_rules).
+STORE_PROTOCOLS_REL = "store/base.py"
+STORE_PROTOCOL_NAMES: tuple[str, ...] = ("JobStore",)
+STORE_ADAPTERS: Mapping[str, Mapping[str, str]] = {
+    "store/memory.py": {"MemoryStore": "JobStore"},
+    "store/sqlite.py": {"SqliteStore": "JobStore"},
+}
+
 
 @dataclass
 class _MethodSpec:
@@ -157,10 +166,18 @@ class ProtocolConformanceRule(Rule):
         adapters: Mapping[str, Mapping[str, str]] | None = None,
         protocols_rel: str = PROTOCOLS_REL,
         protocol_names: tuple[str, ...] = PROTOCOL_NAMES,
+        name: str | None = None,
+        description: str | None = None,
     ) -> None:
         self.adapters = adapters if adapters is not None else DEFAULT_ADAPTERS
         self.protocols_rel = protocols_rel
         self.protocol_names = protocol_names
+        if name is not None:
+            # instance override so two conformance checks (dispatch
+            # substrates, store backends) can coexist in one rule set
+            self.name = name
+        if description is not None:
+            self.description = description
 
     def check_project(self, project: "Project") -> Iterator["Violation"]:
         from ..engine import Violation

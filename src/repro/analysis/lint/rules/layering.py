@@ -32,6 +32,12 @@ LAYERED_PREFIXES: tuple[str, ...] = ("execution/", "simulation/")
 #: The identifier only repro.dispatch may touch.
 _DRIVER_ATTR = "next_dispatch"
 
+#: The persistence layer sits *below* scheduling: it records job specs
+#: and state transitions and must stay importable without dragging in
+#: the dispatch core or a simulation substrate.
+STORE_PREFIX = "store/"
+_STORE_FORBIDDEN: tuple[str, ...] = ("dispatch", "simulation")
+
 #: Renderers whose stdout is the product; print() is their output channel.
 PRINT_EXEMPT: frozenset[str] = frozenset(
     {
@@ -48,14 +54,78 @@ class LayeringRule(Rule):
     name = "layering"
     description = (
         "execution/ and simulation/ must not import core.base or call "
-        "next_dispatch; only repro.dispatch drives schedulers"
+        "next_dispatch; store/ must not import dispatch or simulation; "
+        "only repro.dispatch drives schedulers"
     )
 
     def check_file(self, ctx: "FileContext") -> Iterator["Violation"]:
-        from ..engine import Violation
-
+        if ctx.rel.startswith(STORE_PREFIX):
+            yield from self._check_store(ctx)
+            return
         if not ctx.rel.startswith(LAYERED_PREFIXES):
             return
+        yield from self._check_substrate(ctx)
+
+    def _check_store(self, ctx: "FileContext") -> Iterator["Violation"]:
+        from ..engine import Violation
+
+        imports = ImportMap(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                base = imports.resolve_from(node, list(ctx.package_parts))
+                if base is None:
+                    continue
+                names = {alias.name for alias in node.names}
+                hit = next(
+                    (
+                        pkg
+                        for pkg in _STORE_FORBIDDEN
+                        if base == pkg
+                        or base.startswith(f"{pkg}.")
+                        or (base == "" and pkg in names)
+                    ),
+                    None,
+                )
+                if hit is not None:
+                    yield Violation(
+                        rule=self.name,
+                        path=ctx.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"store imports {hit}; the persistence layer "
+                            "sits below scheduling and must not depend on "
+                            "the dispatch core or simulation substrate"
+                        ),
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    hit = next(
+                        (
+                            pkg
+                            for pkg in _STORE_FORBIDDEN
+                            if alias.name == f"repro.{pkg}"
+                            or alias.name.startswith(f"repro.{pkg}.")
+                        ),
+                        None,
+                    )
+                    if hit is not None:
+                        yield Violation(
+                            rule=self.name,
+                            path=ctx.rel,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"store imports {hit}; the persistence "
+                                "layer sits below scheduling and must not "
+                                "depend on the dispatch core or simulation "
+                                "substrate"
+                            ),
+                        )
+
+    def _check_substrate(self, ctx: "FileContext") -> Iterator["Violation"]:
+        from ..engine import Violation
+
         imports = ImportMap(ctx)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom):

@@ -26,7 +26,8 @@ observability handle instruments every backend identically.
 from __future__ import annotations
 
 import dataclasses
-import itertools
+import os
+import uuid
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
@@ -53,8 +54,15 @@ from ..resilience import DeadLetterEntry, DeadLetterQueue, ResiliencePolicy
 from ..simulation.master import SimulatedMaster, SimulationOptions
 from ..simulation.compute import UncertaintyModel
 from ..simulation.trace import ExecutionReport
+from ..store import (
+    JobStore,
+    MemoryStore,
+    StoreConflictError,
+    StoreError,
+    StoredJob,
+)
 from .division import DivisionMethod
-from .xmlspec import TaskSpec, build_division, parse_task
+from .xmlspec import TaskSpec, build_division, parse_task, task_to_xml
 
 
 class ExecutionBackend(Protocol):
@@ -98,6 +106,10 @@ class Job:
     warnings: list[str] = field(default_factory=list)
     #: distributed trace context the submitter propagated (W3C-style header)
     traceparent: str | None = None
+    #: terminal summary from the durable store (set for jobs another
+    #: daemon ran, whose ExecutionReport lives only in that process)
+    makespan: float | None = None
+    chunks: int | None = None
 
 
 @dataclass
@@ -163,21 +175,41 @@ class APSTDaemon:
     >>> # (requires load.bin on disk; see examples/quickstart.py)
     """
 
+    #: default claim-lease length; a daemon that dies holds its running
+    #: jobs for at most this long before a peer may steal them
+    DEFAULT_LEASE_S = 30.0
+
     def __init__(
         self,
         platform: Grid,
         *,
         backend: ExecutionBackend | str = "simulation",
         config: DaemonConfig | None = None,
+        store: JobStore | None = None,
+        lease_s: float | None = None,
+        shard_index: int = 0,
+        shard_count: int = 1,
     ) -> None:
         self._platform = platform
         self._backend = backend
         self._config = config or DaemonConfig()
         self._obs = self._config.observability or OBS_DISABLED
+        self._store: JobStore = store if store is not None else MemoryStore()
+        # fresh per instance on purpose: a restarted daemon must look like
+        # a *different* owner, so its predecessor's leases are stealable
+        self._owner = f"daemon-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._lease_s = self.DEFAULT_LEASE_S if lease_s is None else lease_s
+        self._shard_index = shard_index
+        self._shard_count = shard_count
+        # set when a takeover steals leases from a peer: the peer is
+        # presumed dead and this instance also covers its shard(s)
+        self._covering_all = False
+        #: runtime cache: live task objects + reports are not serializable
         self._jobs: dict[int, Job] = {}
-        self._ids = itertools.count(1)
+        #: ids this instance currently holds a claim lease on
+        self._claimed: set[int] = set()
         self._draining = False
-        self._dlq = DeadLetterQueue()
+        self._dlq = DeadLetterQueue(self._store)
 
     @property
     def platform(self) -> Grid:
@@ -206,6 +238,253 @@ class APSTDaemon:
         """
         self._backend = backend
 
+    # -- durable store -------------------------------------------------------
+    @property
+    def store(self) -> JobStore:
+        """The durable job store every state transition goes through."""
+        return self._store
+
+    @property
+    def owner(self) -> str:
+        """This daemon instance's claim-owner id (unique per process run)."""
+        return self._owner
+
+    @property
+    def lease_s(self) -> float:
+        return self._lease_s
+
+    @lease_s.setter
+    def lease_s(self, value: float) -> None:
+        self._lease_s = value
+
+    @property
+    def shard_index(self) -> int:
+        return self._shard_index
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_count
+
+    def set_shard(self, shard_index: int, shard_count: int) -> None:
+        """Restrict this daemon's claims to one tenant-hash shard."""
+        if not 0 <= shard_index < shard_count:
+            raise SpecificationError(
+                f"shard index {shard_index} out of range for {shard_count} shards"
+            )
+        self._shard_index = shard_index
+        self._shard_count = shard_count
+        self._covering_all = False
+
+    def _claim_shard(self) -> tuple[int, int]:
+        """Effective claim filter: the configured shard, or everything
+        once a takeover proved a peer dead (its queued jobs would
+        otherwise starve behind the shard partition)."""
+        if self._covering_all:
+            return 0, 1
+        return self._shard_index, self._shard_count
+
+    def _hydrate(self, record: StoredJob) -> Job:
+        """Runtime Job for a store record this process never executed."""
+        task = parse_task(record.spec_xml)
+        return Job(
+            job_id=record.job_id,
+            task=task,
+            algorithm=record.algorithm or task.divisibility.algorithm,
+            state=JobState(record.state),
+            error=record.error,
+            traceparent=record.traceparent,
+            makespan=record.makespan,
+            chunks=record.chunks,
+        )
+
+    def _job_for_record(self, record: StoredJob) -> Job:
+        job = self._jobs.get(record.job_id)
+        if job is None:
+            job = self._hydrate(record)
+            self._jobs[job.job_id] = job
+            return job
+        # the store is authoritative for service-level state (a peer may
+        # have stolen and finished this job); reports stay local
+        job.state = JobState(record.state)
+        if record.error is not None:
+            job.error = record.error
+        if record.makespan is not None:
+            job.makespan = record.makespan
+        if record.chunks is not None:
+            job.chunks = record.chunks
+        return job
+
+    def stored(self, job_id: int) -> StoredJob:
+        """The durable record behind a job id."""
+        try:
+            return self._store.get_job(job_id)
+        except StoreError:
+            raise SpecificationError(f"no job with id {job_id}") from None
+
+    def _owner_for(self, job_id: int) -> str | None:
+        """Owner to assert on a transition: ours iff we hold the claim."""
+        return self._owner if job_id in self._claimed else None
+
+    def claim_pending(self, limit: int | None = None) -> list[Job]:
+        """Atomically claim queued jobs in this daemon's shard.
+
+        Jobs this instance already holds a lease on (stolen at recovery
+        or takeover) but has not started yet are returned first, without
+        a second claim-audit record.
+        """
+        jobs = []
+        for job_id in sorted(self._claimed):
+            try:
+                record = self._store.get_job(job_id)
+            except StoreError:
+                self._claimed.discard(job_id)
+                continue
+            if (
+                record.state == JobState.QUEUED.value
+                and record.owner == self._owner
+            ):
+                jobs.append(self._job_for_record(record))
+        shard_index, shard_count = self._claim_shard()
+        claimed = self._store.claim(
+            self._owner,
+            lease_s=self._lease_s,
+            limit=limit,
+            shard_index=shard_index,
+            shard_count=shard_count,
+        )
+        for record in claimed:
+            self._claimed.add(record.job_id)
+            jobs.append(self._job_for_record(record))
+        return jobs
+
+    def takeover(self) -> int:
+        """Steal every expired lease left by a dead (or stalled) peer.
+
+        RUNNING jobs whose lease lapsed are re-queued under this owner
+        for re-dispatch; the claim audit records them as ``steal``.
+        Returns how many leases were taken.
+
+        A successful steal is taken as proof the peer is dead, so this
+        instance also starts claiming outside its own shard: the dead
+        shard's *queued* jobs carry no lease and would otherwise never
+        be picked up.  If the peer was merely stalled and comes back,
+        both daemons claim from the full queue -- claims stay atomic,
+        only the partitioning benefit is lost until a restart.
+        """
+        stolen = self._store.steal_expired(self._owner, lease_s=self._lease_s)
+        for record in stolen:
+            self._claimed.add(record.job_id)
+            self._job_for_record(record)
+        if stolen and self._shard_count > 1:
+            self._covering_all = True
+        return len(stolen)
+
+    def has_pending(self) -> bool:
+        """Any work this daemon could run right now (held or claimable)?"""
+        for job_id in list(self._claimed):
+            try:
+                record = self._store.get_job(job_id)
+            except StoreError:
+                self._claimed.discard(job_id)
+                continue
+            if (
+                record.state == JobState.QUEUED.value
+                and record.owner == self._owner
+            ):
+                return True
+        shard_index, shard_count = self._claim_shard()
+        return (
+            self._store.claimable(
+                shard_index=shard_index, shard_count=shard_count
+            )
+            > 0
+        )
+
+    def recover(self) -> dict[str, int]:
+        """Startup recovery pass over a pre-existing (durable) store.
+
+        Re-admits every QUEUED job into this instance's runtime table and
+        takes over expired leases left by dead owners -- RUNNING jobs
+        whose lease lapsed are re-queued for re-dispatch.  Returns counts
+        for the log line (``requeued`` / ``stolen``).
+        """
+        stolen = self.takeover()
+        requeued = 0
+        for record in self._store.list_jobs(JobState.QUEUED.value):
+            self._job_for_record(record)
+            requeued += 1
+        return {"requeued": requeued, "stolen": stolen}
+
+    def mark_running(self, job: Job) -> bool:
+        """Transition a job to RUNNING in the store; False if lost to a steal."""
+        try:
+            self._store.transition(
+                job.job_id,
+                JobState.RUNNING.value,
+                expect=(JobState.QUEUED.value,),
+                owner=self._owner_for(job.job_id),
+            )
+        except StoreConflictError:
+            self._claimed.discard(job.job_id)
+            self._job_for_record(self.stored(job.job_id))
+            return False
+        job.state = JobState.RUNNING
+        return True
+
+    def record_failure(
+        self,
+        job: Job,
+        error: str,
+        *,
+        failure_chain: list[str] | None = None,
+    ) -> bool:
+        """Mark a job FAILED (and park it when a failure chain is given).
+
+        Returns False -- recording nothing -- when the terminal
+        transition loses to a peer that stole the job's lease: the peer
+        re-runs it, so this instance's failure must not count.
+        """
+        try:
+            self._store.transition(
+                job.job_id,
+                JobState.FAILED.value,
+                owner=self._owner_for(job.job_id),
+                error=error,
+            )
+        except StoreConflictError:
+            self._claimed.discard(job.job_id)
+            self._job_for_record(self.stored(job.job_id))
+            return False
+        self._claimed.discard(job.job_id)
+        job.state = JobState.FAILED
+        job.error = error
+        if failure_chain is not None:
+            entry = self._dlq.park(
+                job_id=job.job_id,
+                algorithm=job.algorithm,
+                task=job.task,
+                failure_chain=failure_chain,
+                spec_xml=task_to_xml(job.task),
+            )
+            if self._obs.enabled:
+                self._obs.emit(
+                    JOB_PARKED,
+                    job_id=job.job_id,
+                    entry_id=entry.entry_id,
+                    algorithm=job.algorithm,
+                    failures=len(entry.failure_chain),
+                )
+                self._count_job_event("parked")
+        if self._obs.enabled:
+            self._obs.emit(
+                JOB_FAILED,
+                job_id=job.job_id,
+                algorithm=job.algorithm,
+                error=job.error,
+            )
+            self._count_job_event("failed")
+        return True
+
     def _count_job_event(self, outcome: str) -> None:
         if self._obs.metrics is not None:
             self._obs.metrics.counter(
@@ -220,6 +499,10 @@ class APSTDaemon:
         *,
         algorithm: str | None = None,
         traceparent: str | None = None,
+        tenant: str = "default",
+        priority: int = 0,
+        weight: float = 1.0,
+        arrival: float = 0.0,
     ) -> int:
         """Queue a task (XML string, file path, or parsed spec); returns job id.
 
@@ -237,8 +520,17 @@ class APSTDaemon:
         if not isinstance(task, TaskSpec):
             task = parse_task(task)
         name = algorithm or task.divisibility.algorithm
+        record = self._store.insert_job(
+            spec_xml=task_to_xml(task),
+            algorithm=name,
+            tenant=tenant,
+            priority=priority,
+            weight=weight,
+            arrival=arrival,
+            traceparent=traceparent,
+        )
         job = Job(
-            job_id=next(self._ids), task=task, algorithm=name,
+            job_id=record.job_id, task=task, algorithm=name,
             traceparent=traceparent,
         )
         self._jobs[job.job_id] = job
@@ -261,23 +553,20 @@ class APSTDaemon:
         where one bad submission must not starve the jobs queued behind it.
         """
         executed = []
-        for job in self._jobs.values():
-            if job.state is JobState.QUEUED:
-                try:
-                    self._run_job(job)
-                except Exception:
-                    if raise_on_error:
-                        raise
-                executed.append(job.job_id)
+        for job in self.claim_pending():
+            try:
+                self._run_job(job)
+            except Exception:
+                if raise_on_error:
+                    raise
+            executed.append(job.job_id)
         return executed
 
     def job(self, job_id: int) -> Job:
-        if job_id not in self._jobs:
-            raise SpecificationError(f"no job with id {job_id}")
-        return self._jobs[job_id]
+        return self._job_for_record(self.stored(job_id))
 
     def jobs(self) -> list[Job]:
-        return list(self._jobs.values())
+        return [self._job_for_record(record) for record in self._store.list_jobs()]
 
     def cancel(self, job_id: int) -> Job:
         """Cancel a QUEUED job.  Running or finished jobs cannot be cancelled."""
@@ -287,6 +576,18 @@ class APSTDaemon:
                 f"cannot cancel job {job_id}: it is {job.state.value} "
                 "(only queued jobs can be cancelled)"
             )
+        try:
+            self._store.transition(
+                job_id,
+                JobState.CANCELLED.value,
+                expect=(JobState.QUEUED.value,),
+            )
+        except StoreConflictError:
+            record = self.stored(job_id)
+            raise SpecificationError(
+                f"cannot cancel job {job_id}: it is {record.state} "
+                "(only queued jobs can be cancelled)"
+            ) from None
         job.state = JobState.CANCELLED
         if self._obs.enabled:
             self._obs.emit(JOB_CANCELLED, job_id=job.job_id, algorithm=job.algorithm)
@@ -307,11 +608,13 @@ class APSTDaemon:
         return self._draining
 
     def stats(self) -> dict[str, int]:
-        """Job counts per state, plus totals (the ``stats`` lifecycle verb)."""
-        counts = {state.value: 0 for state in JobState}
-        for job in self._jobs.values():
-            counts[job.state.value] += 1
-        counts["total"] = len(self._jobs)
+        """Job counts per state, plus totals (the ``stats`` lifecycle verb).
+
+        Counts come from the store, so on a shared SQLite file they cover
+        the whole deployment, not just the jobs this daemon executed.
+        """
+        counts = dict(self._store.counts())
+        counts["total"] = sum(counts.values())
         counts["draining"] = int(self._draining)
         return counts
 
@@ -333,6 +636,10 @@ class APSTDaemon:
         """
         entry = self._dlq.get(entry_id)
         task = entry.task
+        if not isinstance(task, TaskSpec) and entry.spec_xml:
+            # parked by a previous daemon incarnation: the live task
+            # object died with it, but the spec XML survived in the store
+            task = parse_task(entry.spec_xml)
         if not isinstance(task, TaskSpec):
             raise SpecificationError(
                 f"DLQ entry {entry_id} carries no replayable task"
@@ -435,16 +742,36 @@ class APSTDaemon:
             scheduler_factory=lambda: self._make_scheduler(job, division),
         )
 
-    def record_result(self, job: Job, report: ExecutionReport) -> None:
+    def record_result(self, job: Job, report: ExecutionReport) -> bool:
         """Install an externally produced report and mark the job DONE.
 
         The multi-job service layer runs jobs through its own clock and
         hands the per-job reports back through this method, so history
         learning and the client-facing verbs see service jobs exactly
         like sequential ones.
+
+        Returns False -- discarding the result -- when the terminal
+        transition loses to a peer that stole this job's expired lease:
+        the peer owns (and re-runs) it now, so recording here would be a
+        double completion.
         """
+        try:
+            self._store.transition(
+                job.job_id,
+                JobState.DONE.value,
+                owner=self._owner_for(job.job_id),
+                makespan=report.makespan,
+                chunks=report.num_chunks,
+            )
+        except StoreConflictError:
+            self._claimed.discard(job.job_id)
+            self._job_for_record(self.stored(job.job_id))
+            return False
+        self._claimed.discard(job.job_id)
         job.report = report
         job.state = JobState.DONE
+        job.makespan = report.makespan
+        job.chunks = report.num_chunks
         self._record_history(job)
         if self._obs.enabled:
             self._obs.emit(
@@ -455,6 +782,7 @@ class APSTDaemon:
                 chunks=report.num_chunks,
             )
             self._count_job_event("done")
+        return True
 
     def _run_job(self, job: Job) -> None:
         tracer = self._obs.tracer
@@ -475,56 +803,28 @@ class APSTDaemon:
             self._run_job_inner(job)
 
     def _run_job_inner(self, job: Job) -> None:
-        job.state = JobState.RUNNING
+        if not self.mark_running(job):
+            return  # lease stolen between claim and run; the thief runs it
         try:
             prepared = self.prepare(job.job_id)
             division = prepared.division
             scheduler = prepared.scheduler_factory()
             probe_units = prepared.probe_units
             if self._backend == "simulation":
-                job.report = self._simulate(scheduler, division, probe_units)
+                report = self._simulate(scheduler, division, probe_units)
             else:
-                job.report, job.outputs = self._execute_on_backend(
+                report, job.outputs = self._execute_on_backend(
                     scheduler, division, job.task, probe_units
                 )
-            job.state = JobState.DONE
-            self._record_history(job)
-            if self._obs.enabled:
-                self._obs.emit(
-                    JOB_COMPLETED,
-                    job_id=job.job_id,
-                    algorithm=job.report.algorithm,
-                    makespan=job.report.makespan,
-                    chunks=job.report.num_chunks,
-                )
-                self._count_job_event("done")
+            self.record_result(job, report)
         except Exception as exc:
-            job.state = JobState.FAILED
-            job.error = f"{type(exc).__name__}: {exc}"
-            if isinstance(exc, JobUnrecoverableError):
-                entry = self._dlq.park(
-                    job_id=job.job_id,
-                    algorithm=job.algorithm,
-                    task=job.task,
-                    failure_chain=exc.failure_chain + [job.error],
-                )
-                if self._obs.enabled:
-                    self._obs.emit(
-                        JOB_PARKED,
-                        job_id=job.job_id,
-                        entry_id=entry.entry_id,
-                        algorithm=job.algorithm,
-                        failures=len(entry.failure_chain),
-                    )
-                    self._count_job_event("parked")
-            if self._obs.enabled:
-                self._obs.emit(
-                    JOB_FAILED,
-                    job_id=job.job_id,
-                    algorithm=job.algorithm,
-                    error=job.error,
-                )
-                self._count_job_event("failed")
+            error = f"{type(exc).__name__}: {exc}"
+            chain = (
+                exc.failure_chain + [error]
+                if isinstance(exc, JobUnrecoverableError)
+                else None
+            )
+            self.record_failure(job, error, failure_chain=chain)
             raise
 
     def _preflight(self, job: Job, division: DivisionMethod | None) -> None:

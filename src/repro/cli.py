@@ -342,6 +342,21 @@ def _cmd_console(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard(spec: str) -> tuple[int, int]:
+    """Parse ``INDEX/COUNT`` (e.g. ``0/2``) into a shard assignment."""
+    try:
+        index_text, _, count_text = spec.partition("/")
+        index = int(index_text)
+        count = int(count_text) if count_text else 1
+    except ValueError:
+        raise SystemExit(f"invalid --shard {spec!r}; expected INDEX/COUNT")
+    if not 0 <= index < count:
+        raise SystemExit(
+            f"invalid --shard {spec!r}: index must be in [0, {count})"
+        )
+    return index, count
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal as _signal
 
@@ -350,6 +365,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     platform = _load_platform(args.platform)
     want_obs = args.obs or bool(args.trace_out)
     observability = Observability.armed(distributed=True) if want_obs else None
+    shard_index, shard_count = _parse_shard(args.shard)
+    from .store import open_store
+
+    store = open_store(args.store)
     daemon = APSTDaemon(
         platform,
         config=DaemonConfig(
@@ -358,7 +377,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             observability=observability,
         ),
+        store=store,
+        lease_s=args.lease,
+        shard_index=shard_index,
+        shard_count=shard_count,
     )
+    if store.backend != "memory":
+        # the store may carry state from a previous (possibly crashed)
+        # daemon: re-admit queued jobs and take over expired leases
+        recovered = daemon.recover()
+        print(
+            f"store {args.store} ({store.backend}): recovered "
+            f"{recovered['requeued']} queued job(s), stole "
+            f"{recovered['stolen']} expired lease(s) "
+            f"[shard {shard_index}/{shard_count}, owner {daemon.owner}]"
+        )
     pool = None
     if args.workers:
         pool = RemoteWorkerPool()
@@ -635,6 +668,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the merged distributed trace (Chrome "
                             "trace-event JSON) at shutdown; implies --obs")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="durable job store: a SQLite file path (created if "
+                            "missing; shareable between daemons), or 'memory' "
+                            "(default) for the in-process store")
+    serve.add_argument("--shard", default="0/1", metavar="INDEX/COUNT",
+                       help="tenant-hash shard this daemon claims from a shared "
+                            "store (e.g. 0/2 and 1/2 for a two-daemon split)")
+    serve.add_argument("--lease", type=float, default=None, metavar="SECONDS",
+                       help="claim-lease length; a crashed daemon's jobs become "
+                            "stealable after this long (default: 30)")
     serve.add_argument("--obs", action="store_true",
                        help="arm observability (events, metrics, GET /metrics)")
     serve.set_defaults(func=_cmd_serve)

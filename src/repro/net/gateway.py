@@ -117,6 +117,10 @@ class GatewayConfig:
     #: seconds of uninterrupted admission-queue saturation (429ing with
     #: no successful admission) before /healthz reports degraded (503)
     degraded_window_s: float = 5.0
+    #: min seconds between store sweeps (lease takeover + cross-daemon
+    #: job pickup) on a shared durable store; only runs when the daemon's
+    #: store is not the in-process memory backend
+    store_sweep_s: float = 0.25
 
 
 @dataclass
@@ -202,6 +206,8 @@ class JobGateway:
         self._saturated_since: float | None = None
         #: (unix time, depth) samples -- the queue-depth time series
         self._queue_depth_series: deque = deque(maxlen=4096)
+        #: monotonic time of the last durable-store sweep
+        self._last_sweep_at = 0.0
         self._stop_runner = threading.Event()
         self._runner = threading.Thread(
             target=self._runner_loop, daemon=True, name="apstdv-gateway-runner"
@@ -382,6 +388,7 @@ class JobGateway:
             except queue.Empty:
                 if self._stop_runner.is_set():
                     return
+                self._store_sweep()
                 continue
             batch = [first]
             deadline = time.monotonic() + self._config.batch_window_s
@@ -469,6 +476,40 @@ class JobGateway:
             self._remote_backend is not None
             and len(self._endpoints) >= len(self._daemon.platform.workers)
         )
+
+    def _store_sweep(self) -> None:
+        """Durable-store takeover pass (runner thread, between batches).
+
+        On a shared store (anything but the in-process memory backend),
+        jobs can appear out-of-band: a peer daemon crashed holding
+        leases, or submitted work into this daemon's shard and died
+        before running it.  The sweep steals expired leases and runs
+        whatever this daemon holds or can claim.  Throttled to one pass
+        per ``config.store_sweep_s``.
+        """
+        if self._daemon.store.backend == "memory":
+            return
+        now = time.monotonic()
+        if now - self._last_sweep_at < self._config.store_sweep_s:
+            return
+        self._last_sweep_at = now
+        try:
+            with self._daemon_lock:
+                stolen = self._daemon.takeover()
+                if not stolen and not self._daemon.has_pending():
+                    return
+                _log.info(
+                    "store sweep: %d leases stolen, running pending work",
+                    stolen,
+                )
+                if self._remote_active():
+                    self._daemon.run_pending(raise_on_error=False)
+                else:
+                    self._service.run()
+            self._sync_daemon_telemetry()
+        except Exception as exc:
+            # the sweep is opportunistic; failures surface on the jobs
+            _log.error("store sweep failed: %s", exc)
 
     # -- telemetry aggregation -----------------------------------------------
     def _sample_queue_depth(self) -> None:
@@ -738,11 +779,18 @@ class JobGateway:
                 f"(window: {self._config.degraded_window_s:.1f}s, "
                 f"{self._rejected} rejections)",
             )
+        counts = self._daemon.store.counts()
         return ok_response(
             None,
             version=PROTOCOL_VERSION,
             draining=self._draining,
             workers=len(self._endpoints),
+            store=self._daemon.store.backend,
+            shard_index=self._daemon.shard_index,
+            shard_count=self._daemon.shard_count,
+            pending=counts["queued"],
+            running=counts["running"],
+            parked=len(self._daemon.dlq),
         )
 
     async def _verb_submit(self, request: dict, request_id) -> dict:
@@ -861,6 +909,12 @@ class JobGateway:
         if job.report is not None:
             info["makespan"] = job.report.makespan
             info["chunks"] = job.report.num_chunks
+        elif job.makespan is not None:
+            # terminal summary hydrated from the durable store: the full
+            # ExecutionReport lives in whichever daemon ran the job
+            info["makespan"] = job.makespan
+            if job.chunks is not None:
+                info["chunks"] = job.chunks
         if job.error:
             info["error"] = job.error
         if job.warnings:
@@ -876,6 +930,10 @@ class JobGateway:
             batches=self._batches,
             workers=len(self._endpoints),
             remote_active=self._remote_active(),
+            store=self._daemon.store.backend,
+            shard_index=self._daemon.shard_index,
+            shard_count=self._daemon.shard_count,
+            parked=len(self._daemon.dlq),
         )
         return ok_response(request_id, stats=stats)
 

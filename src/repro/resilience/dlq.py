@@ -7,18 +7,23 @@ the task (so the job can be replayed verbatim once the platform heals)
 and the failure chain (so an operator can see *why* it died before
 deciding to replay or purge).
 
-The queue is in-memory and thread-safe: the daemon parks from its run
-thread while the gateway lists over its asyncio loop.
+Entries live in a :class:`~repro.store.base.JobStore` (an in-process
+:class:`~repro.store.memory.MemoryStore` unless the daemon hands us its
+durable store), which allocates entry ids monotonically for the life of
+the store -- ids never restart from 0 and are never reused, so
+``replayed_as`` links stay unambiguous across daemon restarts.  Live
+task objects are not serializable; they are cached in-process, and a
+restarted daemon replays from the persisted spec XML instead.
 """
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
 
 from ..analysis import lockwatch
 from ..errors import ServiceError
+from ..store import JobStore, MemoryStore, StoreError, StoredDeadLetter
 
 
 @dataclass
@@ -28,7 +33,8 @@ class DeadLetterEntry:
     entry_id: int
     job_id: int
     algorithm: str | None
-    #: the original task object, kept verbatim for replay
+    #: the original task object, kept verbatim for replay; ``None`` after a
+    #: daemon restart (replay then re-parses :attr:`spec_xml`)
     task: object
     #: per-step failure diagnostics, newest last
     failure_chain: list[str] = field(default_factory=list)
@@ -36,6 +42,8 @@ class DeadLetterEntry:
     parked_at: float = 0.0
     #: job id of the replay submission, once ``dlq replay`` ran
     replayed_as: int | None = None
+    #: persisted task spec, available even when ``task`` is gone
+    spec_xml: str | None = None
 
     def to_dict(self) -> dict:
         """Wire/JSON form (the task object itself is not serializable)."""
@@ -50,16 +58,34 @@ class DeadLetterEntry:
 
 
 class DeadLetterQueue:
-    """Thread-safe in-memory parking lot for unrecoverable jobs."""
+    """Thread-safe parking lot for unrecoverable jobs, backed by a store."""
 
-    def __init__(self) -> None:
-        self._entries: dict[int, DeadLetterEntry] = {}
-        self._ids = itertools.count(1)
+    def __init__(self, store: JobStore | None = None) -> None:
+        self._store: JobStore = store if store is not None else MemoryStore()
+        #: live task objects by entry id (this process's parks only)
+        self._tasks: dict[int, object] = {}
         self._lock = lockwatch.create_lock("resilience.dlq")
 
+    @property
+    def store(self) -> JobStore:
+        return self._store
+
     def __len__(self) -> int:
+        return len(self._store.dlq_entries())
+
+    def _hydrate(self, stored: StoredDeadLetter) -> DeadLetterEntry:
         with self._lock:
-            return len(self._entries)
+            task = self._tasks.get(stored.entry_id)
+        return DeadLetterEntry(
+            entry_id=stored.entry_id,
+            job_id=stored.job_id,
+            algorithm=stored.algorithm,
+            task=task,
+            failure_chain=list(stored.failure_chain),
+            parked_at=stored.parked_at,
+            replayed_as=stored.replayed_as,
+            spec_xml=stored.spec_xml,
+        )
 
     def park(
         self,
@@ -68,45 +94,50 @@ class DeadLetterQueue:
         algorithm: str | None,
         task: object,
         failure_chain: list[str] | None = None,
+        spec_xml: str | None = None,
     ) -> DeadLetterEntry:
-        """Add one dead job; returns the new entry."""
+        """Add one dead job; returns the new entry (store-allocated id)."""
+        stored = self._store.park(
+            job_id=job_id,
+            algorithm=algorithm,
+            spec_xml=spec_xml,
+            failure_chain=tuple(failure_chain or ()),
+            now=time.time(),
+        )
         with self._lock:
-            entry = DeadLetterEntry(
-                entry_id=next(self._ids),
-                job_id=job_id,
-                algorithm=algorithm,
-                task=task,
-                failure_chain=list(failure_chain or []),
-                parked_at=time.time(),
-            )
-            self._entries[entry.entry_id] = entry
-            return entry
+            self._tasks[stored.entry_id] = task
+        return self._hydrate(stored)
 
     def entries(self) -> list[DeadLetterEntry]:
         """All parked entries, oldest first."""
-        with self._lock:
-            return [self._entries[key] for key in sorted(self._entries)]
+        return [self._hydrate(stored) for stored in self._store.dlq_entries()]
 
     def get(self, entry_id: int) -> DeadLetterEntry:
-        with self._lock:
-            try:
-                return self._entries[entry_id]
-            except KeyError:
-                raise ServiceError(f"no DLQ entry with id {entry_id}") from None
+        try:
+            stored = self._store.dlq_get(entry_id)
+        except StoreError:
+            raise ServiceError(f"no DLQ entry with id {entry_id}") from None
+        return self._hydrate(stored)
 
     def mark_replayed(self, entry_id: int, new_job_id: int) -> DeadLetterEntry:
         """Record that ``entry_id`` was resubmitted as ``new_job_id``."""
-        entry = self.get(entry_id)
-        with self._lock:
-            entry.replayed_as = new_job_id
-        return entry
+        try:
+            stored = self._store.dlq_mark_replayed(entry_id, new_job_id)
+        except StoreError:
+            raise ServiceError(f"no DLQ entry with id {entry_id}") from None
+        return self._hydrate(stored)
 
     def purge(self) -> int:
-        """Drop every entry; returns how many were removed."""
+        """Drop every entry; returns how many were removed.
+
+        Entry ids keep rising after a purge -- the store never reuses
+        them, so stale ``replayed_as`` references cannot be captured by
+        later entries.
+        """
+        count = self._store.dlq_purge()
         with self._lock:
-            count = len(self._entries)
-            self._entries.clear()
-            return count
+            self._tasks.clear()
+        return count
 
     def to_dicts(self) -> list[dict]:
         return [entry.to_dict() for entry in self.entries()]

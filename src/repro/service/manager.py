@@ -25,6 +25,7 @@ from ..apst.division import DivisionMethod
 from ..core.base import Scheduler
 from ..errors import ServiceError
 from ..resilience import DeadLetterEntry, DeadLetterQueue
+from ..store import JobStore, MemoryStore, TenantUsage
 
 
 @dataclass
@@ -65,20 +66,21 @@ class ServiceJobSpec:
             raise ServiceError(f"job {self.job_id}: tenant must be non-empty")
 
 
-@dataclass
-class TenantAccount:
-    """Per-tenant service consumption, used for fair-share admission."""
-
-    tenant: str
-    submitted: int = 0
-    completed: int = 0
-    #: worker-seconds of lease occupancy charged so far
-    worker_seconds: float = 0.0
+#: Per-tenant service consumption, used for fair-share admission.  The
+#: record itself lives in the job store (so two daemons sharing a SQLite
+#: store charge the same accounts); this is the store's snapshot type.
+TenantAccount = TenantUsage
 
 
 @dataclass
 class JobManager:
     """Admission queue ordering plus per-tenant fair-share accounting.
+
+    The manager is a pure scheduling *policy*: it owns no job or account
+    state of its own.  Tenant accounts live in the job store (pass the
+    daemon's store to share accounting across daemons and survive
+    restarts; the default private :class:`~repro.store.MemoryStore`
+    keeps the old in-process behavior).
 
     The manager also fronts the service's job-level dead-letter queue:
     jobs whose chunks cannot complete on any live worker are parked here
@@ -88,7 +90,7 @@ class JobManager:
     both views show the same entries.
     """
 
-    _accounts: dict[str, TenantAccount] = field(default_factory=dict)
+    store: JobStore = field(default_factory=MemoryStore)
     dlq: DeadLetterQueue = field(default_factory=DeadLetterQueue)
 
     def park(
@@ -98,6 +100,7 @@ class JobManager:
         algorithm: str | None,
         task: object,
         failure_chain: list[str] | None = None,
+        spec_xml: str | None = None,
     ) -> DeadLetterEntry:
         """Park one unrecoverable job in the dead-letter queue."""
         return self.dlq.park(
@@ -105,21 +108,21 @@ class JobManager:
             algorithm=algorithm,
             task=task,
             failure_chain=failure_chain,
+            spec_xml=spec_xml,
         )
 
     def parked(self) -> list[DeadLetterEntry]:
         return self.dlq.entries()
 
     def account(self, tenant: str) -> TenantAccount:
-        if tenant not in self._accounts:
-            self._accounts[tenant] = TenantAccount(tenant=tenant)
-        return self._accounts[tenant]
+        """Snapshot of ``tenant``'s accumulated usage (zeroes if unknown)."""
+        return self.store.tenant_usage(tenant)
 
     def accounts(self) -> list[TenantAccount]:
-        return [self._accounts[t] for t in sorted(self._accounts)]
+        return self.store.tenant_usages()
 
     def register(self, spec: ServiceJobSpec) -> None:
-        self.account(spec.tenant).submitted += 1
+        self.store.tenant_charge(spec.tenant, submitted=1)
 
     def charge(self, tenant: str, worker_seconds: float) -> None:
         """Charge lease occupancy (workers held x seconds held) to a tenant."""
@@ -127,13 +130,13 @@ class JobManager:
             raise ServiceError(
                 f"cannot charge negative worker-seconds ({worker_seconds})"
             )
-        self.account(tenant).worker_seconds += worker_seconds
+        self.store.tenant_charge(tenant, worker_seconds=worker_seconds)
 
     def complete(self, spec: ServiceJobSpec) -> None:
-        self.account(spec.tenant).completed += 1
+        self.store.tenant_charge(spec.tenant, completed=1)
 
     def usage(self, tenant: str) -> float:
-        return self.account(tenant).worker_seconds
+        return self.store.tenant_usage(tenant).worker_seconds
 
     def admission_order(self, queued: Sequence[ServiceJobSpec]) -> list[ServiceJobSpec]:
         """Deterministic admission order of the currently queued jobs.

@@ -38,12 +38,12 @@ class MultiJobService:
             len(daemon.platform), policy, slots=slots,
             observability=daemon.observability,
         )
-        self._manager = JobManager()  # tenant accounts persist across runs
-        # one DLQ for the deployment: the daemon parks unrecoverable jobs
-        # from its sequential path, the service from the lease clock, and
-        # the gateway's dlq verbs see both
+        # one store and one DLQ for the deployment: tenant accounts and
+        # parked jobs live in the daemon's job store, so the daemon's
+        # sequential path, the lease clock, and the gateway's verbs all
+        # see the same durable state
+        self._manager = JobManager(store=daemon.store)
         self._manager.dlq = daemon.dlq
-        self._meta: dict[int, dict] = {}
         self._last_outcome: ServiceOutcome | None = None
 
     @property
@@ -80,14 +80,17 @@ class MultiJobService:
             raise ServiceError(f"weight must be positive, got {weight}")
         if arrival < 0:
             raise ServiceError(f"arrival must be non-negative, got {arrival}")
-        job_id = self._daemon.submit(task, algorithm=algorithm)
-        self._meta[job_id] = {
-            "tenant": tenant,
-            "priority": priority,
-            "weight": weight,
-            "arrival": arrival,
-        }
-        return job_id
+        # service metadata rides on the durable job record, so a restarted
+        # daemon (or a peer sharing the store) admits with the same
+        # tenant/priority/weight ordering
+        return self._daemon.submit(
+            task,
+            algorithm=algorithm,
+            tenant=tenant,
+            priority=priority,
+            weight=weight,
+            arrival=arrival,
+        )
 
     def cancel(self, job_id: int) -> Job:
         """Cancel a QUEUED job (delegates to the daemon's state machine)."""
@@ -103,28 +106,34 @@ class MultiJobService:
 
     # -- execution -----------------------------------------------------------
     def run(self) -> ServiceOutcome:
-        """Run every queued job concurrently under the lease policy."""
+        """Run every queued job concurrently under the lease policy.
+
+        Jobs are *claimed* from the store first (owner + lease), so two
+        daemons sharing a SQLite store partition the queue without ever
+        double-running a job; service metadata comes back off the durable
+        records.
+        """
         specs = []
-        for job in self._daemon.jobs():
-            if job.state is not JobState.QUEUED:
-                continue
-            job.state = JobState.RUNNING
+        for job in self._daemon.claim_pending():
+            record = self._daemon.stored(job.job_id)
+            if not self._daemon.mark_running(job):
+                continue  # lost the claim to a peer between claim and run
             try:
                 prepared = self._daemon.prepare(job.job_id)
             except Exception as exc:
-                job.state = JobState.FAILED
-                job.error = f"{type(exc).__name__}: {exc}"
+                self._daemon.record_failure(
+                    job, f"{type(exc).__name__}: {exc}"
+                )
                 continue
-            meta = self._meta.get(job.job_id, {})
             specs.append(
                 ServiceJobSpec(
                     job_id=job.job_id,
                     scheduler_factory=prepared.scheduler_factory,
                     total_load=prepared.division.total_units,
-                    arrival=meta.get("arrival", 0.0),
-                    tenant=meta.get("tenant", "default"),
-                    priority=meta.get("priority", 0),
-                    weight=meta.get("weight", 1.0),
+                    arrival=record.arrival,
+                    tenant=record.tenant,
+                    priority=record.priority,
+                    weight=record.weight,
                     division=prepared.division,
                     probe_units=prepared.probe_units,
                     seed=self._daemon.config.seed,
@@ -156,15 +165,12 @@ class MultiJobService:
             for spec in specs:
                 job = self._daemon.job(spec.job_id)
                 if job.state is JobState.RUNNING:
-                    job.state = JobState.FAILED
-                    job.error = f"{type(exc).__name__}: {exc}"
-                    if chain is not None:
-                        self._manager.park(
-                            job_id=job.job_id,
-                            algorithm=job.algorithm,
-                            task=job.task,
-                            failure_chain=chain + [job.error],
-                        )
+                    error = f"{type(exc).__name__}: {exc}"
+                    self._daemon.record_failure(
+                        job,
+                        error,
+                        failure_chain=chain + [error] if chain is not None else None,
+                    )
             raise
         for job_id, report in outcome.reports.items():
             self._daemon.record_result(self._daemon.job(job_id), report)

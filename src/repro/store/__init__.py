@@ -1,0 +1,68 @@
+"""repro.store -- durable service-level state behind the JobStore protocol.
+
+See :mod:`repro.store.base` for the contract, :mod:`repro.store.memory`
+for the in-process default, and :mod:`repro.store.sqlite` for the
+crash-safe multi-daemon backend.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .base import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    ClaimRecord,
+    JobStore,
+    StoreConflictError,
+    StoreError,
+    StoredDeadLetter,
+    StoredJob,
+    TenantUsage,
+    TransitionRecord,
+    admission_sort_key,
+    tenant_hash,
+    tenant_shard,
+)
+from .memory import MemoryStore
+from .sqlite import SqliteStore
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "ClaimRecord",
+    "JobStore",
+    "MemoryStore",
+    "SqliteStore",
+    "StoreConflictError",
+    "StoreError",
+    "StoredDeadLetter",
+    "StoredJob",
+    "TenantUsage",
+    "TransitionRecord",
+    "admission_sort_key",
+    "open_store",
+    "tenant_hash",
+    "tenant_shard",
+]
+
+
+def open_store(spec: str | Path | None = None) -> JobStore:
+    """Open a job store from a CLI-style spec.
+
+    ``None`` or ``"memory"`` opens a fresh :class:`MemoryStore`; anything
+    else is treated as a SQLite database path (created if missing).
+    """
+    if spec is None or str(spec) == "memory":
+        return MemoryStore()
+    return SqliteStore(spec)

@@ -1,0 +1,10 @@
+"""Clean fixture: a store module keeps to stdlib + sibling store modules."""
+
+import json
+import sqlite3
+
+from .base import StoredJob
+
+
+def persist(conn: sqlite3.Connection, job: StoredJob) -> None:
+    conn.execute("INSERT INTO jobs VALUES (?)", (json.dumps(job.job_id),))

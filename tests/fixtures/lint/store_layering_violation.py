@@ -1,0 +1,13 @@
+"""Violating fixture: a store module reaching up into scheduling layers."""
+
+import repro.simulation.master
+from repro import dispatch
+
+from ..dispatch.core import DispatchCore
+from ..simulation import master
+
+
+def persist(core: DispatchCore) -> None:
+    master.run(core)
+    dispatch.drive(core)
+    repro.simulation.master.run(core)

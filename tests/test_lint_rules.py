@@ -19,6 +19,7 @@ from repro.analysis.lint.rules import (
     LayeringRule,
     ProtocolConformanceRule,
     SimTimePurityRule,
+    default_rules,
 )
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
@@ -222,6 +223,53 @@ def test_layering_allows_dispatch_to_drive(tmp_path):
     # The dispatch package itself may (must) touch next_dispatch.
     root = build_tree(tmp_path, {"dispatch/core.py": "layering_violation.py"})
     assert lint(root, LayeringRule()) == []
+
+
+def test_store_layering_fails_on_violating_fixture(tmp_path):
+    root = build_tree(tmp_path, {"store/bad.py": "store_layering_violation.py"})
+    violations = lint(root, LayeringRule())
+    assert [v.rule for v in violations] == ["layering"] * 4
+    messages = " ".join(v.message for v in violations)
+    assert "store imports dispatch" in messages
+    assert "store imports simulation" in messages
+
+
+def test_store_layering_passes_clean_fixture(tmp_path):
+    root = build_tree(tmp_path, {"store/sqlite.py": "store_layering_clean.py"})
+    assert lint(root, LayeringRule()) == []
+
+
+def test_store_layering_only_guards_store(tmp_path):
+    # The same imports are fine above the persistence layer (the service
+    # and gateway naturally touch both stores and scheduling).
+    root = build_tree(tmp_path, {"service/bad.py": "store_layering_violation.py"})
+    assert lint(root, LayeringRule()) == []
+
+
+def test_conformance_name_override_scopes_pragmas(tmp_path):
+    # The store backends get their own rule instance under a distinct
+    # name, so violations/pragmas are addressable separately from the
+    # substrate-adapter check.
+    root = build_tree(
+        tmp_path,
+        {
+            "dispatch/protocols.py": "conformance_protocols.py",
+            "backends/adapter.py": "conformance_violation.py",
+        },
+    )
+    rule = ProtocolConformanceRule(
+        adapters={"backends/adapter.py": {"BadClock": "Clock"}},
+        name="store-protocol",
+    )
+    violations = lint(root, rule)
+    assert violations
+    assert {v.rule for v in violations} == {"store-protocol"}
+
+
+def test_default_rules_include_store_instances():
+    names = [rule.name for rule in default_rules()]
+    assert "store-protocol" in names
+    assert len(names) == len(set(names))
 
 
 def test_bare_print_fails_on_violating_fixture(tmp_path):
